@@ -1,0 +1,24 @@
+//! # hawkeye-baselines
+//!
+//! The comparison systems of the paper's evaluation: SpiderMon and NetSight
+//! (traditional, PFC-blind diagnosis), the full-polling and victim-only
+//! collection strategies derived from Hawkeye (§4.2), and the port-only /
+//! flow-only telemetry-granularity ablations (Fig. 10).
+//!
+//! Baselines are modeled by *transforming visibility*: the flow/queue
+//! counters they keep are the same counters Hawkeye's tables hold, so each
+//! baseline runs the same provenance analysis over snapshots stripped to
+//! what that system could actually see, with its overheads computed from
+//! its published design (`overhead`).
+
+pub mod method;
+pub mod overhead;
+pub mod transform;
+
+pub use method::Method;
+pub use overhead::{
+    netsight_bandwidth, netsight_processing, polling_bandwidth, spidermon_bandwidth,
+    spidermon_processing, NETSIGHT_POSTCARD_BYTES, NETSIGHT_RECORD_BYTES,
+    SPIDERMON_FLOW_BYTES, SPIDERMON_HEADER_BYTES,
+};
+pub use transform::{filter_victim_path, partial_deployment, strip_flows, strip_pfc, strip_ports};

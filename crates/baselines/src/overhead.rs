@@ -1,0 +1,88 @@
+//! Analytic overhead models for the comparison baselines (Fig. 9).
+//!
+//! Hawkeye's own overheads are measured from its collector; the baselines'
+//! are computed from their published designs:
+//! - **SpiderMon** records ~36 bytes per flow on each victim-path switch
+//!   and adds a 16-bit cumulative-delay field to *every* packet in-band.
+//! - **NetSight** emits a postcard (~15 bytes of bandwidth per packet per
+//!   hop) for every packet at every switch; the collector must then process
+//!   all of them.
+//! - **Full polling** ships every switch's telemetry (no polling packets —
+//!   collection is triggered out of band).
+
+/// SpiderMon telemetry entry size (bytes per flow per switch, §4.3).
+pub const SPIDERMON_FLOW_BYTES: usize = 36;
+/// SpiderMon in-band header added to every data packet (16 bits).
+pub const SPIDERMON_HEADER_BYTES: usize = 2;
+/// NetSight postcard bandwidth cost per packet per hop (§4.3).
+pub const NETSIGHT_POSTCARD_BYTES: usize = 15;
+/// NetSight collector-side record per postcard (packet digest + metadata;
+/// NetSight's compressed history is ~40 B/packet-hop before dedup).
+pub const NETSIGHT_RECORD_BYTES: usize = 40;
+
+/// Processing overhead (telemetry bytes shipped to the analyzer per
+/// diagnosis) for SpiderMon: per-flow records on the victim path.
+pub fn spidermon_processing(victim_path_flow_entries: usize) -> usize {
+    victim_path_flow_entries * SPIDERMON_FLOW_BYTES
+}
+
+/// Monitoring bandwidth overhead (extra bytes on the wire during the trace)
+/// for SpiderMon: the in-band header on every data packet.
+pub fn spidermon_bandwidth(data_packets: u64) -> u64 {
+    data_packets * SPIDERMON_HEADER_BYTES as u64
+}
+
+/// NetSight processing: one record per packet per hop reaches the history
+/// servers.
+pub fn netsight_processing(data_packets_hops: u64) -> u64 {
+    data_packets_hops * NETSIGHT_RECORD_BYTES as u64
+}
+
+/// NetSight bandwidth: postcards for every packet at every hop.
+pub fn netsight_bandwidth(data_packets_hops: u64) -> u64 {
+    data_packets_hops * NETSIGHT_POSTCARD_BYTES as u64
+}
+
+/// Hawkeye / victim-only bandwidth: the polling packets (64 B control
+/// frames) injected per diagnosis.
+pub fn polling_bandwidth(polling_packets: u64) -> u64 {
+    polling_packets * hawkeye_sim::CTRL_PKT_SIZE as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_of_magnitude_match_the_paper() {
+        // A 3 ms trace at ~30% load on 16x100G hosts moves ~1.4M packets
+        // across ~3 hops on average.
+        let pkts: u64 = 1_400_000;
+        let hops = 3;
+        let pkts_hops = pkts * hops;
+
+        let netsight_bw = netsight_bandwidth(pkts_hops);
+        let spidermon_bw = spidermon_bandwidth(pkts);
+        // Hawkeye sends a few dozen polling packets per anomaly.
+        let hawkeye_bw = polling_bandwidth(40);
+
+        // NetSight >> SpiderMon >> Hawkeye, each by >= 1 order of magnitude.
+        assert!(netsight_bw > spidermon_bw * 10);
+        assert!(spidermon_bw > hawkeye_bw * 10);
+
+        // Processing: NetSight's postcards dwarf SpiderMon's per-flow
+        // records, which are comparable to a victim-only collection.
+        let netsight_proc = netsight_processing(pkts_hops);
+        let spidermon_proc = spidermon_processing(200) as u64;
+        assert!(netsight_proc > spidermon_proc * 1000);
+    }
+
+    #[test]
+    fn formulas_are_linear() {
+        assert_eq!(spidermon_processing(10), 360);
+        assert_eq!(spidermon_bandwidth(100), 200);
+        assert_eq!(netsight_bandwidth(100), 1500);
+        assert_eq!(netsight_processing(100), 4000);
+        assert_eq!(polling_bandwidth(2), 128);
+    }
+}

@@ -1,0 +1,203 @@
+//! Telemetry transformations that turn Hawkeye's collected snapshots into
+//! what a weaker system would have seen (§4.2/§4.3 baselines).
+//!
+//! The flow/queue counters the baselines keep are the same counters
+//! Hawkeye's tables hold, so stripping dimensions from real snapshots
+//! models each baseline's *visibility* faithfully: SpiderMon/NetSight see
+//! no PFC at all; the port-only ablation has no flow tables; the flow-only
+//! ablation has no port counters or causality meters.
+
+use hawkeye_sim::{FlowKey, NodeId, Topology};
+use hawkeye_telemetry::TelemetrySnapshot;
+
+/// Remove all PFC visibility: paused counts zeroed, causality meters
+/// dropped, evictions keep their counters but lose paused counts. What a
+/// traditional TCP-era monitor records.
+pub fn strip_pfc(snapshots: &[TelemetrySnapshot]) -> Vec<TelemetrySnapshot> {
+    snapshots
+        .iter()
+        .map(|s| {
+            let mut s = s.clone();
+            for ep in &mut s.epochs {
+                for (_, rec) in &mut ep.flows {
+                    rec.paused_count = 0;
+                }
+                for (_, rec) in &mut ep.ports {
+                    rec.paused_count = 0;
+                }
+                ep.meter.clear();
+            }
+            for ev in &mut s.evicted {
+                ev.record.paused_count = 0;
+            }
+            s
+        })
+        .collect()
+}
+
+/// Drop flow-level telemetry (the "port-level only" ablation of Fig. 10):
+/// PFC paths remain traceable, flow contention does not.
+pub fn strip_flows(snapshots: &[TelemetrySnapshot]) -> Vec<TelemetrySnapshot> {
+    snapshots
+        .iter()
+        .map(|s| {
+            let mut s = s.clone();
+            for ep in &mut s.epochs {
+                ep.flows.clear();
+            }
+            s.evicted.clear();
+            s
+        })
+        .collect()
+}
+
+/// Drop port-level telemetry and the causality meters (the "flow-level
+/// only" ablation of Fig. 10): flow contention remains analyzable, PFC
+/// spreading cannot be traced.
+pub fn strip_ports(snapshots: &[TelemetrySnapshot]) -> Vec<TelemetrySnapshot> {
+    snapshots
+        .iter()
+        .map(|s| {
+            let mut s = s.clone();
+            for ep in &mut s.epochs {
+                ep.ports.clear();
+                ep.meter.clear();
+            }
+            s
+        })
+        .collect()
+}
+
+/// Partial deployment (§5 of the paper): PFC causality analysis runs
+/// everywhere (port tables and meters survive), but flow-level telemetry is
+/// deployed only on `flow_telemetry_switches` (e.g. the ToR/edge tier,
+/// where incast contention concentrates). Root causes on other tiers
+/// become invisible while PFC paths stay fully traceable.
+pub fn partial_deployment(
+    snapshots: &[TelemetrySnapshot],
+    flow_telemetry_switches: &[NodeId],
+) -> Vec<TelemetrySnapshot> {
+    snapshots
+        .iter()
+        .map(|s| {
+            let mut s = s.clone();
+            if !flow_telemetry_switches.contains(&s.switch) {
+                for ep in &mut s.epochs {
+                    ep.flows.clear();
+                }
+                s.evicted.clear();
+            }
+            s
+        })
+        .collect()
+}
+
+/// Keep only snapshots from switches on the victim's path (SpiderMon's
+/// collection scope, and the "victim-only" method's).
+pub fn filter_victim_path(
+    snapshots: &[TelemetrySnapshot],
+    topo: &Topology,
+    victim: &FlowKey,
+) -> Vec<TelemetrySnapshot> {
+    let path: Vec<NodeId> = topo
+        .flow_path(victim)
+        .map(|p| p.iter().map(|(sw, _, _)| *sw).collect())
+        .unwrap_or_default();
+    snapshots
+        .iter()
+        .filter(|s| path.contains(&s.switch))
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hawkeye_sim::Nanos;
+    use hawkeye_telemetry::{EpochSnapshot, FlowRecord, PortRecord};
+
+    fn snap(switch: u32) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            switch: NodeId(switch),
+            taken_at: Nanos(500),
+            nports: 4,
+            max_flows: 64,
+            epochs: vec![EpochSnapshot {
+                slot: 0,
+                id: 0,
+                start: Nanos(0),
+                len: Nanos(1 << 17),
+                flows: vec![(
+                    FlowKey::roce(NodeId(0), NodeId(1), 5),
+                    FlowRecord {
+                        pkt_count: 10,
+                        paused_count: 4,
+                        qdepth_sum: 30,
+                        out_port: 1,
+                    },
+                )],
+                ports: vec![(
+                    1,
+                    PortRecord {
+                        pkt_count: 10,
+                        paused_count: 4,
+                        qdepth_sum: 30,
+                    },
+                )],
+                meter: vec![(0, 1, 10480)],
+            }],
+            evicted: vec![],
+        }
+    }
+
+    #[test]
+    fn strip_pfc_zeroes_pause_and_meters() {
+        let out = strip_pfc(&[snap(7)]);
+        let ep = &out[0].epochs[0];
+        assert_eq!(ep.flows[0].1.paused_count, 0);
+        assert_eq!(ep.flows[0].1.pkt_count, 10, "non-PFC counters survive");
+        assert_eq!(ep.ports[0].1.paused_count, 0);
+        assert!(ep.meter.is_empty());
+    }
+
+    #[test]
+    fn strip_flows_keeps_ports_and_meters() {
+        let out = strip_flows(&[snap(7)]);
+        let ep = &out[0].epochs[0];
+        assert!(ep.flows.is_empty());
+        assert_eq!(ep.ports.len(), 1);
+        assert_eq!(ep.meter.len(), 1);
+    }
+
+    #[test]
+    fn strip_ports_keeps_flows() {
+        let out = strip_ports(&[snap(7)]);
+        let ep = &out[0].epochs[0];
+        assert_eq!(ep.flows.len(), 1);
+        assert!(ep.ports.is_empty());
+        assert!(ep.meter.is_empty());
+    }
+
+    #[test]
+    fn partial_deployment_strips_flow_tables_off_tier() {
+        let out = partial_deployment(&[snap(7), snap(8)], &[NodeId(7)]);
+        assert_eq!(out[0].epochs[0].flows.len(), 1, "deployed switch keeps flows");
+        assert!(out[1].epochs[0].flows.is_empty(), "undeployed switch loses flows");
+        // PFC causality survives everywhere.
+        assert_eq!(out[1].epochs[0].meter.len(), 1);
+        assert_eq!(out[1].epochs[0].ports.len(), 1);
+    }
+
+    #[test]
+    fn victim_path_filter_keeps_path_switches_only() {
+        let topo = hawkeye_sim::chain(3, 2, hawkeye_sim::EVAL_BANDWIDTH, hawkeye_sim::EVAL_DELAY);
+        let hosts: Vec<_> = topo.hosts().collect();
+        let sws: Vec<_> = topo.switches().collect();
+        // Victim h0 -> h3 (sw0 -> sw1).
+        let victim = FlowKey::roce(hosts[0], hosts[3], 9);
+        let snaps: Vec<_> = sws.iter().map(|s| snap(s.0)).collect();
+        let out = filter_victim_path(&snaps, &topo, &victim);
+        let kept: Vec<u32> = out.iter().map(|s| s.switch.0).collect();
+        assert_eq!(kept, vec![sws[0].0, sws[1].0]);
+    }
+}

@@ -1,0 +1,16 @@
+//! Regenerates Figure 10: diagnosis effectiveness of the telemetry
+//! granularities (full Hawkeye vs port-level-only vs flow-level-only) over
+//! traffic containing all six anomaly classes.
+
+use hawkeye_bench::banner;
+use hawkeye_eval::{fig10_granularity, EvalConfig};
+
+fn main() {
+    banner(
+        "Figure 10: telemetry granularity ablation",
+        "Port-only traces PFC paths but misses root-cause flows; flow-only \
+         cannot trace PFC spreading; both fall far below full Hawkeye.",
+    );
+    let cfg = EvalConfig::default();
+    print!("{}", fig10_granularity(&cfg));
+}

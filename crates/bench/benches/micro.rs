@@ -1,0 +1,139 @@
+//! Criterion micro-benchmarks of the hot paths.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hawkeye_core::{build_graph, contribution, AggTelemetry, ReplayConfig, Window};
+use hawkeye_sim::{
+    chain, EventKind, EventQueue, FlowKey, Nanos, NodeId, NullHook, SimConfig, Simulator,
+    EVAL_BANDWIDTH, EVAL_DELAY,
+};
+use hawkeye_telemetry::{SwitchTelemetry, TelemetryConfig};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u64 {
+                q.schedule(
+                    Nanos(i * 7 % 5000),
+                    EventKind::PortKick {
+                        node: NodeId((i % 16) as u32),
+                        port: 0,
+                    },
+                );
+            }
+            let mut n = 0u64;
+            while q.pop().is_some() {
+                n += 1;
+            }
+            n
+        })
+    });
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    c.bench_function("simulate_1MB_flow_chain3", |b| {
+        b.iter(|| {
+            let topo = chain(3, 2, EVAL_BANDWIDTH, EVAL_DELAY);
+            let hosts: Vec<_> = topo.hosts().collect();
+            let mut sim = Simulator::new(topo, SimConfig::default(), NullHook);
+            sim.add_flow(FlowKey::roce(hosts[0], hosts[5], 1), 1_000_000, Nanos::ZERO);
+            sim.run_until(Nanos::from_millis(1));
+            sim.events_processed()
+        })
+    });
+}
+
+fn bench_telemetry_update(c: &mut Criterion) {
+    use hawkeye_sim::EnqueueRecord;
+    c.bench_function("telemetry_enqueue_update", |b| {
+        let mut t = SwitchTelemetry::new(NodeId(0), 16, TelemetryConfig::default());
+        let key = FlowKey::roce(NodeId(1), NodeId(2), 7);
+        let mut ts = 0u64;
+        b.iter(|| {
+            ts += 80;
+            t.on_enqueue(&EnqueueRecord {
+                switch: NodeId(0),
+                in_port: 1,
+                out_port: 2,
+                flow: hawkeye_sim::FlowId(0),
+                key,
+                size: 1048,
+                qdepth_pkts: 5,
+                qdepth_bytes: 5240,
+                egress_paused: false,
+                timestamp: Nanos(ts),
+            });
+        })
+    });
+}
+
+fn bench_contribution_replay(c: &mut Criterion) {
+    use hawkeye_core::FlowAgg;
+    let flows: Vec<(FlowKey, FlowAgg)> = (0..64u16)
+        .map(|i| {
+            (
+                FlowKey::roce(NodeId(0), NodeId(1), i),
+                FlowAgg {
+                    pkt_num: 100,
+                    paused_num: 10,
+                    qdepth_sum: 5000,
+                    epochs_active: 1,
+                },
+            )
+        })
+        .collect();
+    c.bench_function("contribution_replay_64_flows_6400_pkts", |b| {
+        b.iter(|| contribution(&flows, 131072.0, 80.0, ReplayConfig::default()))
+    });
+}
+
+fn bench_graph_build(c: &mut Criterion) {
+    // Aggregate with data at every chain switch.
+    let topo = chain(8, 2, EVAL_BANDWIDTH, EVAL_DELAY);
+    let mut agg = AggTelemetry {
+        epoch_len: Nanos(1 << 17),
+        window: Window::default(),
+        ..Default::default()
+    };
+    use hawkeye_core::{FlowAgg, PortAgg};
+    use hawkeye_sim::PortId;
+    for sw in topo.switches() {
+        for p in 0..topo.ports(sw).len() as u8 {
+            agg.ports.insert(
+                PortId::new(sw, p),
+                PortAgg {
+                    pkt_num: 1000,
+                    paused_num: 100,
+                    qdepth_sum: 20_000,
+                },
+            );
+            agg.meters.insert((sw, p, (p + 1) % 4), 1_000_000);
+            for f in 0..8u16 {
+                agg.flows.insert(
+                    (FlowKey::roce(NodeId(0), NodeId(1), f), PortId::new(sw, p)),
+                    FlowAgg {
+                        pkt_num: 100,
+                        paused_num: 10,
+                        qdepth_sum: 2000,
+                        epochs_active: 2,
+                    },
+                );
+            }
+        }
+    }
+    c.bench_function("provenance_build_8sw_graph", |b| {
+        b.iter(|| build_graph(&agg, &topo, ReplayConfig::default()))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets =
+        bench_event_queue,
+        bench_simulation,
+        bench_telemetry_update,
+        bench_contribution_replay,
+        bench_graph_build
+);
+criterion_main!(benches);

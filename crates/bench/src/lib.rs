@@ -1,0 +1,23 @@
+//! # hawkeye-bench
+//!
+//! Benchmark harness for the Hawkeye reproduction. `cargo bench` runs:
+//!
+//! - `micro` — criterion micro-benchmarks of the hot paths (event queue,
+//!   packet simulation, telemetry updates, provenance construction,
+//!   diagnosis).
+//! - `fig07_param_sweep`, `fig08_09_11_methods`, `fig10_granularity`,
+//!   `fig12_case_study`, `fig13_resources`, `fig14_cpu_poller` — custom
+//!   (non-criterion) harnesses that regenerate the corresponding tables
+//!   and figures of the paper, printing the same rows/series the paper
+//!   reports.
+//!
+//! Knobs: `HAWKEYE_TRIALS` (traces per configuration; default 3) and
+//! `HAWKEYE_LOAD` (background load fraction; default 0.1).
+
+/// Shared banner so every figure harness states its provenance.
+pub fn banner(fig: &str, paper_claim: &str) {
+    println!("\n################################################################");
+    println!("# {fig}");
+    println!("# Paper: {paper_claim}");
+    println!("################################################################");
+}

@@ -1,0 +1,234 @@
+//! `hawkeye` — command-line driver for the reproduction.
+//!
+//! ```text
+//! hawkeye scenario <kind> [--load F] [--seed N] [--json]   run + diagnose one anomaly
+//! hawkeye matrix   [--load F] [--seed N]                   all six anomalies, verdicts
+//! hawkeye methods  <kind> [--load F] [--seed N]            every baseline on one trace
+//! hawkeye cbd      <kind>                                  static deadlock-prevention analysis
+//! hawkeye dot      <kind>                                  provenance graph as Graphviz DOT
+//! hawkeye resources                                        Tofino resource model (Fig 13)
+//! hawkeye summary  <kind> [--load F] [--seed N]            network-wide run statistics
+//! ```
+//! Kinds: incast, storm, inloop, oolc, oolinj, contention.
+
+use hawkeye_baselines::Method;
+use hawkeye_core::{BufferDependencyGraph, RootCause};
+use hawkeye_eval::{optimal_run_config, run_method, ScoreConfig};
+use hawkeye_workloads::{build_scenario, ScenarioKind, ScenarioParams};
+
+fn parse_kind(s: &str) -> Option<ScenarioKind> {
+    Some(match s {
+        "incast" => ScenarioKind::MicroBurstIncast,
+        "storm" => ScenarioKind::PfcStorm,
+        "inloop" => ScenarioKind::InLoopDeadlock,
+        "oolc" => ScenarioKind::OutOfLoopDeadlockContention,
+        "oolinj" => ScenarioKind::OutOfLoopDeadlockInjection,
+        "contention" => ScenarioKind::NormalContention,
+        _ => return None,
+    })
+}
+
+struct Opts {
+    load: f64,
+    seed: u64,
+    json: bool,
+}
+
+fn parse_opts(args: &[String]) -> Opts {
+    let mut o = Opts {
+        load: 0.1,
+        seed: 1,
+        json: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--load" => o.load = it.next().and_then(|v| v.parse().ok()).unwrap_or(o.load),
+            "--seed" => o.seed = it.next().and_then(|v| v.parse().ok()).unwrap_or(o.seed),
+            "--json" => o.json = true,
+            _ => {}
+        }
+    }
+    o
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: hawkeye <scenario|matrix|methods|cbd|dot|resources|summary> [kind] \
+         [--load F] [--seed N] [--json]\n\
+         kinds: incast storm inloop oolc oolinj contention"
+    );
+    std::process::exit(2)
+}
+
+fn build(kind: ScenarioKind, o: &Opts) -> hawkeye_workloads::Scenario {
+    build_scenario(
+        kind,
+        ScenarioParams {
+            seed: o.seed,
+            load: o.load,
+            ..Default::default()
+        },
+    )
+}
+
+fn cmd_scenario(kind: ScenarioKind, o: &Opts) {
+    let sc = build(kind, o);
+    let out = run_method(&sc, &optimal_run_config(o.seed), Method::Hawkeye, &ScoreConfig::default());
+    let Some(report) = &out.report else {
+        println!("victim was never detected");
+        return;
+    };
+    if o.json {
+        println!("{}", serde_json::to_string_pretty(report).unwrap());
+        return;
+    }
+    println!("scenario : {}", kind.name());
+    println!("victim   : {}", sc.truth.victim);
+    println!("verdict  : {:?}", out.verdict.unwrap());
+    println!("diagnosis: {:?}", report.anomaly);
+    for p in &report.pfc_paths {
+        println!(
+            "pfc path : {}",
+            p.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(" -> ")
+        );
+    }
+    if let Some(lp) = &report.deadlock_loop {
+        println!(
+            "deadlock : {}",
+            lp.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(" -> ")
+        );
+    }
+    for rc in &report.root_causes {
+        match rc {
+            RootCause::FlowContention { port, flows } => {
+                println!("root     : contention at {port}");
+                for (k, w) in flows.iter().take(6) {
+                    println!("           {k} (weight {w:.1})");
+                }
+            }
+            RootCause::HostPfcInjection { port, peer } => {
+                println!("root     : PFC injection at {port} from host {peer}");
+            }
+        }
+    }
+    println!(
+        "collected: {} switches, {} B telemetry, causal coverage {}/{}",
+        out.collected_switches.len(),
+        out.processing_bytes,
+        out.causal_covered,
+        out.causal_total
+    );
+}
+
+fn cmd_matrix(o: &Opts) {
+    println!("{:<33} {:<10} diagnosis", "anomaly", "verdict");
+    for kind in ScenarioKind::ALL {
+        let sc = build(kind, o);
+        let out = run_method(&sc, &optimal_run_config(o.seed), Method::Hawkeye, &ScoreConfig::default());
+        println!(
+            "{:<33} {:<10} {}",
+            kind.name(),
+            out.verdict.map_or("Undetected".into(), |v| format!("{v:?}")),
+            out.report.map_or("-".into(), |r| format!("{:?}", r.anomaly)),
+        );
+    }
+}
+
+fn cmd_methods(kind: ScenarioKind, o: &Opts) {
+    println!(
+        "{:<13} {:<17} {:<10} {:<10} bw_B",
+        "method", "verdict", "switches", "proc_B"
+    );
+    for m in Method::ALL {
+        let sc = build(kind, o);
+        let out = run_method(&sc, &optimal_run_config(o.seed), m, &ScoreConfig::default());
+        println!(
+            "{:<13} {:<17} {:<10} {:<10} {}",
+            m.name(),
+            out.verdict.map_or("Undetected".into(), |v| format!("{v:?}")),
+            out.collected_switches.len(),
+            out.processing_bytes,
+            out.bandwidth_bytes
+        );
+    }
+}
+
+fn cmd_cbd(kind: ScenarioKind, o: &Opts) {
+    let sc = build(kind, o);
+    let flows: Vec<_> = sc.flows.iter().map(|f| f.key).collect();
+    let g = BufferDependencyGraph::build(&sc.topo, &flows);
+    let cycles = g.find_cycles();
+    println!(
+        "{}: {} buffer dependencies, {} cycle(s)",
+        kind.name(),
+        g.edge_count(),
+        cycles.len()
+    );
+    for cyc in &cycles {
+        println!(
+            "  CBD: {}",
+            cyc.iter().map(|p| p.to_string()).collect::<Vec<_>>().join(" -> ")
+        );
+        for f in g.cycle_flows(cyc) {
+            println!("    via flow {f}");
+        }
+    }
+    if cycles.is_empty() {
+        println!("  routing is deadlock-free");
+    }
+}
+
+fn cmd_dot(kind: ScenarioKind) {
+    for (name, dot, summary) in hawkeye_eval::fig12_case_study() {
+        if name == kind.name() {
+            eprintln!("// {summary}");
+            println!("{dot}");
+            return;
+        }
+    }
+    eprintln!("no case study for {}", kind.name());
+}
+
+fn cmd_summary(kind: ScenarioKind, o: &Opts) {
+    use hawkeye_core::{HawkeyeConfig, HawkeyeHook};
+    use hawkeye_sim::RunSummary;
+    let sc = build(kind, o);
+    let hook = HawkeyeHook::new(&sc.topo, HawkeyeConfig::default());
+    let mut sim = sc.instantiate_seeded(o.seed, hawkeye_workloads::Scenario::agent(2.0), hook);
+    sim.run_until(sc.params.duration);
+    let s = RunSummary::of(&sim);
+    if o.json {
+        println!("{}", serde_json::to_string_pretty(&s).unwrap());
+    } else {
+        println!("{s:#?}");
+    }
+}
+
+fn cmd_resources() {
+    let u = hawkeye_tofino::resource_usage(
+        &hawkeye_telemetry::TelemetryConfig::default(),
+        hawkeye_tofino::SwitchDims::default(),
+    );
+    println!(
+        "SRAM {:.1}%  TCAM {:.1}%  PHV {:.1}%  stages {}/12  sALU {:.1}%",
+        u.sram_pct, u.tcam_pct, u.phv_pct, u.stages_used, u.salu_pct
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+    let opts = parse_opts(&args[1..]);
+    let kind_arg = args.get(1).and_then(|k| parse_kind(k));
+    match (cmd.as_str(), kind_arg) {
+        ("scenario", Some(k)) => cmd_scenario(k, &opts),
+        ("matrix", _) => cmd_matrix(&opts),
+        ("methods", Some(k)) => cmd_methods(k, &opts),
+        ("cbd", Some(k)) => cmd_cbd(k, &opts),
+        ("dot", Some(k)) => cmd_dot(k),
+        ("resources", _) => cmd_resources(),
+        ("summary", Some(k)) => cmd_summary(k, &opts),
+        _ => usage(),
+    }
+}

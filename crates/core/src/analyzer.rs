@@ -1,0 +1,102 @@
+//! End-to-end analysis: from a host-agent detection and the collected
+//! telemetry to a [`DiagnosisReport`].
+
+use crate::aggregate::{AggTelemetry, Window};
+use crate::diagnosis::{diagnose, DiagnosisConfig, DiagnosisReport};
+use crate::provenance::{build_graph, ProvenanceGraph, ReplayConfig};
+use hawkeye_sim::{Detection, Nanos, Topology};
+use hawkeye_telemetry::TelemetrySnapshot;
+
+/// Analyzer configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct AnalyzerConfig {
+    /// Epochs of history (before the detection) aggregated into the
+    /// diagnosis window; must cover the anomaly's onset.
+    pub lookback_epochs: u64,
+    /// Telemetry epoch length (must match the switches' configuration).
+    pub epoch_len: Nanos,
+    pub replay: ReplayConfig,
+    pub diagnosis: DiagnosisConfig,
+}
+
+impl AnalyzerConfig {
+    pub fn for_epoch_len(epoch_len: Nanos) -> Self {
+        AnalyzerConfig {
+            // Detection re-triggering is deduplicated on the order of
+            // hundreds of microseconds, so the window must reach back past
+            // several epochs to cover the anomaly's onset.
+            lookback_epochs: 4,
+            epoch_len,
+            replay: ReplayConfig::default(),
+            diagnosis: DiagnosisConfig::default(),
+        }
+    }
+}
+
+/// The window a detection's diagnosis aggregates over: from `lookback`
+/// epochs before the detection to one epoch after it (collection happens
+/// within microseconds of detection, inside that epoch).
+pub fn detection_window(det: &Detection, cfg: &AnalyzerConfig) -> Window {
+    Window {
+        from: det
+            .at
+            .saturating_sub(Nanos(cfg.epoch_len.as_nanos() * cfg.lookback_epochs)),
+        to: det.at + cfg.epoch_len,
+    }
+}
+
+/// Analyze a victim over an explicit window — used when an anomaly
+/// persisted across several re-detections and collections: the window then
+/// spans from before the first detection to after the last, so evidence
+/// that froze early (e.g. the escape port of a deadlock) and evidence that
+/// froze late (the closing ring port) are both covered. Epoch-level
+/// keep-latest deduplication makes the wide window safe.
+pub fn analyze_victim_window(
+    victim: &hawkeye_sim::FlowKey,
+    window: Window,
+    snapshots: &[TelemetrySnapshot],
+    topo: &Topology,
+    cfg: &AnalyzerConfig,
+) -> (DiagnosisReport, ProvenanceGraph, AggTelemetry) {
+    let mut agg = AggTelemetry::build(snapshots, window);
+    if agg.epoch_len == Nanos::ZERO {
+        agg.epoch_len = cfg.epoch_len;
+    }
+    let g = build_graph(&agg, topo, cfg.replay);
+    let report = diagnose(&g, topo, &agg, victim, cfg.diagnosis);
+    (report, g, agg)
+}
+
+/// Full offline analysis of one detection: aggregate → Algorithm 1 →
+/// Algorithm 2. Returns the report plus the graph (for rendering / tests).
+pub fn analyze_detection(
+    det: &Detection,
+    snapshots: &[TelemetrySnapshot],
+    topo: &Topology,
+    cfg: &AnalyzerConfig,
+) -> (DiagnosisReport, ProvenanceGraph, AggTelemetry) {
+    let window = detection_window(det, cfg);
+    let mut agg = AggTelemetry::build(snapshots, window);
+    if agg.ports.is_empty() && !snapshots.is_empty() {
+        // Stalled-network fallback: in a full deadlock nothing enqueues
+        // anymore, so the epoch ring froze before the detection window.
+        // Diagnose over the most recent epochs that exist.
+        let max_end = snapshots
+            .iter()
+            .flat_map(|s| s.epochs.iter().map(|e| e.end()))
+            .max()
+            .unwrap_or(Nanos::ZERO);
+        let span = Nanos(cfg.epoch_len.as_nanos() * (cfg.lookback_epochs + 1));
+        let fallback = Window {
+            from: max_end.saturating_sub(span),
+            to: det.at + cfg.epoch_len,
+        };
+        agg = AggTelemetry::build(snapshots, fallback);
+    }
+    if agg.epoch_len == Nanos::ZERO {
+        agg.epoch_len = cfg.epoch_len;
+    }
+    let g = build_graph(&agg, topo, cfg.replay);
+    let report = diagnose(&g, topo, &agg, &det.key, cfg.diagnosis);
+    (report, g, agg)
+}

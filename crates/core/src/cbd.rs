@@ -1,0 +1,187 @@
+//! Static cyclic-buffer-dependency (CBD) analysis for deadlock prevention
+//! and resolution (§3.5.2: "The PFC spreading causality of HAWKEYE also
+//! enables analysis on circular buffer dependency (CBD) for deadlock
+//! prevention and resolution"; cf. Tagger, ITSY).
+//!
+//! A buffer dependency `L1 -> L2` exists when some flow enters a switch on
+//! link `L1` and leaves it on link `L2`: packets buffered at the head of
+//! `L2` hold buffer credit on `L1` (via PFC's ingress accounting), so `L1`
+//! waits on `L2`. A *cycle* of such dependencies is the structural
+//! precondition for deadlock (§2.1). Operators run this against the routing
+//! configuration — including suspected misconfigurations — to find the
+//! loops before (or after) they freeze.
+
+use hawkeye_sim::{FlowKey, NodeId, PortId, Topology};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The buffer-dependency graph induced by a set of flows on a topology:
+/// nodes are egress ports (directed links), edges are wait-for
+/// dependencies, annotated with the flows that create them.
+#[derive(Debug, Clone, Default)]
+pub struct BufferDependencyGraph {
+    /// upstream egress port -> (downstream egress port -> flows creating
+    /// the dependency).
+    pub edges: BTreeMap<PortId, BTreeMap<PortId, Vec<FlowKey>>>,
+}
+
+impl BufferDependencyGraph {
+    /// Build from the routing of the given flows. Flows whose routing
+    /// loops (beyond the hop cap) are skipped — their problem is a routing
+    /// loop, not a CBD.
+    pub fn build(topo: &Topology, flows: &[FlowKey]) -> Self {
+        let mut g = BufferDependencyGraph::default();
+        for key in flows {
+            let Some(path) = topo.flow_path(key) else {
+                continue;
+            };
+            // Consecutive (switch, in, out) hops: the upstream switch's
+            // egress toward this switch waits on this switch's egress.
+            for pair in path.windows(2) {
+                let (up_sw, _, up_out) = pair[0];
+                let (dn_sw, _, dn_out) = pair[1];
+                debug_assert_eq!(topo.peer(PortId::new(up_sw, up_out)).node, dn_sw);
+                g.edges
+                    .entry(PortId::new(up_sw, up_out))
+                    .or_default()
+                    .entry(PortId::new(dn_sw, dn_out))
+                    .or_default()
+                    .push(*key);
+            }
+        }
+        g
+    }
+
+    pub fn edge_count(&self) -> usize {
+        self.edges.values().map(BTreeMap::len).sum()
+    }
+
+    /// All elementary dependency cycles (each returned as a sorted port
+    /// set, deduplicated). A non-empty result means the routing admits
+    /// deadlock.
+    pub fn find_cycles(&self) -> Vec<Vec<PortId>> {
+        let nodes: Vec<PortId> = self.edges.keys().copied().collect();
+        let idx: BTreeMap<PortId, usize> = nodes.iter().enumerate().map(|(i, p)| (*p, i)).collect();
+        let mut found: BTreeSet<Vec<PortId>> = BTreeSet::new();
+        for &start in &nodes {
+            // DFS with explicit on-path stack from each node.
+            let mut stack = vec![(start, self.succ(start))];
+            let mut path = vec![start];
+            let mut on_path = vec![false; nodes.len()];
+            on_path[idx[&start]] = true;
+            while let Some((_, succs)) = stack.last_mut() {
+                if let Some(nbr) = succs.pop() {
+                    if let Some(&ni) = idx.get(&nbr) {
+                        if on_path[ni] {
+                            let pos = path.iter().position(|&x| x == nbr).unwrap();
+                            let mut cyc = path[pos..].to_vec();
+                            cyc.sort_unstable();
+                            found.insert(cyc);
+                        } else if path.len() < 64 {
+                            on_path[ni] = true;
+                            path.push(nbr);
+                            stack.push((nbr, self.succ(nbr)));
+                        }
+                    }
+                } else {
+                    let (node, _) = stack.pop().unwrap();
+                    path.pop();
+                    if let Some(&ni) = idx.get(&node) {
+                        on_path[ni] = false;
+                    }
+                }
+            }
+        }
+        found.into_iter().collect()
+    }
+
+    fn succ(&self, p: PortId) -> Vec<PortId> {
+        self.edges
+            .get(&p)
+            .map(|m| m.keys().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// The flows participating in a given cycle — the candidates for
+    /// rerouting when resolving a (potential) deadlock.
+    pub fn cycle_flows(&self, cycle: &[PortId]) -> Vec<FlowKey> {
+        let set: BTreeSet<PortId> = cycle.iter().copied().collect();
+        let mut flows: Vec<FlowKey> = self
+            .edges
+            .iter()
+            .filter(|(up, _)| set.contains(up))
+            .flat_map(|(_, m)| {
+                m.iter()
+                    .filter(|(dn, _)| set.contains(dn))
+                    .flat_map(|(_, fs)| fs.iter().copied())
+            })
+            .collect();
+        flows.sort_unstable();
+        flows.dedup();
+        flows
+    }
+
+    /// Switches touched by any cycle (for operator reports).
+    pub fn cycle_switches(&self, cycle: &[PortId]) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = cycle.iter().map(|p| p.node).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hawkeye_sim::{fat_tree, EVAL_BANDWIDTH, EVAL_DELAY};
+
+    #[test]
+    fn clean_fat_tree_routing_has_no_cbd() {
+        let topo = fat_tree(4, EVAL_BANDWIDTH, EVAL_DELAY);
+        let hosts: Vec<_> = topo.hosts().collect();
+        // All-pairs mesh of flows under shortest-path up/down routing.
+        let mut flows = Vec::new();
+        for (i, &a) in hosts.iter().enumerate() {
+            for &b in &hosts[i + 1..] {
+                flows.push(FlowKey::roce(a, b, 7));
+                flows.push(FlowKey::roce(b, a, 7));
+            }
+        }
+        let g = BufferDependencyGraph::build(&topo, &flows);
+        assert!(g.edge_count() > 0);
+        assert!(
+            g.find_cycles().is_empty(),
+            "up-down routing must be CBD-free"
+        );
+    }
+
+    #[test]
+    fn override_bounce_routing_creates_a_cbd() {
+        use hawkeye_sim::ring;
+        // 4-switch ring; route three flows so each covers 2+ consecutive
+        // ring links (the CBD covering pattern).
+        let mut topo = ring(4, 2, EVAL_BANDWIDTH, EVAL_DELAY);
+        let hosts: Vec<_> = topo.hosts().collect();
+        let sws: Vec<_> = topo.switches().collect();
+        let next_port = |topo: &Topology, i: usize| {
+            (0..topo.ports(sws[i]).len() as u8)
+                .find(|&p| topo.peer(PortId::new(sws[i], p)).node == sws[(i + 1) % 4])
+                .unwrap()
+        };
+        // Force clockwise 2-hop routes: flow i: host(sw_i) -> host(sw_{i+2}).
+        let mut flows = Vec::new();
+        for i in 0..4usize {
+            let dst = hosts[((i + 2) % 4) * 2];
+            let p1 = next_port(&topo, i);
+            let p2 = next_port(&topo, (i + 1) % 4);
+            topo.add_route_override(sws[i], dst, p1);
+            topo.add_route_override(sws[(i + 1) % 4], dst, p2);
+            flows.push(FlowKey::roce(hosts[i * 2], dst, 100 + i as u16));
+        }
+        let g = BufferDependencyGraph::build(&topo, &flows);
+        let cycles = g.find_cycles();
+        assert_eq!(cycles.len(), 1, "exactly the ring cycle: {cycles:?}");
+        assert_eq!(cycles[0].len(), 4);
+        assert_eq!(g.cycle_flows(&cycles[0]).len(), 4);
+        assert_eq!(g.cycle_switches(&cycles[0]).len(), 4);
+    }
+}

@@ -1,0 +1,176 @@
+//! Controller-assisted telemetry collection (§3.4).
+//!
+//! When a polling packet is mirrored to a switch CPU, the controller reads
+//! the telemetry registers (DMA-synced on real Tofino), filters zero-valued
+//! slots, batches the rest into MTU-sized report packets, and ships them to
+//! the analyzer. A per-switch dedup interval prevents repeated collection
+//! when several victims' polling packets cross the same switch.
+
+use hawkeye_sim::{FlowKey, Nanos, NodeId};
+use hawkeye_telemetry::{SwitchTelemetry, TelemetrySnapshot};
+use std::collections::HashMap;
+
+/// Collector configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CollectorConfig {
+    /// Minimum spacing between two collections of the same switch.
+    pub dedup_interval: Nanos,
+    /// Usable payload per report packet (MTU batching, §4.5).
+    pub report_payload: usize,
+}
+
+impl Default for CollectorConfig {
+    fn default() -> Self {
+        CollectorConfig {
+            // Short enough that a persisting anomaly is re-collected with
+            // its epochs complete; the analyzer dedups epochs keep-latest.
+            dedup_interval: Nanos::from_micros(100),
+            report_payload: 1500,
+        }
+    }
+}
+
+/// One completed per-switch collection.
+#[derive(Debug, Clone)]
+pub struct CollectionEvent {
+    pub switch: NodeId,
+    pub at: Nanos,
+    /// The victim 5-tuple of the polling packet that triggered this
+    /// collection (per-diagnosis overhead attribution, Fig. 11).
+    pub victim: FlowKey,
+    pub snapshot: TelemetrySnapshot,
+}
+
+/// The telemetry collector.
+#[derive(Debug)]
+pub struct Collector {
+    cfg: CollectorConfig,
+    last: HashMap<NodeId, Nanos>,
+    pub events: Vec<CollectionEvent>,
+    /// Every offer, including dedup-suppressed ones: (switch, time,
+    /// triggering victim). A suppressed offer means fresh-enough telemetry
+    /// already existed — it still serves that victim's diagnosis, so
+    /// per-diagnosis attribution (Fig. 11) reads this log.
+    pub offers: Vec<(NodeId, Nanos, FlowKey)>,
+}
+
+impl Collector {
+    pub fn new(cfg: CollectorConfig) -> Self {
+        Collector {
+            cfg,
+            last: HashMap::new(),
+            events: Vec::new(),
+            offers: Vec::new(),
+        }
+    }
+
+    /// A polling packet was mirrored to `switch`'s CPU at `now`: collect
+    /// its telemetry unless collected within the dedup interval. Must be
+    /// called at (simulated) mirror time — the registers are read "live".
+    /// Returns whether a collection happened.
+    pub fn offer(
+        &mut self,
+        switch: NodeId,
+        now: Nanos,
+        victim: FlowKey,
+        tele: &SwitchTelemetry,
+    ) -> bool {
+        self.offers.push((switch, now, victim));
+        if let Some(&last) = self.last.get(&switch) {
+            if now.saturating_sub(last) < self.cfg.dedup_interval {
+                return false;
+            }
+        }
+        self.last.insert(switch, now);
+        self.events.push(CollectionEvent {
+            switch,
+            at: now,
+            victim,
+            snapshot: tele.snapshot(now),
+        });
+        true
+    }
+
+    /// Snapshots from the collections a specific victim's polling packets
+    /// triggered within a time window.
+    pub fn snapshots_for(&self, victim: &FlowKey, from: Nanos, to: Nanos) -> Vec<TelemetrySnapshot> {
+        self.events
+            .iter()
+            .filter(|e| e.victim == *victim && e.at >= from && e.at <= to)
+            .map(|e| e.snapshot.clone())
+            .collect()
+    }
+
+    /// Switches whose telemetry a victim's polling packets requested within
+    /// a window (whether freshly collected or dedup-served).
+    pub fn attributed_switches(&self, victim: &FlowKey, from: Nanos, to: Nanos) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self
+            .offers
+            .iter()
+            .filter(|(_, at, k)| k == victim && *at >= from && *at <= to)
+            .map(|(sw, _, _)| *sw)
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// One representative (largest filtered) snapshot per attributed
+    /// switch within the window — the telemetry volume this diagnosis
+    /// consumed.
+    pub fn attributed_snapshots(
+        &self,
+        victim: &FlowKey,
+        from: Nanos,
+        to: Nanos,
+    ) -> Vec<TelemetrySnapshot> {
+        let switches = self.attributed_switches(victim, from, to);
+        switches
+            .into_iter()
+            .filter_map(|sw| {
+                self.events
+                    .iter()
+                    .filter(|e| e.switch == sw && e.at >= from && e.at <= to)
+                    .max_by_key(|e| e.snapshot.wire_size_filtered())
+                    .map(|e| e.snapshot.clone())
+            })
+            .collect()
+    }
+
+    /// Collected snapshots (for graph construction).
+    pub fn snapshots(&self) -> Vec<TelemetrySnapshot> {
+        self.events.iter().map(|e| e.snapshot.clone()).collect()
+    }
+
+    /// Distinct switches collected.
+    pub fn switch_count(&self) -> usize {
+        let mut v: Vec<NodeId> = self.events.iter().map(|e| e.switch).collect();
+        v.sort_unstable();
+        v.dedup();
+        v.len()
+    }
+
+    /// Total bytes shipped to the analyzer (zero-filtered).
+    pub fn total_bytes(&self) -> usize {
+        self.events
+            .iter()
+            .map(|e| e.snapshot.wire_size_filtered())
+            .sum()
+    }
+
+    /// Bytes a full register dump would have shipped.
+    pub fn total_bytes_full_dump(&self) -> usize {
+        self.events
+            .iter()
+            .map(|e| e.snapshot.wire_size_full())
+            .sum()
+    }
+
+    /// Report packets at the configured MTU payload.
+    pub fn report_packets(&self) -> usize {
+        self.events
+            .iter()
+            .map(|e| e.snapshot.report_packets(self.cfg.report_payload))
+            .sum()
+    }
+}

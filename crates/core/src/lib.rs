@@ -1,0 +1,37 @@
+//! # hawkeye-core
+//!
+//! The primary contribution of "Hawkeye: Diagnosing RDMA Network
+//! Performance Anomalies with PFC Provenance" (SIGCOMM 2025), reproduced on
+//! the `hawkeye-sim` substrate:
+//!
+//! - [`hook::HawkeyeHook`] — the in-switch program: PFC-aware telemetry
+//!   updates and line-rate polling-packet forwarding with in-data-plane PFC
+//!   causality analysis (Fig. 6, Table 1).
+//! - [`collector::Collector`] — controller-assisted asynchronous telemetry
+//!   collection with zero-filtering and MTU batching (§3.4).
+//! - [`aggregate`] / [`provenance`] — Algorithm 1: the heterogeneous
+//!   wait-for provenance graph over ports and flows (port-level PFC
+//!   causality edges, flow-port pausing edges, port-flow contention edges
+//!   via queue replay).
+//! - [`signature`] — the formal anomaly signatures of Table 2.
+//! - [`diagnosis`] — Algorithm 2: loop detection, root-cause location
+//!   (flow contention vs. host PFC injection), anomaly classification.
+//! - [`analyzer`] — end-to-end: detection → window → graph → report.
+
+pub mod aggregate;
+pub mod analyzer;
+pub mod cbd;
+pub mod collector;
+pub mod diagnosis;
+pub mod hook;
+pub mod provenance;
+pub mod signature;
+pub mod test_graphs;
+
+pub use aggregate::{AggTelemetry, FlowAgg, PortAgg, Window};
+pub use analyzer::{analyze_detection, analyze_victim_window, detection_window, AnalyzerConfig};
+pub use cbd::BufferDependencyGraph;
+pub use collector::{CollectionEvent, Collector, CollectorConfig};
+pub use diagnosis::{diagnose, AnomalyType, DiagnosisConfig, DiagnosisReport, RootCause};
+pub use hook::{HawkeyeConfig, HawkeyeHook, HookStats, TracingPolicy};
+pub use provenance::{build_graph, contribution, victim_extents, ProvenanceGraph, ReplayConfig};

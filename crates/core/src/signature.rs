@@ -1,0 +1,233 @@
+//! Declarative anomaly signatures (Table 2 of the paper), expressed as
+//! predicates over the provenance graph.
+//!
+//! The procedural diagnosis (Algorithm 2, `diagnosis.rs`) produces the
+//! actionable report; these predicates are the formal definitions and are
+//! used to cross-check it in tests and to label anomaly types.
+
+use crate::provenance::ProvenanceGraph;
+use std::collections::HashSet;
+
+/// Positive-contribution threshold: weights above this count as flow
+/// contention (floating-point noise floor).
+pub const CONTENTION_EPS: f64 = 1e-9;
+
+/// Does any flow positively contend at `port`?
+pub fn has_flow_contention(g: &ProvenanceGraph, port: usize) -> bool {
+    g.contention_at(port).iter().any(|&(_, w)| w > CONTENTION_EPS)
+}
+
+/// Positive contributors at `port`, heaviest first.
+pub fn contributors(g: &ProvenanceGraph, port: usize) -> Vec<(usize, f64)> {
+    let mut v: Vec<(usize, f64)> = g
+        .contention_at(port)
+        .iter()
+        .copied()
+        .filter(|&(_, w)| w > CONTENTION_EPS)
+        .collect();
+    v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    v
+}
+
+/// All elementary cycles reachable in the port-level subgraph, as sorted
+/// port-index sets (deduplicated). Port graphs here are tiny (the PFC
+/// spreading footprint), so a DFS per start node is fine.
+pub fn port_loops(g: &ProvenanceGraph) -> Vec<Vec<usize>> {
+    let n = g.ports.len();
+    let mut found: HashSet<Vec<usize>> = HashSet::new();
+    for start in 0..n {
+        // Iterative DFS with an explicit on-path stack.
+        let mut stack = vec![(start, 0usize)];
+        let mut path = vec![start];
+        let mut on_path = vec![false; n];
+        on_path[start] = true;
+        while let Some((node, next_i)) = stack.last_mut() {
+            let node = *node;
+            if *next_i < g.port_neighbors(node).len() {
+                let (nbr, _) = g.port_neighbors(node)[*next_i];
+                *next_i += 1;
+                if on_path[nbr] {
+                    // Cycle: slice of path from nbr onward.
+                    let pos = path.iter().position(|&x| x == nbr).unwrap();
+                    let mut cyc = path[pos..].to_vec();
+                    cyc.sort_unstable();
+                    found.insert(cyc);
+                } else if path.len() < 64 {
+                    stack.push((nbr, 0));
+                    path.push(nbr);
+                    on_path[nbr] = true;
+                }
+            } else {
+                stack.pop();
+                path.pop();
+                on_path[node] = false;
+            }
+        }
+    }
+    let mut v: Vec<Vec<usize>> = found.into_iter().collect();
+    v.sort();
+    v
+}
+
+/// Out-degree-0 port nodes reachable from `start` along port edges — the
+/// initial congestion candidates of a PFC spreading path.
+pub fn terminal_ports(g: &ProvenanceGraph, start: usize) -> Vec<usize> {
+    let mut seen = vec![false; g.ports.len()];
+    let mut out = Vec::new();
+    let mut stack = vec![start];
+    while let Some(p) = stack.pop() {
+        if seen[p] {
+            continue;
+        }
+        seen[p] = true;
+        if g.out_deg_port(p) == 0 {
+            out.push(p);
+        }
+        for &(nbr, _) in g.port_neighbors(p) {
+            stack.push(nbr);
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Table 2 row 1 — *Micro-bursts incast*: a PFC path exists whose terminal
+/// (out-degree-0) port shows flow contention.
+pub fn sig_microburst_incast(g: &ProvenanceGraph) -> bool {
+    (0..g.ports.len()).any(|p| {
+        g.out_deg_port(p) == 0
+            && has_flow_contention(g, p)
+            && port_has_incoming(g, p)
+    })
+}
+
+/// Table 2 row 2 — *In-loop deadlock*: a port-level loop in which every
+/// member's edges stay in the loop, and some loop member shows contention.
+pub fn sig_in_loop_deadlock(g: &ProvenanceGraph) -> bool {
+    port_loops(g).iter().any(|lp| {
+        let set: HashSet<usize> = lp.iter().copied().collect();
+        let closed = lp.iter().all(|&p| {
+            g.port_neighbors(p)
+                .iter()
+                .all(|&(nbr, _)| set.contains(&nbr))
+        });
+        closed && lp.iter().any(|&p| has_flow_contention(g, p))
+    })
+}
+
+/// Table 2 rows 3/4 — *Out-of-loop deadlock*: a loop with an escape edge
+/// leading to an out-degree-0 port; contention vs. injection at that port
+/// distinguishes the root cause.
+pub fn sig_out_of_loop_deadlock(g: &ProvenanceGraph) -> Option<bool> {
+    for lp in port_loops(g) {
+        let set: HashSet<usize> = lp.iter().copied().collect();
+        for &p in &lp {
+            if g.out_deg_port(p) <= 1 {
+                continue;
+            }
+            for &(nbr, _) in g.port_neighbors(p) {
+                if set.contains(&nbr) {
+                    continue;
+                }
+                if let Some(t) = terminal_ports(g, nbr).first() {
+                    return Some(has_flow_contention(g, *t));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Table 2 row 5 — *PFC storm*: a PFC path whose terminal port has no
+/// positive flow contention (host PFC injection).
+pub fn sig_pfc_storm(g: &ProvenanceGraph) -> bool {
+    (0..g.ports.len()).any(|p| {
+        g.out_deg_port(p) == 0 && !has_flow_contention(g, p) && port_has_incoming(g, p)
+    })
+}
+
+/// Table 2 row 6 — *Normal flow contention*: no port-level edges anywhere
+/// (no PFC spreading), but some port shows positive contention.
+pub fn sig_normal_contention(g: &ProvenanceGraph) -> bool {
+    let no_port_edges = (0..g.ports.len()).all(|p| g.out_deg_port(p) == 0);
+    no_port_edges && (0..g.ports.len()).any(|p| has_flow_contention(g, p))
+}
+
+/// Whether any port-level edge points *to* this port (it is someone's
+/// downstream cause).
+pub fn port_has_incoming(g: &ProvenanceGraph, port: usize) -> bool {
+    g.port_edges
+        .iter()
+        .any(|es| es.iter().any(|&(p, _)| p == port))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_graphs::*;
+
+    fn t() -> hawkeye_sim::Topology {
+        topo4()
+    }
+
+    #[test]
+    fn microburst_graph_matches_only_its_signature() {
+        let g = graph_backpressure_contention(&t());
+        assert!(sig_microburst_incast(&g));
+        assert!(!sig_pfc_storm(&g));
+        assert!(!sig_in_loop_deadlock(&g));
+        assert!(sig_out_of_loop_deadlock(&g).is_none());
+        assert!(!sig_normal_contention(&g));
+    }
+
+    #[test]
+    fn storm_graph_matches_only_storm() {
+        let g = graph_pfc_storm(&t());
+        assert!(sig_pfc_storm(&g));
+        assert!(!sig_microburst_incast(&g));
+        assert!(!sig_in_loop_deadlock(&g));
+        assert!(!sig_normal_contention(&g));
+    }
+
+    #[test]
+    fn in_loop_deadlock_graph() {
+        let g = graph_in_loop_deadlock(&t());
+        assert!(sig_in_loop_deadlock(&g));
+        assert!(sig_out_of_loop_deadlock(&g).is_none());
+        assert!(!sig_normal_contention(&g));
+        assert_eq!(port_loops(&g).len(), 1);
+    }
+
+    #[test]
+    fn out_of_loop_deadlock_graphs() {
+        let g = graph_out_of_loop_deadlock(&t(), true);
+        assert_eq!(sig_out_of_loop_deadlock(&g), Some(true), "contention root");
+        let g = graph_out_of_loop_deadlock(&t(), false);
+        assert_eq!(sig_out_of_loop_deadlock(&g), Some(false), "injection root");
+        assert!(!sig_in_loop_deadlock(&graph_out_of_loop_deadlock(&t(), true)));
+    }
+
+    #[test]
+    fn normal_contention_graph() {
+        let g = graph_normal_contention(&t());
+        assert!(sig_normal_contention(&g));
+        assert!(!sig_microburst_incast(&g));
+        assert!(!sig_pfc_storm(&g));
+    }
+
+    #[test]
+    fn loop_detection_finds_cycle_members() {
+        let g = graph_in_loop_deadlock(&t());
+        let loops = port_loops(&g);
+        assert_eq!(loops.len(), 1);
+        assert_eq!(loops[0].len(), 4);
+    }
+
+    #[test]
+    fn terminals_of_backpressure_chain() {
+        let g = graph_backpressure_contention(&t());
+        // Port 0 -> 1 -> 2 (terminal).
+        let t = terminal_ports(&g, 0);
+        assert_eq!(t, vec![2]);
+    }
+}

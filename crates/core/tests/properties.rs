@@ -1,0 +1,126 @@
+//! Property-based tests of provenance construction and diagnosis: the
+//! contention-contribution ledger balances, graph construction is
+//! deterministic, and the diagnosis never panics on arbitrary graphs.
+
+use hawkeye_core::{
+    build_graph, contribution, diagnose, AggTelemetry, DiagnosisConfig, FlowAgg, PortAgg,
+    ProvenanceGraph, ReplayConfig, Window,
+};
+use hawkeye_sim::{chain, FlowKey, Nanos, NodeId, PortId, EVAL_BANDWIDTH, EVAL_DELAY};
+use proptest::prelude::*;
+
+fn key(i: u16) -> FlowKey {
+    FlowKey::roce(NodeId(0), NodeId(1), i)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The wait-for ledger balances: net contributions over all flows at a
+    /// port sum to ~zero (one flow's waiting is another's being waited on).
+    #[test]
+    fn contribution_ledger_balances(
+        pkts in proptest::collection::vec(1u64..400, 2..12),
+    ) {
+        let flows: Vec<(FlowKey, FlowAgg)> = pkts.iter().enumerate().map(|(i, &n)| {
+            (key(i as u16), FlowAgg { pkt_num: n, paused_num: 0, qdepth_sum: 10 * n, epochs_active: 1 })
+        }).collect();
+        let c = contribution(&flows, 131_072.0, 80.0, ReplayConfig::default());
+        let sum: f64 = c.iter().map(|(_, w)| w).sum();
+        let scale: f64 = c.iter().map(|(_, w)| w.abs()).sum::<f64>().max(1.0);
+        prop_assert!(sum.abs() / scale < 1e-6, "sum {sum} scale {scale}");
+    }
+
+    /// Paused packets never contend: a fully paused flow gets no entry.
+    #[test]
+    fn paused_flows_never_blamed(
+        pkts in proptest::collection::vec(1u64..200, 2..8),
+    ) {
+        let mut flows: Vec<(FlowKey, FlowAgg)> = pkts.iter().enumerate().map(|(i, &n)| {
+            (key(i as u16), FlowAgg { pkt_num: n, paused_num: 0, qdepth_sum: 0, epochs_active: 1 })
+        }).collect();
+        // Flow 999 is entirely paused enqueues.
+        flows.push((key(999), FlowAgg { pkt_num: 50, paused_num: 50, qdepth_sum: 0, epochs_active: 1 }));
+        let c = contribution(&flows, 131_072.0, 80.0, ReplayConfig::default());
+        prop_assert!(c.iter().all(|(k, _)| *k != key(999)));
+    }
+
+    /// Graph construction is a pure function of its inputs.
+    #[test]
+    fn build_graph_deterministic(
+        paused in proptest::collection::vec((0u64..500, 0u64..500, 0u64..5000), 1..6),
+        meter in proptest::collection::vec((0u8..4, 0u8..4, 1u64..1_000_000), 0..6),
+    ) {
+        let topo = chain(3, 2, EVAL_BANDWIDTH, EVAL_DELAY);
+        let sws: Vec<_> = topo.switches().collect();
+        let mk = || {
+            let mut agg = AggTelemetry {
+                epoch_len: Nanos(1 << 17),
+                window: Window::default(),
+                ..Default::default()
+            };
+            for (i, &(pkt, pse, qd)) in paused.iter().enumerate() {
+                let port = PortId::new(sws[i % sws.len()], (i % 3) as u8);
+                agg.ports.insert(port, PortAgg {
+                    pkt_num: pkt.max(pse),
+                    paused_num: pse,
+                    qdepth_sum: qd,
+                });
+                agg.flows.insert((key(i as u16), port), FlowAgg {
+                    pkt_num: pkt.max(pse).max(1),
+                    paused_num: pse.min(pkt.max(pse)),
+                    qdepth_sum: qd,
+                    epochs_active: 1,
+                });
+            }
+            for &(ip, op, b) in &meter {
+                agg.meters.insert((sws[1], ip, op), b);
+            }
+            build_graph(&agg, &topo, ReplayConfig::default())
+        };
+        let a = mk();
+        let b = mk();
+        prop_assert_eq!(&a.ports, &b.ports);
+        prop_assert_eq!(&a.flows, &b.flows);
+        prop_assert_eq!(a.edge_count(), b.edge_count());
+    }
+
+    /// Diagnosis total function: arbitrary small graphs never panic and
+    /// always yield a classifiable outcome.
+    #[test]
+    fn diagnose_never_panics(
+        port_edges in proptest::collection::vec((0usize..6, 0usize..6, 0.1f64..1e4), 0..12),
+        flow_port in proptest::collection::vec((0usize..4, 0usize..6, 1.0f64..1e3), 0..8),
+        port_flow in proptest::collection::vec((0usize..6, 0usize..4, -1e3f64..1e3), 0..8),
+    ) {
+        let topo = chain(3, 2, EVAL_BANDWIDTH, EVAL_DELAY);
+        let sws: Vec<_> = topo.switches().collect();
+        let mut g = ProvenanceGraph::default();
+        // Six port nodes over real switch ports, four flows.
+        let pnodes: Vec<usize> = (0..6u8)
+            .map(|i| g.add_port_node(PortId::new(sws[(i % 3) as usize], i % 3)))
+            .collect();
+        let fnodes: Vec<usize> = (0..4u16).map(|i| g.add_flow_node(key(i))).collect();
+        for &(a, b, w) in &port_edges {
+            g.add_port_edge(pnodes[a], pnodes[b], w);
+        }
+        for &(f, p, w) in &flow_port {
+            g.add_flow_port_edge(fnodes[f], pnodes[p], w);
+        }
+        for &(p, f, w) in &port_flow {
+            g.add_port_flow_edge(pnodes[p], fnodes[f], w);
+        }
+        let agg = AggTelemetry {
+            epoch_len: Nanos(1 << 17),
+            window: Window::default(),
+            ..Default::default()
+        };
+        let report = diagnose(&g, &topo, &agg, &key(0), DiagnosisConfig::default());
+        // Victim extents must echo the flow-port edges for flow 0.
+        let expected: usize = flow_port.iter().filter(|(f, _, _)| *f == 0).count();
+        prop_assert!(report.victim_extents.len() <= expected.max(1) * 2);
+        // The report is serializable (JSON round-trip).
+        let js = serde_json::to_string(&report).unwrap();
+        prop_assert!(!js.is_empty());
+    }
+}

@@ -1,0 +1,20 @@
+//! # hawkeye-eval
+//!
+//! Evaluation harness: precision/recall scoring against scenario ground
+//! truth, per-trial runners for Hawkeye and the baselines, and the
+//! experiment drivers that regenerate every table and figure of the paper
+//! (see `hawkeye-bench` for the bench targets that print them).
+
+pub mod figures;
+pub mod methods;
+pub mod metrics;
+pub mod runner;
+
+pub use figures::{
+    epoch_sweep, fig10_granularity, fig11_switch_coverage, fig12_case_study, fig7_param_sweep,
+    fig8_baseline_accuracy, fig9_overhead, method_matrix, optimal_run_config, threshold_sweep,
+    EvalConfig, FigureTable,
+};
+pub use methods::{run_method, MethodOutcome};
+pub use metrics::{judge, PrecisionRecall, ScoreConfig, Verdict};
+pub use runner::{run_hawkeye, RunConfig, RunOutcome};

@@ -1,0 +1,148 @@
+//! Precision/recall scoring of diagnosis reports against ground truth
+//! (§4.2: "a true positive result iff it identifies both the exact anomaly
+//! case (e.g., a deadlock) and the corresponding root causes (e.g., the
+//! burst flows)").
+
+use hawkeye_core::DiagnosisReport;
+use hawkeye_workloads::GroundTruth;
+
+/// Scoring tolerances.
+#[derive(Debug, Clone, Copy)]
+pub struct ScoreConfig {
+    /// Relative weight (fraction of the heaviest contributor) above which a
+    /// reported flow counts as a named root cause.
+    pub major_frac: f64,
+    /// Maximum spurious flows tolerated beyond the true culprit set.
+    pub spurious_allowance: usize,
+}
+
+impl Default for ScoreConfig {
+    fn default() -> Self {
+        ScoreConfig {
+            major_frac: 0.2,
+            spurious_allowance: 1,
+        }
+    }
+}
+
+/// Why a diagnosis was judged wrong (for debugging and breakdown tables).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    Correct,
+    WrongAnomalyType,
+    MissedCulprits,
+    SpuriousCulprits,
+    WrongInjectionHost,
+}
+
+/// Judge one diagnosis against the ground truth.
+pub fn judge(truth: &GroundTruth, report: &DiagnosisReport, cfg: &ScoreConfig) -> Verdict {
+    if report.anomaly != truth.anomaly {
+        return Verdict::WrongAnomalyType;
+    }
+    if let Some(h) = truth.injection_host {
+        if !report.injection_peers().contains(&h) {
+            return Verdict::WrongInjectionHost;
+        }
+    }
+    if !truth.culprit_flows.is_empty() {
+        let majors = report.major_root_cause_flows(cfg.major_frac);
+        for c in &truth.culprit_flows {
+            if !majors.contains(c) {
+                return Verdict::MissedCulprits;
+            }
+        }
+        let spurious_flows = majors
+            .iter()
+            .filter(|m| !truth.culprit_flows.contains(m))
+            .count();
+        let spurious_inj = report
+            .injection_peers()
+            .iter()
+            .filter(|p| truth.injection_host != Some(**p))
+            .count();
+        if spurious_flows + spurious_inj > cfg.spurious_allowance {
+            return Verdict::SpuriousCulprits;
+        }
+    }
+    Verdict::Correct
+}
+
+/// Accumulates trial outcomes into precision/recall.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PrecisionRecall {
+    /// Correct diagnoses.
+    pub tp: u64,
+    /// Diagnoses made but judged wrong.
+    pub fp: u64,
+    /// Anomalies never detected/diagnosed.
+    pub fn_: u64,
+}
+
+impl PrecisionRecall {
+    pub fn record(&mut self, outcome: Option<Verdict>) {
+        match outcome {
+            Some(Verdict::Correct) => self.tp += 1,
+            Some(_) => self.fp += 1,
+            None => self.fn_ += 1,
+        }
+    }
+
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fp + self.fn_ == 0 {
+            0.0
+        } else {
+            // A wrong-but-present diagnosis still "reports" the anomaly; the
+            // paper's recall counts unreported anomalies as the misses.
+            (self.tp + self.fp) as f64 / (self.tp + self.fp + self.fn_) as f64
+        }
+    }
+
+    pub fn trials(&self) -> u64 {
+        self.tp + self.fp + self.fn_
+    }
+
+    pub fn merge(&mut self, other: &PrecisionRecall) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.fn_ += other.fn_;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precision_recall_arithmetic() {
+        let mut pr = PrecisionRecall::default();
+        pr.record(Some(Verdict::Correct));
+        pr.record(Some(Verdict::Correct));
+        pr.record(Some(Verdict::WrongAnomalyType));
+        pr.record(None);
+        assert_eq!(pr.tp, 2);
+        assert_eq!(pr.fp, 1);
+        assert_eq!(pr.fn_, 1);
+        assert!((pr.precision() - 2.0 / 3.0).abs() < 1e-9);
+        assert!((pr.recall() - 3.0 / 4.0).abs() < 1e-9);
+        assert_eq!(pr.trials(), 4);
+        let mut m = PrecisionRecall::default();
+        m.merge(&pr);
+        assert_eq!(m.tp, 2);
+    }
+
+    #[test]
+    fn empty_counters_are_zero_not_nan() {
+        let pr = PrecisionRecall::default();
+        assert_eq!(pr.precision(), 0.0);
+        assert_eq!(pr.recall(), 0.0);
+    }
+}

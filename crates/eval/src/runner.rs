@@ -1,0 +1,131 @@
+//! Run one scenario under the Hawkeye pipeline (or a tracing-policy
+//! variant) and extract everything the figures need: the victim diagnosis,
+//! collection/overhead statistics, and causal-switch coverage.
+
+use crate::metrics::{judge, ScoreConfig, Verdict};
+use hawkeye_core::{
+    analyze_victim_window, AnalyzerConfig, DiagnosisReport, HawkeyeConfig, HawkeyeHook,
+    TracingPolicy, Window,
+};
+use hawkeye_sim::{Detection, Nanos, NodeId};
+use hawkeye_telemetry::{EpochConfig, TelemetryConfig};
+use hawkeye_workloads::Scenario;
+
+/// Per-run knobs (the paper's Fig. 7 sweep axes plus seeds).
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    pub epoch: EpochConfig,
+    /// Detection threshold as a fraction of base RTT (2.0 = the paper's
+    /// "200% RTT").
+    pub threshold_factor: f64,
+    pub sim_seed: u64,
+    pub policy: TracingPolicy,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            epoch: EpochConfig::for_epoch_len(Nanos::from_micros(100), 2),
+            threshold_factor: 2.0,
+            sim_seed: 1,
+            policy: TracingPolicy::Hawkeye,
+        }
+    }
+}
+
+/// Everything extracted from one simulated trial.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// The victim's post-anomaly detection, if any.
+    pub detection: Option<Detection>,
+    /// Diagnosis of the victim detection.
+    pub report: Option<DiagnosisReport>,
+    pub verdict: Option<Verdict>,
+    /// Switches collected / causal coverage (Fig. 11).
+    pub collected_switches: Vec<NodeId>,
+    pub causal_covered: usize,
+    pub causal_total: usize,
+    /// Telemetry bytes shipped to the analyzer (Fig. 9a).
+    pub collected_bytes: usize,
+    pub collected_bytes_full_dump: usize,
+    pub report_packets: usize,
+    /// Polling packets emitted in-network (Fig. 9b bandwidth overhead).
+    pub polling_packets: u64,
+    /// Total data packets forwarded (for normalizing overheads).
+    pub data_packets: u64,
+    pub all_detections: usize,
+}
+
+/// Run a scenario under Hawkeye (full or victim-only tracing).
+pub fn run_hawkeye(scenario: &Scenario, cfg: &RunConfig, score: &ScoreConfig) -> RunOutcome {
+    let hcfg = HawkeyeConfig {
+        telemetry: TelemetryConfig {
+            epochs: cfg.epoch,
+            ..Default::default()
+        },
+        policy: cfg.policy,
+        ..Default::default()
+    };
+    let hook = HawkeyeHook::new(&scenario.topo, hcfg);
+    let mut agent = Scenario::agent(cfg.threshold_factor);
+    agent.dedup_interval = Nanos::from_micros(400);
+    let mut sim = scenario.instantiate_seeded(cfg.sim_seed, agent, hook);
+    sim.run_until(scenario.params.duration);
+
+    let dets = sim.detections();
+    // A persisting anomaly re-triggers detection every dedup interval; the
+    // diagnosis window spans from before the FIRST post-anomaly detection
+    // (onset evidence) to after the LAST (fully-developed causality — a
+    // deadlock loop takes hundreds of microseconds to close).
+    let victim_dets: Vec<_> = dets
+        .iter()
+        .filter(|d| d.key == scenario.truth.victim && d.at >= scenario.truth.anomaly_at)
+        .collect();
+    let detection = victim_dets.last().copied().copied();
+
+    let snapshots = sim.hook.collector.snapshots();
+    let analyzer = AnalyzerConfig::for_epoch_len(cfg.epoch.epoch_len());
+    let report = detection.as_ref().map(|_| {
+        let first = victim_dets.first().unwrap().at;
+        let last = victim_dets.last().unwrap().at;
+        let ep = cfg.epoch.epoch_len().as_nanos();
+        let window = Window {
+            from: first.saturating_sub(hawkeye_sim::Nanos(ep * analyzer.lookback_epochs)),
+            to: last + cfg.epoch.epoch_len(),
+        };
+        analyze_victim_window(&scenario.truth.victim, window, &snapshots, sim.topo(), &analyzer).0
+    });
+    let verdict = report.as_ref().map(|r| judge(&scenario.truth, r, score));
+
+    let mut collected: Vec<NodeId> = sim
+        .hook
+        .collector
+        .events
+        .iter()
+        .map(|e| e.switch)
+        .collect();
+    collected.sort_unstable();
+    collected.dedup();
+    let causal_covered = scenario
+        .truth
+        .causal_switches
+        .iter()
+        .filter(|s| collected.contains(s))
+        .count();
+
+    RunOutcome {
+        detection,
+        verdict,
+        causal_covered,
+        causal_total: scenario.truth.causal_switches.len(),
+        collected_bytes: sim.hook.collector.total_bytes(),
+        collected_bytes_full_dump: sim.hook.collector.total_bytes_full_dump(),
+        report_packets: sim.hook.collector.report_packets(),
+        polling_packets: sim.sum_switch_stats(|s| s.probes_emitted)
+            + dets.len() as u64,
+        data_packets: sim.sum_switch_stats(|s| s.data_pkts),
+        all_detections: dets.len(),
+        collected_switches: collected,
+        report,
+    }
+}

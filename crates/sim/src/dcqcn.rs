@@ -1,0 +1,249 @@
+//! DCQCN congestion control (Zhu et al., SIGCOMM 2015) — the reaction-point
+//! state machine run per flow by the sending NIC.
+//!
+//! The receiver notification point and the switch congestion point (RED/ECN
+//! marking) live in `host.rs` and `switch.rs`; this module is the pure rate
+//! controller so it can be unit-tested in isolation.
+
+use crate::time::Nanos;
+use crate::units::Rate;
+
+/// DCQCN tunables. Defaults follow the common 100 Gbps deployments
+/// (and the NS-3 HPCC simulator's DCQCN configuration).
+#[derive(Debug, Clone, Copy)]
+pub struct DcqcnConfig {
+    /// alpha EWMA gain `g`.
+    pub g: f64,
+    /// Alpha-update timer period (no-CNP decay), typically 55 µs.
+    pub alpha_timer: Nanos,
+    /// Rate-increase timer period, typically 55 µs (timer-based stage).
+    pub increase_timer: Nanos,
+    /// Bytes per byte-counter increase stage.
+    pub byte_counter: u64,
+    /// Additive increase step (bits/s).
+    pub rai: f64,
+    /// Hyper increase step (bits/s).
+    pub rhai: f64,
+    /// Fast-recovery iterations before additive increase.
+    pub fast_recovery_threshold: u32,
+    /// Minimum sending rate (bits/s).
+    pub min_rate: f64,
+    /// Line rate cap (bits/s).
+    pub line_rate: f64,
+}
+
+impl DcqcnConfig {
+    pub fn for_line_rate(line_rate_bps: f64) -> Self {
+        DcqcnConfig {
+            g: 1.0 / 256.0,
+            alpha_timer: Nanos::from_micros(55),
+            increase_timer: Nanos::from_micros(55),
+            byte_counter: 10 * 1024 * 1024,
+            rai: 40e6,
+            rhai: 200e6,
+            fast_recovery_threshold: 5,
+            min_rate: 100e6,
+            line_rate: line_rate_bps,
+        }
+    }
+}
+
+/// Per-flow DCQCN reaction-point state.
+#[derive(Debug, Clone)]
+pub struct Dcqcn {
+    cfg: DcqcnConfig,
+    /// Current sending rate Rc.
+    rc: f64,
+    /// Target rate Rt.
+    rt: f64,
+    alpha: f64,
+    /// CNP seen since the last alpha timer tick.
+    cnp_since_alpha_tick: bool,
+    /// Successive increase iterations from the timer (T) and byte counter (B).
+    timer_iter: u32,
+    byte_iter: u32,
+    bytes_since_stage: u64,
+    /// True after the first CNP; rates stay at line rate until then
+    /// (RoCEv2 NICs start at line rate, §2.2 "line-rate start").
+    cut_happened: bool,
+}
+
+impl Dcqcn {
+    pub fn new(cfg: DcqcnConfig) -> Self {
+        Dcqcn {
+            rc: cfg.line_rate,
+            rt: cfg.line_rate,
+            alpha: 1.0,
+            cnp_since_alpha_tick: false,
+            timer_iter: 0,
+            byte_iter: 0,
+            bytes_since_stage: 0,
+            cut_happened: false,
+            cfg,
+        }
+    }
+
+    /// Current paced sending rate.
+    pub fn rate(&self) -> Rate {
+        Rate(self.rc)
+    }
+
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// A CNP arrived: cut the rate and reset the increase state machine.
+    pub fn on_cnp(&mut self) {
+        self.cnp_since_alpha_tick = true;
+        self.cut_happened = true;
+        self.rt = self.rc;
+        self.rc = (self.rc * (1.0 - self.alpha / 2.0)).max(self.cfg.min_rate);
+        self.alpha = (1.0 - self.cfg.g) * self.alpha + self.cfg.g;
+        self.timer_iter = 0;
+        self.byte_iter = 0;
+        self.bytes_since_stage = 0;
+    }
+
+    /// Alpha-update timer tick (every `cfg.alpha_timer`).
+    pub fn on_alpha_timer(&mut self) {
+        if !self.cnp_since_alpha_tick {
+            self.alpha *= 1.0 - self.cfg.g;
+        }
+        self.cnp_since_alpha_tick = false;
+    }
+
+    /// Rate-increase timer tick (every `cfg.increase_timer`).
+    pub fn on_increase_timer(&mut self) {
+        self.timer_iter += 1;
+        self.increase();
+    }
+
+    /// Account transmitted bytes; may trigger byte-counter increase stages.
+    pub fn on_bytes_sent(&mut self, bytes: u64) {
+        if !self.cut_happened {
+            return;
+        }
+        self.bytes_since_stage += bytes;
+        while self.bytes_since_stage >= self.cfg.byte_counter {
+            self.bytes_since_stage -= self.cfg.byte_counter;
+            self.byte_iter += 1;
+            self.increase();
+        }
+    }
+
+    /// One increase step; the stage is chosen by max(T, B) iterations as in
+    /// the DCQCN paper: fast recovery, then additive, then hyper increase.
+    fn increase(&mut self) {
+        if !self.cut_happened {
+            return;
+        }
+        let iter = self.timer_iter.max(self.byte_iter);
+        if iter > self.cfg.fast_recovery_threshold {
+            let both_past = self.timer_iter > self.cfg.fast_recovery_threshold
+                && self.byte_iter > self.cfg.fast_recovery_threshold;
+            let step = if both_past {
+                // Hyper increase once both counters pass the threshold.
+                let i = self
+                    .timer_iter
+                    .min(self.byte_iter)
+                    .saturating_sub(self.cfg.fast_recovery_threshold) as f64;
+                i * self.cfg.rhai
+            } else {
+                self.cfg.rai
+            };
+            self.rt = (self.rt + step).min(self.cfg.line_rate);
+        }
+        self.rc = ((self.rt + self.rc) / 2.0).min(self.cfg.line_rate);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cc() -> Dcqcn {
+        Dcqcn::new(DcqcnConfig::for_line_rate(100e9))
+    }
+
+    #[test]
+    fn starts_at_line_rate() {
+        let d = cc();
+        assert_eq!(d.rate().0, 100e9);
+        assert_eq!(d.alpha(), 1.0);
+    }
+
+    #[test]
+    fn cnp_halves_rate_initially() {
+        let mut d = cc();
+        d.on_cnp();
+        // alpha was 1.0 -> cut by alpha/2 = 50%.
+        assert!((d.rate().0 - 50e9).abs() < 1e6);
+        // alpha decays toward CNP-present steady state.
+        assert!(d.alpha() <= 1.0);
+    }
+
+    #[test]
+    fn repeated_cnps_approach_min_rate() {
+        let mut d = cc();
+        for _ in 0..2000 {
+            d.on_cnp();
+        }
+        assert_eq!(d.rate().0, 100e6); // min_rate floor
+    }
+
+    #[test]
+    fn alpha_decays_without_cnps() {
+        let mut d = cc();
+        d.on_cnp();
+        let a0 = d.alpha();
+        for _ in 0..100 {
+            d.on_alpha_timer();
+        }
+        assert!(d.alpha() < a0 * 0.8);
+    }
+
+    #[test]
+    fn fast_recovery_converges_to_target() {
+        let mut d = cc();
+        d.on_cnp(); // rc=50G, rt=100G
+        for _ in 0..5 {
+            d.on_increase_timer(); // fast recovery: rc -> (rc+rt)/2
+        }
+        // After 5 halvings toward target: 100 - 50/2^5 = 98.44 G
+        assert!(d.rate().0 > 98e9 && d.rate().0 < 100e9);
+    }
+
+    #[test]
+    fn additive_then_hyper_increase_regains_line_rate() {
+        let mut d = cc();
+        d.on_cnp();
+        for _ in 0..200 {
+            d.on_increase_timer();
+            d.on_bytes_sent(20 * 1024 * 1024);
+        }
+        assert!((d.rate().0 - 100e9).abs() < 1e9, "rate {}", d.rate().0);
+    }
+
+    #[test]
+    fn no_increase_before_first_cut() {
+        let mut d = cc();
+        d.on_increase_timer();
+        d.on_bytes_sent(100 * 1024 * 1024);
+        assert_eq!(d.rate().0, 100e9);
+    }
+
+    #[test]
+    fn rate_never_exceeds_line_rate_nor_drops_below_min() {
+        let mut d = cc();
+        for i in 0..10_000u32 {
+            match i % 7 {
+                0 => d.on_cnp(),
+                1 | 2 => d.on_increase_timer(),
+                3 => d.on_alpha_timer(),
+                _ => d.on_bytes_sent(1_000_000),
+            }
+            let r = d.rate().0;
+            assert!((100e6 - 1.0..=100e9 + 1.0).contains(&r), "rate {r} out of bounds");
+        }
+    }
+}

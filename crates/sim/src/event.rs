@@ -1,0 +1,204 @@
+//! Deterministic discrete-event queue.
+//!
+//! A binary heap keyed by `(time, sequence)`: events scheduled at the same
+//! instant fire in insertion order, making runs bit-for-bit reproducible
+//! regardless of heap internals.
+
+use crate::ids::NodeId;
+use crate::packet::Packet;
+use crate::time::Nanos;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What happens when an event fires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// A frame finishes propagating and arrives at `node` on local `port`.
+    Arrive {
+        node: NodeId,
+        port: u8,
+        packet: Packet,
+    },
+    /// A switch/host output port finished serializing its current frame;
+    /// try to start the next one.
+    PortTxDone { node: NodeId, port: u8 },
+    /// A previously-paused output port's pause timer may have expired, or a
+    /// resume arrived: re-evaluate whether it can transmit.
+    PortKick { node: NodeId, port: u8 },
+    /// A host flow's pacing timer allows its next packet.
+    FlowReady { node: NodeId, flow_idx: u32 },
+    /// Periodic DCQCN alpha-update timer for a flow.
+    DcqcnAlpha { node: NodeId, flow_idx: u32 },
+    /// Periodic DCQCN rate-increase timer for a flow.
+    DcqcnIncrease { node: NodeId, flow_idx: u32 },
+    /// A switch re-evaluates whether its ingress-side PAUSE needs refreshing.
+    PfcRefresh { node: NodeId, port: u8 },
+    /// A faulty host injects its next gratuitous PFC PAUSE frame.
+    HostPfcInject { node: NodeId },
+    /// Start a flow (first packet becomes eligible).
+    FlowStart { node: NodeId, flow_idx: u32 },
+    /// Host detection-agent periodic check of flow RTTs.
+    AgentCheck { node: NodeId },
+}
+
+#[derive(Debug)]
+struct Scheduled {
+    at: Nanos,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert to pop the earliest (time, seq).
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The event queue.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    seq: u64,
+    now: Nanos,
+    popped: u64,
+}
+
+impl EventQueue {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current simulation time (the timestamp of the last popped event).
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// Total events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.popped
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedule `kind` at absolute time `at`.
+    ///
+    /// Panics in debug builds if `at` is in the past; the simulator never
+    /// rewinds time.
+    pub fn schedule(&mut self, at: Nanos, kind: EventKind) {
+        debug_assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Scheduled { at, seq, kind });
+    }
+
+    /// Schedule `kind` after a delay from now.
+    pub fn schedule_in(&mut self, delay: Nanos, kind: EventKind) {
+        self.schedule(self.now + delay, kind);
+    }
+
+    /// Pop the earliest event, advancing the clock to it.
+    pub fn pop(&mut self) -> Option<(Nanos, EventKind)> {
+        let s = self.heap.pop()?;
+        debug_assert!(s.at >= self.now);
+        self.now = s.at;
+        self.popped += 1;
+        Some((s.at, s.kind))
+    }
+
+    /// Peek at the next event time without popping.
+    pub fn peek_time(&self) -> Option<Nanos> {
+        self.heap.peek().map(|s| s.at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kick(n: u32) -> EventKind {
+        EventKind::PortKick {
+            node: NodeId(n),
+            port: 0,
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos(30), kick(3));
+        q.schedule(Nanos(10), kick(1));
+        q.schedule(Nanos(20), kick(2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|(t, _)| t.0).collect();
+        assert_eq!(order, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for n in 0..100 {
+            q.schedule(Nanos(5), kick(n));
+        }
+        let mut seen = Vec::new();
+        while let Some((_, EventKind::PortKick { node, .. })) = q.pop() {
+            seen.push(node.0);
+        }
+        assert_eq!(seen, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos(10), kick(0));
+        q.schedule(Nanos(10), kick(1));
+        q.schedule(Nanos(25), kick(2));
+        assert_eq!(q.now(), Nanos::ZERO);
+        q.pop();
+        assert_eq!(q.now(), Nanos(10));
+        q.pop();
+        assert_eq!(q.now(), Nanos(10));
+        q.pop();
+        assert_eq!(q.now(), Nanos(25));
+        assert!(q.pop().is_none());
+        assert_eq!(q.processed(), 3);
+    }
+
+    #[test]
+    fn schedule_in_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos(100), kick(0));
+        q.pop();
+        q.schedule_in(Nanos(5), kick(1));
+        assert_eq!(q.peek_time(), Some(Nanos(105)));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "scheduling into the past")]
+    fn scheduling_into_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos(100), kick(0));
+        q.pop();
+        q.schedule(Nanos(50), kick(1));
+    }
+}

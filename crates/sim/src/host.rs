@@ -1,0 +1,819 @@
+//! RDMA host (NIC + application) model.
+//!
+//! The sender side paces each flow at its DCQCN rate and honors PFC pause on
+//! its uplink; the receiver side generates ACKs (echoing send timestamps for
+//! RTT measurement) and DCQCN CNPs for ECN-marked arrivals. A host may also
+//! run the Hawkeye *detection agent* (§3.4): it watches per-flow RTT — both
+//! measured from ACKs and implied by stalled in-flight packets — and injects
+//! a polling packet when the RTT crosses the configured threshold.
+//!
+//! Fault model: a host can be configured as a *PFC injector* (buggy NIC /
+//! slow receiver, §2.1), continuously sending PAUSE frames to its ToR.
+
+use crate::dcqcn::{Dcqcn, DcqcnConfig};
+use crate::event::{EventKind, EventQueue};
+use crate::ids::{FlowId, FlowKey, NodeId};
+use crate::packet::{
+    AckPacket, CnpPacket, DataPacket, Packet, PfcFrame, Probe, CLASS_DATA, DATA_PAYLOAD,
+    DATA_PKT_SIZE,
+};
+use crate::time::Nanos;
+use crate::topology::Topology;
+use std::collections::{HashMap, VecDeque};
+
+/// Detection-agent configuration (per host).
+#[derive(Debug, Clone, Copy)]
+pub struct AgentConfig {
+    /// Anomaly threshold as a multiple of `base_rtt` (the paper sweeps
+    /// 200%–500%, i.e. 2.0–5.0).
+    pub rtt_threshold_factor: f64,
+    /// The network's reference (maximum unloaded) RTT.
+    pub base_rtt: Nanos,
+    /// How often stalled-flow checks run.
+    pub check_interval: Nanos,
+    /// Minimum spacing between polling packets for the same flow (§3.4:
+    /// duplicate-detection suppression).
+    pub dedup_interval: Nanos,
+    /// Pingmesh-style periodic diagnosis (§5 "when integrated with
+    /// pingmesh-like probes, HAWKEYE can carry out periodic diagnosis"):
+    /// when set, every agent check also emits a polling packet for each
+    /// active flow at this interval, regardless of its RTT.
+    pub periodic_probe: Option<Nanos>,
+}
+
+impl AgentConfig {
+    pub fn threshold(&self) -> Nanos {
+        Nanos((self.base_rtt.as_nanos() as f64 * self.rtt_threshold_factor) as u64)
+    }
+}
+
+/// Continuous host PFC injection fault (PFC storm root cause).
+#[derive(Debug, Clone, Copy)]
+pub struct PfcInjectorConfig {
+    pub start: Nanos,
+    pub stop: Nanos,
+    /// PAUSE re-send period; below the quanta expiry keeps the link
+    /// continuously dead.
+    pub period: Nanos,
+}
+
+/// Host configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct HostConfig {
+    /// Minimum gap between CNPs per flow (DCQCN notification point).
+    pub cnp_interval: Nanos,
+    pub dcqcn: DcqcnConfig,
+    pub agent: Option<AgentConfig>,
+    pub pfc_injector: Option<PfcInjectorConfig>,
+}
+
+impl HostConfig {
+    pub fn for_line_rate(bps: f64) -> Self {
+        HostConfig {
+            cnp_interval: Nanos::from_micros(50),
+            dcqcn: DcqcnConfig::for_line_rate(bps),
+            agent: None,
+            pfc_injector: None,
+        }
+    }
+}
+
+/// An anomaly detection produced by the agent (the trigger for diagnosis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Detection {
+    pub flow: FlowId,
+    pub key: FlowKey,
+    pub at: Nanos,
+    pub observed_rtt: Nanos,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FlowState {
+    Pending,
+    Active,
+    Done,
+}
+
+/// Sender-side state of one flow.
+#[derive(Debug)]
+pub struct HostFlow {
+    pub id: FlowId,
+    pub key: FlowKey,
+    pub size_bytes: u64,
+    pub start: Nanos,
+    total_pkts: u64,
+    next_seq: u64,
+    acked_pkts: u64,
+    state: FlowState,
+    dcqcn: Dcqcn,
+    /// Optional application-level pacing cap (bits/s); the effective send
+    /// rate is min(DCQCN rate, cap). Used by scenarios that need sub-line
+    /// steady flows (e.g. cyclic-buffer-dependency setups).
+    max_rate: Option<f64>,
+    /// Congestion-control compliance: a non-compliant flow (buggy or
+    /// adversarial NIC, cf. "RDMA congestion control: it is only for the
+    /// compliant") ignores CNPs entirely.
+    cc_enabled: bool,
+    timers_running: bool,
+    outstanding: VecDeque<(u64, Nanos)>,
+    pub last_rtt: Nanos,
+    pub completed_at: Option<Nanos>,
+    last_probe_at: Nanos,
+}
+
+impl HostFlow {
+    pub fn fct(&self) -> Option<Nanos> {
+        self.completed_at.map(|c| c.saturating_sub(self.start))
+    }
+    pub fn is_done(&self) -> bool {
+        self.state == FlowState::Done
+    }
+    pub fn current_rate_gbps(&self) -> f64 {
+        self.dcqcn.rate().gbps()
+    }
+}
+
+#[derive(Debug, Default)]
+struct RecvState {
+    next_cnp_ok: Nanos,
+    rx_pkts: u64,
+}
+
+/// Aggregate per-host counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HostStats {
+    pub data_sent: u64,
+    pub data_rcvd: u64,
+    pub acks_sent: u64,
+    pub cnps_sent: u64,
+    pub cnps_rcvd: u64,
+    pub pfc_pause_rcvd: u64,
+    pub pfc_injected: u64,
+    pub probes_sent: u64,
+}
+
+/// Runtime state of one host.
+#[derive(Debug)]
+pub struct HostState {
+    pub id: NodeId,
+    cfg: HostConfig,
+    flows: Vec<HostFlow>,
+    by_flow_id: HashMap<FlowId, u32>,
+    recv: HashMap<FlowId, RecvState>,
+    ready: VecDeque<u32>,
+    ctrl: VecDeque<Packet>,
+    busy: bool,
+    pause_until: Nanos,
+    pub stats: HostStats,
+    pub detections: Vec<Detection>,
+}
+
+impl HostState {
+    pub fn new(id: NodeId, cfg: HostConfig) -> Self {
+        HostState {
+            id,
+            cfg,
+            flows: Vec::new(),
+            by_flow_id: HashMap::new(),
+            recv: HashMap::new(),
+            ready: VecDeque::new(),
+            ctrl: VecDeque::new(),
+            busy: false,
+            pause_until: Nanos::ZERO,
+            stats: HostStats::default(),
+            detections: Vec::new(),
+        }
+    }
+
+    /// Register a flow sourced at this host; returns the local index used in
+    /// pacing events. Called during simulation setup.
+    pub fn add_flow(&mut self, id: FlowId, key: FlowKey, size_bytes: u64, start: Nanos) -> u32 {
+        self.add_flow_limited(id, key, size_bytes, start, None)
+    }
+
+    /// [`HostState::add_flow`] with an application-level rate cap (bits/s).
+    pub fn add_flow_limited(
+        &mut self,
+        id: FlowId,
+        key: FlowKey,
+        size_bytes: u64,
+        start: Nanos,
+        max_rate_bps: Option<f64>,
+    ) -> u32 {
+        self.add_flow_full(id, key, size_bytes, start, max_rate_bps, true)
+    }
+
+    /// [`HostState::add_flow`] with a rate cap and a congestion-control
+    /// compliance flag.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_flow_full(
+        &mut self,
+        id: FlowId,
+        key: FlowKey,
+        size_bytes: u64,
+        start: Nanos,
+        max_rate_bps: Option<f64>,
+        cc_enabled: bool,
+    ) -> u32 {
+        let idx = self.flows.len() as u32;
+        let total_pkts = size_bytes.div_ceil(DATA_PAYLOAD as u64).max(1);
+        self.flows.push(HostFlow {
+            id,
+            key,
+            size_bytes,
+            start,
+            total_pkts,
+            next_seq: 0,
+            acked_pkts: 0,
+            state: FlowState::Pending,
+            dcqcn: Dcqcn::new(self.cfg.dcqcn),
+            max_rate: max_rate_bps,
+            cc_enabled,
+            timers_running: false,
+            outstanding: VecDeque::new(),
+            last_rtt: Nanos::ZERO,
+            completed_at: None,
+            last_probe_at: Nanos::ZERO,
+        });
+        self.by_flow_id.insert(id, idx);
+        idx
+    }
+
+    pub fn flows(&self) -> &[HostFlow] {
+        &self.flows
+    }
+
+    /// Enable/disable the detection agent (before the simulation runs).
+    pub fn set_agent(&mut self, agent: Option<AgentConfig>) {
+        self.cfg.agent = agent;
+    }
+
+    /// Configure the PFC-injection fault (before the simulation runs).
+    pub fn set_injector(&mut self, inj: Option<PfcInjectorConfig>) {
+        self.cfg.pfc_injector = inj;
+    }
+
+    pub fn agent_config(&self) -> Option<AgentConfig> {
+        self.cfg.agent
+    }
+
+    pub fn flow_by_id(&self, id: FlowId) -> Option<&HostFlow> {
+        self.by_flow_id.get(&id).map(|&i| &self.flows[i as usize])
+    }
+
+    /// Set up the initial events for this host (flow starts, injector,
+    /// agent checks). Called once by the simulator.
+    pub fn bootstrap(&mut self, q: &mut EventQueue) {
+        for (idx, f) in self.flows.iter().enumerate() {
+            q.schedule(
+                f.start,
+                EventKind::FlowStart {
+                    node: self.id,
+                    flow_idx: idx as u32,
+                },
+            );
+        }
+        if let Some(inj) = self.cfg.pfc_injector {
+            q.schedule(inj.start, EventKind::HostPfcInject { node: self.id });
+        }
+        if let Some(agent) = self.cfg.agent {
+            if !self.flows.is_empty() {
+                q.schedule(agent.check_interval, EventKind::AgentCheck { node: self.id });
+            }
+        }
+    }
+
+    pub fn handle_flow_start(&mut self, flow_idx: u32, now: Nanos, q: &mut EventQueue, topo: &Topology) {
+        let f = &mut self.flows[flow_idx as usize];
+        debug_assert_eq!(f.state, FlowState::Pending);
+        f.state = FlowState::Active;
+        self.ready.push_back(flow_idx);
+        self.try_tx(now, q, topo);
+    }
+
+    /// Pacing timer fired: the flow may transmit its next packet.
+    pub fn handle_flow_ready(&mut self, flow_idx: u32, now: Nanos, q: &mut EventQueue, topo: &Topology) {
+        let f = &self.flows[flow_idx as usize];
+        if f.state != FlowState::Active || f.next_seq >= f.total_pkts {
+            return;
+        }
+        self.ready.push_back(flow_idx);
+        self.try_tx(now, q, topo);
+    }
+
+    /// Try to start transmitting on the host uplink.
+    pub fn try_tx(&mut self, now: Nanos, q: &mut EventQueue, topo: &Topology) {
+        if self.busy {
+            return;
+        }
+        let info = *topo.port(crate::ids::PortId::new(self.id, 0));
+        let pkt: Packet = if let Some(p) = self.ctrl.pop_front() {
+            p
+        } else if self.pause_until <= now {
+            loop {
+                let Some(idx) = self.ready.pop_front() else {
+                    return;
+                };
+                let f = &mut self.flows[idx as usize];
+                if f.state != FlowState::Active || f.next_seq >= f.total_pkts {
+                    continue;
+                }
+                let seq = f.next_seq;
+                f.next_seq += 1;
+                let last = f.next_seq == f.total_pkts;
+                let size = if last {
+                    let rem = f.size_bytes - (f.total_pkts - 1) * DATA_PAYLOAD as u64;
+                    (rem.max(1) as u32) + (DATA_PKT_SIZE - DATA_PAYLOAD)
+                } else {
+                    DATA_PKT_SIZE
+                };
+                f.outstanding.push_back((seq, now));
+                f.dcqcn.on_bytes_sent(size as u64);
+                // Schedule the next packet of this flow per its paced rate.
+                if !last {
+                    let rate = match f.max_rate {
+                        Some(cap) => crate::units::Rate(f.dcqcn.rate().0.min(cap)),
+                        None => f.dcqcn.rate(),
+                    };
+                    let gap = rate.pacing_delay(size);
+                    if gap < Nanos::MAX {
+                        q.schedule_in(
+                            gap,
+                            EventKind::FlowReady {
+                                node: self.id,
+                                flow_idx: idx,
+                            },
+                        );
+                    }
+                }
+                self.stats.data_sent += 1;
+                break Packet::Data(DataPacket {
+                    flow: f.id,
+                    key: f.key,
+                    seq,
+                    size,
+                    ecn_ce: false,
+                    sent_at: now,
+                    last,
+                });
+            }
+        } else {
+            return;
+        };
+
+        self.busy = true;
+        let tx = info.bandwidth.tx_time(pkt.size());
+        q.schedule(now + tx, EventKind::PortTxDone { node: self.id, port: 0 });
+        q.schedule(
+            now + tx + info.delay,
+            EventKind::Arrive {
+                node: info.peer.node,
+                port: info.peer.port,
+                packet: pkt,
+            },
+        );
+    }
+
+    pub fn handle_tx_done(&mut self, now: Nanos, q: &mut EventQueue, topo: &Topology) {
+        self.busy = false;
+        self.try_tx(now, q, topo);
+    }
+
+    /// A frame arrived on the host's uplink.
+    pub fn handle_arrive(&mut self, pkt: Packet, now: Nanos, q: &mut EventQueue, topo: &Topology) {
+        match pkt {
+            Packet::Data(d) => self.on_data_rx(d, now, q, topo),
+            Packet::Ack(a) => self.on_ack_rx(a, now, q, topo),
+            Packet::Cnp(c) => self.on_cnp_rx(c, now, q),
+            Packet::Pfc(f) => self.on_pfc_rx(f, now, q, topo),
+            Packet::Probe(_) => {
+                // Polling packets terminating at a host are consumed; the
+                // causality analysis already mirrored telemetry upstream.
+            }
+        }
+    }
+
+    fn on_data_rx(&mut self, d: DataPacket, now: Nanos, q: &mut EventQueue, topo: &Topology) {
+        self.stats.data_rcvd += 1;
+        let rs = self.recv.entry(d.flow).or_default();
+        rs.rx_pkts += 1;
+        // ACK every packet (RoCEv2 RC-style acknowledgment cadence is
+        // coarser in practice, but per-packet ACKs give the agent dense RTT
+        // samples, matching the PCC data-path RTT probes of §3.6).
+        let ack_key = reverse_key(&d.key);
+        self.ctrl.push_back(Packet::Ack(AckPacket {
+            flow: d.flow,
+            key: ack_key,
+            seq: d.seq,
+            echo_sent_at: d.sent_at,
+            last: d.last,
+        }));
+        self.stats.acks_sent += 1;
+        if d.ecn_ce && now >= rs.next_cnp_ok {
+            self.recv.get_mut(&d.flow).unwrap().next_cnp_ok = now + self.cfg.cnp_interval;
+            self.ctrl.push_back(Packet::Cnp(CnpPacket {
+                flow: d.flow,
+                key: ack_key,
+            }));
+            self.stats.cnps_sent += 1;
+        }
+        self.try_tx(now, q, topo);
+    }
+
+    fn on_ack_rx(&mut self, a: AckPacket, now: Nanos, q: &mut EventQueue, topo: &Topology) {
+        let Some(&idx) = self.by_flow_id.get(&a.flow) else {
+            return;
+        };
+        let f = &mut self.flows[idx as usize];
+        f.acked_pkts += 1;
+        while let Some(&(seq, _)) = f.outstanding.front() {
+            if seq <= a.seq {
+                f.outstanding.pop_front();
+            } else {
+                break;
+            }
+        }
+        f.last_rtt = now.saturating_sub(a.echo_sent_at);
+        if a.last && f.completed_at.is_none() {
+            f.completed_at = Some(now);
+            f.state = FlowState::Done;
+        }
+        // Agent: RTT-sample-driven anomaly detection.
+        let rtt = f.last_rtt;
+        self.maybe_detect(idx, rtt, now, q, topo);
+    }
+
+    fn on_cnp_rx(&mut self, c: CnpPacket, now: Nanos, q: &mut EventQueue) {
+        self.stats.cnps_rcvd += 1;
+        let Some(&idx) = self.by_flow_id.get(&c.flow) else {
+            return;
+        };
+        let f = &mut self.flows[idx as usize];
+        if !f.cc_enabled {
+            return;
+        }
+        f.dcqcn.on_cnp();
+        if !f.timers_running {
+            f.timers_running = true;
+            q.schedule(
+                now + self.cfg.dcqcn.alpha_timer,
+                EventKind::DcqcnAlpha {
+                    node: self.id,
+                    flow_idx: idx,
+                },
+            );
+            q.schedule(
+                now + self.cfg.dcqcn.increase_timer,
+                EventKind::DcqcnIncrease {
+                    node: self.id,
+                    flow_idx: idx,
+                },
+            );
+        }
+    }
+
+    fn on_pfc_rx(&mut self, f: PfcFrame, now: Nanos, q: &mut EventQueue, topo: &Topology) {
+        if f.class != CLASS_DATA {
+            return;
+        }
+        if f.is_pause() {
+            self.stats.pfc_pause_rcvd += 1;
+            let info = topo.port(crate::ids::PortId::new(self.id, 0));
+            let dur = crate::units::quanta_to_pause_time(f.quanta, info.bandwidth);
+            self.pause_until = now + dur;
+            q.schedule(now + dur, EventKind::PortKick { node: self.id, port: 0 });
+        } else {
+            self.pause_until = now;
+            self.try_tx(now, q, topo);
+        }
+    }
+
+    pub fn handle_dcqcn_alpha(&mut self, flow_idx: u32, now: Nanos, q: &mut EventQueue) {
+        let f = &mut self.flows[flow_idx as usize];
+        if f.state == FlowState::Done {
+            f.timers_running = false;
+            return;
+        }
+        f.dcqcn.on_alpha_timer();
+        q.schedule(
+            now + self.cfg.dcqcn.alpha_timer,
+            EventKind::DcqcnAlpha {
+                node: self.id,
+                flow_idx,
+            },
+        );
+    }
+
+    pub fn handle_dcqcn_increase(&mut self, flow_idx: u32, now: Nanos, q: &mut EventQueue) {
+        let f = &mut self.flows[flow_idx as usize];
+        if f.state == FlowState::Done {
+            return;
+        }
+        f.dcqcn.on_increase_timer();
+        q.schedule(
+            now + self.cfg.dcqcn.increase_timer,
+            EventKind::DcqcnIncrease {
+                node: self.id,
+                flow_idx,
+            },
+        );
+    }
+
+    /// Faulty-host PFC injection tick.
+    pub fn handle_pfc_inject(&mut self, now: Nanos, q: &mut EventQueue, topo: &Topology) {
+        let Some(inj) = self.cfg.pfc_injector else {
+            return;
+        };
+        if now >= inj.stop {
+            // Let the pause expire naturally; send no RESUME (a buggy NIC
+            // would not be so polite; expiry models the watchdog effect).
+            return;
+        }
+        self.stats.pfc_injected += 1;
+        self.ctrl.push_back(Packet::Pfc(PfcFrame::pause(CLASS_DATA)));
+        q.schedule(now + inj.period, EventKind::HostPfcInject { node: self.id });
+        self.try_tx(now, q, topo);
+    }
+
+    /// Periodic stalled-flow scan: a deadlocked flow stops producing ACKs,
+    /// so the agent must infer RTT from the oldest unacknowledged packet.
+    /// With `periodic_probe` set, also runs the pingmesh-style periodic
+    /// polling for every active flow.
+    pub fn handle_agent_check(&mut self, now: Nanos, q: &mut EventQueue, topo: &Topology) {
+        let Some(agent) = self.cfg.agent else {
+            return;
+        };
+        for idx in 0..self.flows.len() as u32 {
+            let f = &self.flows[idx as usize];
+            if f.state != FlowState::Active {
+                continue;
+            }
+            if let Some(&(_, sent_at)) = f.outstanding.front() {
+                let implied = now.saturating_sub(sent_at);
+                self.maybe_detect(idx, implied, now, q, topo);
+            }
+            if let Some(period) = agent.periodic_probe {
+                let f = &mut self.flows[idx as usize];
+                if f.state == FlowState::Active
+                    && now.saturating_sub(f.last_probe_at) >= period
+                {
+                    f.last_probe_at = now;
+                    self.stats.probes_sent += 1;
+                    let key = self.flows[idx as usize].key;
+                    self.ctrl.push_back(Packet::Probe(Probe::new(key)));
+                    self.try_tx(now, q, topo);
+                }
+            }
+        }
+        let any_active = self.flows.iter().any(|f| f.state != FlowState::Done);
+        if any_active {
+            q.schedule(now + agent.check_interval, EventKind::AgentCheck { node: self.id });
+        }
+    }
+
+    fn maybe_detect(&mut self, idx: u32, rtt: Nanos, now: Nanos, q: &mut EventQueue, topo: &Topology) {
+        let Some(agent) = self.cfg.agent else {
+            return;
+        };
+        if rtt < agent.threshold() {
+            return;
+        }
+        let f = &mut self.flows[idx as usize];
+        if f.last_probe_at != Nanos::ZERO && now.saturating_sub(f.last_probe_at) < agent.dedup_interval {
+            return;
+        }
+        f.last_probe_at = now;
+        self.detections.push(Detection {
+            flow: f.id,
+            key: f.key,
+            at: now,
+            observed_rtt: rtt,
+        });
+        self.stats.probes_sent += 1;
+        self.ctrl.push_back(Packet::Probe(Probe::new(f.key)));
+        self.try_tx(now, q, topo);
+    }
+}
+
+/// The 5-tuple of reverse-direction control traffic for a flow.
+pub fn reverse_key(k: &FlowKey) -> FlowKey {
+    FlowKey {
+        src: k.dst,
+        dst: k.src,
+        src_port: k.dst_port,
+        dst_port: k.src_port,
+        proto: k.proto,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{dumbbell, EVAL_BANDWIDTH, EVAL_DELAY};
+
+    fn setup() -> (Topology, HostState, EventQueue) {
+        let topo = dumbbell(1, 1, EVAL_BANDWIDTH, EVAL_DELAY);
+        let h0 = topo.hosts().next().unwrap();
+        let host = HostState::new(h0, HostConfig::for_line_rate(100e9));
+        (topo, host, EventQueue::new())
+    }
+
+    #[test]
+    fn flow_paces_at_line_rate() {
+        let (topo, mut host, mut q) = setup();
+        let hosts: Vec<_> = topo.hosts().collect();
+        let key = FlowKey::roce(hosts[0], hosts[1], 1);
+        host.add_flow(FlowId(0), key, 10_000, Nanos::ZERO);
+        host.bootstrap(&mut q);
+        let mut sent = 0;
+        while let Some((t, ev)) = q.pop() {
+            match ev {
+                EventKind::FlowStart { flow_idx, .. } => {
+                    host.handle_flow_start(flow_idx, t, &mut q, &topo)
+                }
+                EventKind::FlowReady { flow_idx, .. } => {
+                    host.handle_flow_ready(flow_idx, t, &mut q, &topo)
+                }
+                EventKind::PortTxDone { .. } => host.handle_tx_done(t, &mut q, &topo),
+                EventKind::Arrive { packet, .. } if packet.is_data() => sent += 1,
+                _ => {}
+            }
+        }
+        // 10_000 B = 10 packets of 1000 B payload.
+        assert_eq!(sent, 10);
+        assert_eq!(host.stats.data_sent, 10);
+    }
+
+    #[test]
+    fn pfc_pause_stops_data_but_not_ctrl() {
+        let (topo, mut host, mut q) = setup();
+        let hosts: Vec<_> = topo.hosts().collect();
+        let key = FlowKey::roce(hosts[0], hosts[1], 1);
+        host.add_flow(FlowId(0), key, 100_000, Nanos::ZERO);
+        host.bootstrap(&mut q);
+        // Pause the host port before the flow starts.
+        host.handle_arrive(
+            Packet::Pfc(PfcFrame::pause(CLASS_DATA)),
+            Nanos::ZERO,
+            &mut q,
+            &topo,
+        );
+        // Run for a short window; data must not leave while paused.
+        let mut data_arrivals = 0;
+        while let Some((t, ev)) = q.pop() {
+            if t > Nanos::from_micros(50) {
+                break;
+            }
+            match ev {
+                EventKind::FlowStart { flow_idx, .. } => {
+                    host.handle_flow_start(flow_idx, t, &mut q, &topo)
+                }
+                EventKind::FlowReady { flow_idx, .. } => {
+                    host.handle_flow_ready(flow_idx, t, &mut q, &topo)
+                }
+                EventKind::PortTxDone { .. } => host.handle_tx_done(t, &mut q, &topo),
+                EventKind::PortKick { .. } => host.try_tx(t, &mut q, &topo),
+                EventKind::Arrive { packet, .. } if packet.is_data() => data_arrivals += 1,
+                _ => {}
+            }
+        }
+        assert_eq!(data_arrivals, 0, "paused host must not emit data");
+    }
+
+    #[test]
+    fn receiver_acks_and_cnps() {
+        let (topo, mut host, mut q) = setup();
+        let hosts: Vec<_> = topo.hosts().collect();
+        // host is hosts[0]; packet from hosts[1] arrives here.
+        let key = FlowKey::roce(hosts[1], hosts[0], 5);
+        let d = DataPacket {
+            flow: FlowId(9),
+            key,
+            seq: 0,
+            size: DATA_PKT_SIZE,
+            ecn_ce: true,
+            sent_at: Nanos(100),
+            last: false,
+        };
+        host.handle_arrive(Packet::Data(d), Nanos(1000), &mut q, &topo);
+        assert_eq!(host.stats.acks_sent, 1);
+        assert_eq!(host.stats.cnps_sent, 1);
+        // Second ECN-marked packet within the CNP window: no second CNP.
+        let d2 = DataPacket { seq: 1, ..d };
+        host.handle_arrive(Packet::Data(d2), Nanos(2000), &mut q, &topo);
+        assert_eq!(host.stats.acks_sent, 2);
+        assert_eq!(host.stats.cnps_sent, 1, "CNPs rate-limited per flow");
+    }
+
+    #[test]
+    fn agent_detects_high_rtt_and_dedups() {
+        let (topo, mut host, mut q) = setup();
+        let hosts: Vec<_> = topo.hosts().collect();
+        let key = FlowKey::roce(hosts[0], hosts[1], 1);
+        host.cfg.agent = Some(AgentConfig {
+            rtt_threshold_factor: 2.0,
+            base_rtt: Nanos::from_micros(10),
+            check_interval: Nanos::from_micros(100),
+            dedup_interval: Nanos::from_millis(1),
+            periodic_probe: None,
+        });
+        host.add_flow(FlowId(0), key, 1_000_000, Nanos::ZERO);
+        // Simulate an ACK with a 50 µs RTT (threshold is 20 µs).
+        host.flows[0].state = FlowState::Active;
+        host.flows[0].outstanding.push_back((0, Nanos::ZERO));
+        let ack = AckPacket {
+            flow: FlowId(0),
+            key: reverse_key(&key),
+            seq: 0,
+            echo_sent_at: Nanos::ZERO,
+            last: false,
+        };
+        host.handle_arrive(Packet::Ack(ack), Nanos::from_micros(50), &mut q, &topo);
+        assert_eq!(host.detections.len(), 1);
+        assert_eq!(host.detections[0].observed_rtt, Nanos::from_micros(50));
+        // A second slow ACK inside the dedup window does not re-trigger.
+        host.flows[0].outstanding.push_back((1, Nanos::ZERO));
+        let ack2 = AckPacket { seq: 1, ..ack };
+        host.handle_arrive(Packet::Ack(ack2), Nanos::from_micros(120), &mut q, &topo);
+        assert_eq!(host.detections.len(), 1, "deduped within interval");
+    }
+
+    #[test]
+    fn stalled_flow_detected_via_agent_check() {
+        let (topo, mut host, mut q) = setup();
+        let hosts: Vec<_> = topo.hosts().collect();
+        let key = FlowKey::roce(hosts[0], hosts[1], 1);
+        host.cfg.agent = Some(AgentConfig {
+            rtt_threshold_factor: 3.0,
+            base_rtt: Nanos::from_micros(10),
+            check_interval: Nanos::from_micros(100),
+            dedup_interval: Nanos::from_millis(1),
+            periodic_probe: None,
+        });
+        host.add_flow(FlowId(0), key, 1_000_000, Nanos::ZERO);
+        host.flows[0].state = FlowState::Active;
+        // A packet has been in flight for 500 µs with no ACK (deadlock-like).
+        host.flows[0].outstanding.push_back((0, Nanos::ZERO));
+        host.handle_agent_check(Nanos::from_micros(500), &mut q, &topo);
+        assert_eq!(host.detections.len(), 1);
+    }
+
+    #[test]
+    fn periodic_probes_fire_without_rtt_anomaly() {
+        let (topo, mut host, mut q) = setup();
+        let hosts: Vec<_> = topo.hosts().collect();
+        let key = FlowKey::roce(hosts[0], hosts[1], 1);
+        host.cfg.agent = Some(AgentConfig {
+            rtt_threshold_factor: 100.0, // never trips on RTT
+            base_rtt: Nanos::from_micros(10),
+            check_interval: Nanos::from_micros(100),
+            dedup_interval: Nanos::from_millis(10),
+            periodic_probe: Some(Nanos::from_micros(300)),
+        });
+        host.add_flow(FlowId(0), key, 1_000_000, Nanos::ZERO);
+        host.flows[0].state = FlowState::Active;
+        // Pingmesh-style: checks at 100us cadence emit probes every >=300us.
+        for step in 1..=10u64 {
+            host.handle_agent_check(Nanos::from_micros(step * 100), &mut q, &topo);
+        }
+        assert!(
+            (3..=4).contains(&host.stats.probes_sent),
+            "probes {}",
+            host.stats.probes_sent
+        );
+        assert!(host.detections.is_empty(), "no RTT detections");
+    }
+
+    #[test]
+    fn injector_emits_pauses_periodically() {
+        let (topo, mut host, mut q) = setup();
+        host.cfg.pfc_injector = Some(PfcInjectorConfig {
+            start: Nanos::ZERO,
+            stop: Nanos::from_micros(500),
+            period: Nanos::from_micros(100),
+        });
+        host.bootstrap(&mut q);
+        let mut pauses = 0;
+        while let Some((t, ev)) = q.pop() {
+            match ev {
+                EventKind::HostPfcInject { .. } => host.handle_pfc_inject(t, &mut q, &topo),
+                EventKind::PortTxDone { .. } => host.handle_tx_done(t, &mut q, &topo),
+                EventKind::Arrive { packet, .. } => {
+                    if matches!(packet, Packet::Pfc(f) if f.is_pause()) {
+                        pauses += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(pauses, 5, "one pause per period in [0,500)us");
+        assert_eq!(host.stats.pfc_injected, 5);
+    }
+
+    #[test]
+    fn reverse_key_round_trips() {
+        let k = FlowKey::roce(NodeId(3), NodeId(7), 123);
+        assert_eq!(reverse_key(&reverse_key(&k)), k);
+        assert_eq!(reverse_key(&k).src, k.dst);
+    }
+}

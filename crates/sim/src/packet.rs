@@ -1,0 +1,217 @@
+//! Packet and frame types.
+//!
+//! The simulator is packet-level: every data MTU, acknowledgment, CNP, PFC
+//! frame and Hawkeye polling packet is an individual event-carrying object.
+
+use crate::ids::{FlowId, FlowKey};
+use crate::time::Nanos;
+
+/// Priority class of lossless RoCEv2 data traffic (subject to PFC).
+pub const CLASS_DATA: u8 = 0;
+/// Priority class of control traffic (ACK/CNP/PFC/polling packets); mapped
+/// to a strict-priority queue that PFC never pauses, mirroring production
+/// RoCE deployments (and §3.4: "polling packets are set to the same priority
+/// as control packets (e.g., CNP)").
+pub const CLASS_CONTROL: u8 = 7;
+
+/// Wire size of a full data MTU (1000B payload + RoCEv2/UDP/IP/Ethernet
+/// headers), matching the HPCC/NS-3 convention of 1 KB packets.
+pub const DATA_PKT_SIZE: u32 = 1048;
+/// Payload bytes carried per data packet.
+pub const DATA_PAYLOAD: u32 = 1000;
+/// Wire size of ACK / CNP / PFC / polling control frames.
+pub const CTRL_PKT_SIZE: u32 = 64;
+
+/// A RoCEv2 data packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DataPacket {
+    pub flow: FlowId,
+    pub key: FlowKey,
+    /// Sequence number in packets (PSN).
+    pub seq: u64,
+    /// Wire size in bytes, including headers.
+    pub size: u32,
+    /// ECN Congestion Experienced mark, set by switches.
+    pub ecn_ce: bool,
+    /// Time the sender NIC emitted the packet (for RTT measurement by the
+    /// receiver's ACK echo; real NICs keep this in a send-tracking table).
+    pub sent_at: Nanos,
+    /// True if this is the last packet of the flow.
+    pub last: bool,
+}
+
+/// A RoCEv2 acknowledgment, echoing the data packet's send timestamp so the
+/// source NIC can measure RTT (as the BlueField-3 PCC data path does).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AckPacket {
+    pub flow: FlowId,
+    pub key: FlowKey,
+    pub seq: u64,
+    pub echo_sent_at: Nanos,
+    pub last: bool,
+}
+
+/// A Congestion Notification Packet (DCQCN), sent by the receiver NIC when
+/// ECN-marked data arrives (rate-limited to one per flow per CNP window).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CnpPacket {
+    pub flow: FlowId,
+    pub key: FlowKey,
+}
+
+/// An IEEE 802.1Qbb PFC frame for a single priority class.
+///
+/// `quanta == 0` is a RESUME; non-zero quanta pause the class for
+/// `quanta * 512 bit-times` at the receiving port's line rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PfcFrame {
+    pub class: u8,
+    pub quanta: u16,
+}
+
+impl PfcFrame {
+    pub fn pause(class: u8) -> Self {
+        PfcFrame {
+            class,
+            quanta: u16::MAX,
+        }
+    }
+    pub fn resume(class: u8) -> Self {
+        PfcFrame { class, quanta: 0 }
+    }
+    pub fn is_pause(&self) -> bool {
+        self.quanta != 0
+    }
+}
+
+/// Hawkeye polling-packet flags (Table 1 of the paper).
+///
+/// Bit 0 ("victim" bit): trace along the victim flow path.
+/// Bit 1 ("PFC" bit): trace along PFC causality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct PollingFlags(pub u8);
+
+impl PollingFlags {
+    /// `00`: useless tracing (dropped by switches).
+    pub const USELESS: PollingFlags = PollingFlags(0b00);
+    /// `01` (default): only trace along the victim flow path.
+    pub const VICTIM_PATH: PollingFlags = PollingFlags(0b01);
+    /// `10`: only trace along PFC causality.
+    pub const PFC_TRACE: PollingFlags = PollingFlags(0b10);
+    /// `11`: trace both.
+    pub const BOTH: PollingFlags = PollingFlags(0b11);
+
+    pub fn traces_victim_path(self) -> bool {
+        self.0 & 0b01 != 0
+    }
+    pub fn traces_pfc(self) -> bool {
+        self.0 & 0b10 != 0
+    }
+    pub fn is_useless(self) -> bool {
+        self.0 & 0b11 == 0
+    }
+    /// Set the PFC-tracing bit (done by a switch observing the victim paused).
+    pub fn with_pfc(self) -> PollingFlags {
+        PollingFlags(self.0 | 0b10)
+    }
+}
+
+/// A Hawkeye polling packet (Fig. 5): the victim flow's 5-tuple plus the
+/// 2-bit polling flag. Forwarded in the unpausable control class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Probe {
+    pub victim: FlowKey,
+    pub flags: PollingFlags,
+    /// Hop budget guarding against pathological forwarding loops; the
+    /// causality analysis itself terminates tracing, this is a backstop.
+    pub ttl: u8,
+}
+
+impl Probe {
+    pub fn new(victim: FlowKey) -> Self {
+        Probe {
+            victim,
+            flags: PollingFlags::VICTIM_PATH,
+            ttl: 32,
+        }
+    }
+}
+
+/// Every frame the simulator moves across links.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Packet {
+    Data(DataPacket),
+    Ack(AckPacket),
+    Cnp(CnpPacket),
+    Pfc(PfcFrame),
+    Probe(Probe),
+}
+
+impl Packet {
+    /// Wire size in bytes (used for serialization-time and buffer
+    /// accounting).
+    pub fn size(&self) -> u32 {
+        match self {
+            Packet::Data(d) => d.size,
+            _ => CTRL_PKT_SIZE,
+        }
+    }
+
+    /// Priority class for queueing and PFC.
+    pub fn class(&self) -> u8 {
+        match self {
+            Packet::Data(_) => CLASS_DATA,
+            _ => CLASS_CONTROL,
+        }
+    }
+
+    pub fn is_data(&self) -> bool {
+        matches!(self, Packet::Data(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::NodeId;
+
+    #[test]
+    fn polling_flag_semantics_match_table1() {
+        assert!(PollingFlags::USELESS.is_useless());
+        assert!(PollingFlags::VICTIM_PATH.traces_victim_path());
+        assert!(!PollingFlags::VICTIM_PATH.traces_pfc());
+        assert!(PollingFlags::PFC_TRACE.traces_pfc());
+        assert!(!PollingFlags::PFC_TRACE.traces_victim_path());
+        assert!(PollingFlags::BOTH.traces_pfc() && PollingFlags::BOTH.traces_victim_path());
+        assert_eq!(PollingFlags::VICTIM_PATH.with_pfc(), PollingFlags::BOTH);
+        assert_eq!(PollingFlags::PFC_TRACE.with_pfc(), PollingFlags::PFC_TRACE);
+    }
+
+    #[test]
+    fn pfc_frame_constructors() {
+        assert!(PfcFrame::pause(CLASS_DATA).is_pause());
+        assert!(!PfcFrame::resume(CLASS_DATA).is_pause());
+    }
+
+    #[test]
+    fn packet_sizes_and_classes() {
+        let key = FlowKey::roce(NodeId(0), NodeId(1), 9);
+        let d = Packet::Data(DataPacket {
+            flow: FlowId(0),
+            key,
+            seq: 0,
+            size: DATA_PKT_SIZE,
+            ecn_ce: false,
+            sent_at: Nanos::ZERO,
+            last: false,
+        });
+        assert_eq!(d.size(), 1048);
+        assert_eq!(d.class(), CLASS_DATA);
+        assert!(d.is_data());
+        let p = Packet::Pfc(PfcFrame::pause(0));
+        assert_eq!(p.size(), CTRL_PKT_SIZE);
+        assert_eq!(p.class(), CLASS_CONTROL);
+        assert!(!p.is_data());
+    }
+}

@@ -1,0 +1,118 @@
+//! Network-wide run summaries: flow completion times, pause activity, and
+//! delivered throughput — the operator-facing counters examples and
+//! experiments report alongside diagnoses.
+
+use crate::hooks::SwitchHook;
+use crate::sim::Simulator;
+use crate::time::Nanos;
+use serde::{Deserialize, Serialize};
+
+/// Aggregate statistics of a finished (or stopped) simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunSummary {
+    pub flows_total: usize,
+    pub flows_completed: usize,
+    /// FCT percentiles over completed flows (p50, p90, p99, max).
+    pub fct_p50: Option<Nanos>,
+    pub fct_p90: Option<Nanos>,
+    pub fct_p99: Option<Nanos>,
+    pub fct_max: Option<Nanos>,
+    /// Payload bytes delivered to receivers.
+    pub bytes_delivered: u64,
+    /// Aggregate goodput over the simulated horizon (bits/s).
+    pub goodput_bps: f64,
+    pub pfc_pauses_sent: u64,
+    pub pfc_resumes_sent: u64,
+    pub buffer_drops: u64,
+    pub detections: usize,
+}
+
+impl RunSummary {
+    /// Compute from a simulator after `run_until`.
+    pub fn of<H: SwitchHook>(sim: &Simulator<H>) -> RunSummary {
+        let mut fcts: Vec<Nanos> = Vec::new();
+        let mut completed = 0usize;
+        for f in sim.flows() {
+            if let Some(hf) = sim.host(f.key.src).flow_by_id(f.id) {
+                if let Some(fct) = hf.fct() {
+                    completed += 1;
+                    fcts.push(fct);
+                }
+            }
+        }
+        fcts.sort_unstable();
+        let pct = |q: f64| -> Option<Nanos> {
+            if fcts.is_empty() {
+                None
+            } else {
+                Some(fcts[((fcts.len() - 1) as f64 * q) as usize])
+            }
+        };
+        let data_rcvd: u64 = sim
+            .topo()
+            .hosts()
+            .map(|h| sim.host(h).stats.data_rcvd)
+            .sum();
+        let bytes_delivered = data_rcvd * crate::packet::DATA_PAYLOAD as u64;
+        let horizon = sim.now().as_secs_f64().max(1e-12);
+        RunSummary {
+            flows_total: sim.flows().len(),
+            flows_completed: completed,
+            fct_p50: pct(0.50),
+            fct_p90: pct(0.90),
+            fct_p99: pct(0.99),
+            fct_max: fcts.last().copied(),
+            bytes_delivered,
+            goodput_bps: bytes_delivered as f64 * 8.0 / horizon,
+            pfc_pauses_sent: sim.sum_switch_stats(|s| s.pfc_pause_sent),
+            pfc_resumes_sent: sim.sum_switch_stats(|s| s.pfc_resume_sent),
+            buffer_drops: sim.sum_switch_stats(|s| s.drops_buffer),
+            detections: sim.detections().len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hooks::NullHook;
+    use crate::ids::FlowKey;
+    use crate::sim::SimConfig;
+    use crate::topology::{dumbbell, EVAL_BANDWIDTH, EVAL_DELAY};
+
+    #[test]
+    fn summary_of_simple_run() {
+        let topo = dumbbell(2, 2, EVAL_BANDWIDTH, EVAL_DELAY);
+        let hosts: Vec<_> = topo.hosts().collect();
+        let mut sim = Simulator::new(topo, SimConfig::default(), NullHook);
+        sim.add_flow(FlowKey::roce(hosts[0], hosts[2], 1), 1_000_000, Nanos::ZERO);
+        sim.add_flow(FlowKey::roce(hosts[1], hosts[3], 2), 500_000, Nanos::ZERO);
+        sim.run_until(Nanos::from_millis(5));
+        let s = RunSummary::of(&sim);
+        assert_eq!(s.flows_total, 2);
+        assert_eq!(s.flows_completed, 2);
+        assert_eq!(s.bytes_delivered, 1_500_000);
+        assert!(s.goodput_bps > 0.0);
+        assert!(s.fct_p50.unwrap() <= s.fct_max.unwrap());
+        assert_eq!(s.buffer_drops, 0);
+        // JSON round-trip for reporting (floats within printing precision).
+        let js = serde_json::to_string(&s).unwrap();
+        let back: RunSummary = serde_json::from_str(&js).unwrap();
+        assert_eq!(back.flows_completed, s.flows_completed);
+        assert_eq!(back.fct_max, s.fct_max);
+        assert!((back.goodput_bps - s.goodput_bps).abs() / s.goodput_bps < 1e-9);
+    }
+
+    #[test]
+    fn incomplete_flows_have_no_fct() {
+        let topo = dumbbell(1, 1, EVAL_BANDWIDTH, EVAL_DELAY);
+        let hosts: Vec<_> = topo.hosts().collect();
+        let mut sim = Simulator::new(topo, SimConfig::default(), NullHook);
+        sim.add_flow(FlowKey::roce(hosts[0], hosts[1], 1), 100_000_000, Nanos::ZERO);
+        sim.run_until(Nanos::from_micros(50)); // far too short
+        let s = RunSummary::of(&sim);
+        assert_eq!(s.flows_completed, 0);
+        assert!(s.fct_p50.is_none());
+        assert!(s.flows_total == 1);
+    }
+}

@@ -1,0 +1,147 @@
+//! Simulation time.
+//!
+//! All simulation time is kept in integer nanoseconds, mirroring the 48-bit
+//! nanosecond timestamps that programmable switches attach to enqueued
+//! packets (the paper slices bits out of exactly this timestamp to index
+//! telemetry epochs, see `hawkeye-telemetry::epoch`).
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, in nanoseconds since simulation start.
+///
+/// `Nanos` is also used for durations; the arithmetic provided is the small
+/// saturating subset the simulator needs, so overflow bugs surface as test
+/// failures rather than wrap-arounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct Nanos(pub u64);
+
+impl Nanos {
+    pub const ZERO: Nanos = Nanos(0);
+    /// The largest representable instant; used as an "never" sentinel.
+    pub const MAX: Nanos = Nanos(u64::MAX);
+
+    pub const fn from_nanos(ns: u64) -> Self {
+        Nanos(ns)
+    }
+    pub const fn from_micros(us: u64) -> Self {
+        Nanos(us * 1_000)
+    }
+    pub const fn from_millis(ms: u64) -> Self {
+        Nanos(ms * 1_000_000)
+    }
+    pub const fn from_secs(s: u64) -> Self {
+        Nanos(s * 1_000_000_000)
+    }
+
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating subtraction; convenient when computing elapsed times
+    /// against timestamps that may lie in the future (e.g. pause deadlines).
+    pub fn saturating_sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.saturating_sub(rhs.0))
+    }
+
+    pub fn min(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.min(rhs.0))
+    }
+    pub fn max(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.max(rhs.0))
+    }
+
+    /// The 48-bit switch timestamp for this instant (wraps like hardware).
+    pub fn switch_timestamp(self) -> u64 {
+        self.0 & ((1 << 48) - 1)
+    }
+}
+
+impl Add for Nanos {
+    type Output = Nanos;
+    fn add(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.checked_add(rhs.0).expect("Nanos overflow"))
+    }
+}
+
+impl AddAssign for Nanos {
+    fn add_assign(&mut self, rhs: Nanos) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Nanos {
+    type Output = Nanos;
+    fn sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.checked_sub(rhs.0).expect("Nanos underflow"))
+    }
+}
+
+impl fmt::Display for Nanos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.as_micros_f64())
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(Nanos::from_micros(3).as_nanos(), 3_000);
+        assert_eq!(Nanos::from_millis(2).as_nanos(), 2_000_000);
+        assert_eq!(Nanos::from_secs(1).as_nanos(), 1_000_000_000);
+        assert_eq!(Nanos::from_millis(1).as_millis_f64(), 1.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Nanos(100);
+        let b = Nanos(40);
+        assert_eq!(a + b, Nanos(140));
+        assert_eq!(a - b, Nanos(60));
+        assert_eq!(b.saturating_sub(a), Nanos::ZERO);
+        assert_eq!(a.min(b), b);
+        assert_eq!(a.max(b), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "Nanos underflow")]
+    fn checked_sub_panics() {
+        let _ = Nanos(1) - Nanos(2);
+    }
+
+    #[test]
+    fn switch_timestamp_wraps_at_48_bits() {
+        let t = Nanos((1u64 << 48) + 5);
+        assert_eq!(t.switch_timestamp(), 5);
+        assert_eq!(Nanos(7).switch_timestamp(), 7);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(format!("{}", Nanos(10)), "10ns");
+        assert_eq!(format!("{}", Nanos::from_micros(2)), "2.000us");
+        assert_eq!(format!("{}", Nanos::from_millis(3)), "3.000ms");
+        assert_eq!(format!("{}", Nanos::from_secs(4)), "4.000s");
+    }
+}

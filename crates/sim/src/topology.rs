@@ -1,0 +1,567 @@
+//! Network topologies: nodes, links, and routing.
+//!
+//! Builders are provided for the paper's evaluation topology (fat-tree K=4,
+//! 20 switches, 100 Gbps links, 2 µs delay), plus the small chain and ring
+//! topologies of Fig. 1 used for case studies, and a dumbbell for unit
+//! tests. Routing is shortest-path with ECMP; scenarios may install
+//! per-(switch, destination) route overrides to emulate the routing
+//! misconfigurations that create cyclic buffer dependencies (§2.1).
+
+use crate::ids::{FlowKey, NodeId, PortId};
+use crate::time::Nanos;
+use crate::units::Bandwidth;
+use std::collections::{HashMap, VecDeque};
+
+/// Role of a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    Host,
+    Switch,
+}
+
+/// One direction-independent attachment point: the peer it connects to and
+/// the link's properties (identical in both directions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PortInfo {
+    pub peer: PortId,
+    pub bandwidth: Bandwidth,
+    pub delay: Nanos,
+}
+
+/// An immutable network graph plus routing state.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    kinds: Vec<NodeKind>,
+    names: Vec<String>,
+    ports: Vec<Vec<PortInfo>>,
+    /// For each switch index: dst host -> sorted candidate egress ports.
+    routes: HashMap<(NodeId, NodeId), Vec<u8>>,
+    /// Scenario-installed forced next hops: (switch, dst host) -> port.
+    overrides: HashMap<(NodeId, NodeId), u8>,
+}
+
+impl Topology {
+    /// Create an empty topology; use `add_host`/`add_switch`/`connect`.
+    pub fn new() -> Self {
+        Topology {
+            kinds: Vec::new(),
+            names: Vec::new(),
+            ports: Vec::new(),
+            routes: HashMap::new(),
+            overrides: HashMap::new(),
+        }
+    }
+
+    pub fn add_host(&mut self, name: impl Into<String>) -> NodeId {
+        self.add_node(NodeKind::Host, name.into())
+    }
+
+    pub fn add_switch(&mut self, name: impl Into<String>) -> NodeId {
+        self.add_node(NodeKind::Switch, name.into())
+    }
+
+    fn add_node(&mut self, kind: NodeKind, name: String) -> NodeId {
+        let id = NodeId(self.kinds.len() as u32);
+        self.kinds.push(kind);
+        self.names.push(name);
+        self.ports.push(Vec::new());
+        id
+    }
+
+    /// Connect two nodes with a full-duplex link; returns the (a-side,
+    /// b-side) port numbers allocated.
+    pub fn connect(&mut self, a: NodeId, b: NodeId, bw: Bandwidth, delay: Nanos) -> (u8, u8) {
+        let pa = self.ports[a.index()].len() as u8;
+        let pb = self.ports[b.index()].len() as u8;
+        self.ports[a.index()].push(PortInfo {
+            peer: PortId::new(b, pb),
+            bandwidth: bw,
+            delay,
+        });
+        self.ports[b.index()].push(PortInfo {
+            peer: PortId::new(a, pa),
+            bandwidth: bw,
+            delay,
+        });
+        (pa, pb)
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.kinds.len()
+    }
+
+    pub fn kind(&self, n: NodeId) -> NodeKind {
+        self.kinds[n.index()]
+    }
+
+    pub fn is_host(&self, n: NodeId) -> bool {
+        self.kind(n) == NodeKind::Host
+    }
+
+    pub fn name(&self, n: NodeId) -> &str {
+        &self.names[n.index()]
+    }
+
+    pub fn hosts(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.kinds.len() as u32)
+            .map(NodeId)
+            .filter(|n| self.is_host(*n))
+    }
+
+    pub fn switches(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.kinds.len() as u32)
+            .map(NodeId)
+            .filter(|n| !self.is_host(*n))
+    }
+
+    pub fn ports(&self, n: NodeId) -> &[PortInfo] {
+        &self.ports[n.index()]
+    }
+
+    pub fn port(&self, p: PortId) -> &PortInfo {
+        &self.ports[p.node.index()][p.port as usize]
+    }
+
+    /// The port on the far end of `p`'s link.
+    pub fn peer(&self, p: PortId) -> PortId {
+        self.port(p).peer
+    }
+
+    /// Whether the given port attaches directly to a host.
+    pub fn is_host_facing(&self, p: PortId) -> bool {
+        self.is_host(self.peer(p).node)
+    }
+
+    /// Compute shortest-path ECMP routes from every switch to every host.
+    /// Must be called after the graph is final and before `route_port`.
+    pub fn compute_routes(&mut self) {
+        self.routes.clear();
+        // BFS from each host over the switch graph gives, per switch, the
+        // distance to that host; candidate next hops are all neighbors one
+        // step closer.
+        for dst in self.hosts().collect::<Vec<_>>() {
+            let dist = self.bfs_dist(dst);
+            for sw in self.switches().collect::<Vec<_>>() {
+                let d = dist[sw.index()];
+                if d == u32::MAX {
+                    continue;
+                }
+                let mut cands: Vec<u8> = Vec::new();
+                for (pi, info) in self.ports[sw.index()].iter().enumerate() {
+                    let peer = info.peer.node;
+                    if dist[peer.index()] < d {
+                        cands.push(pi as u8);
+                    }
+                }
+                cands.sort_unstable();
+                self.routes.insert((sw, dst), cands);
+            }
+        }
+    }
+
+    fn bfs_dist(&self, from: NodeId) -> Vec<u32> {
+        let mut dist = vec![u32::MAX; self.node_count()];
+        dist[from.index()] = 0;
+        let mut q = VecDeque::from([from]);
+        while let Some(n) = q.pop_front() {
+            // Hosts other than the origin do not forward traffic.
+            if n != from && self.is_host(n) {
+                continue;
+            }
+            for info in &self.ports[n.index()] {
+                let m = info.peer.node;
+                if dist[m.index()] == u32::MAX {
+                    dist[m.index()] = dist[n.index()] + 1;
+                    q.push_back(m);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Force traffic for `dst` at `sw` out of `port`, regardless of the
+    /// computed shortest path. Used by deadlock scenarios to emulate routing
+    /// misconfiguration; intentionally allowed to create loops.
+    pub fn add_route_override(&mut self, sw: NodeId, dst: NodeId, port: u8) {
+        assert!(!self.is_host(sw), "overrides apply to switches");
+        self.overrides.insert((sw, dst), port);
+    }
+
+    pub fn clear_route_overrides(&mut self) {
+        self.overrides.clear();
+    }
+
+    /// The egress port switch `sw` uses for `flow` (ECMP-hashed among
+    /// equal-cost candidates, unless overridden).
+    pub fn route_port(&self, sw: NodeId, flow: &FlowKey) -> Option<u8> {
+        if let Some(&p) = self.overrides.get(&(sw, flow.dst)) {
+            return Some(p);
+        }
+        let cands = self.routes.get(&(sw, flow.dst))?;
+        if cands.is_empty() {
+            return None;
+        }
+        Some(cands[(flow.hash32() as usize) % cands.len()])
+    }
+
+    /// The full switch path a flow takes, as (switch, ingress port, egress
+    /// port) triples from source ToR to destination ToR. Returns `None` if
+    /// routing fails or loops beyond `max_hops`.
+    pub fn flow_path(&self, flow: &FlowKey) -> Option<Vec<(NodeId, u8, u8)>> {
+        let mut path = Vec::new();
+        let src_port = PortId::new(flow.src, 0);
+        let mut at = self.peer(src_port); // ingress port on the first switch
+        let max_hops = 64;
+        for _ in 0..max_hops {
+            if self.is_host(at.node) {
+                return Some(path);
+            }
+            let out = self.route_port(at.node, flow)?;
+            path.push((at.node, at.port, out));
+            at = self.peer(PortId::new(at.node, out));
+        }
+        None // routing loop
+    }
+
+    /// All (switch, egress port) pairs on the flow's path.
+    pub fn flow_egress_ports(&self, flow: &FlowKey) -> Vec<PortId> {
+        self.flow_path(flow)
+            .map(|p| {
+                p.into_iter()
+                    .map(|(sw, _, out)| PortId::new(sw, out))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Default link parameters used across the evaluation (paper §4.1).
+pub const EVAL_BANDWIDTH: Bandwidth = Bandwidth::from_gbps(100);
+pub const EVAL_DELAY: Nanos = Nanos::from_micros(2);
+
+/// Build the paper's evaluation topology: a fat-tree with parameter `k`
+/// (k=4: 16 hosts, 20 switches — 8 edge, 8 aggregation, 4 core).
+pub fn fat_tree(k: usize, bw: Bandwidth, delay: Nanos) -> Topology {
+    assert!(k >= 2 && k.is_multiple_of(2), "fat-tree k must be even");
+    let mut t = Topology::new();
+    let half = k / 2;
+
+    // Hosts: k/2 per edge switch, k/2 edges per pod, k pods.
+    let mut hosts = Vec::new();
+    for pod in 0..k {
+        for e in 0..half {
+            for h in 0..half {
+                hosts.push(t.add_host(format!("h{}", pod * half * half + e * half + h)));
+            }
+        }
+    }
+    let mut edges = Vec::new();
+    let mut aggs = Vec::new();
+    for pod in 0..k {
+        for e in 0..half {
+            edges.push(t.add_switch(format!("edge{}_{}", pod, e)));
+        }
+        for a in 0..half {
+            aggs.push(t.add_switch(format!("agg{}_{}", pod, a)));
+        }
+    }
+    let mut cores = Vec::new();
+    for c in 0..half * half {
+        cores.push(t.add_switch(format!("core{}", c)));
+    }
+
+    // Host <-> edge links.
+    for pod in 0..k {
+        for e in 0..half {
+            let edge = edges[pod * half + e];
+            for h in 0..half {
+                let host = hosts[pod * half * half + e * half + h];
+                t.connect(host, edge, bw, delay);
+            }
+        }
+    }
+    // Edge <-> agg links (full bipartite within a pod).
+    for pod in 0..k {
+        for e in 0..half {
+            for a in 0..half {
+                t.connect(edges[pod * half + e], aggs[pod * half + a], bw, delay);
+            }
+        }
+    }
+    // Agg <-> core links: agg `a` of each pod connects to cores
+    // [a*half, (a+1)*half).
+    for pod in 0..k {
+        for a in 0..half {
+            for c in 0..half {
+                t.connect(aggs[pod * half + a], cores[a * half + c], bw, delay);
+            }
+        }
+    }
+
+    t.compute_routes();
+    t
+}
+
+/// A linear chain of `n` switches, each with `hosts_per_switch` hosts —
+/// the Fig. 1(a)/1(b) style topology for case studies.
+pub fn chain(n: usize, hosts_per_switch: usize, bw: Bandwidth, delay: Nanos) -> Topology {
+    assert!(n >= 1);
+    let mut t = Topology::new();
+    let mut hosts = Vec::new();
+    for s in 0..n {
+        for h in 0..hosts_per_switch {
+            hosts.push(t.add_host(format!("h{}_{}", s, h)));
+        }
+    }
+    let mut sws = Vec::new();
+    for s in 0..n {
+        sws.push(t.add_switch(format!("sw{}", s)));
+    }
+    for s in 0..n {
+        for h in 0..hosts_per_switch {
+            t.connect(hosts[s * hosts_per_switch + h], sws[s], bw, delay);
+        }
+    }
+    for s in 0..n - 1 {
+        t.connect(sws[s], sws[s + 1], bw, delay);
+    }
+    t.compute_routes();
+    t
+}
+
+/// A ring of `n` switches with hosts, for cyclic-buffer-dependency
+/// (deadlock) case studies; shortest-path routing is still loop-free, so
+/// scenarios install overrides to push flows around the cycle.
+pub fn ring(n: usize, hosts_per_switch: usize, bw: Bandwidth, delay: Nanos) -> Topology {
+    assert!(n >= 3);
+    let mut t = Topology::new();
+    let mut hosts = Vec::new();
+    for s in 0..n {
+        for h in 0..hosts_per_switch {
+            hosts.push(t.add_host(format!("h{}_{}", s, h)));
+        }
+    }
+    let mut sws = Vec::new();
+    for s in 0..n {
+        sws.push(t.add_switch(format!("sw{}", s)));
+    }
+    for s in 0..n {
+        for h in 0..hosts_per_switch {
+            t.connect(hosts[s * hosts_per_switch + h], sws[s], bw, delay);
+        }
+    }
+    for s in 0..n {
+        t.connect(sws[s], sws[(s + 1) % n], bw, delay);
+    }
+    t.compute_routes();
+    t
+}
+
+/// A two-tier leaf-spine fabric: `leaves` ToR switches with
+/// `hosts_per_leaf` hosts each, fully meshed to `spines` spine switches —
+/// the other common data-center fabric besides the fat-tree.
+pub fn leaf_spine(
+    leaves: usize,
+    spines: usize,
+    hosts_per_leaf: usize,
+    bw: Bandwidth,
+    delay: Nanos,
+) -> Topology {
+    assert!(leaves >= 1 && spines >= 1);
+    let mut t = Topology::new();
+    let mut hosts = Vec::new();
+    for l in 0..leaves {
+        for h in 0..hosts_per_leaf {
+            hosts.push(t.add_host(format!("h{}", l * hosts_per_leaf + h)));
+        }
+    }
+    let leaf_ids: Vec<_> = (0..leaves).map(|l| t.add_switch(format!("leaf{l}"))).collect();
+    let spine_ids: Vec<_> = (0..spines).map(|s| t.add_switch(format!("spine{s}"))).collect();
+    for (l, &leaf) in leaf_ids.iter().enumerate() {
+        for h in 0..hosts_per_leaf {
+            t.connect(hosts[l * hosts_per_leaf + h], leaf, bw, delay);
+        }
+    }
+    for &leaf in &leaf_ids {
+        for &spine in &spine_ids {
+            t.connect(leaf, spine, bw, delay);
+        }
+    }
+    t.compute_routes();
+    t
+}
+
+/// Two switches, `left`/`right` hosts on each side; the smallest topology
+/// that exhibits cross-switch PFC backpressure. For unit tests.
+pub fn dumbbell(left: usize, right: usize, bw: Bandwidth, delay: Nanos) -> Topology {
+    let mut t = Topology::new();
+    let lhosts: Vec<_> = (0..left).map(|i| t.add_host(format!("l{i}"))).collect();
+    let rhosts: Vec<_> = (0..right).map(|i| t.add_host(format!("r{i}"))).collect();
+    let sl = t.add_switch("swL");
+    let sr = t.add_switch("swR");
+    for h in lhosts {
+        t.connect(h, sl, bw, delay);
+    }
+    for h in rhosts {
+        t.connect(h, sr, bw, delay);
+    }
+    t.connect(sl, sr, bw, delay);
+    t.compute_routes();
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fat_tree_k4_matches_paper_scale() {
+        let t = fat_tree(4, EVAL_BANDWIDTH, EVAL_DELAY);
+        assert_eq!(t.hosts().count(), 16);
+        assert_eq!(t.switches().count(), 20);
+        // Every edge switch has 2 hosts + 2 aggs = 4 ports; aggs 2+2; cores 4.
+        for sw in t.switches() {
+            assert_eq!(t.ports(sw).len(), 4, "switch {} radix", t.name(sw));
+        }
+    }
+
+    #[test]
+    fn fat_tree_routes_all_pairs() {
+        let t = fat_tree(4, EVAL_BANDWIDTH, EVAL_DELAY);
+        let hosts: Vec<_> = t.hosts().collect();
+        for &a in &hosts {
+            for &b in &hosts {
+                if a == b {
+                    continue;
+                }
+                let f = FlowKey::roce(a, b, 99);
+                let path = t.flow_path(&f).expect("path exists");
+                assert!(!path.is_empty());
+                // Intra-rack: 1 switch; intra-pod: 3; inter-pod: 5.
+                assert!(
+                    matches!(path.len(), 1 | 3 | 5),
+                    "unexpected path length {} for {}->{}",
+                    path.len(),
+                    a.0,
+                    b.0
+                );
+                // Path ends adjacent to the destination.
+                let (last_sw, _, out) = *path.last().unwrap();
+                assert_eq!(t.peer(PortId::new(last_sw, out)).node, b);
+            }
+        }
+    }
+
+    #[test]
+    fn ecmp_spreads_flows_across_candidates() {
+        let t = fat_tree(4, EVAL_BANDWIDTH, EVAL_DELAY);
+        let hosts: Vec<_> = t.hosts().collect();
+        // Inter-pod pair: first and last host.
+        let (a, b) = (hosts[0], hosts[15]);
+        let mut seen = std::collections::HashSet::new();
+        for sp in 0..64 {
+            let f = FlowKey::roce(a, b, sp);
+            seen.insert(t.flow_path(&f).unwrap());
+        }
+        assert!(seen.len() >= 2, "ECMP should yield multiple paths");
+    }
+
+    #[test]
+    fn chain_routes_along_the_line() {
+        let t = chain(4, 2, EVAL_BANDWIDTH, EVAL_DELAY);
+        let hosts: Vec<_> = t.hosts().collect();
+        let f = FlowKey::roce(hosts[0], hosts[7], 5);
+        let path = t.flow_path(&f).unwrap();
+        assert_eq!(path.len(), 4);
+    }
+
+    #[test]
+    fn dumbbell_crosses_the_middle_link() {
+        let t = dumbbell(2, 2, EVAL_BANDWIDTH, EVAL_DELAY);
+        let hosts: Vec<_> = t.hosts().collect();
+        let f = FlowKey::roce(hosts[0], hosts[2], 5);
+        let path = t.flow_path(&f).unwrap();
+        assert_eq!(path.len(), 2);
+    }
+
+    #[test]
+    fn route_override_changes_path_and_can_loop() {
+        let mut t = ring(4, 1, EVAL_BANDWIDTH, EVAL_DELAY);
+        let hosts: Vec<_> = t.hosts().collect();
+        let sws: Vec<_> = t.switches().collect();
+        let f = FlowKey::roce(hosts[0], hosts[1], 5);
+        let normal = t.flow_path(&f).unwrap();
+        assert_eq!(normal.len(), 2);
+        // Force sw0 to route the "long way" for dst host1.
+        // sw0 ports: 0 = host, 1 = to sw1, 2 = to sw3 (ring closure gives
+        // the last switch the back-link).
+        let back_port = (t.ports(sws[0]).len() - 1) as u8;
+        t.add_route_override(sws[0], hosts[1], back_port);
+        // Pin the rest of the long way round so ECMP cannot bounce back.
+        for i in [3usize, 2] {
+            let next = sws[(i + 3) % 4]; // 3 -> 2, 2 -> 1
+            let port = (0..t.ports(sws[i]).len() as u8)
+                .find(|&p| t.peer(PortId::new(sws[i], p)).node == next)
+                .unwrap();
+            t.add_route_override(sws[i], hosts[1], port);
+        }
+        let long = t.flow_path(&f).unwrap();
+        assert!(long.len() > normal.len());
+        t.clear_route_overrides();
+        assert_eq!(t.flow_path(&f).unwrap(), normal);
+    }
+
+    #[test]
+    fn full_loop_override_detected() {
+        let mut t = ring(4, 1, EVAL_BANDWIDTH, EVAL_DELAY);
+        let hosts: Vec<_> = t.hosts().collect();
+        let sws: Vec<_> = t.switches().collect();
+        // Route dst=host0 clockwise forever.
+        for i in 0..4 {
+            // Each switch's port to the next switch: ports are [host,
+            // prev?, next?] — find the port whose peer is sws[(i+1)%4].
+            let next = sws[(i + 1) % 4];
+            let port = (0..t.ports(sws[i]).len() as u8)
+                .find(|&p| t.peer(PortId::new(sws[i], p)).node == next)
+                .unwrap();
+            t.add_route_override(sws[i], hosts[0], port);
+        }
+        let f = FlowKey::roce(hosts[2], hosts[0], 5);
+        assert!(t.flow_path(&f).is_none(), "loop must be detected");
+    }
+
+    #[test]
+    fn leaf_spine_routes_and_ecmp() {
+        let t = leaf_spine(4, 2, 4, EVAL_BANDWIDTH, EVAL_DELAY);
+        assert_eq!(t.hosts().count(), 16);
+        assert_eq!(t.switches().count(), 6);
+        let hosts: Vec<_> = t.hosts().collect();
+        // Intra-leaf: 1 switch; inter-leaf: leaf-spine-leaf.
+        let intra = t.flow_path(&FlowKey::roce(hosts[0], hosts[1], 5)).unwrap();
+        assert_eq!(intra.len(), 1);
+        let inter = t.flow_path(&FlowKey::roce(hosts[0], hosts[5], 5)).unwrap();
+        assert_eq!(inter.len(), 3);
+        // ECMP spreads inter-leaf flows over both spines.
+        let mut spines = std::collections::HashSet::new();
+        for sp in 0..32 {
+            let p = t.flow_path(&FlowKey::roce(hosts[0], hosts[5], sp)).unwrap();
+            spines.insert(p[1].0);
+        }
+        assert_eq!(spines.len(), 2);
+    }
+
+    #[test]
+    fn host_facing_detection() {
+        let t = dumbbell(1, 1, EVAL_BANDWIDTH, EVAL_DELAY);
+        let sws: Vec<_> = t.switches().collect();
+        assert!(t.is_host_facing(PortId::new(sws[0], 0)));
+        // Port 1 of swL is the inter-switch link.
+        assert!(!t.is_host_facing(PortId::new(sws[0], 1)));
+    }
+}

@@ -1,0 +1,147 @@
+//! Epoch demarcation by timestamp bit-slicing (§3.3, Fig. 4).
+//!
+//! Programmable switches stamp each enqueued packet with a 48-bit nanosecond
+//! timestamp. Hawkeye derives the telemetry epoch directly from it: with an
+//! epoch size of `2^shift` ns and `2^index_bits` epochs in the ring,
+//! `timestamp[shift + index_bits - 1 : shift]` selects the ring slot and the
+//! 8 bits above that are the *epoch ID* used to detect wrap-around — when a
+//! packet's epoch ID differs from the one stored in the slot, the slot is
+//! stale and must be reset before counting.
+
+use hawkeye_sim::Nanos;
+
+/// Epoch layout parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct EpochConfig {
+    /// log2 of the epoch length in nanoseconds (e.g. 20 -> ~1.05 ms,
+    /// matching the paper's "1 ms is approximately 2^20 ns").
+    pub shift: u32,
+    /// log2 of the number of epochs kept in the ring (e.g. 2 -> 4 epochs).
+    pub index_bits: u32,
+}
+
+/// Bits of the timestamp used as the wrap-around epoch ID (paper: "the 8
+/// bits preceding the epoch index").
+pub const EPOCH_ID_BITS: u32 = 8;
+
+impl EpochConfig {
+    /// The paper's default: ~1 ms epochs, 4-slot ring.
+    pub const DEFAULT: EpochConfig = EpochConfig {
+        shift: 20,
+        index_bits: 2,
+    };
+
+    /// Closest power-of-two config for a requested epoch length.
+    pub fn for_epoch_len(len: Nanos, index_bits: u32) -> Self {
+        let ns = len.as_nanos().max(1);
+        // Round to the nearest power of two (log-domain rounding).
+        let hi = 64 - ns.leading_zeros() - 1;
+        let shift = if hi >= 63 {
+            63
+        } else if ns - (1 << hi) > (1 << (hi + 1)) - ns {
+            hi + 1
+        } else {
+            hi
+        };
+        EpochConfig { shift, index_bits }
+    }
+
+    /// Epoch length in nanoseconds.
+    pub fn epoch_len(&self) -> Nanos {
+        Nanos(1 << self.shift)
+    }
+
+    /// Number of ring slots.
+    pub fn epoch_count(&self) -> usize {
+        1 << self.index_bits
+    }
+
+    /// Time span the ring covers before wrapping.
+    pub fn ring_span(&self) -> Nanos {
+        Nanos((1u64 << self.shift) << self.index_bits)
+    }
+
+    /// Ring slot for a timestamp.
+    pub fn slot(&self, ts: Nanos) -> usize {
+        ((ts.switch_timestamp() >> self.shift) & ((1 << self.index_bits) - 1)) as usize
+    }
+
+    /// Wrap-around epoch ID for a timestamp.
+    pub fn epoch_id(&self, ts: Nanos) -> u8 {
+        ((ts.switch_timestamp() >> (self.shift + self.index_bits)) & ((1 << EPOCH_ID_BITS) - 1))
+            as u8
+    }
+
+    /// Start instant of the epoch containing `ts` (useful for replay).
+    pub fn epoch_start(&self, ts: Nanos) -> Nanos {
+        Nanos(ts.as_nanos() >> self.shift << self.shift)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_example() {
+        // Epoch size 1 ms ~= 2^20 ns; slot from timestamp[21:20]; id from
+        // timestamp[29:22].
+        let c = EpochConfig::DEFAULT;
+        assert_eq!(c.epoch_len(), Nanos(1 << 20));
+        assert_eq!(c.epoch_count(), 4);
+        let ts = Nanos((0b1010_1010 << 22) | (0b11 << 20) | 12345);
+        assert_eq!(c.slot(ts), 0b11);
+        assert_eq!(c.epoch_id(ts), 0b1010_1010);
+    }
+
+    #[test]
+    fn slots_advance_and_wrap() {
+        let c = EpochConfig::DEFAULT;
+        let e = c.epoch_len().as_nanos();
+        assert_eq!(c.slot(Nanos(0)), 0);
+        assert_eq!(c.slot(Nanos(e)), 1);
+        assert_eq!(c.slot(Nanos(3 * e)), 3);
+        assert_eq!(c.slot(Nanos(4 * e)), 0, "ring wraps");
+        assert_ne!(
+            c.epoch_id(Nanos(0)),
+            c.epoch_id(Nanos(4 * e)),
+            "wrap changes the epoch ID"
+        );
+    }
+
+    #[test]
+    fn epoch_id_wraps_at_8_bits() {
+        let c = EpochConfig::DEFAULT;
+        let span = c.ring_span().as_nanos();
+        assert_eq!(c.epoch_id(Nanos(0)), c.epoch_id(Nanos(span * 256)));
+    }
+
+    #[test]
+    fn for_epoch_len_picks_nearest_power_of_two() {
+        assert_eq!(
+            EpochConfig::for_epoch_len(Nanos::from_micros(100), 2).shift,
+            17, // 131 us is the closest power of two to 100 us
+        );
+        assert_eq!(
+            EpochConfig::for_epoch_len(Nanos::from_millis(1), 2).shift,
+            20
+        );
+        assert_eq!(
+            EpochConfig::for_epoch_len(Nanos::from_millis(2), 2).shift,
+            21
+        );
+        assert_eq!(
+            EpochConfig::for_epoch_len(Nanos::from_micros(500), 2).shift,
+            19
+        );
+    }
+
+    #[test]
+    fn epoch_start_is_aligned() {
+        let c = EpochConfig::DEFAULT;
+        let ts = Nanos(3 * (1 << 20) + 777);
+        assert_eq!(c.epoch_start(ts), Nanos(3 << 20));
+        assert_eq!(c.slot(c.epoch_start(ts)), c.slot(ts));
+    }
+}

@@ -1,0 +1,178 @@
+//! Controller-side telemetry snapshots and their wire-size accounting.
+//!
+//! The overhead experiments (Figs. 9, 14) compare bytes moved per diagnosis
+//! across methods, so every snapshot knows both its *full-dump* size (what
+//! naive data-plane packet generation would export: entire register arrays)
+//! and its *filtered* size (what the CPU poller ships after dropping
+//! zero-valued slots, §3.4 / §4.5).
+
+use crate::tables::{EvictedFlow, FlowRecord, PortRecord};
+use hawkeye_sim::{FlowKey, Nanos, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Bytes per flow-table entry on the wire: 13 B 5-tuple + pkt count (4) +
+/// paused count (4) + queue-depth accumulator (4).
+pub const FLOW_ENTRY_BYTES: usize = FlowKey::WIRE_SIZE + 4 + 4 + 4;
+/// Bytes per port entry: port (1) + pkt count (4) + paused (4) + qdepth (4).
+pub const PORT_ENTRY_BYTES: usize = 1 + 4 + 4 + 4;
+/// Bytes per causality-meter cell: in port (1) + out port (1) + volume (4).
+pub const METER_ENTRY_BYTES: usize = 1 + 1 + 4;
+/// Bytes per epoch header (slot, id, start timestamp).
+pub const EPOCH_HEADER_BYTES: usize = 1 + 1 + 6;
+
+/// One epoch's non-zero telemetry from one switch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochSnapshot {
+    pub slot: usize,
+    pub id: u8,
+    /// Reconstructed absolute start time of the epoch.
+    pub start: Nanos,
+    pub len: Nanos,
+    pub flows: Vec<(FlowKey, FlowRecord)>,
+    pub ports: Vec<(u8, PortRecord)>,
+    /// (in_port, out_port, bytes) triples with non-zero volume.
+    pub meter: Vec<(u8, u8, u64)>,
+}
+
+impl EpochSnapshot {
+    pub fn end(&self) -> Nanos {
+        self.start + self.len
+    }
+
+    pub fn contains(&self, t: Nanos) -> bool {
+        t >= self.start && t < self.end()
+    }
+
+    /// Filtered wire size of this epoch (non-zero rows only).
+    pub fn wire_size(&self) -> usize {
+        EPOCH_HEADER_BYTES
+            + self.flows.len() * FLOW_ENTRY_BYTES
+            + self.ports.len() * PORT_ENTRY_BYTES
+            + self.meter.len() * METER_ENTRY_BYTES
+    }
+}
+
+/// Everything a switch CPU uploads to the analyzer for one collection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TelemetrySnapshot {
+    pub switch: NodeId,
+    pub taken_at: Nanos,
+    pub nports: usize,
+    /// Flow-table capacity per epoch (for full-dump size accounting).
+    pub max_flows: usize,
+    pub epochs: Vec<EpochSnapshot>,
+    pub evicted: Vec<EvictedFlow>,
+}
+
+impl TelemetrySnapshot {
+    /// Bytes shipped after CPU zero-filtering — Hawkeye's actual overhead.
+    pub fn wire_size_filtered(&self) -> usize {
+        self.epochs.iter().map(EpochSnapshot::wire_size).sum::<usize>()
+            + self.evicted.len() * (FLOW_ENTRY_BYTES + 2)
+    }
+
+    /// Bytes a full data-plane register dump would ship: every slot of
+    /// every table, occupied or not.
+    pub fn wire_size_full(&self) -> usize {
+        let per_epoch = EPOCH_HEADER_BYTES
+            + self.max_flows * FLOW_ENTRY_BYTES
+            + self.nports * PORT_ENTRY_BYTES
+            + self.nports * self.nports * METER_ENTRY_BYTES;
+        self.epochs.len().max(1) * per_epoch + self.evicted.len() * (FLOW_ENTRY_BYTES + 2)
+    }
+
+    /// Number of distinct flows across epochs (concurrent-flow occupancy,
+    /// the x-axis driver of Fig. 14).
+    pub fn distinct_flows(&self) -> usize {
+        let mut keys: Vec<FlowKey> = self
+            .epochs
+            .iter()
+            .flat_map(|e| e.flows.iter().map(|(k, _)| *k))
+            .chain(self.evicted.iter().map(|e| e.key))
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        keys.len()
+    }
+
+    /// Report packets needed at a given payload capacity per packet.
+    pub fn report_packets(&self, payload_bytes: usize) -> usize {
+        self.wire_size_filtered().div_ceil(payload_bytes).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(nflows: usize) -> TelemetrySnapshot {
+        let key = |i: u16| FlowKey::roce(NodeId(0), NodeId(1), i);
+        TelemetrySnapshot {
+            switch: NodeId(5),
+            taken_at: Nanos(1000),
+            nports: 4,
+            max_flows: 4096,
+            epochs: vec![EpochSnapshot {
+                slot: 0,
+                id: 1,
+                start: Nanos(0),
+                len: Nanos(1 << 20),
+                flows: (0..nflows as u16)
+                    .map(|i| (key(i), FlowRecord::default()))
+                    .collect(),
+                ports: vec![(0, PortRecord::default())],
+                meter: vec![(0, 1, 500)],
+            }],
+            evicted: vec![],
+        }
+    }
+
+    #[test]
+    fn filtered_size_scales_with_occupancy() {
+        let small = snap(2).wire_size_filtered();
+        let large = snap(200).wire_size_filtered();
+        assert_eq!(large - small, 198 * FLOW_ENTRY_BYTES);
+    }
+
+    #[test]
+    fn full_dump_dwarfs_filtered_at_low_occupancy() {
+        let s = snap(10);
+        // 4096-slot table vs 10 occupied: >80% reduction (Fig. 14a).
+        let reduction = 1.0 - s.wire_size_filtered() as f64 / s.wire_size_full() as f64;
+        assert!(reduction > 0.8, "reduction {reduction}");
+    }
+
+    #[test]
+    fn report_packet_batching() {
+        let s = snap(500);
+        // MTU batching (1500 B) vs tiny per-PHV packets (~200 B usable).
+        let mtu = s.report_packets(1500);
+        let phv = s.report_packets(200);
+        assert!(mtu < phv);
+        assert!(mtu >= 1);
+        assert_eq!(
+            s.report_packets(usize::MAX / 2),
+            1,
+            "everything fits in one jumbo report"
+        );
+    }
+
+    #[test]
+    fn distinct_flow_counting_dedups_across_epochs() {
+        let mut s = snap(3);
+        let mut extra = s.epochs[0].clone();
+        extra.slot = 1;
+        extra.start = Nanos(1 << 20);
+        s.epochs.push(extra);
+        assert_eq!(s.distinct_flows(), 3);
+    }
+
+    #[test]
+    fn epoch_time_containment() {
+        let s = snap(1);
+        let e = &s.epochs[0];
+        assert!(e.contains(Nanos(5)));
+        assert!(!e.contains(e.end()));
+        assert_eq!(e.end(), Nanos(1 << 20));
+    }
+}

@@ -1,0 +1,19 @@
+//! # hawkeye-tofino
+//!
+//! Models of the hardware-facing parts of the paper's evaluation (§4.5):
+//! the Tofino ASIC resource usage of the Hawkeye P4 program (Fig. 13) and
+//! the switch-CPU telemetry poller with zero-filtering and MTU batching
+//! (Fig. 14). No Tofino is available in this environment, so both are
+//! explicit arithmetic models over the `hawkeye-telemetry` register layout
+//! and Tofino 1's published budgets — every constant is documented at its
+//! definition so the models are auditable.
+
+pub mod poller;
+pub mod resources;
+
+pub use poller::{poll, poll_analytic, poll_time_ms, PollerReport, MTU_EXPORT_BYTES, PHV_EXPORT_BYTES};
+pub use resources::{
+    memory_sweep, memory_usage, resource_usage, MemoryUsage, ResourceUsage, SwitchDims,
+    FLOW_SLOT_BYTES, METER_CELL_BYTES, PORT_SLOT_BYTES, SALU_PER_STAGE, SRAM_BLOCKS_PER_STAGE,
+    SRAM_BLOCK_BYTES, STAGES, STATUS_BYTES, TCAM_BLOCKS_PER_STAGE,
+};

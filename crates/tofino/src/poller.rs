@@ -1,0 +1,132 @@
+//! Switch-CPU telemetry poller model (§4.5, Fig. 14).
+//!
+//! The CPU (via BF_Runtime's DMA register sync) reads the full telemetry
+//! arrays, filters zero-valued slots, and batches the survivors into
+//! MTU-sized report packets. The alternative — dumping registers with
+//! data-plane packet generation — must ship every slot and can carry only
+//! ~200 usable bytes per packet (the PHV limit), so the poller wins on both
+//! bytes (Fig. 14a, >80% reduction) and packet count (Fig. 14b, ~95%
+//! reduction).
+
+use hawkeye_telemetry::{TelemetrySnapshot, FLOW_ENTRY_BYTES, PORT_ENTRY_BYTES};
+use serde::{Deserialize, Serialize};
+
+/// Usable payload when exporting telemetry by generating packets in the
+/// data plane (bounded by the ~200 B of PHV a recirculated packet can
+/// carry, §3.4).
+pub const PHV_EXPORT_BYTES: usize = 200;
+/// Usable payload of a CPU-batched report packet (MTU minus headers).
+pub const MTU_EXPORT_BYTES: usize = 1500;
+
+/// Time for the CPU to poll one switch's full telemetry (measured in the
+/// paper: ~80 ms for 2 epochs, ~120 ms for 4, each epoch holding 64 ports
+/// and 4096 flows). Modeled as affine in the epoch count.
+pub fn poll_time_ms(epochs: usize) -> f64 {
+    40.0 + 20.0 * epochs as f64
+}
+
+/// Poller outcome for one switch collection.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PollerReport {
+    /// Bytes a full data-plane dump would ship.
+    pub full_bytes: usize,
+    /// Bytes after CPU zero-filtering.
+    pub filtered_bytes: usize,
+    /// Packets for a data-plane dump at PHV-limited payload.
+    pub dataplane_packets: usize,
+    /// Packets for CPU MTU batching of the filtered bytes.
+    pub cpu_packets: usize,
+}
+
+impl PollerReport {
+    /// Fig. 14a: telemetry size reduction by zero-filtering.
+    pub fn size_reduction(&self) -> f64 {
+        if self.full_bytes == 0 {
+            0.0
+        } else {
+            1.0 - self.filtered_bytes as f64 / self.full_bytes as f64
+        }
+    }
+
+    /// Fig. 14b: report packet count reduction by MTU batching.
+    pub fn packet_reduction(&self) -> f64 {
+        if self.dataplane_packets == 0 {
+            0.0
+        } else {
+            1.0 - self.cpu_packets as f64 / self.dataplane_packets as f64
+        }
+    }
+}
+
+/// Model the poller on a real collected snapshot.
+pub fn poll(snapshot: &TelemetrySnapshot) -> PollerReport {
+    let full = snapshot.wire_size_full();
+    let filtered = snapshot.wire_size_filtered();
+    PollerReport {
+        full_bytes: full,
+        filtered_bytes: filtered,
+        dataplane_packets: full.div_ceil(PHV_EXPORT_BYTES).max(1),
+        cpu_packets: filtered.div_ceil(MTU_EXPORT_BYTES).max(1),
+    }
+}
+
+/// Model the poller analytically from table occupancy: `concurrent_flows`
+/// occupied slots of `max_flows`, over `epochs` epochs of a `ports`-port
+/// switch (used for the Fig. 14 sweep without running a simulation).
+pub fn poll_analytic(
+    epochs: usize,
+    max_flows: usize,
+    concurrent_flows: usize,
+    ports: usize,
+    active_ports: usize,
+) -> PollerReport {
+    let full = epochs * (max_flows * FLOW_ENTRY_BYTES + ports * PORT_ENTRY_BYTES);
+    let filtered =
+        epochs * (concurrent_flows * FLOW_ENTRY_BYTES + active_ports * PORT_ENTRY_BYTES);
+    PollerReport {
+        full_bytes: full,
+        filtered_bytes: filtered,
+        dataplane_packets: full.div_ceil(PHV_EXPORT_BYTES).max(1),
+        cpu_packets: filtered.div_ceil(MTU_EXPORT_BYTES).max(1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_poll_times() {
+        assert_eq!(poll_time_ms(2), 80.0);
+        assert_eq!(poll_time_ms(4), 120.0);
+    }
+
+    #[test]
+    fn reductions_match_the_paper_at_typical_occupancy() {
+        // "in most cases, the concurrent flow count in one epoch is much
+        // smaller than the maximum": e.g. 300 of 4096 slots.
+        let r = poll_analytic(4, 4096, 300, 64, 16);
+        assert!(r.size_reduction() > 0.8, "Fig 14a: {:.2}", r.size_reduction());
+        assert!(
+            r.packet_reduction() > 0.9,
+            "Fig 14b: {:.2}",
+            r.packet_reduction()
+        );
+    }
+
+    #[test]
+    fn full_table_gives_no_size_reduction() {
+        let r = poll_analytic(2, 1024, 1024, 64, 64);
+        assert!(r.size_reduction() < 0.01);
+        // Packet batching still wins (1500 B vs 200 B payloads).
+        assert!(r.packet_reduction() > 0.8);
+    }
+
+    #[test]
+    fn reductions_monotone_in_occupancy() {
+        let lo = poll_analytic(4, 4096, 64, 64, 8);
+        let hi = poll_analytic(4, 4096, 2048, 64, 64);
+        assert!(lo.size_reduction() > hi.size_reduction());
+        assert!(lo.filtered_bytes < hi.filtered_bytes);
+    }
+}

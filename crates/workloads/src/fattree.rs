@@ -1,0 +1,119 @@
+//! Structured navigation of the `hawkeye_sim::fat_tree` topology: which
+//! node is which role, and which port connects what — needed by scenario
+//! builders that install deliberate routing misconfigurations.
+
+use hawkeye_sim::{NodeId, PortId, Topology};
+
+/// Role-indexed view of a fat-tree built by `hawkeye_sim::fat_tree(k, ..)`.
+#[derive(Debug, Clone)]
+pub struct FatTreeNav {
+    pub k: usize,
+    /// `hosts[pod][edge][i]`
+    pub hosts: Vec<Vec<Vec<NodeId>>>,
+    /// `edges[pod][i]`
+    pub edges: Vec<Vec<NodeId>>,
+    /// `aggs[pod][i]`
+    pub aggs: Vec<Vec<NodeId>>,
+    /// `cores[i]` (agg index `a` connects cores `a*k/2 .. (a+1)*k/2`)
+    pub cores: Vec<NodeId>,
+}
+
+impl FatTreeNav {
+    /// Reconstruct roles from the builder's naming scheme; panics if `topo`
+    /// was not produced by `fat_tree(k, ..)`.
+    pub fn new(topo: &Topology, k: usize) -> Self {
+        let half = k / 2;
+        let find = |name: String| -> NodeId {
+            (0..topo.node_count() as u32)
+                .map(NodeId)
+                .find(|n| topo.name(*n) == name)
+                .unwrap_or_else(|| panic!("node {name} not found"))
+        };
+        let mut hosts = vec![vec![Vec::new(); half]; k];
+        for (pod, pod_hosts) in hosts.iter_mut().enumerate() {
+            for (e, edge_hosts) in pod_hosts.iter_mut().enumerate() {
+                for h in 0..half {
+                    edge_hosts.push(find(format!("h{}", pod * half * half + e * half + h)));
+                }
+            }
+        }
+        let edges = (0..k)
+            .map(|p| (0..half).map(|e| find(format!("edge{p}_{e}"))).collect())
+            .collect();
+        let aggs = (0..k)
+            .map(|p| (0..half).map(|a| find(format!("agg{p}_{a}"))).collect())
+            .collect();
+        let cores = (0..half * half).map(|c| find(format!("core{c}"))).collect();
+        FatTreeNav {
+            k,
+            hosts,
+            edges,
+            aggs,
+            cores,
+        }
+    }
+
+    /// The port on `from` whose link leads to `to`; panics if not adjacent.
+    pub fn port_to(&self, topo: &Topology, from: NodeId, to: NodeId) -> u8 {
+        (0..topo.ports(from).len() as u8)
+            .find(|&p| topo.peer(PortId::new(from, p)).node == to)
+            .unwrap_or_else(|| {
+                panic!(
+                    "{} has no link to {}",
+                    topo.name(from),
+                    topo.name(to)
+                )
+            })
+    }
+
+    /// Egress PortId on `from` toward `to`.
+    pub fn egress(&self, topo: &Topology, from: NodeId, to: NodeId) -> PortId {
+        PortId::new(from, self.port_to(topo, from, to))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hawkeye_sim::{fat_tree, EVAL_BANDWIDTH, EVAL_DELAY};
+
+    #[test]
+    fn roles_cover_the_k4_tree() {
+        let topo = fat_tree(4, EVAL_BANDWIDTH, EVAL_DELAY);
+        let nav = FatTreeNav::new(&topo, 4);
+        assert_eq!(nav.cores.len(), 4);
+        assert_eq!(nav.edges.iter().flatten().count(), 8);
+        assert_eq!(nav.aggs.iter().flatten().count(), 8);
+        assert_eq!(nav.hosts.iter().flatten().flatten().count(), 16);
+        // Host h0 attaches to edge0_0.
+        let h0 = nav.hosts[0][0][0];
+        assert_eq!(topo.peer(PortId::new(h0, 0)).node, nav.edges[0][0]);
+    }
+
+    #[test]
+    fn port_to_finds_adjacency() {
+        let topo = fat_tree(4, EVAL_BANDWIDTH, EVAL_DELAY);
+        let nav = FatTreeNav::new(&topo, 4);
+        let e = nav.edges[0][0];
+        let a = nav.aggs[0][1];
+        let p = nav.port_to(&topo, e, a);
+        assert_eq!(topo.peer(PortId::new(e, p)).node, a);
+        // Agg0_0 connects cores 0 and 1.
+        let a0 = nav.aggs[0][0];
+        nav.port_to(&topo, a0, nav.cores[0]);
+        nav.port_to(&topo, a0, nav.cores[1]);
+        // Agg0_1 connects cores 2 and 3.
+        let a1 = nav.aggs[0][1];
+        nav.port_to(&topo, a1, nav.cores[2]);
+        nav.port_to(&topo, a1, nav.cores[3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no link")]
+    fn port_to_panics_for_non_adjacent() {
+        let topo = fat_tree(4, EVAL_BANDWIDTH, EVAL_DELAY);
+        let nav = FatTreeNav::new(&topo, 4);
+        // edge0_0 and core0 are not directly linked.
+        nav.port_to(&topo, nav.edges[0][0], nav.cores[0]);
+    }
+}

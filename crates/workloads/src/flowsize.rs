@@ -1,0 +1,132 @@
+//! Empirical RoCEv2 flow-size distribution (§4.1).
+//!
+//! The paper describes a long-tailed distribution from an industrial data
+//! center (in the style of Roy et al., SIGCOMM'15): "<80% of flows are
+//! smaller than 10 MB, <90% of flows are smaller than 100 MB, and about 10%
+//! flows are 100 MB ~ 300 MB". We pin those quantiles exactly and fill in
+//! the mice-heavy low end (§2.2 stresses "the significant occurrence of
+//! bursty mice flows"), interpolating log-uniformly within segments.
+
+use rand::Rng;
+
+/// A piecewise log-uniform flow-size distribution.
+#[derive(Debug, Clone)]
+pub struct FlowSizeDist {
+    /// (cumulative probability, upper size bound in bytes) breakpoints.
+    segments: Vec<(f64, f64, f64)>, // (cum_lo, lo_bytes, hi_bytes) with implicit cum_hi from next
+    cums: Vec<f64>,
+}
+
+impl FlowSizeDist {
+    /// The paper's empirical distribution.
+    pub fn empirical() -> Self {
+        // (probability mass, low, high) per segment.
+        let segs: &[(f64, f64, f64)] = &[
+            (0.50, 1e3, 1e5),   // mice: 1 KB - 100 KB
+            (0.30, 1e5, 1e7),   // 100 KB - 10 MB   (80% below 10 MB)
+            (0.10, 1e7, 1e8),   // 10 MB - 100 MB   (90% below 100 MB)
+            (0.10, 1e8, 3e8),   // 100 MB - 300 MB  (the 10% tail)
+        ];
+        let mut segments = Vec::new();
+        let mut cums = Vec::new();
+        let mut cum = 0.0;
+        for &(p, lo, hi) in segs {
+            segments.push((cum, lo, hi));
+            cums.push(cum);
+            cum += p;
+        }
+        FlowSizeDist { segments, cums }
+    }
+
+    /// Sample one flow size in bytes.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        // Find the segment containing u.
+        let idx = match self.cums.binary_search_by(|c| c.partial_cmp(&u).unwrap()) {
+            Ok(i) => i,
+            Err(i) => i.saturating_sub(1),
+        };
+        let (cum_lo, lo, hi) = self.segments[idx];
+        let cum_hi = self
+            .segments
+            .get(idx + 1)
+            .map_or(1.0, |s| s.0);
+        let frac = (u - cum_lo) / (cum_hi - cum_lo);
+        // Log-uniform within the segment.
+        let bytes = lo * (hi / lo).powf(frac);
+        bytes.round() as u64
+    }
+
+    /// Mean flow size (bytes), analytic over the log-uniform segments.
+    pub fn mean(&self) -> f64 {
+        let mut m = 0.0;
+        for (i, &(cum_lo, lo, hi)) in self.segments.iter().enumerate() {
+            let cum_hi = self.segments.get(i + 1).map_or(1.0, |s| s.0);
+            let p = cum_hi - cum_lo;
+            // E[X] for log-uniform on [lo, hi] = (hi - lo) / ln(hi / lo).
+            let seg_mean = (hi - lo) / (hi / lo).ln();
+            m += p * seg_mean;
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn quantile(samples: &mut [u64], q: f64) -> u64 {
+        samples.sort_unstable();
+        samples[((samples.len() as f64 - 1.0) * q) as usize]
+    }
+
+    #[test]
+    fn quantiles_match_the_paper() {
+        let d = FlowSizeDist::empirical();
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut s: Vec<u64> = (0..100_000).map(|_| d.sample(&mut rng)).collect();
+        // <80% of flows are smaller than 10 MB.
+        assert!((quantile(&mut s, 0.80) as f64 - 1e7).abs() / 1e7 < 0.1);
+        // <90% smaller than 100 MB.
+        assert!((quantile(&mut s, 0.90) as f64 - 1e8).abs() / 1e8 < 0.1);
+        // Max within 300 MB.
+        assert!(*s.last().unwrap() <= 300_000_000);
+        // Mice-heavy low end.
+        assert!(quantile(&mut s, 0.49) <= 100_000);
+    }
+
+    #[test]
+    fn samples_within_bounds() {
+        let d = FlowSizeDist::empirical();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let s = d.sample(&mut rng);
+            assert!((1_000..=300_000_000).contains(&s), "{s}");
+        }
+    }
+
+    #[test]
+    fn mean_is_tail_dominated() {
+        let d = FlowSizeDist::empirical();
+        let m = d.mean();
+        // ~10% of 100-300MB flows dominate: mean must be tens of MB.
+        assert!(m > 1e7 && m < 1e8, "mean {m}");
+        // Empirical mean agrees within 10%.
+        let mut rng = StdRng::seed_from_u64(1);
+        let emp: f64 =
+            (0..200_000).map(|_| d.sample(&mut rng) as f64).sum::<f64>() / 200_000.0;
+        assert!((emp - m).abs() / m < 0.1, "emp {emp} vs {m}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let d = FlowSizeDist::empirical();
+        let mut a = StdRng::seed_from_u64(5);
+        let mut b = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut a), d.sample(&mut b));
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! # hawkeye-workloads
+//!
+//! Workload and anomaly-scenario generation for the Hawkeye evaluation
+//! (§4.1 of the paper): the empirical long-tailed RoCEv2 flow-size
+//! distribution, Poisson background traffic at a configurable link load,
+//! fat-tree navigation helpers, and builders for the six anomaly scenarios
+//! (with ground truth) that drive every accuracy experiment.
+
+pub mod background;
+pub mod fattree;
+pub mod flowsize;
+pub mod scenario;
+
+pub use background::{generate as generate_background, BackgroundConfig, FlowSpec};
+pub use fattree::FatTreeNav;
+pub use flowsize::FlowSizeDist;
+pub use scenario::{build as build_scenario, GroundTruth, Scenario, ScenarioKind, ScenarioParams};

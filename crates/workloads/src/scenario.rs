@@ -1,0 +1,697 @@
+//! Anomaly scenarios with ground truth (§4.1 "Workload").
+//!
+//! Each scenario is built on the paper's evaluation topology (fat-tree K=4,
+//! 100 Gbps, 2 µs) with empirical background traffic, plus an injected
+//! anomaly and the ground-truth record used for precision/recall scoring:
+//!
+//! - **Micro-burst incast**: synchronized bursts converge on one edge
+//!   switch's host egress from three different ingress ports; PFC cascades
+//!   to an inter-pod victim.
+//! - **PFC storm**: a host NIC continuously injects PAUSE frames; a victim
+//!   flow into that host stalls with no flow contention anywhere.
+//! - **In-loop deadlock**: destination-based route overrides (the paper's
+//!   "routing misconfiguration") create a cyclic buffer dependency around
+//!   pod 0's {e0, a0, e1, a1}; a transient burst into the ring closes the
+//!   cycle into a persistent deadlock.
+//! - **Out-of-loop deadlock (contention/injection)**: the same CBD, but the
+//!   initial congestion sits on a host egress outside the loop — caused by
+//!   local flow contention or by host PFC injection.
+//! - **Normal contention**: an incast whose PFC reaches only the culprit
+//!   NICs, so no switch-to-switch spreading exists.
+
+use crate::background::{self, BackgroundConfig, FlowSpec};
+use crate::fattree::FatTreeNav;
+use hawkeye_core::AnomalyType;
+use hawkeye_sim::{
+    fat_tree, AgentConfig, FlowKey, Nanos, NodeId, PfcInjectorConfig, PortId, SimConfig,
+    Simulator, SwitchHook, Topology, EVAL_BANDWIDTH, EVAL_DELAY,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The anomaly classes a scenario can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScenarioKind {
+    MicroBurstIncast,
+    PfcStorm,
+    InLoopDeadlock,
+    OutOfLoopDeadlockContention,
+    OutOfLoopDeadlockInjection,
+    NormalContention,
+}
+
+impl ScenarioKind {
+    pub const ALL: [ScenarioKind; 6] = [
+        ScenarioKind::MicroBurstIncast,
+        ScenarioKind::PfcStorm,
+        ScenarioKind::InLoopDeadlock,
+        ScenarioKind::OutOfLoopDeadlockContention,
+        ScenarioKind::OutOfLoopDeadlockInjection,
+        ScenarioKind::NormalContention,
+    ];
+
+    pub fn expected_anomaly(self) -> AnomalyType {
+        match self {
+            ScenarioKind::MicroBurstIncast => AnomalyType::MicroBurstIncast,
+            ScenarioKind::PfcStorm => AnomalyType::PfcStorm,
+            ScenarioKind::InLoopDeadlock => AnomalyType::InLoopDeadlock,
+            ScenarioKind::OutOfLoopDeadlockContention => {
+                AnomalyType::OutOfLoopDeadlockContention
+            }
+            ScenarioKind::OutOfLoopDeadlockInjection => AnomalyType::OutOfLoopDeadlockInjection,
+            ScenarioKind::NormalContention => AnomalyType::NormalContention,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            ScenarioKind::MicroBurstIncast => "microburst-incast",
+            ScenarioKind::PfcStorm => "pfc-storm",
+            ScenarioKind::InLoopDeadlock => "in-loop-deadlock",
+            ScenarioKind::OutOfLoopDeadlockContention => "out-of-loop-deadlock-contention",
+            ScenarioKind::OutOfLoopDeadlockInjection => "out-of-loop-deadlock-injection",
+            ScenarioKind::NormalContention => "normal-contention",
+        }
+    }
+}
+
+/// What actually happened, for scoring diagnoses.
+#[derive(Debug, Clone)]
+pub struct GroundTruth {
+    pub anomaly: AnomalyType,
+    /// Flows injected as the congestion culprits (empty for injections).
+    pub culprit_flows: Vec<FlowKey>,
+    /// The PFC-injecting host, for injection-rooted anomalies.
+    pub injection_host: Option<NodeId>,
+    /// The designated victim flow whose detection triggers diagnosis.
+    pub victim: FlowKey,
+    /// Switches causally relevant to the anomaly (victim path + PFC
+    /// spreading path), for the Fig. 11 coverage experiment.
+    pub causal_switches: Vec<NodeId>,
+    /// When the anomaly is injected.
+    pub anomaly_at: Nanos,
+    /// Expected initial congestion port (for reporting).
+    pub initial_port: Option<PortId>,
+}
+
+/// Scenario parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioParams {
+    pub seed: u64,
+    /// Background load fraction (paper varies link load; 0 disables).
+    pub load: f64,
+    pub duration: Nanos,
+    pub anomaly_at: Nanos,
+}
+
+impl Default for ScenarioParams {
+    fn default() -> Self {
+        ScenarioParams {
+            seed: 1,
+            load: 0.2,
+            duration: Nanos::from_millis(3),
+            anomaly_at: Nanos::from_millis(1),
+        }
+    }
+}
+
+/// A fully specified experiment: topology + flows + faults + truth.
+pub struct Scenario {
+    pub kind: ScenarioKind,
+    pub topo: Topology,
+    pub flows: Vec<FlowSpec>,
+    pub injectors: Vec<(NodeId, PfcInjectorConfig)>,
+    pub truth: GroundTruth,
+    pub params: ScenarioParams,
+    /// Simulation configuration the scenario requires. Deadlock scenarios
+    /// deepen the PFC Xoff/Xon hysteresis (and mark the CBD flows as
+    /// CC-non-compliant): a cyclic buffer dependency only freezes into a
+    /// deadlock when the end-to-end control loop loses the race against
+    /// pause propagation, which is exactly the regime the paper's deadlock
+    /// traces exercise. Normal-contention runs a PFC-less (traditional)
+    /// fabric, the degenerate case §3.5.2 describes.
+    pub sim_config: SimConfig,
+}
+
+impl Scenario {
+    /// Instantiate a simulator with a monitoring hook and the reference
+    /// agent config; the caller then calls `run_until(self.params.duration)`.
+    /// Instantiate with the scenario's own `sim_config` but a caller-chosen
+    /// seed.
+    pub fn instantiate_seeded<H: SwitchHook>(
+        &self,
+        seed: u64,
+        agent: AgentConfig,
+        hook: H,
+    ) -> Simulator<H> {
+        let cfg = SimConfig {
+            seed,
+            ..self.sim_config
+        };
+        self.instantiate(cfg, agent, hook)
+    }
+
+    pub fn instantiate<H: SwitchHook>(
+        &self,
+        sim_cfg: SimConfig,
+        agent: AgentConfig,
+        hook: H,
+    ) -> Simulator<H> {
+        let mut sim = Simulator::new(self.topo.clone(), sim_cfg, hook);
+        sim.enable_agents(agent);
+        for f in &self.flows {
+            sim.add_flow_full(f.key, f.size_bytes, f.start, f.max_rate_bps, f.cc_enabled);
+        }
+        for (host, inj) in &self.injectors {
+            sim.set_pfc_injector(*host, *inj);
+        }
+        sim
+    }
+
+    /// The reference detection-agent configuration for this topology
+    /// (threshold factor per the paper's 200%-500% sweep).
+    pub fn agent(threshold_factor: f64) -> AgentConfig {
+        AgentConfig {
+            rtt_threshold_factor: threshold_factor,
+            // Maximum unloaded RTT of the K=4 fat-tree (5 hops each way).
+            base_rtt: Nanos::from_micros(20),
+            check_interval: Nanos::from_micros(50),
+            dedup_interval: Nanos::from_millis(2),
+            periodic_probe: None,
+        }
+    }
+}
+
+/// Find a source port in `base..base+4096` whose ECMP path traverses every
+/// switch in `via`, so scenarios can pin flows onto specific paths without
+/// route overrides. Panics if none exists (would indicate a topology bug).
+pub fn pick_src_port(topo: &Topology, src: NodeId, dst: NodeId, via: &[NodeId], base: u16) -> u16 {
+    for sp in base..base.saturating_add(4096) {
+        let key = FlowKey::roce(src, dst, sp);
+        if let Some(path) = topo.flow_path(&key) {
+            let nodes: Vec<NodeId> = path.iter().map(|(n, _, _)| *n).collect();
+            if via.iter().all(|v| nodes.contains(v)) {
+                return sp;
+            }
+        }
+    }
+    panic!("no src port pins {src}->{dst} via {via:?}");
+}
+
+/// Build a scenario of the given kind.
+pub fn build(kind: ScenarioKind, params: ScenarioParams) -> Scenario {
+    let mut topo = fat_tree(4, EVAL_BANDWIDTH, EVAL_DELAY);
+    let nav = FatTreeNav::new(&topo, 4);
+    let mut rng = StdRng::seed_from_u64(params.seed ^ 0x5CE_A110);
+
+    let mut flows = if params.load > 0.0 {
+        background::generate(
+            &topo,
+            &BackgroundConfig {
+                load: params.load,
+                duration: params.duration,
+                ..Default::default()
+            },
+            params.seed,
+        )
+    } else {
+        Vec::new()
+    };
+    let mut injectors = Vec::new();
+
+    // Pod-0 cast of characters (see module docs).
+    let e0 = nav.edges[0][0];
+    let e1 = nav.edges[0][1];
+    let a0 = nav.aggs[0][0];
+    let a1 = nav.aggs[0][1];
+    let h_t = nav.hosts[0][0][0]; // incast target on e0
+    let h_l = nav.hosts[0][0][1]; // e0's other host
+    let h2 = nav.hosts[0][1][0]; // e1's hosts
+    let h3 = nav.hosts[0][1][1];
+    let at = params.anomaly_at;
+    let at_us = at.as_nanos() / 1000;
+
+    // Pick a random remote pod host as the victim's source for variety.
+    let vic_pod = 1 + (rng.gen_range(0..3usize));
+    let vic_src = nav.hosts[vic_pod][rng.gen_range(0..2)][rng.gen_range(0..2)];
+
+    let truth = match kind {
+        ScenarioKind::MicroBurstIncast => {
+            // Three bursts into h_t via three different e0 ingress ports:
+            // local (h_l), via a0, via a1.
+            let b_local = FlowKey::roce(h_l, h_t, 500);
+            let src_a0 = nav.hosts[0][1][0];
+            let src_a1 = nav.hosts[0][1][1];
+            let sp_a0 = pick_src_port(&topo, src_a0, h_t, &[a0], 600);
+            let sp_a1 = pick_src_port(&topo, src_a1, h_t, &[a1], 700);
+            let b_via_a0 = FlowKey::roce(src_a0, h_t, sp_a0);
+            let b_via_a1 = FlowKey::roce(src_a1, h_t, sp_a1);
+            for b in [b_local, b_via_a0, b_via_a1] {
+                flows.push(FlowSpec {
+                    key: b,
+                    size_bytes: 2_000_000,
+                    start: at,
+                    max_rate_bps: None,
+                    cc_enabled: true,
+                });
+            }
+            // Victim: remote pod -> h_l, pinned through a0 (whose egress to
+            // e0 gets paused by the burst backpressure). Moderately paced so
+            // it does not squeeze the a0-side burst off the shared a0->e0
+            // link.
+            let sp_v = pick_src_port(&topo, vic_src, h_l, &[a0], 800);
+            let victim = FlowKey::roce(vic_src, h_l, sp_v);
+            flows.push(FlowSpec {
+                key: victim,
+                size_bytes: 40_000_000,
+                start: Nanos::ZERO,
+                max_rate_bps: Some(30e9),
+                cc_enabled: true,
+            });
+            // Light mice into the incast target keep the replayed queue
+            // asymmetric (the paper's congested ports always carry some
+            // pass-through workload).
+            let m_src = nav.hosts[vic_pod][0][0];
+            let sp_m = pick_src_port(&topo, m_src, h_t, &[a0], 900);
+            for i in 0..8u64 {
+                flows.push(FlowSpec {
+                    key: FlowKey::roce(m_src, h_t, sp_m + (i as u16) * 977),
+                    size_bytes: 64_000,
+                    start: at + Nanos::from_micros(15 * i),
+                    max_rate_bps: None,
+                    cc_enabled: true,
+                });
+            }
+            let vic_path: Vec<NodeId> = topo
+                .flow_path(&victim)
+                .unwrap()
+                .iter()
+                .map(|(n, _, _)| *n)
+                .collect();
+            let mut causal = vic_path;
+            causal.push(e0);
+            causal.sort_unstable();
+            causal.dedup();
+            GroundTruth {
+                anomaly: AnomalyType::MicroBurstIncast,
+                culprit_flows: vec![b_local, b_via_a0, b_via_a1],
+                injection_host: None,
+                victim,
+                causal_switches: causal,
+                anomaly_at: at,
+                initial_port: Some(nav.egress(&topo, e0, h_t)),
+            }
+        }
+
+        ScenarioKind::PfcStorm => {
+            // h_t's NIC floods PAUSE frames; the victim flows right into it.
+            // The injection persists to the end of the trace: the agent
+            // keeps re-detecting and diagnosis examines a live storm (the
+            // paper notes storms "present different durations"; the
+            // duration sweep is exercised by the storm example binary).
+            injectors.push((
+                h_t,
+                PfcInjectorConfig {
+                    start: at,
+                    stop: params.duration,
+                    period: Nanos::from_micros(100),
+                },
+            ));
+            let sp_v = pick_src_port(&topo, vic_src, h_t, &[a0], 800);
+            let victim = FlowKey::roce(vic_src, h_t, sp_v);
+            flows.push(FlowSpec {
+                key: victim,
+                size_bytes: 40_000_000,
+                start: Nanos::ZERO,
+                max_rate_bps: None,
+                cc_enabled: true,
+            });
+            let mut causal: Vec<NodeId> = topo
+                .flow_path(&victim)
+                .unwrap()
+                .iter()
+                .map(|(n, _, _)| *n)
+                .collect();
+            causal.sort_unstable();
+            causal.dedup();
+            GroundTruth {
+                anomaly: AnomalyType::PfcStorm,
+                culprit_flows: vec![],
+                injection_host: Some(h_t),
+                victim,
+                causal_switches: causal,
+                anomaly_at: at,
+                initial_port: Some(nav.egress(&topo, e0, h_t)),
+            }
+        }
+
+        ScenarioKind::InLoopDeadlock
+        | ScenarioKind::OutOfLoopDeadlockContention
+        | ScenarioKind::OutOfLoopDeadlockInjection => {
+            // --- Cyclic buffer dependency around e0 -> a0 -> e1 -> a1 -> e0.
+            // Destination-based overrides ("routing misconfiguration"):
+            //   dst h2: a1 -> e0, e0 -> a0   (a0 -> e1 -> h2 is normal)
+            //   dst h1: a0 -> e1, e1 -> a1   (a1 -> e0 -> h1 is normal)
+            let h1 = h_l;
+            topo.add_route_override(a1, h2, nav.port_to(&topo, a1, e0));
+            topo.add_route_override(e0, h2, nav.port_to(&topo, e0, a0));
+            topo.add_route_override(a0, h1, nav.port_to(&topo, a0, e1));
+            topo.add_route_override(e1, h1, nav.port_to(&topo, e1, a1));
+
+            // Ring flows (rate-capped so the ring is loss-free pre-trigger):
+            // Q: h_t(e0) -> h2 rides (e0 a0), (a0 e1).
+            // P: pod1 -> h1 arrives at a0 via c0, rides (a0 e1), (e1 a1),
+            //    (a1 e0).
+            // S: pod1 -> h2 arrives at a1 via c2, rides (a1 e0), (e0 a0),
+            //    (a0 e1).
+            let p_src = nav.hosts[1][0][0];
+            let s_src = nav.hosts[1][0][1];
+            // Pin P through a0 and S through a1 with pod-1 overrides.
+            let e_p1 = nav.edges[1][0];
+            let a_p1_0 = nav.aggs[1][0];
+            let a_p1_1 = nav.aggs[1][1];
+            topo.add_route_override(e_p1, h1, nav.port_to(&topo, e_p1, a_p1_0));
+            topo.add_route_override(a_p1_0, h1, nav.port_to(&topo, a_p1_0, nav.cores[0]));
+            topo.add_route_override(e_p1, h2, nav.port_to(&topo, e_p1, a_p1_1));
+            topo.add_route_override(a_p1_1, h2, nav.port_to(&topo, a_p1_1, nav.cores[2]));
+
+            let ring_rate = Some(30e9);
+            let q = FlowKey::roce(h_t, h2, 500);
+            let p = FlowKey::roce(p_src, h1, 501);
+            let s = FlowKey::roce(s_src, h2, 502);
+            // Established a few epochs before the trigger — long enough for
+            // the diagnosis to learn their steady-state baseline, short
+            // enough that background bursts are unlikely to fire the CBD
+            // tripwire before the scripted anomaly.
+            let ring_start = at.saturating_sub(Nanos::from_micros(450));
+            for k in [q, p, s] {
+                flows.push(FlowSpec {
+                    key: k,
+                    size_bytes: 60_000_000,
+                    start: ring_start,
+                    max_rate_bps: ring_rate,
+                    cc_enabled: false,
+                });
+            }
+            let ring_ports = vec![
+                nav.egress(&topo, e0, a0),
+                nav.egress(&topo, a0, e1),
+                nav.egress(&topo, e1, a1),
+                nav.egress(&topo, a1, e0),
+            ];
+            // Causally relevant switches (paper Fig. 11 semantics): the
+            // victim's path plus the PFC spreading path — here the CBD
+            // ring. The culprits' own source paths are upstream of the
+            // initial congestion point and are NOT part of the trace.
+            let mut causal = vec![e0, a0, e1, a1];
+
+            let (anomaly, culprits, inj_host, initial) = match kind {
+                ScenarioKind::InLoopDeadlock => {
+                    // Two line-rate bursts converging on the ring port
+                    // a0 -> e1 via both cores (pods 1 and 2 -> h3, pinned
+                    // through a0). Long enough to outlive loop closure, so
+                    // the last ring port to freeze still records paused
+                    // enqueues; heavy enough that the upstream pause
+                    // outlasts each downstream ingress fill.
+                    let b1_src = nav.hosts[1][1][0];
+                    let b2_src = nav.hosts[2][0][0];
+                    let e_b1 = nav.edges[1][1];
+                    let e_b2 = nav.edges[2][0];
+                    let a_b2 = nav.aggs[2][0];
+                    topo.add_route_override(e_b1, h3, nav.port_to(&topo, e_b1, a_p1_0));
+                    topo.add_route_override(a_p1_0, h3, nav.port_to(&topo, a_p1_0, nav.cores[1]));
+                    topo.add_route_override(e_b2, h3, nav.port_to(&topo, e_b2, a_b2));
+                    topo.add_route_override(a_b2, h3, nav.port_to(&topo, a_b2, nav.cores[0]));
+                    let b1 = FlowKey::roce(b1_src, h3, 600);
+                    let b2 = FlowKey::roce(b2_src, h3, 601);
+                    for b in [b1, b2] {
+                        flows.push(FlowSpec {
+                            key: b,
+                            size_bytes: 6_000_000,
+                            start: at,
+                            max_rate_bps: None,
+                            cc_enabled: false,
+                        });
+                    }
+                    (
+                        AnomalyType::InLoopDeadlock,
+                        vec![b1, b2],
+                        None,
+                        nav.egress(&topo, a0, e1),
+                    )
+                }
+                ScenarioKind::OutOfLoopDeadlockInjection => {
+                    // h3 injects PAUSE; feeder T (pod1 -> h3 via a0) backs
+                    // up into the ring.
+                    // Time-limited injection: the CBD chain closes while the
+                    // ring's own flows still feed it; once the loop is shut
+                    // it self-sustains regardless of the injector.
+                    injectors.push((
+                        h3,
+                        PfcInjectorConfig {
+                            start: at,
+                            stop: at + Nanos::from_micros(800),
+                            period: Nanos::from_micros(100),
+                        },
+                    ));
+                    let t_src = nav.hosts[1][1][0];
+                    let e_t = nav.edges[1][1];
+                    topo.add_route_override(e_t, h3, nav.port_to(&topo, e_t, a_p1_0));
+                    topo.add_route_override(a_p1_0, h3, nav.port_to(&topo, a_p1_0, nav.cores[1]));
+                    let t = FlowKey::roce(t_src, h3, 600);
+                    // Starts just after the injection (so every enqueue of T
+                    // at the dead egress is a paused one — pure injection,
+                    // zero contention); T's backlog into the paused h3
+                    // egress is what pulls the CBD shut.
+                    // Small: just enough to fill the ingress behind the dead
+                    // egress; a large feeder would flood h3 with residual
+                    // contention if the injector ever releases.
+                    flows.push(FlowSpec {
+                        key: t,
+                        size_bytes: 600_000,
+                        start: at + Nanos::from_micros(20),
+                        max_rate_bps: None,
+                        cc_enabled: false,
+                    });
+                    (
+                        AnomalyType::OutOfLoopDeadlockInjection,
+                        vec![],
+                        Some(h3),
+                        nav.egress(&topo, e1, h3),
+                    )
+                }
+                _ => {
+                    // Out-of-loop contention: h3's egress congested by two
+                    // comparable bursts — a local one (h2 -> h3) and one
+                    // arriving via a1 (the non-CBD direction of the e1-a1
+                    // link) — while a train of mice through a0 backs the
+                    // congestion into the ring.
+                    let local = FlowKey::roce(h2, h3, 601);
+                    let r_src = nav.hosts[3][0][0];
+                    let sp_r = pick_src_port(&topo, r_src, h3, &[a1], 620);
+                    let via_a1 = FlowKey::roce(r_src, h3, sp_r);
+                    for k in [local, via_a1] {
+                        flows.push(FlowSpec {
+                            key: k,
+                            size_bytes: 4_000_000,
+                            start: at,
+                            max_rate_bps: None,
+                            cc_enabled: false,
+                        });
+                    }
+                    let m_src = nav.hosts[1][1][0];
+                    let e_t = nav.edges[1][1];
+                    topo.add_route_override(e_t, h3, nav.port_to(&topo, e_t, a_p1_0));
+                    topo.add_route_override(a_p1_0, h3, nav.port_to(&topo, a_p1_0, nav.cores[1]));
+                    for i in 0..30u64 {
+                        flows.push(FlowSpec {
+                            key: FlowKey::roce(m_src, h3, 700 + i as u16),
+                            size_bytes: 64_000,
+                            start: at + Nanos::from_micros(10 * i),
+                            max_rate_bps: None,
+                            cc_enabled: false,
+                        });
+                    }
+                    (
+                        AnomalyType::OutOfLoopDeadlockContention,
+                        vec![local, via_a1],
+                        None,
+                        nav.egress(&topo, e1, h3),
+                    )
+                }
+            };
+
+            // The victim is one of the ring flows: Q stalls inside the CBD.
+            causal.sort_unstable();
+            causal.dedup();
+            let _ = at_us;
+            let _ = ring_ports;
+            GroundTruth {
+                anomaly,
+                culprit_flows: culprits,
+                injection_host: inj_host,
+                victim: q,
+                causal_switches: causal,
+                anomaly_at: at,
+                initial_port: Some(initial),
+            }
+        }
+
+        ScenarioKind::NormalContention => {
+            // Incast into h_t whose PFC reaches only the sender NICs: three
+            // line-rate contenders from e0's and e1's hosts plus the victim
+            // into the same port; no switch egress toward another switch is
+            // ever paused long enough to spread.
+            let c1 = FlowKey::roce(h_l, h_t, 500);
+            let sp2 = pick_src_port(&topo, h2, h_t, &[a0], 600);
+            let sp3 = pick_src_port(&topo, h3, h_t, &[a1], 700);
+            let c2 = FlowKey::roce(h2, h_t, sp2);
+            let c3 = FlowKey::roce(h3, h_t, sp3);
+            for c in [c1, c2, c3] {
+                flows.push(FlowSpec {
+                    key: c,
+                    size_bytes: 3_000_000,
+                    start: at,
+                    max_rate_bps: None,
+                    cc_enabled: true,
+                });
+            }
+            // Victim: a modest earlier flow into h_t from pod 1, capped so
+            // it is clearly a victim, not a contributor.
+            let sp_v = pick_src_port(&topo, vic_src, h_t, &[a0], 800);
+            let victim = FlowKey::roce(vic_src, h_t, sp_v);
+            flows.push(FlowSpec {
+                key: victim,
+                size_bytes: 40_000_000,
+                start: Nanos::ZERO,
+                max_rate_bps: Some(20e9),
+                cc_enabled: true,
+            });
+            let mut causal: Vec<NodeId> = topo
+                .flow_path(&victim)
+                .unwrap()
+                .iter()
+                .map(|(n, _, _)| *n)
+                .collect();
+            causal.sort_unstable();
+            causal.dedup();
+            GroundTruth {
+                anomaly: AnomalyType::NormalContention,
+                culprit_flows: vec![c1, c2, c3],
+                injection_host: None,
+                victim,
+                causal_switches: causal,
+                anomaly_at: at,
+                initial_port: Some(nav.egress(&topo, e0, h_t)),
+            }
+        }
+    };
+
+    let mut sim_config = SimConfig::default();
+    if matches!(
+        kind,
+        ScenarioKind::InLoopDeadlock
+            | ScenarioKind::OutOfLoopDeadlockContention
+            | ScenarioKind::OutOfLoopDeadlockInjection
+    ) {
+        // Deep Xoff/Xon hysteresis: each hop's pause must outlast the next
+        // hop's ingress fill time for the backpressure wave to travel the
+        // whole cycle (Hu et al.'s deadlock-formation condition). The CBD
+        // flows themselves are marked CC-non-compliant instead of disabling
+        // ECN network-wide, so background traffic behaves normally.
+        sim_config.switch.xon_bytes = 4 * 1024;
+    }
+    if kind == ScenarioKind::NormalContention {
+        // The paper's "traditional congestion" degenerate case: contention
+        // in a network whose flow control is not PFC (the diagnosis then
+        // reduces to classic queue-contention analysis). Deeper ECN
+        // thresholds let the queue grow enough to trip the RTT detector.
+        sim_config.switch.pfc_enabled = false;
+        sim_config.switch.ecn_kmin = 300 * 1024;
+        sim_config.switch.ecn_kmax = 600 * 1024;
+    }
+
+    Scenario {
+        kind,
+        topo,
+        flows,
+        injectors,
+        truth,
+        params,
+        sim_config,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_scenarios_build() {
+        for kind in ScenarioKind::ALL {
+            let s = build(kind, ScenarioParams::default());
+            assert_eq!(s.truth.anomaly, kind.expected_anomaly());
+            assert!(!s.flows.is_empty());
+            assert!(!s.truth.causal_switches.is_empty());
+            // The victim exists among the flows.
+            assert!(s.flows.iter().any(|f| f.key == s.truth.victim));
+        }
+    }
+
+    #[test]
+    fn deadlock_overrides_create_the_cbd_paths() {
+        let s = build(ScenarioKind::InLoopDeadlock, ScenarioParams {
+            load: 0.0,
+            ..Default::default()
+        });
+        let nav = FatTreeNav::new(&s.topo, 4);
+        let (e0, e1, a0, a1) = (
+            nav.edges[0][0],
+            nav.edges[0][1],
+            nav.aggs[0][0],
+            nav.aggs[0][1],
+        );
+        // Q: e0 -> a0 -> e1.
+        let q = s.flows.iter().find(|f| f.key.src_port == 500).unwrap();
+        let qp: Vec<NodeId> = s.topo.flow_path(&q.key).unwrap().iter().map(|x| x.0).collect();
+        assert_eq!(qp, vec![e0, a0, e1]);
+        // P bounces a0 -> e1 -> a1 -> e0.
+        let p = s.flows.iter().find(|f| f.key.src_port == 501).unwrap();
+        let pp: Vec<NodeId> = s.topo.flow_path(&p.key).unwrap().iter().map(|x| x.0).collect();
+        assert_eq!(&pp[pp.len() - 4..], &[a0, e1, a1, e0]);
+        // S bounces a1 -> e0 -> a0 -> e1.
+        let sf = s.flows.iter().find(|f| f.key.src_port == 502).unwrap();
+        let sp: Vec<NodeId> = s.topo.flow_path(&sf.key).unwrap().iter().map(|x| x.0).collect();
+        assert_eq!(&sp[sp.len() - 4..], &[a1, e0, a0, e1]);
+    }
+
+    #[test]
+    fn incast_bursts_enter_via_three_ports() {
+        let s = build(ScenarioKind::MicroBurstIncast, ScenarioParams {
+            load: 0.0,
+            ..Default::default()
+        });
+        let nav = FatTreeNav::new(&s.topo, 4);
+        let e0 = nav.edges[0][0];
+        // The three culprits' last hops reach e0 via three distinct ingress
+        // ports.
+        let mut in_ports = Vec::new();
+        for c in &s.truth.culprit_flows {
+            let path = s.topo.flow_path(c).unwrap();
+            let (sw, in_port, _) = *path.last().unwrap();
+            assert_eq!(sw, e0);
+            in_ports.push(in_port);
+        }
+        in_ports.sort_unstable();
+        in_ports.dedup();
+        assert_eq!(in_ports.len(), 3, "three distinct ingress directions");
+    }
+
+    #[test]
+    fn scenarios_are_deterministic_per_seed() {
+        let a = build(ScenarioKind::PfcStorm, ScenarioParams::default());
+        let b = build(ScenarioKind::PfcStorm, ScenarioParams::default());
+        assert_eq!(a.flows, b.flows);
+        assert_eq!(a.truth.victim, b.truth.victim);
+    }
+}

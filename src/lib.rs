@@ -1,0 +1,14 @@
+//! # hawkeye
+//!
+//! Umbrella crate for the Hawkeye (SIGCOMM 2025) reproduction: re-exports
+//! the simulator substrate, the telemetry layer, the core diagnosis system,
+//! baselines, workloads and evaluation harness. See `README.md` for the
+//! quickstart and `DESIGN.md` for the system inventory.
+
+pub use hawkeye_baselines as baselines;
+pub use hawkeye_core as core;
+pub use hawkeye_eval as eval;
+pub use hawkeye_sim as sim;
+pub use hawkeye_telemetry as telemetry;
+pub use hawkeye_tofino as tofino;
+pub use hawkeye_workloads as workloads;

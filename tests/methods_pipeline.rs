@@ -1,0 +1,119 @@
+//! Cross-method integration: the comparison baselines behave as their
+//! designs dictate on the same traces (Figures 8/9/10/11 in miniature).
+
+use hawkeye::baselines::Method;
+use hawkeye::core::AnomalyType;
+use hawkeye::eval::{optimal_run_config, run_method, ScoreConfig, Verdict};
+use hawkeye::workloads::{build_scenario, ScenarioKind, ScenarioParams};
+
+fn scenario(kind: ScenarioKind) -> hawkeye::workloads::Scenario {
+    build_scenario(
+        kind,
+        ScenarioParams {
+            load: 0.0,
+            ..Default::default()
+        },
+    )
+}
+
+#[test]
+fn hawkeye_and_full_polling_agree_on_backpressure() {
+    let sc = scenario(ScenarioKind::MicroBurstIncast);
+    let h = run_method(&sc, &optimal_run_config(1), Method::Hawkeye, &ScoreConfig::default());
+    let f = run_method(
+        &sc,
+        &optimal_run_config(1),
+        Method::FullPolling,
+        &ScoreConfig::default(),
+    );
+    assert_eq!(h.verdict, Some(Verdict::Correct));
+    assert_eq!(f.verdict, Some(Verdict::Correct));
+    // Full polling touches the whole network; Hawkeye only the causal set.
+    assert_eq!(f.collected_switches.len(), 20);
+    assert!(h.collected_switches.len() < f.collected_switches.len());
+    assert_eq!(h.causal_covered, h.causal_total, "100% causal coverage");
+    assert!(h.processing_bytes < f.processing_bytes);
+}
+
+#[test]
+fn victim_only_fails_deadlocks_but_matches_on_storms() {
+    // Deadlock: the loop is off the victim path; victim-only collection
+    // cannot see it (the paper's key Fig. 8 result).
+    let sc = scenario(ScenarioKind::InLoopDeadlock);
+    let v = run_method(&sc, &optimal_run_config(1), Method::VictimOnly, &ScoreConfig::default());
+    assert_ne!(v.verdict, Some(Verdict::Correct));
+    if let Some(r) = &v.report {
+        assert_ne!(r.anomaly, AnomalyType::InLoopDeadlock);
+    }
+    assert!(v.causal_covered < v.causal_total);
+
+    // Storm into the victim's own destination: the PFC path is the victim
+    // path, so victim-only does as well as Hawkeye.
+    let sc = scenario(ScenarioKind::PfcStorm);
+    let v = run_method(&sc, &optimal_run_config(1), Method::VictimOnly, &ScoreConfig::default());
+    assert_eq!(v.verdict, Some(Verdict::Correct), "{:#?}", v.report);
+}
+
+#[test]
+fn pfc_blind_baselines_miss_pfc_anomalies() {
+    for kind in [ScenarioKind::MicroBurstIncast, ScenarioKind::PfcStorm] {
+        let sc = scenario(kind);
+        for m in [Method::SpiderMon, Method::NetSight] {
+            let o = run_method(&sc, &optimal_run_config(1), m, &ScoreConfig::default());
+            assert_ne!(
+                o.verdict,
+                Some(Verdict::Correct),
+                "{} must not diagnose {:?}",
+                m.name(),
+                kind
+            );
+            if let Some(r) = &o.report {
+                // Without paused counters, no PFC anomaly type is reachable.
+                assert!(
+                    matches!(r.anomaly, AnomalyType::NormalContention | AnomalyType::NoAnomaly),
+                    "{}: {:?}",
+                    m.name(),
+                    r.anomaly
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn pfc_blind_baselines_handle_normal_contention() {
+    let sc = scenario(ScenarioKind::NormalContention);
+    let o = run_method(&sc, &optimal_run_config(1), Method::NetSight, &ScoreConfig::default());
+    assert_eq!(o.verdict, Some(Verdict::Correct), "{:#?}", o.report);
+}
+
+#[test]
+fn granularity_ablations_degrade_as_described() {
+    // Port-only: PFC path traceable, flow roots missing -> wrong on
+    // contention-rooted anomalies.
+    let sc = scenario(ScenarioKind::MicroBurstIncast);
+    let p = run_method(&sc, &optimal_run_config(1), Method::PortOnly, &ScoreConfig::default());
+    assert_ne!(p.verdict, Some(Verdict::Correct));
+
+    // Flow-only: no port causality -> deadlock loop invisible.
+    let sc = scenario(ScenarioKind::InLoopDeadlock);
+    let fl = run_method(&sc, &optimal_run_config(1), Method::FlowOnly, &ScoreConfig::default());
+    if let Some(r) = &fl.report {
+        assert!(r.deadlock_loop.is_none(), "flow-only cannot see the loop");
+    }
+    assert_ne!(fl.verdict, Some(Verdict::Correct));
+}
+
+#[test]
+fn overhead_ordering_matches_fig9() {
+    let sc = scenario(ScenarioKind::MicroBurstIncast);
+    let h = run_method(&sc, &optimal_run_config(1), Method::Hawkeye, &ScoreConfig::default());
+    let s = run_method(&sc, &optimal_run_config(1), Method::SpiderMon, &ScoreConfig::default());
+    let n = run_method(&sc, &optimal_run_config(1), Method::NetSight, &ScoreConfig::default());
+    // Bandwidth: NetSight (postcards) >> SpiderMon (per-packet header)
+    // >> Hawkeye (a handful of polling packets).
+    assert!(n.bandwidth_bytes > s.bandwidth_bytes * 5);
+    assert!(s.bandwidth_bytes > h.bandwidth_bytes * 5);
+    // Processing: NetSight's per-packet records dwarf everyone.
+    assert!(n.processing_bytes > h.processing_bytes * 100);
+}
