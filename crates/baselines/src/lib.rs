@@ -18,7 +18,7 @@ pub mod transform;
 pub use method::Method;
 pub use overhead::{
     netsight_bandwidth, netsight_processing, polling_bandwidth, spidermon_bandwidth,
-    spidermon_processing, NETSIGHT_POSTCARD_BYTES, NETSIGHT_RECORD_BYTES,
-    SPIDERMON_FLOW_BYTES, SPIDERMON_HEADER_BYTES,
+    spidermon_processing, NETSIGHT_POSTCARD_BYTES, NETSIGHT_RECORD_BYTES, SPIDERMON_FLOW_BYTES,
+    SPIDERMON_HEADER_BYTES,
 };
 pub use transform::{filter_victim_path, partial_deployment, strip_flows, strip_pfc, strip_ports};

@@ -181,8 +181,15 @@ mod tests {
     #[test]
     fn partial_deployment_strips_flow_tables_off_tier() {
         let out = partial_deployment(&[snap(7), snap(8)], &[NodeId(7)]);
-        assert_eq!(out[0].epochs[0].flows.len(), 1, "deployed switch keeps flows");
-        assert!(out[1].epochs[0].flows.is_empty(), "undeployed switch loses flows");
+        assert_eq!(
+            out[0].epochs[0].flows.len(),
+            1,
+            "deployed switch keeps flows"
+        );
+        assert!(
+            out[1].epochs[0].flows.is_empty(),
+            "undeployed switch loses flows"
+        );
         // PFC causality survives everywhere.
         assert_eq!(out[1].epochs[0].meter.len(), 1);
         assert_eq!(out[1].epochs[0].ports.len(), 1);

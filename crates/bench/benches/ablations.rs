@@ -25,11 +25,14 @@ fn main() {
         let mut n = 0.0;
         for kind in ScenarioKind::ALL {
             for t in 0..cfg.trials {
-                let sc = build_scenario(kind, ScenarioParams {
-                    seed: cfg.base_seed + t as u64,
-                    load: cfg.load,
-                    ..Default::default()
-                });
+                let sc = build_scenario(
+                    kind,
+                    ScenarioParams {
+                        seed: cfg.base_seed + t as u64,
+                        load: cfg.load,
+                        ..Default::default()
+                    },
+                );
                 let o = run_method(&sc, &optimal_run_config(1), m, &ScoreConfig::default());
                 sw += o.collected_switches.len() as f64;
                 cov += o.causal_covered as f64 / o.causal_total.max(1) as f64;
@@ -46,22 +49,28 @@ fn main() {
     );
     println!("xoff_kb  pause_frames  victim_fct_us");
     for xoff_kb in [50u64, 100, 200, 400] {
-        let sc = build_scenario(ScenarioKind::MicroBurstIncast, ScenarioParams {
-            load: 0.0,
-            ..Default::default()
-        });
+        let sc = build_scenario(
+            ScenarioKind::MicroBurstIncast,
+            ScenarioParams {
+                load: 0.0,
+                ..Default::default()
+            },
+        );
         let mut sim_cfg = SimConfig::default();
         sim_cfg.switch = SwitchConfig {
             xoff_bytes: xoff_kb * 1024,
             xon_bytes: (xoff_kb * 1024) * 4 / 5,
             ..sim_cfg.switch
         };
-        let mut sim: Simulator<NullHook> =
-            sc.instantiate(sim_cfg, Scenario::agent(2.0), NullHook);
+        let mut sim: Simulator<NullHook> = sc.instantiate(sim_cfg, Scenario::agent(2.0), NullHook);
         sim.run_until(sc.params.duration);
         let pauses = sim.sum_switch_stats(|s| s.pfc_pause_sent);
         let v = sim.host(sc.truth.victim.src).flow_by_id(
-            sim.flows().iter().find(|f| f.key == sc.truth.victim).unwrap().id,
+            sim.flows()
+                .iter()
+                .find(|f| f.key == sc.truth.victim)
+                .unwrap()
+                .id,
         );
         let fct = v
             .and_then(|h| h.fct())

@@ -5,9 +5,7 @@
 
 use hawkeye_baselines::Method;
 use hawkeye_bench::banner;
-use hawkeye_eval::{
-    optimal_run_config, run_method, EvalConfig, PrecisionRecall, ScoreConfig,
-};
+use hawkeye_eval::{optimal_run_config, run_method, EvalConfig, PrecisionRecall, ScoreConfig};
 use hawkeye_workloads::{build_scenario, ScenarioKind, ScenarioParams};
 
 fn main() {
@@ -31,7 +29,12 @@ fn main() {
                         ..Default::default()
                     },
                 );
-                let o = run_method(&sc, &optimal_run_config(seed), Method::Hawkeye, &ScoreConfig::default());
+                let o = run_method(
+                    &sc,
+                    &optimal_run_config(seed),
+                    Method::Hawkeye,
+                    &ScoreConfig::default(),
+                );
                 pr.record(o.verdict);
             }
         }

@@ -7,7 +7,9 @@
 use hawkeye_baselines::{partial_deployment, Method};
 use hawkeye_bench::banner;
 use hawkeye_core::{analyze_victim_window, AnalyzerConfig, Window};
-use hawkeye_eval::{judge, optimal_run_config, run_method, EvalConfig, PrecisionRecall, ScoreConfig};
+use hawkeye_eval::{
+    judge, optimal_run_config, run_method, EvalConfig, PrecisionRecall, ScoreConfig,
+};
 use hawkeye_sim::{Nanos, NodeId};
 use hawkeye_workloads::{build_scenario, FatTreeNav, Scenario, ScenarioKind, ScenarioParams};
 
@@ -71,13 +73,8 @@ fn main() {
                 let nav = FatTreeNav::new(sim.topo(), 4);
                 let tor: Vec<NodeId> = nav.edges.iter().flatten().copied().collect();
                 let snaps = partial_deployment(&sim.hook.collector.snapshots(), &tor);
-                let (report, _, _) = analyze_victim_window(
-                    &sc.truth.victim,
-                    window,
-                    &snaps,
-                    sim.topo(),
-                    &analyzer,
-                );
+                let (report, _, _) =
+                    analyze_victim_window(&sc.truth.victim, window, &snaps, sim.topo(), &analyzer);
                 judge(&sc.truth, &report, &score)
             });
             partial.record(verdict);

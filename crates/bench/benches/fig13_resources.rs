@@ -13,14 +13,20 @@ fn main() {
     );
     let u = resource_usage(&TelemetryConfig::default(), SwitchDims::default());
     println!("\n(a) ASIC usage at the testbed config (4 epochs x 4096 flows, 64 ports):");
-    println!("    SRAM {:.1}%  TCAM {:.1}%  PHV {:.1}%  stages {}/12  sALU {:.1}%",
-        u.sram_pct, u.tcam_pct, u.phv_pct, u.stages_used, u.salu_pct);
+    println!(
+        "    SRAM {:.1}%  TCAM {:.1}%  PHV {:.1}%  stages {}/12  sALU {:.1}%",
+        u.sram_pct, u.tcam_pct, u.phv_pct, u.stages_used, u.salu_pct
+    );
     println!("\n(b) memory vs epochs and max flows (bytes):");
     println!("    epochs  max_flows  flow_telemetry  constant(causality+port+status)  total");
     for (epochs, flows, m) in memory_sweep(SwitchDims::default()) {
         println!(
             "    {:<6}  {:<9}  {:<14}  {:<31}  {}",
-            epochs, flows, m.flow_telemetry, m.constant_part(), m.total()
+            epochs,
+            flows,
+            m.flow_telemetry,
+            m.constant_part(),
+            m.total()
         );
     }
 }

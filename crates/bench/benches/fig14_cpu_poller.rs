@@ -17,24 +17,40 @@ fn main() {
         ">80% telemetry-size reduction by zero-filtering; ~95% report \
          packet reduction by MTU batching; poll ~80/120 ms for 2/4 epochs.",
     );
-    println!("\npoll times: 2 epochs = {} ms, 4 epochs = {} ms", poll_time_ms(2), poll_time_ms(4));
+    println!(
+        "\npoll times: 2 epochs = {} ms, 4 epochs = {} ms",
+        poll_time_ms(2),
+        poll_time_ms(4)
+    );
 
     // (1) On real snapshots from a simulated incast at moderate load.
     let sc = build_scenario(
         ScenarioKind::MicroBurstIncast,
-        ScenarioParams { load: 0.2, ..Default::default() },
+        ScenarioParams {
+            load: 0.2,
+            ..Default::default()
+        },
     );
     let run = optimal_run_config(1);
-    let hook = HawkeyeHook::new(&sc.topo, HawkeyeConfig {
-        telemetry: TelemetryConfig { epochs: run.epoch, ..Default::default() },
-        ..Default::default()
-    });
+    let hook = HawkeyeHook::new(
+        &sc.topo,
+        HawkeyeConfig {
+            telemetry: TelemetryConfig {
+                epochs: run.epoch,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
     let mut agent = Scenario::agent(2.0);
     agent.dedup_interval = Nanos::from_micros(400);
     let mut sim = sc.instantiate_seeded(1, agent, hook);
     sim.run_until(sc.params.duration);
     let snaps = sim.hook.collector.snapshots();
-    println!("\n(real snapshots from a simulated incast, {} collections)", snaps.len());
+    println!(
+        "\n(real snapshots from a simulated incast, {} collections)",
+        snaps.len()
+    );
     println!("    switch  flows  size_reduction  packet_reduction");
     for s in &snaps {
         let r = poll(s);

@@ -1,73 +1,97 @@
-//! Criterion micro-benchmarks of the hot paths.
+//! Micro-benchmarks of the hot paths, including the observability-hook
+//! overhead check: a disabled `ObservedHook<NullHook>` must cost the same
+//! as a bare `NullHook` (within noise), because production runs carry the
+//! instrumented hook with tracing off.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use hawkeye_bench::timing::bench;
 use hawkeye_core::{build_graph, contribution, AggTelemetry, ReplayConfig, Window};
 use hawkeye_sim::{
-    chain, EventKind, EventQueue, FlowKey, Nanos, NodeId, NullHook, SimConfig, Simulator,
-    EVAL_BANDWIDTH, EVAL_DELAY,
+    chain, EventKind, EventQueue, FlowKey, Nanos, NodeId, NullHook, ObservedHook, SimConfig,
+    Simulator, SwitchHook, EVAL_BANDWIDTH, EVAL_DELAY,
 };
 use hawkeye_telemetry::{SwitchTelemetry, TelemetryConfig};
 
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("event_queue_push_pop_10k", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            for i in 0..10_000u64 {
-                q.schedule(
-                    Nanos(i * 7 % 5000),
-                    EventKind::PortKick {
-                        node: NodeId((i % 16) as u32),
-                        port: 0,
-                    },
-                );
-            }
-            let mut n = 0u64;
-            while q.pop().is_some() {
-                n += 1;
-            }
-            n
-        })
+fn bench_event_queue() {
+    bench("event_queue_push_pop_10k", || {
+        let mut q = EventQueue::new();
+        for i in 0..10_000u64 {
+            q.schedule(
+                Nanos(i * 7 % 5000),
+                EventKind::PortKick {
+                    node: NodeId((i % 16) as u32),
+                    port: 0,
+                },
+            );
+        }
+        let mut n = 0u64;
+        while q.pop().is_some() {
+            n += 1;
+        }
+        n
     });
 }
 
-fn bench_simulation(c: &mut Criterion) {
-    c.bench_function("simulate_1MB_flow_chain3", |b| {
-        b.iter(|| {
-            let topo = chain(3, 2, EVAL_BANDWIDTH, EVAL_DELAY);
-            let hosts: Vec<_> = topo.hosts().collect();
-            let mut sim = Simulator::new(topo, SimConfig::default(), NullHook);
-            sim.add_flow(FlowKey::roce(hosts[0], hosts[5], 1), 1_000_000, Nanos::ZERO);
-            sim.run_until(Nanos::from_millis(1));
-            sim.events_processed()
-        })
-    });
+fn simulate_chain3<H: SwitchHook>(hook: H) -> u64 {
+    let topo = chain(3, 2, EVAL_BANDWIDTH, EVAL_DELAY);
+    let hosts: Vec<_> = topo.hosts().collect();
+    let mut sim = Simulator::new(topo, SimConfig::default(), hook);
+    sim.add_flow(FlowKey::roce(hosts[0], hosts[5], 1), 1_000_000, Nanos::ZERO);
+    sim.run_until(Nanos::from_millis(1));
+    sim.events_processed()
 }
 
-fn bench_telemetry_update(c: &mut Criterion) {
+fn bench_simulation() {
+    bench("simulate_1MB_flow_chain3", || simulate_chain3(NullHook));
+}
+
+/// The ISSUE acceptance check: disabled observability within noise of the
+/// bare hook. Prints the ratio; exits non-zero over the 5% budget when
+/// `HAWKEYE_OVERHEAD_STRICT=1` (off by default — shared CI boxes are
+/// noisy).
+fn bench_observed_overhead() -> bool {
+    let base = bench("simulate_chain3_null_hook", || simulate_chain3(NullHook));
+    let off = bench("simulate_chain3_observed_disabled", || {
+        simulate_chain3(ObservedHook::disabled(NullHook))
+    });
+    let on = bench("simulate_chain3_observed_enabled", || {
+        simulate_chain3(ObservedHook::new(NullHook, Default::default()))
+    });
+    let ratio = off.min_ns / base.min_ns;
+    println!(
+        "observed-hook overhead: disabled {:+.2}% vs NullHook, enabled {:+.2}%",
+        (ratio - 1.0) * 100.0,
+        (on.min_ns / base.min_ns - 1.0) * 100.0
+    );
+    let ok = ratio < 1.05;
+    if !ok {
+        println!("WARNING: disabled ObservedHook exceeded the 5% overhead budget");
+    }
+    ok
+}
+
+fn bench_telemetry_update() {
     use hawkeye_sim::EnqueueRecord;
-    c.bench_function("telemetry_enqueue_update", |b| {
-        let mut t = SwitchTelemetry::new(NodeId(0), 16, TelemetryConfig::default());
-        let key = FlowKey::roce(NodeId(1), NodeId(2), 7);
-        let mut ts = 0u64;
-        b.iter(|| {
-            ts += 80;
-            t.on_enqueue(&EnqueueRecord {
-                switch: NodeId(0),
-                in_port: 1,
-                out_port: 2,
-                flow: hawkeye_sim::FlowId(0),
-                key,
-                size: 1048,
-                qdepth_pkts: 5,
-                qdepth_bytes: 5240,
-                egress_paused: false,
-                timestamp: Nanos(ts),
-            });
-        })
+    let mut t = SwitchTelemetry::new(NodeId(0), 16, TelemetryConfig::default());
+    let key = FlowKey::roce(NodeId(1), NodeId(2), 7);
+    let mut ts = 0u64;
+    bench("telemetry_enqueue_update", move || {
+        ts += 80;
+        t.on_enqueue(&EnqueueRecord {
+            switch: NodeId(0),
+            in_port: 1,
+            out_port: 2,
+            flow: hawkeye_sim::FlowId(0),
+            key,
+            size: 1048,
+            qdepth_pkts: 5,
+            qdepth_bytes: 5240,
+            egress_paused: false,
+            timestamp: Nanos(ts),
+        });
     });
 }
 
-fn bench_contribution_replay(c: &mut Criterion) {
+fn bench_contribution_replay() {
     use hawkeye_core::FlowAgg;
     let flows: Vec<(FlowKey, FlowAgg)> = (0..64u16)
         .map(|i| {
@@ -82,12 +106,12 @@ fn bench_contribution_replay(c: &mut Criterion) {
             )
         })
         .collect();
-    c.bench_function("contribution_replay_64_flows_6400_pkts", |b| {
-        b.iter(|| contribution(&flows, 131072.0, 80.0, ReplayConfig::default()))
+    bench("contribution_replay_64_flows_6400_pkts", move || {
+        contribution(&flows, 131072.0, 80.0, ReplayConfig::default())
     });
 }
 
-fn bench_graph_build(c: &mut Criterion) {
+fn bench_graph_build() {
     // Aggregate with data at every chain switch.
     let topo = chain(8, 2, EVAL_BANDWIDTH, EVAL_DELAY);
     let mut agg = AggTelemetry {
@@ -121,19 +145,20 @@ fn bench_graph_build(c: &mut Criterion) {
             }
         }
     }
-    c.bench_function("provenance_build_8sw_graph", |b| {
-        b.iter(|| build_graph(&agg, &topo, ReplayConfig::default()))
+    bench("provenance_build_8sw_graph", move || {
+        build_graph(&agg, &topo, ReplayConfig::default())
     });
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets =
-        bench_event_queue,
-        bench_simulation,
-        bench_telemetry_update,
-        bench_contribution_replay,
-        bench_graph_build
-);
-criterion_main!(benches);
+fn main() {
+    println!("micro benchmarks (hand-rolled harness; min is the stable statistic)");
+    bench_event_queue();
+    bench_simulation();
+    bench_telemetry_update();
+    bench_contribution_replay();
+    bench_graph_build();
+    let overhead_ok = bench_observed_overhead();
+    if std::env::var("HAWKEYE_OVERHEAD_STRICT").as_deref() == Ok("1") && !overhead_ok {
+        std::process::exit(1);
+    }
+}

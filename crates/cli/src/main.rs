@@ -7,14 +7,22 @@
 //! hawkeye cbd      <kind>                                  static deadlock-prevention analysis
 //! hawkeye dot      <kind>                                  provenance graph as Graphviz DOT
 //! hawkeye resources                                        Tofino resource model (Fig 13)
-//! hawkeye summary  <kind> [--load F] [--seed N]            network-wide run statistics
+//! hawkeye summary  <kind> [--load F] [--seed N] [--json]   network-wide run statistics
+//! hawkeye trace    <kind> [--format jsonl|chrome]          structured event trace of a run
 //! ```
 //! Kinds: incast, storm, inloop, oolc, oolinj, contention.
+//!
+//! `trace` emits sim-time-stamped events (PFC pause/resume, probe hops, CPU
+//! mirrors, detections, diagnosis stage spans) — `--format chrome` produces
+//! a file Perfetto / `chrome://tracing` load directly, `--format jsonl`
+//! (default) one JSON record per line, byte-identical across same-seed runs.
 
 use hawkeye_baselines::Method;
 use hawkeye_core::{BufferDependencyGraph, RootCause};
-use hawkeye_eval::{optimal_run_config, run_method, ScoreConfig};
+use hawkeye_eval::{optimal_run_config, run_hawkeye_obs, run_method, ScoreConfig};
+use hawkeye_obs::{kind as evkind, ObsConfig};
 use hawkeye_workloads::{build_scenario, ScenarioKind, ScenarioParams};
+use serde::Serialize;
 
 fn parse_kind(s: &str) -> Option<ScenarioKind> {
     Some(match s {
@@ -28,34 +36,65 @@ fn parse_kind(s: &str) -> Option<ScenarioKind> {
     })
 }
 
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum TraceFormat {
+    Jsonl,
+    Chrome,
+}
+
 struct Opts {
     load: f64,
     seed: u64,
     json: bool,
+    format: TraceFormat,
 }
 
-fn parse_opts(args: &[String]) -> Opts {
+/// Strict option parser: every `--flag` must be known and every value must
+/// parse; anything else is a usage error. Returns the parsed options plus
+/// the positional arguments (the scenario kind) in order.
+fn parse_opts(args: &[String]) -> Result<(Opts, Vec<String>), String> {
     let mut o = Opts {
         load: 0.1,
         seed: 1,
         json: false,
+        format: TraceFormat::Jsonl,
     };
+    let mut pos = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--load" => o.load = it.next().and_then(|v| v.parse().ok()).unwrap_or(o.load),
-            "--seed" => o.seed = it.next().and_then(|v| v.parse().ok()).unwrap_or(o.seed),
+            "--load" => {
+                let v = it.next().ok_or("--load requires a value")?;
+                o.load = v
+                    .parse()
+                    .map_err(|_| format!("--load: '{v}' is not a number"))?;
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed requires a value")?;
+                o.seed = v
+                    .parse()
+                    .map_err(|_| format!("--seed: '{v}' is not an unsigned integer"))?;
+            }
             "--json" => o.json = true,
-            _ => {}
+            "--format" => {
+                let v = it.next().ok_or("--format requires a value")?;
+                o.format = match v.as_str() {
+                    "jsonl" => TraceFormat::Jsonl,
+                    "chrome" => TraceFormat::Chrome,
+                    _ => return Err(format!("--format: '{v}' is not jsonl|chrome")),
+                };
+            }
+            flag if flag.starts_with('-') => return Err(format!("unknown option '{flag}'")),
+            _ => pos.push(a.clone()),
         }
     }
-    o
+    Ok((o, pos))
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: hawkeye <scenario|matrix|methods|cbd|dot|resources|summary> [kind] \
-         [--load F] [--seed N] [--json]\n\
+        "usage: hawkeye <scenario|matrix|methods|cbd|dot|resources|summary|trace> [kind] \
+         [--load F] [--seed N] [--json] [--format jsonl|chrome]\n\
          kinds: incast storm inloop oolc oolinj contention"
     );
     std::process::exit(2)
@@ -74,7 +113,12 @@ fn build(kind: ScenarioKind, o: &Opts) -> hawkeye_workloads::Scenario {
 
 fn cmd_scenario(kind: ScenarioKind, o: &Opts) {
     let sc = build(kind, o);
-    let out = run_method(&sc, &optimal_run_config(o.seed), Method::Hawkeye, &ScoreConfig::default());
+    let out = run_method(
+        &sc,
+        &optimal_run_config(o.seed),
+        Method::Hawkeye,
+        &ScoreConfig::default(),
+    );
     let Some(report) = &out.report else {
         println!("victim was never detected");
         return;
@@ -90,13 +134,19 @@ fn cmd_scenario(kind: ScenarioKind, o: &Opts) {
     for p in &report.pfc_paths {
         println!(
             "pfc path : {}",
-            p.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(" -> ")
+            p.iter()
+                .map(|x| x.to_string())
+                .collect::<Vec<_>>()
+                .join(" -> ")
         );
     }
     if let Some(lp) = &report.deadlock_loop {
         println!(
             "deadlock : {}",
-            lp.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(" -> ")
+            lp.iter()
+                .map(|x| x.to_string())
+                .collect::<Vec<_>>()
+                .join(" -> ")
         );
     }
     for rc in &report.root_causes {
@@ -125,12 +175,19 @@ fn cmd_matrix(o: &Opts) {
     println!("{:<33} {:<10} diagnosis", "anomaly", "verdict");
     for kind in ScenarioKind::ALL {
         let sc = build(kind, o);
-        let out = run_method(&sc, &optimal_run_config(o.seed), Method::Hawkeye, &ScoreConfig::default());
+        let out = run_method(
+            &sc,
+            &optimal_run_config(o.seed),
+            Method::Hawkeye,
+            &ScoreConfig::default(),
+        );
         println!(
             "{:<33} {:<10} {}",
             kind.name(),
-            out.verdict.map_or("Undetected".into(), |v| format!("{v:?}")),
-            out.report.map_or("-".into(), |r| format!("{:?}", r.anomaly)),
+            out.verdict
+                .map_or("Undetected".into(), |v| format!("{v:?}")),
+            out.report
+                .map_or("-".into(), |r| format!("{:?}", r.anomaly)),
         );
     }
 }
@@ -146,7 +203,8 @@ fn cmd_methods(kind: ScenarioKind, o: &Opts) {
         println!(
             "{:<13} {:<17} {:<10} {:<10} {}",
             m.name(),
-            out.verdict.map_or("Undetected".into(), |v| format!("{v:?}")),
+            out.verdict
+                .map_or("Undetected".into(), |v| format!("{v:?}")),
             out.collected_switches.len(),
             out.processing_bytes,
             out.bandwidth_bytes
@@ -168,7 +226,10 @@ fn cmd_cbd(kind: ScenarioKind, o: &Opts) {
     for cyc in &cycles {
         println!(
             "  CBD: {}",
-            cyc.iter().map(|p| p.to_string()).collect::<Vec<_>>().join(" -> ")
+            cyc.iter()
+                .map(|p| p.to_string())
+                .collect::<Vec<_>>()
+                .join(" -> ")
         );
         for f in g.cycle_flows(cyc) {
             println!("    via flow {f}");
@@ -192,16 +253,61 @@ fn cmd_dot(kind: ScenarioKind) {
 
 fn cmd_summary(kind: ScenarioKind, o: &Opts) {
     use hawkeye_core::{HawkeyeConfig, HawkeyeHook};
+    use hawkeye_obs::MetricsRegistry;
     use hawkeye_sim::RunSummary;
     let sc = build(kind, o);
     let hook = HawkeyeHook::new(&sc.topo, HawkeyeConfig::default());
     let mut sim = sc.instantiate_seeded(o.seed, hawkeye_workloads::Scenario::agent(2.0), hook);
     sim.run_until(sc.params.duration);
-    let s = RunSummary::of(&sim);
+    let mut reg = MetricsRegistry::new();
+    let s = RunSummary::of_with(&sim, &mut reg);
     if o.json {
-        println!("{}", serde_json::to_string_pretty(&s).unwrap());
+        let doc = serde::Value::Object(vec![
+            ("summary".to_string(), s.to_value()),
+            ("metrics".to_string(), reg.snapshot().to_value()),
+        ]);
+        println!("{}", serde_json::to_string_pretty(&doc).unwrap());
     } else {
         println!("{s:#?}");
+        let snap = reg.snapshot();
+        println!(
+            "metrics  : {} counters, {} gauges, {} histograms (use --json for the full snapshot)",
+            snap.counters.len(),
+            snap.gauges.len(),
+            snap.histograms.len()
+        );
+    }
+}
+
+/// Run one scenario under the observed Hawkeye pipeline and emit its event
+/// trace to stdout. Events carry simulation timestamps only, so the JSONL
+/// output is byte-identical across runs with the same seed.
+fn cmd_trace(kind: ScenarioKind, o: &Opts) {
+    let sc = build(kind, o);
+    let ocfg = ObsConfig {
+        enabled: true,
+        // Per-packet enqueue events are excluded by default: they dwarf the
+        // control-plane signal and would evict it from the ring.
+        capacity: 1 << 20,
+        mask: evkind::DEFAULT,
+    };
+    let (_, obs) = run_hawkeye_obs(
+        &sc,
+        &optimal_run_config(o.seed),
+        &ScoreConfig::default(),
+        ocfg,
+    );
+    let recs: Vec<_> = obs.tracer.records().cloned().collect();
+    match o.format {
+        TraceFormat::Jsonl => print!("{}", hawkeye_obs::emit::jsonl(&recs)),
+        TraceFormat::Chrome => println!("{}", hawkeye_obs::emit::chrome_trace(&recs)),
+    }
+    if obs.tracer.dropped() > 0 {
+        eprintln!(
+            "note: ring buffer overflowed, oldest {} of {} events dropped",
+            obs.tracer.dropped(),
+            obs.tracer.recorded()
+        );
     }
 }
 
@@ -219,16 +325,36 @@ fn cmd_resources() {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else { usage() };
-    let opts = parse_opts(&args[1..]);
-    let kind_arg = args.get(1).and_then(|k| parse_kind(k));
+    let (opts, pos) = match parse_opts(&args[1..]) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("hawkeye: {e}");
+            usage()
+        }
+    };
+    if pos.len() > 1 {
+        eprintln!("hawkeye: unexpected argument '{}'", pos[1]);
+        usage()
+    }
+    let kind_arg = match pos.first() {
+        Some(k) => match parse_kind(k) {
+            Some(k) => Some(k),
+            None => {
+                eprintln!("hawkeye: unknown kind '{k}'");
+                usage()
+            }
+        },
+        None => None,
+    };
     match (cmd.as_str(), kind_arg) {
         ("scenario", Some(k)) => cmd_scenario(k, &opts),
-        ("matrix", _) => cmd_matrix(&opts),
+        ("matrix", None) => cmd_matrix(&opts),
         ("methods", Some(k)) => cmd_methods(k, &opts),
         ("cbd", Some(k)) => cmd_cbd(k, &opts),
         ("dot", Some(k)) => cmd_dot(k),
-        ("resources", _) => cmd_resources(),
+        ("resources", None) => cmd_resources(),
         ("summary", Some(k)) => cmd_summary(k, &opts),
+        ("trace", Some(k)) => cmd_trace(k, &opts),
         _ => usage(),
     }
 }

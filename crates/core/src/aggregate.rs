@@ -127,12 +127,13 @@ impl AggTelemetry {
             ..Default::default()
         };
         // (switch, slot, id) -> (taken_at, snapshot idx, epoch idx)
-        let mut latest_epoch: HashMap<(NodeId, usize, u8), (Nanos, usize, usize)> =
-            HashMap::new();
+        let mut latest_epoch: HashMap<(NodeId, usize, u8), (Nanos, usize, usize)> = HashMap::new();
         let mut latest_snap: HashMap<NodeId, (Nanos, usize)> = HashMap::new();
         for (si, snap) in snapshots.iter().enumerate() {
             agg.collected.insert(snap.switch);
-            let ls = latest_snap.entry(snap.switch).or_insert((snap.taken_at, si));
+            let ls = latest_snap
+                .entry(snap.switch)
+                .or_insert((snap.taken_at, si));
             if snap.taken_at >= ls.0 {
                 *ls = (snap.taken_at, si);
             }
@@ -145,8 +146,10 @@ impl AggTelemetry {
                 }
             }
         }
-        let mut chosen: Vec<(usize, usize)> =
-            latest_epoch.into_values().map(|(_, si, ei)| (si, ei)).collect();
+        let mut chosen: Vec<(usize, usize)> = latest_epoch
+            .into_values()
+            .map(|(_, si, ei)| (si, ei))
+            .collect();
         chosen.sort_unstable();
         for (si, ei) in chosen {
             let snap = &snapshots[si];
@@ -204,8 +207,10 @@ impl AggTelemetry {
         // snapshot's list only. Their out_port association is kept; the
         // slot's reconstructed timing is gone, so treat them as in-window,
         // which errs toward completeness.
-        let mut latest: Vec<(NodeId, usize)> =
-            latest_snap.into_iter().map(|(sw, (_, si))| (sw, si)).collect();
+        let mut latest: Vec<(NodeId, usize)> = latest_snap
+            .into_iter()
+            .map(|(sw, (_, si))| (sw, si))
+            .collect();
         latest.sort_unstable();
         for (_, si) in latest {
             let snap = &snapshots[si];

@@ -4,6 +4,7 @@
 use crate::aggregate::{AggTelemetry, Window};
 use crate::diagnosis::{diagnose, DiagnosisConfig, DiagnosisReport};
 use crate::provenance::{build_graph, ProvenanceGraph, ReplayConfig};
+use hawkeye_obs::{Recorder, Stage};
 use hawkeye_sim::{Detection, Nanos, Topology};
 use hawkeye_telemetry::TelemetrySnapshot;
 
@@ -58,12 +59,41 @@ pub fn analyze_victim_window(
     topo: &Topology,
     cfg: &AnalyzerConfig,
 ) -> (DiagnosisReport, ProvenanceGraph, AggTelemetry) {
-    let mut agg = AggTelemetry::build(snapshots, window);
+    analyze_victim_window_obs(
+        victim,
+        window,
+        snapshots,
+        topo,
+        cfg,
+        &mut Recorder::disabled(),
+    )
+}
+
+/// [`analyze_victim_window`] with span timing: each pipeline stage —
+/// telemetry aggregation, Algorithm 1 graph build, Algorithm 2 signature
+/// match — is timed into `obs` ([`hawkeye_obs::StageProfile`] wall-clock +
+/// a sim-time-only `StageSpan` trace event over the analysis window).
+pub fn analyze_victim_window_obs(
+    victim: &hawkeye_sim::FlowKey,
+    window: Window,
+    snapshots: &[TelemetrySnapshot],
+    topo: &Topology,
+    cfg: &AnalyzerConfig,
+    obs: &mut Recorder,
+) -> (DiagnosisReport, ProvenanceGraph, AggTelemetry) {
+    let (from, to) = (window.from.as_nanos(), window.to.as_nanos());
+    let mut agg = obs.stage(Stage::TelemetryCollection, from, to, || {
+        AggTelemetry::build(snapshots, window)
+    });
     if agg.epoch_len == Nanos::ZERO {
         agg.epoch_len = cfg.epoch_len;
     }
-    let g = build_graph(&agg, topo, cfg.replay);
-    let report = diagnose(&g, topo, &agg, victim, cfg.diagnosis);
+    let g = obs.stage(Stage::GraphBuild, from, to, || {
+        build_graph(&agg, topo, cfg.replay)
+    });
+    let report = obs.stage(Stage::SignatureMatch, from, to, || {
+        diagnose(&g, topo, &agg, victim, cfg.diagnosis)
+    });
     (report, g, agg)
 }
 
@@ -75,8 +105,25 @@ pub fn analyze_detection(
     topo: &Topology,
     cfg: &AnalyzerConfig,
 ) -> (DiagnosisReport, ProvenanceGraph, AggTelemetry) {
+    analyze_detection_obs(det, snapshots, topo, cfg, &mut Recorder::disabled())
+}
+
+/// [`analyze_detection`] with span timing (see
+/// [`analyze_victim_window_obs`]).
+pub fn analyze_detection_obs(
+    det: &Detection,
+    snapshots: &[TelemetrySnapshot],
+    topo: &Topology,
+    cfg: &AnalyzerConfig,
+    obs: &mut Recorder,
+) -> (DiagnosisReport, ProvenanceGraph, AggTelemetry) {
     let window = detection_window(det, cfg);
-    let mut agg = AggTelemetry::build(snapshots, window);
+    let mut agg = obs.stage(
+        Stage::TelemetryCollection,
+        window.from.as_nanos(),
+        window.to.as_nanos(),
+        || AggTelemetry::build(snapshots, window),
+    );
     if agg.ports.is_empty() && !snapshots.is_empty() {
         // Stalled-network fallback: in a full deadlock nothing enqueues
         // anymore, so the epoch ring froze before the detection window.
@@ -96,7 +143,12 @@ pub fn analyze_detection(
     if agg.epoch_len == Nanos::ZERO {
         agg.epoch_len = cfg.epoch_len;
     }
-    let g = build_graph(&agg, topo, cfg.replay);
-    let report = diagnose(&g, topo, &agg, &det.key, cfg.diagnosis);
+    let (from, to) = (window.from.as_nanos(), window.to.as_nanos());
+    let g = obs.stage(Stage::GraphBuild, from, to, || {
+        build_graph(&agg, topo, cfg.replay)
+    });
+    let report = obs.stage(Stage::SignatureMatch, from, to, || {
+        diagnose(&g, topo, &agg, &det.key, cfg.diagnosis)
+    });
     (report, g, agg)
 }

@@ -93,7 +93,12 @@ impl Collector {
 
     /// Snapshots from the collections a specific victim's polling packets
     /// triggered within a time window.
-    pub fn snapshots_for(&self, victim: &FlowKey, from: Nanos, to: Nanos) -> Vec<TelemetrySnapshot> {
+    pub fn snapshots_for(
+        &self,
+        victim: &FlowKey,
+        from: Nanos,
+        to: Nanos,
+    ) -> Vec<TelemetrySnapshot> {
         self.events
             .iter()
             .filter(|e| e.victim == *victim && e.at >= from && e.at <= to)

@@ -5,9 +5,9 @@
 use crate::aggregate::AggTelemetry;
 use crate::provenance::{victim_extents, ProvenanceGraph, ReplayConfig};
 use crate::signature::{contributors, has_flow_contention, CONTENTION_EPS};
-use hawkeye_sim::{FlowKey, NodeId, PortId, Topology, DATA_PKT_SIZE};
 #[cfg(test)]
 use hawkeye_sim::Nanos;
+use hawkeye_sim::{FlowKey, NodeId, PortId, Topology, DATA_PKT_SIZE};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, HashMap};
 
@@ -301,18 +301,13 @@ impl<'a> Walker<'a> {
             .map(|(pa, _)| pa.avg_qdepth())
             .fold(0.0f64, f64::max);
         let floor = self.cfg.onset_qdepth.max(0.5 * peak);
-        let mut onset = epochs
-            .iter()
-            .position(|(pa, _)| pa.avg_qdepth() >= floor)?;
+        let mut onset = epochs.iter().position(|(pa, _)| pa.avg_qdepth() >= floor)?;
         // The buildup may straddle an epoch boundary: walk back over
         // immediately preceding epochs that already show queueing, so the
         // true first congested epoch is inside the onset window rather than
         // polluting the baseline.
         let mut extra = 0usize;
-        while onset > 0
-            && extra < 1
-            && epochs[onset - 1].0.avg_qdepth() >= self.cfg.onset_qdepth
-        {
+        while onset > 0 && extra < 1 && epochs[onset - 1].0.avg_qdepth() >= self.cfg.onset_qdepth {
             onset -= 1;
             extra += 1;
         }
@@ -337,8 +332,8 @@ impl<'a> Walker<'a> {
             .take_while(|(pa, _)| pa.avg_qdepth() >= self.cfg.onset_qdepth)
         {
             for (key, fa) in fs {
-                let excess = fa.contention_pkts() as f64
-                    - baseline.get(key).copied().unwrap_or(0.0);
+                let excess =
+                    fa.contention_pkts() as f64 - baseline.get(key).copied().unwrap_or(0.0);
                 if excess > 0.0 {
                     *total.entry(*key).or_default() += excess;
                 }
@@ -403,9 +398,8 @@ impl<'a> Walker<'a> {
                             .topo
                             .flow_path(&key)
                             .map(|path| {
-                                path.iter().any(|(sw, _, out)| {
-                                    loop_set.contains(&PortId::new(*sw, *out))
-                                })
+                                path.iter()
+                                    .any(|(sw, _, out)| loop_set.contains(&PortId::new(*sw, *out)))
                             })
                             .unwrap_or(false);
                         if crosses {
@@ -462,10 +456,7 @@ impl<'a> Walker<'a> {
             let onset_ports: Vec<usize> = lp
                 .iter()
                 .copied()
-                .filter(|&p| {
-                    self.onset_contributors(p)
-                        .is_some_and(|c| !c.is_empty())
-                })
+                .filter(|&p| self.onset_contributors(p).is_some_and(|c| !c.is_empty()))
                 .collect();
             if !onset_ports.is_empty() {
                 for p in onset_ports {
@@ -574,7 +565,9 @@ pub fn diagnose(
         // other than the victim as the top contributor.
         let mut found = false;
         for port in topo.flow_egress_ports(victim) {
-            let Some(p) = g.port_index(port) else { continue };
+            let Some(p) = g.port_index(port) else {
+                continue;
+            };
             if let Some(flows) = w.onset_contributors(p) {
                 let victim_is_top = flows.first().is_some_and(|(k, _)| k == victim);
                 if !flows.is_empty() && !victim_is_top {
@@ -594,12 +587,7 @@ pub fn diagnose(
         // spreading path is the complete chain; off-path extents (stale
         // lookback) come last, by severity.
         let path_ports = topo.flow_egress_ports(victim);
-        let pos = |p: &PortId| {
-            path_ports
-                .iter()
-                .position(|x| x == p)
-                .unwrap_or(usize::MAX)
-        };
+        let pos = |p: &PortId| path_ports.iter().position(|x| x == p).unwrap_or(usize::MAX);
         let mut starts = extents.clone();
         starts.sort_by(|a, b| {
             pos(&a.0)
@@ -630,11 +618,7 @@ pub fn diagnose(
                 let primary = w
                     .roots
                     .iter()
-                    .max_by(|a, b| {
-                        w.root_severity(a)
-                            .partial_cmp(&w.root_severity(b))
-                            .unwrap()
-                    })
+                    .max_by(|a, b| w.root_severity(a).partial_cmp(&w.root_severity(b)).unwrap())
                     .unwrap();
                 anomaly = match primary {
                     RootCause::HostPfcInjection { .. } => AnomalyType::PfcStorm,
@@ -702,7 +686,10 @@ mod tests {
         let g = graph_backpressure_contention(&topo);
         let r = diagnose(&g, &topo, &agg, &fkey(1), DiagnosisConfig::default());
         assert_eq!(r.anomaly, AnomalyType::MicroBurstIncast);
-        assert_eq!(r.root_cause_flows(), vec![fkey(3), fkey(4), fkey(5), fkey(6)]);
+        assert_eq!(
+            r.root_cause_flows(),
+            vec![fkey(3), fkey(4), fkey(5), fkey(6)]
+        );
         assert_eq!(r.pfc_paths.len(), 1);
         assert_eq!(r.pfc_paths[0].len(), 3, "SW1.P1 -> SW2.P3 -> SW4.P1");
         assert!(r.deadlock_loop.is_none());

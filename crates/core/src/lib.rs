@@ -29,7 +29,10 @@ pub mod signature;
 pub mod test_graphs;
 
 pub use aggregate::{AggTelemetry, FlowAgg, PortAgg, Window};
-pub use analyzer::{analyze_detection, analyze_victim_window, detection_window, AnalyzerConfig};
+pub use analyzer::{
+    analyze_detection, analyze_detection_obs, analyze_victim_window, analyze_victim_window_obs,
+    detection_window, AnalyzerConfig,
+};
 pub use cbd::BufferDependencyGraph;
 pub use collector::{CollectionEvent, Collector, CollectorConfig};
 pub use diagnosis::{diagnose, AnomalyType, DiagnosisConfig, DiagnosisReport, RootCause};

@@ -14,9 +14,9 @@
 //!   contributors are positive and victims negative.
 
 use crate::aggregate::AggTelemetry;
-use hawkeye_sim::{FlowKey, PortId, Topology};
 #[cfg(test)]
 use hawkeye_sim::NodeId;
+use hawkeye_sim::{FlowKey, PortId, Topology};
 use std::collections::HashMap;
 
 /// Contribution replay tuning.
@@ -222,9 +222,12 @@ pub fn build_graph(agg: &AggTelemetry, topo: &Topology, replay: ReplayConfig) ->
             if qdepth < replay.min_qdepth && pj_paused == 0 {
                 continue;
             }
-            let qdepth = if pj_paused > 0 { qdepth.max(1.0) } else { qdepth };
-            let weight =
-                pa.paused_num as f64 * (bytes as f64 / sum_meter as f64) * qdepth;
+            let qdepth = if pj_paused > 0 {
+                qdepth.max(1.0)
+            } else {
+                qdepth
+            };
+            let weight = pa.paused_num as f64 * (bytes as f64 / sum_meter as f64) * qdepth;
             if weight > 0.0 {
                 let i = g.add_port(pi);
                 let j = g.add_port(pj);
@@ -317,8 +320,7 @@ pub fn contribution(
 
     // Replay a FIFO queue draining one MTU per pkt_tx_ns.
     let mut w = vec![0u64; n * n];
-    let mut queue: std::collections::VecDeque<(f64, usize)> =
-        std::collections::VecDeque::new();
+    let mut queue: std::collections::VecDeque<(f64, usize)> = std::collections::VecDeque::new();
     let mut in_queue = vec![0u64; n];
     let mut busy_until = 0.0f64;
     for &(t, fi) in &arrivals {

@@ -14,7 +14,9 @@ pub const CONTENTION_EPS: f64 = 1e-9;
 
 /// Does any flow positively contend at `port`?
 pub fn has_flow_contention(g: &ProvenanceGraph, port: usize) -> bool {
-    g.contention_at(port).iter().any(|&(_, w)| w > CONTENTION_EPS)
+    g.contention_at(port)
+        .iter()
+        .any(|&(_, w)| w > CONTENTION_EPS)
 }
 
 /// Positive contributors at `port`, heaviest first.
@@ -94,11 +96,8 @@ pub fn terminal_ports(g: &ProvenanceGraph, start: usize) -> Vec<usize> {
 /// Table 2 row 1 — *Micro-bursts incast*: a PFC path exists whose terminal
 /// (out-degree-0) port shows flow contention.
 pub fn sig_microburst_incast(g: &ProvenanceGraph) -> bool {
-    (0..g.ports.len()).any(|p| {
-        g.out_deg_port(p) == 0
-            && has_flow_contention(g, p)
-            && port_has_incoming(g, p)
-    })
+    (0..g.ports.len())
+        .any(|p| g.out_deg_port(p) == 0 && has_flow_contention(g, p) && port_has_incoming(g, p))
 }
 
 /// Table 2 row 2 — *In-loop deadlock*: a port-level loop in which every
@@ -141,9 +140,8 @@ pub fn sig_out_of_loop_deadlock(g: &ProvenanceGraph) -> Option<bool> {
 /// Table 2 row 5 — *PFC storm*: a PFC path whose terminal port has no
 /// positive flow contention (host PFC injection).
 pub fn sig_pfc_storm(g: &ProvenanceGraph) -> bool {
-    (0..g.ports.len()).any(|p| {
-        g.out_deg_port(p) == 0 && !has_flow_contention(g, p) && port_has_incoming(g, p)
-    })
+    (0..g.ports.len())
+        .any(|p| g.out_deg_port(p) == 0 && !has_flow_contention(g, p) && port_has_incoming(g, p))
 }
 
 /// Table 2 row 6 — *Normal flow contention*: no port-level edges anywhere
@@ -204,7 +202,10 @@ mod tests {
         assert_eq!(sig_out_of_loop_deadlock(&g), Some(true), "contention root");
         let g = graph_out_of_loop_deadlock(&t(), false);
         assert_eq!(sig_out_of_loop_deadlock(&g), Some(false), "injection root");
-        assert!(!sig_in_loop_deadlock(&graph_out_of_loop_deadlock(&t(), true)));
+        assert!(!sig_in_loop_deadlock(&graph_out_of_loop_deadlock(
+            &t(),
+            true
+        )));
     }
 
     #[test]

@@ -67,17 +67,29 @@ impl Default for EvalConfig {
 }
 
 fn env_usize(k: &str, d: usize) -> usize {
-    std::env::var(k).ok().and_then(|v| v.parse().ok()).unwrap_or(d)
+    std::env::var(k)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(d)
 }
 fn env_f64(k: &str, d: f64) -> f64 {
-    std::env::var(k).ok().and_then(|v| v.parse().ok()).unwrap_or(d)
+    std::env::var(k)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(d)
 }
 
 /// The paper's epoch-size sweep: ~100 µs to ~2 ms (power-of-two actuals).
 pub fn epoch_sweep() -> Vec<(&'static str, EpochConfig)> {
     vec![
-        ("100us", EpochConfig::for_epoch_len(Nanos::from_micros(100), 2)),
-        ("500us", EpochConfig::for_epoch_len(Nanos::from_micros(500), 2)),
+        (
+            "100us",
+            EpochConfig::for_epoch_len(Nanos::from_micros(100), 2),
+        ),
+        (
+            "500us",
+            EpochConfig::for_epoch_len(Nanos::from_micros(500), 2),
+        ),
         ("1ms", EpochConfig::for_epoch_len(Nanos::from_millis(1), 2)),
         ("2ms", EpochConfig::for_epoch_len(Nanos::from_millis(2), 2)),
     ]
@@ -287,7 +299,9 @@ pub fn fig10_granularity(cfg: &EvalConfig) -> FigureTable {
              (trials={} per anomaly, load={})",
             cfg.trials, cfg.load
         ),
-        headers: ["telemetry", "precision", "recall"].map(String::from).to_vec(),
+        headers: ["telemetry", "precision", "recall"]
+            .map(String::from)
+            .to_vec(),
         rows,
     }
 }
@@ -356,9 +370,7 @@ pub fn verdict_breakdown(outcomes: &[MethodOutcome]) -> Vec<(String, usize)> {
 /// **Figure 12**: the case-study provenance graphs of the four PFC
 /// anomalies, rendered as Graphviz DOT plus a diagnosis summary.
 pub fn fig12_case_study() -> Vec<(String, String, String)> {
-    use hawkeye_core::{
-        analyze_victim_window, AnalyzerConfig, HawkeyeConfig, HawkeyeHook, Window,
-    };
+    use hawkeye_core::{analyze_victim_window, AnalyzerConfig, HawkeyeConfig, HawkeyeHook, Window};
     use hawkeye_telemetry::TelemetryConfig;
     use hawkeye_workloads::Scenario;
 
@@ -421,12 +433,17 @@ pub fn fig12_case_study() -> Vec<(String, String, String)> {
             report
                 .pfc_paths
                 .iter()
-                .map(|p| p.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(" -> "))
+                .map(|p| p
+                    .iter()
+                    .map(|x| x.to_string())
+                    .collect::<Vec<_>>()
+                    .join(" -> "))
                 .collect::<Vec<_>>(),
-            report
-                .deadlock_loop
-                .as_ref()
-                .map(|l| l.iter().map(|p| p.to_string()).collect::<Vec<_>>().join(", ")),
+            report.deadlock_loop.as_ref().map(|l| l
+                .iter()
+                .map(|p| p.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")),
             report.root_causes.len()
         );
         out.push((kind.name().into(), graph.to_dot(sim.topo()), summary));

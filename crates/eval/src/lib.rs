@@ -17,4 +17,4 @@ pub use figures::{
 };
 pub use methods::{run_method, MethodOutcome};
 pub use metrics::{judge, PrecisionRecall, ScoreConfig, Verdict};
-pub use runner::{run_hawkeye, RunConfig, RunOutcome};
+pub use runner::{run_hawkeye, run_hawkeye_obs, RunConfig, RunOutcome};

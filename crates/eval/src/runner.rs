@@ -1,13 +1,20 @@
 //! Run one scenario under the Hawkeye pipeline (or a tracing-policy
 //! variant) and extract everything the figures need: the victim diagnosis,
 //! collection/overhead statistics, and causal-switch coverage.
+//!
+//! Every counter reported on [`RunOutcome`] is first folded into a
+//! [`hawkeye_obs::MetricsRegistry`] and then read back from it, so the
+//! registry snapshot carried on the outcome is the single source of truth:
+//! a figure script consuming `outcome.metrics` sees exactly the numbers the
+//! outcome fields were computed from.
 
 use crate::metrics::{judge, ScoreConfig, Verdict};
 use hawkeye_core::{
-    analyze_victim_window, AnalyzerConfig, DiagnosisReport, HawkeyeConfig, HawkeyeHook,
+    analyze_victim_window_obs, AnalyzerConfig, DiagnosisReport, HawkeyeConfig, HawkeyeHook,
     TracingPolicy, Window,
 };
-use hawkeye_sim::{Detection, Nanos, NodeId};
+use hawkeye_obs::{MetricKey, MetricsSnapshot, ObsConfig, Recorder};
+use hawkeye_sim::{record_sim_metrics, trace_detections, Detection, Nanos, NodeId, ObservedHook};
 use hawkeye_telemetry::{EpochConfig, TelemetryConfig};
 use hawkeye_workloads::Scenario;
 
@@ -54,10 +61,26 @@ pub struct RunOutcome {
     /// Total data packets forwarded (for normalizing overheads).
     pub data_packets: u64,
     pub all_detections: usize,
+    /// The registry snapshot every counter above was read back from.
+    pub metrics: MetricsSnapshot,
 }
 
 /// Run a scenario under Hawkeye (full or victim-only tracing).
 pub fn run_hawkeye(scenario: &Scenario, cfg: &RunConfig, score: &ScoreConfig) -> RunOutcome {
+    run_hawkeye_obs(scenario, cfg, score, ObsConfig::off()).0
+}
+
+/// [`run_hawkeye`] with observability: the simulation runs under an
+/// [`ObservedHook`] so PFC pause/resume, probe hops, CPU mirrors and
+/// detections land in the recorder's trace, and the diagnosis stages are
+/// span-timed. Returns the recorder alongside the outcome so callers can
+/// emit the trace (JSONL / Chrome) or inspect the stage profile.
+pub fn run_hawkeye_obs(
+    scenario: &Scenario,
+    cfg: &RunConfig,
+    score: &ScoreConfig,
+    ocfg: ObsConfig,
+) -> (RunOutcome, Recorder) {
     let hcfg = HawkeyeConfig {
         telemetry: TelemetryConfig {
             epochs: cfg.epoch,
@@ -66,13 +89,15 @@ pub fn run_hawkeye(scenario: &Scenario, cfg: &RunConfig, score: &ScoreConfig) ->
         policy: cfg.policy,
         ..Default::default()
     };
-    let hook = HawkeyeHook::new(&scenario.topo, hcfg);
+    let hook = ObservedHook::new(HawkeyeHook::new(&scenario.topo, hcfg), ocfg);
     let mut agent = Scenario::agent(cfg.threshold_factor);
     agent.dedup_interval = Nanos::from_micros(400);
     let mut sim = scenario.instantiate_seeded(cfg.sim_seed, agent, hook);
     sim.run_until(scenario.params.duration);
 
     let dets = sim.detections();
+    trace_detections(&mut sim.hook.obs, &dets);
+
     // A persisting anomaly re-triggers detection every dedup interval; the
     // diagnosis window spans from before the FIRST post-anomaly detection
     // (onset evidence) to after the LAST (fully-developed causality — a
@@ -83,8 +108,9 @@ pub fn run_hawkeye(scenario: &Scenario, cfg: &RunConfig, score: &ScoreConfig) ->
         .collect();
     let detection = victim_dets.last().copied().copied();
 
-    let snapshots = sim.hook.collector.snapshots();
+    let snapshots = sim.hook.inner().collector.snapshots();
     let analyzer = AnalyzerConfig::for_epoch_len(cfg.epoch.epoch_len());
+    let topo = sim.topo().clone();
     let report = detection.as_ref().map(|_| {
         let first = victim_dets.first().unwrap().at;
         let last = victim_dets.last().unwrap().at;
@@ -93,12 +119,21 @@ pub fn run_hawkeye(scenario: &Scenario, cfg: &RunConfig, score: &ScoreConfig) ->
             from: first.saturating_sub(hawkeye_sim::Nanos(ep * analyzer.lookback_epochs)),
             to: last + cfg.epoch.epoch_len(),
         };
-        analyze_victim_window(&scenario.truth.victim, window, &snapshots, sim.topo(), &analyzer).0
+        analyze_victim_window_obs(
+            &scenario.truth.victim,
+            window,
+            &snapshots,
+            &topo,
+            &analyzer,
+            &mut sim.hook.obs,
+        )
+        .0
     });
     let verdict = report.as_ref().map(|r| judge(&scenario.truth, r, score));
 
     let mut collected: Vec<NodeId> = sim
         .hook
+        .inner()
         .collector
         .events
         .iter()
@@ -113,19 +148,53 @@ pub fn run_hawkeye(scenario: &Scenario, cfg: &RunConfig, score: &ScoreConfig) ->
         .filter(|s| collected.contains(s))
         .count();
 
-    RunOutcome {
+    // Fold everything into the registry, then read the outcome's counters
+    // back out of it — the snapshot and the fields can never disagree.
+    let mut obs = std::mem::replace(&mut sim.hook.obs, Recorder::disabled());
+    record_sim_metrics(&sim, &mut obs.metrics);
+    let collector = &sim.hook.inner().collector;
+    let m = &mut obs.metrics;
+    m.add(
+        MetricKey::global("collected_bytes"),
+        collector.total_bytes() as u64,
+    );
+    m.add(
+        MetricKey::global("collected_bytes_full_dump"),
+        collector.total_bytes_full_dump() as u64,
+    );
+    m.add(
+        MetricKey::global("report_packets"),
+        collector.report_packets() as u64,
+    );
+    let probes_emitted = m.counter_total("probes_emitted");
+    m.add(
+        MetricKey::global("polling_packets"),
+        probes_emitted + dets.len() as u64,
+    );
+    m.set(
+        MetricKey::global("collected_switches"),
+        collected.len() as f64,
+    );
+    m.set(MetricKey::global("causal_covered"), causal_covered as f64);
+    m.set(
+        MetricKey::global("causal_total"),
+        scenario.truth.causal_switches.len() as f64,
+    );
+
+    let outcome = RunOutcome {
         detection,
         verdict,
         causal_covered,
         causal_total: scenario.truth.causal_switches.len(),
-        collected_bytes: sim.hook.collector.total_bytes(),
-        collected_bytes_full_dump: sim.hook.collector.total_bytes_full_dump(),
-        report_packets: sim.hook.collector.report_packets(),
-        polling_packets: sim.sum_switch_stats(|s| s.probes_emitted)
-            + dets.len() as u64,
-        data_packets: sim.sum_switch_stats(|s| s.data_pkts),
-        all_detections: dets.len(),
+        collected_bytes: m.counter_total("collected_bytes") as usize,
+        collected_bytes_full_dump: m.counter_total("collected_bytes_full_dump") as usize,
+        report_packets: m.counter_total("report_packets") as usize,
+        polling_packets: m.counter_total("polling_packets"),
+        data_packets: m.counter_total("switch_data_pkts"),
+        all_detections: m.counter_total("detections") as usize,
         collected_switches: collected,
         report,
-    }
+        metrics: m.snapshot(),
+    };
+    (outcome, obs)
 }

@@ -1,0 +1,214 @@
+//! The trace vocabulary: everything the simulator and the diagnosis
+//! pipeline can put on the timeline.
+//!
+//! Events carry raw integer identifiers (`NodeId.0`, `FlowId.0`, ports) so
+//! this crate needs nothing from the simulator; timestamps are simulation
+//! nanoseconds, never wall-clock, which is what makes two same-seed runs
+//! produce byte-identical traces.
+
+use serde::{Deserialize, Serialize};
+
+/// Bitmask constants selecting event kinds in a [`crate::Tracer`] filter.
+pub mod kind {
+    /// Per-packet enqueue records — by far the highest-volume kind.
+    pub const ENQUEUE: u32 = 1;
+    /// PFC PAUSE / RESUME frames.
+    pub const PFC: u32 = 1 << 1;
+    /// Polling-packet (probe) hops.
+    pub const PROBE: u32 = 1 << 2;
+    /// Probe mirrors to a switch CPU.
+    pub const CPU_MIRROR: u32 = 1 << 3;
+    /// End-host victim detections.
+    pub const DETECTION: u32 = 1 << 4;
+    /// Diagnosis-pipeline stage spans.
+    pub const STAGE: u32 = 1 << 5;
+
+    pub const ALL: u32 = ENQUEUE | PFC | PROBE | CPU_MIRROR | DETECTION | STAGE;
+    /// Everything except per-packet enqueues: the default for CLI tracing,
+    /// where millions of enqueues would otherwise evict the interesting
+    /// causal events from the ring.
+    pub const DEFAULT: u32 = ALL & !ENQUEUE;
+}
+
+/// One structured trace event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A data packet was enqueued at an egress queue.
+    Enqueue {
+        switch: u32,
+        in_port: u8,
+        out_port: u8,
+        flow: u32,
+        size: u32,
+        qdepth_pkts: u32,
+        qdepth_bytes: u64,
+        paused: bool,
+    },
+    /// A PFC PAUSE frame arrived at (switch, port) for `class`.
+    PfcPause {
+        switch: u32,
+        port: u8,
+        class: u8,
+        pause_ns: u64,
+    },
+    /// A PFC RESUME frame arrived at (switch, port) for `class`.
+    PfcResume { switch: u32, port: u8, class: u8 },
+    /// A polling packet traversed a switch.
+    ProbeHop {
+        switch: u32,
+        in_port: u8,
+        victim_src: u32,
+        victim_dst: u32,
+        victim_sport: u16,
+        flags: u8,
+        ttl: u8,
+        /// Number of copies the hook decided to emit.
+        emitted: u32,
+        /// Whether the hook mirrored the probe to the switch CPU.
+        mirrored: bool,
+    },
+    /// A probe was mirrored to a switch CPU (telemetry pull trigger).
+    CpuMirror {
+        switch: u32,
+        victim_src: u32,
+        victim_dst: u32,
+        victim_sport: u16,
+    },
+    /// An end host flagged a flow as a victim.
+    Detection {
+        victim_src: u32,
+        victim_dst: u32,
+        victim_sport: u16,
+        rtt_ns: u64,
+    },
+    /// A diagnosis-pipeline stage ran over the sim-time window
+    /// `[from_ns, to_ns]` (wall-clock lives in [`crate::StageProfile`], not
+    /// here, so traces stay deterministic).
+    StageSpan {
+        stage: String,
+        from_ns: u64,
+        to_ns: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The [`kind`] bit this event belongs to.
+    pub fn kind(&self) -> u32 {
+        match self {
+            TraceEvent::Enqueue { .. } => kind::ENQUEUE,
+            TraceEvent::PfcPause { .. } | TraceEvent::PfcResume { .. } => kind::PFC,
+            TraceEvent::ProbeHop { .. } => kind::PROBE,
+            TraceEvent::CpuMirror { .. } => kind::CPU_MIRROR,
+            TraceEvent::Detection { .. } => kind::DETECTION,
+            TraceEvent::StageSpan { .. } => kind::STAGE,
+        }
+    }
+
+    /// Short name used in emitted output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEvent::Enqueue { .. } => "enqueue",
+            TraceEvent::PfcPause { .. } => "pfc_pause",
+            TraceEvent::PfcResume { .. } => "pfc_resume",
+            TraceEvent::ProbeHop { .. } => "probe_hop",
+            TraceEvent::CpuMirror { .. } => "cpu_mirror",
+            TraceEvent::Detection { .. } => "detection",
+            TraceEvent::StageSpan { .. } => "stage",
+        }
+    }
+}
+
+/// A trace event with its ring-buffer sequence number and sim timestamp.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Monotone sequence number assigned at record time; gaps reveal where
+    /// the ring dropped history.
+    pub seq: u64,
+    /// Simulation time in nanoseconds.
+    pub at_ns: u64,
+    pub event: TraceEvent,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_partition_the_mask() {
+        let events = [
+            TraceEvent::Enqueue {
+                switch: 0,
+                in_port: 0,
+                out_port: 1,
+                flow: 0,
+                size: 1048,
+                qdepth_pkts: 0,
+                qdepth_bytes: 0,
+                paused: false,
+            },
+            TraceEvent::PfcPause {
+                switch: 0,
+                port: 0,
+                class: 0,
+                pause_ns: 10,
+            },
+            TraceEvent::PfcResume {
+                switch: 0,
+                port: 0,
+                class: 0,
+            },
+            TraceEvent::ProbeHop {
+                switch: 0,
+                in_port: 0,
+                victim_src: 1,
+                victim_dst: 2,
+                victim_sport: 7,
+                flags: 1,
+                ttl: 32,
+                emitted: 1,
+                mirrored: false,
+            },
+            TraceEvent::CpuMirror {
+                switch: 0,
+                victim_src: 1,
+                victim_dst: 2,
+                victim_sport: 7,
+            },
+            TraceEvent::Detection {
+                victim_src: 1,
+                victim_dst: 2,
+                victim_sport: 7,
+                rtt_ns: 5,
+            },
+            TraceEvent::StageSpan {
+                stage: "graph_build".into(),
+                from_ns: 0,
+                to_ns: 1,
+            },
+        ];
+        let mut seen = 0u32;
+        for e in &events {
+            assert!(e.kind().is_power_of_two());
+            seen |= e.kind();
+        }
+        assert_eq!(seen, kind::ALL);
+        assert_eq!(kind::DEFAULT & kind::ENQUEUE, 0);
+    }
+
+    #[test]
+    fn records_round_trip_through_json() {
+        let rec = TraceRecord {
+            seq: 3,
+            at_ns: 12_345,
+            event: TraceEvent::PfcPause {
+                switch: 4,
+                port: 2,
+                class: 0,
+                pause_ns: 800,
+            },
+        };
+        let js = serde_json::to_string(&rec).unwrap();
+        let back: TraceRecord = serde_json::from_str(&js).unwrap();
+        assert_eq!(back, rec);
+    }
+}

@@ -1,0 +1,179 @@
+//! Observability layer for the Hawkeye reproduction.
+//!
+//! Three pieces, deliberately free of simulator dependencies so every crate
+//! in the workspace (including `hawkeye-sim` itself) can depend on it:
+//!
+//! * [`Tracer`] — a typed, bounded ring buffer of [`TraceEvent`]s stamped
+//!   with nanosecond *simulation* time. Overflow drops the oldest record and
+//!   counts the loss; nothing in the hot path allocates once the ring is at
+//!   capacity beyond the event payload itself.
+//! * [`MetricsRegistry`] — counters, gauges and log2-bucket histograms keyed
+//!   by [`MetricKey`] (metric name plus optional switch / port / flow
+//!   labels), with O(1) amortized hot-path updates and a deterministic,
+//!   serializable [`MetricsSnapshot`].
+//! * [`StageProfile`] — span timing around the diagnosis pipeline stages
+//!   (telemetry collection, Algorithm 1 graph build, Algorithm 2 signature
+//!   match), measuring wall-clock per stage while the corresponding
+//!   [`TraceEvent::StageSpan`] carries only sim-time, keeping trace bytes
+//!   reproducible across runs.
+//!
+//! Emission lives in [`emit`]: JSONL (one record per line) and the Chrome
+//! trace-event format that Perfetto / `chrome://tracing` load directly.
+//!
+//! Identifiers cross the crate boundary as raw integers (`NodeId.0`,
+//! `FlowId.0`, port numbers) — the simulator-side decorator
+//! (`hawkeye_sim::ObservedHook`) performs the translation.
+
+pub mod emit;
+pub mod event;
+pub mod metrics;
+pub mod span;
+pub mod tracer;
+
+pub use event::{kind, TraceEvent, TraceRecord};
+pub use metrics::{MetricKey, MetricsRegistry, MetricsSnapshot};
+pub use span::{SpanRecord, Stage, StageProfile};
+pub use tracer::Tracer;
+
+/// Configuration for a [`Recorder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// Master switch: when false the recorder's hot-path methods return
+    /// immediately (a single branch on a bool).
+    pub enabled: bool,
+    /// Ring-buffer capacity in records.
+    pub capacity: usize,
+    /// Bitmask of [`kind`] constants selecting which events are kept.
+    pub mask: u32,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            enabled: true,
+            capacity: 1 << 16,
+            mask: kind::ALL,
+        }
+    }
+}
+
+impl ObsConfig {
+    /// A configuration whose recorder keeps nothing (the overhead baseline).
+    pub fn off() -> ObsConfig {
+        ObsConfig {
+            enabled: false,
+            capacity: 0,
+            mask: 0,
+        }
+    }
+}
+
+/// The bundle a run carries around: tracer + metrics + stage profile behind
+/// one `enabled` flag, so call sites guard with a single branch.
+#[derive(Debug, Default)]
+pub struct Recorder {
+    pub enabled: bool,
+    pub tracer: Tracer,
+    pub metrics: MetricsRegistry,
+    pub profile: StageProfile,
+}
+
+impl Recorder {
+    pub fn new(cfg: ObsConfig) -> Recorder {
+        Recorder {
+            enabled: cfg.enabled,
+            tracer: Tracer::with_mask(cfg.capacity, cfg.mask),
+            metrics: MetricsRegistry::default(),
+            profile: StageProfile::default(),
+        }
+    }
+
+    /// A recorder whose hot paths are compiled-out branches: nothing is
+    /// traced or counted.
+    pub fn disabled() -> Recorder {
+        Recorder {
+            enabled: false,
+            tracer: Tracer::with_mask(0, 0),
+            metrics: MetricsRegistry::default(),
+            profile: StageProfile::default(),
+        }
+    }
+
+    /// Record a trace event at sim-time `at_ns` (no-op when disabled).
+    #[inline]
+    pub fn trace(&mut self, at_ns: u64, event: TraceEvent) {
+        if self.enabled {
+            self.tracer.record(at_ns, event);
+        }
+    }
+
+    /// Run `f` as diagnosis stage `stage` over the sim-time window
+    /// `[window_from_ns, window_to_ns]`: wall-clock goes to the profile,
+    /// a sim-time-only [`TraceEvent::StageSpan`] goes to the tracer.
+    pub fn stage<R>(
+        &mut self,
+        stage: Stage,
+        window_from_ns: u64,
+        window_to_ns: u64,
+        f: impl FnOnce() -> R,
+    ) -> R {
+        if !self.enabled {
+            return f();
+        }
+        let r = self.profile.time(stage, window_from_ns, window_to_ns, f);
+        self.tracer.record(
+            window_to_ns,
+            TraceEvent::StageSpan {
+                stage: stage.name().to_string(),
+                from_ns: window_from_ns,
+                to_ns: window_to_ns,
+            },
+        );
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_traces_nothing() {
+        let mut r = Recorder::disabled();
+        r.trace(
+            5,
+            TraceEvent::PfcResume {
+                switch: 1,
+                port: 0,
+                class: 0,
+            },
+        );
+        let out = r.stage(Stage::GraphBuild, 0, 10, || 42);
+        assert_eq!(out, 42);
+        assert_eq!(r.tracer.len(), 0);
+        assert!(r.profile.spans().is_empty());
+    }
+
+    #[test]
+    fn stage_records_span_and_trace_event() {
+        let mut r = Recorder::new(ObsConfig::default());
+        let out = r.stage(Stage::SignatureMatch, 100, 200, || "ok");
+        assert_eq!(out, "ok");
+        assert_eq!(r.profile.spans().len(), 1);
+        assert_eq!(r.profile.spans()[0].stage, Stage::SignatureMatch);
+        let rec: Vec<_> = r.tracer.records().collect();
+        assert_eq!(rec.len(), 1);
+        assert_eq!(rec[0].at_ns, 200);
+        match &rec[0].event {
+            TraceEvent::StageSpan {
+                stage,
+                from_ns,
+                to_ns,
+            } => {
+                assert_eq!(stage, "signature_match");
+                assert_eq!((*from_ns, *to_ns), (100, 200));
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,414 @@
+//! Metrics registry: counters, gauges and log2-bucket histograms keyed by
+//! metric name plus optional (switch, port, flow) labels.
+//!
+//! Updates are hash-map lookups on a small `Copy` key — O(1) amortized and
+//! allocation-free after the first touch of a key. Snapshots render keys to
+//! strings and sort them, so serialized output is deterministic regardless
+//! of hash-map iteration order.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A metric identity: a static name plus optional topology labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MetricKey {
+    pub name: &'static str,
+    pub switch: Option<u32>,
+    pub port: Option<u8>,
+    pub flow: Option<u32>,
+}
+
+impl MetricKey {
+    /// A network-wide metric.
+    pub const fn global(name: &'static str) -> MetricKey {
+        MetricKey {
+            name,
+            switch: None,
+            port: None,
+            flow: None,
+        }
+    }
+
+    /// A per-switch metric.
+    pub const fn at_switch(name: &'static str, switch: u32) -> MetricKey {
+        MetricKey {
+            name,
+            switch: Some(switch),
+            port: None,
+            flow: None,
+        }
+    }
+
+    /// A per-(switch, port) metric.
+    pub const fn at_port(name: &'static str, switch: u32, port: u8) -> MetricKey {
+        MetricKey {
+            name,
+            switch: Some(switch),
+            port: Some(port),
+            flow: None,
+        }
+    }
+
+    /// A per-flow metric.
+    pub const fn for_flow(name: &'static str, flow: u32) -> MetricKey {
+        MetricKey {
+            name,
+            switch: None,
+            port: None,
+            flow: Some(flow),
+        }
+    }
+}
+
+impl fmt::Display for MetricKey {
+    /// Prometheus-style rendering: `name{switch=3,port=1,flow=9}`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)?;
+        if self.switch.is_none() && self.port.is_none() && self.flow.is_none() {
+            return Ok(());
+        }
+        let mut sep = '{';
+        if let Some(s) = self.switch {
+            write!(f, "{sep}switch={s}")?;
+            sep = ',';
+        }
+        if let Some(p) = self.port {
+            write!(f, "{sep}port={p}")?;
+            sep = ',';
+        }
+        if let Some(fl) = self.flow {
+            write!(f, "{sep}flow={fl}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Number of log2 buckets: bucket 0 holds the value 0, bucket `i >= 1`
+/// holds values in `[2^(i-1), 2^i)`; u64 needs 64 of those plus the zero
+/// bucket.
+const BUCKETS: usize = 65;
+
+/// A fixed-shape log2 histogram of u64 samples.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+/// Bucket index for a sample (0 for the value 0; else `64 - leading_zeros`).
+#[inline]
+pub fn log2_bucket(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+impl Histogram {
+    #[inline]
+    pub fn observe(&mut self, v: u64) {
+        self.counts[log2_bucket(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// The registry. Hot-path entry points are [`inc`](MetricsRegistry::inc),
+/// [`add`](MetricsRegistry::add), [`set`](MetricsRegistry::set) and
+/// [`observe`](MetricsRegistry::observe).
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: HashMap<MetricKey, u64>,
+    gauges: HashMap<MetricKey, f64>,
+    histograms: HashMap<MetricKey, Histogram>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Increment a counter by 1.
+    #[inline]
+    pub fn inc(&mut self, key: MetricKey) {
+        self.add(key, 1);
+    }
+
+    /// Increment a counter by `by`.
+    #[inline]
+    pub fn add(&mut self, key: MetricKey, by: u64) {
+        *self.counters.entry(key).or_insert(0) += by;
+    }
+
+    /// Set a gauge to `v`.
+    #[inline]
+    pub fn set(&mut self, key: MetricKey, v: f64) {
+        self.gauges.insert(key, v);
+    }
+
+    /// Record a histogram sample.
+    #[inline]
+    pub fn observe(&mut self, key: MetricKey, v: u64) {
+        self.histograms.entry(key).or_default().observe(v);
+    }
+
+    /// Current counter value (0 if never touched).
+    pub fn counter(&self, key: &MetricKey) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// Current gauge value.
+    pub fn gauge(&self, key: &MetricKey) -> Option<f64> {
+        self.gauges.get(key).copied()
+    }
+
+    /// Histogram for a key, if any samples were recorded.
+    pub fn histogram(&self, key: &MetricKey) -> Option<&Histogram> {
+        self.histograms.get(key)
+    }
+
+    /// Sum of a counter over all label combinations sharing `name`.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(k, _)| k.name == name)
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    /// Deterministic, serializable view of everything in the registry.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut counters: Vec<CounterEntry> = self
+            .counters
+            .iter()
+            .map(|(k, v)| CounterEntry {
+                key: k.to_string(),
+                value: *v,
+            })
+            .collect();
+        counters.sort_by(|a, b| a.key.cmp(&b.key));
+        let mut gauges: Vec<GaugeEntry> = self
+            .gauges
+            .iter()
+            .map(|(k, v)| GaugeEntry {
+                key: k.to_string(),
+                value: *v,
+            })
+            .collect();
+        gauges.sort_by(|a, b| a.key.cmp(&b.key));
+        let mut histograms: Vec<HistogramEntry> = self
+            .histograms
+            .iter()
+            .map(|(k, h)| HistogramEntry {
+                key: k.to_string(),
+                count: h.count,
+                sum: h.sum,
+                min: if h.count == 0 { 0 } else { h.min },
+                max: h.max,
+                buckets: h
+                    .counts
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| **c > 0)
+                    .map(|(i, c)| (i as u8, *c))
+                    .collect(),
+            })
+            .collect();
+        histograms.sort_by(|a, b| a.key.cmp(&b.key));
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+/// One counter in a snapshot, keyed by its rendered label string.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterEntry {
+    pub key: String,
+    pub value: u64,
+}
+
+/// One gauge in a snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaugeEntry {
+    pub key: String,
+    pub value: f64,
+}
+
+/// One histogram in a snapshot; `buckets` lists only non-empty log2 buckets
+/// as `(bucket_index, count)` pairs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramEntry {
+    pub key: String,
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+    pub buckets: Vec<(u8, u64)>,
+}
+
+/// A deterministic point-in-time view of a [`MetricsRegistry`].
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    pub counters: Vec<CounterEntry>,
+    pub gauges: Vec<GaugeEntry>,
+    pub histograms: Vec<HistogramEntry>,
+}
+
+impl MetricsSnapshot {
+    /// Look up a counter by its rendered key.
+    pub fn counter(&self, key: &str) -> Option<u64> {
+        self.counters
+            .binary_search_by(|e| e.key.as_str().cmp(key))
+            .ok()
+            .map(|i| self.counters[i].value)
+    }
+
+    /// Look up a gauge by its rendered key.
+    pub fn gauge(&self, key: &str) -> Option<f64> {
+        self.gauges
+            .binary_search_by(|e| e.key.as_str().cmp(key))
+            .ok()
+            .map(|i| self.gauges[i].value)
+    }
+
+    /// Sum of one counter over all of its label combinations (the snapshot
+    /// analogue of [`MetricsRegistry::counter_total`]).
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|e| {
+                e.key == name || (e.key.starts_with(name) && e.key[name.len()..].starts_with('{'))
+            })
+            .map(|e| e.value)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_rendering() {
+        assert_eq!(MetricKey::global("drops").to_string(), "drops");
+        assert_eq!(
+            MetricKey::at_switch("drops", 3).to_string(),
+            "drops{switch=3}"
+        );
+        assert_eq!(
+            MetricKey::at_port("pfc_pause_rx", 3, 1).to_string(),
+            "pfc_pause_rx{switch=3,port=1}"
+        );
+        assert_eq!(
+            MetricKey::for_flow("fct_ns", 9).to_string(),
+            "fct_ns{flow=9}"
+        );
+    }
+
+    #[test]
+    fn log2_buckets_are_correct() {
+        assert_eq!(log2_bucket(0), 0);
+        assert_eq!(log2_bucket(1), 1);
+        assert_eq!(log2_bucket(2), 2);
+        assert_eq!(log2_bucket(3), 2);
+        assert_eq!(log2_bucket(4), 3);
+        assert_eq!(log2_bucket(1023), 10);
+        assert_eq!(log2_bucket(1024), 11);
+        assert_eq!(log2_bucket(u64::MAX), 64);
+    }
+
+    #[test]
+    fn counters_gauges_histograms_round_trip() {
+        let mut reg = MetricsRegistry::new();
+        let k = MetricKey::at_port("pfc_pause_rx", 2, 1);
+        reg.inc(k);
+        reg.add(k, 4);
+        reg.set(MetricKey::global("goodput_bps"), 1.5e9);
+        for v in [0u64, 1, 3, 100, 100] {
+            reg.observe(MetricKey::global("fct_ns"), v);
+        }
+        assert_eq!(reg.counter(&k), 5);
+        assert_eq!(reg.counter(&MetricKey::global("nonexistent")), 0);
+        assert_eq!(reg.gauge(&MetricKey::global("goodput_bps")), Some(1.5e9));
+        let h = reg.histogram(&MetricKey::global("fct_ns")).unwrap();
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 204);
+
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("pfc_pause_rx{switch=2,port=1}"), Some(5));
+        assert_eq!(snap.gauge("goodput_bps"), Some(1.5e9));
+        let hist = &snap.histograms[0];
+        assert_eq!(hist.key, "fct_ns");
+        assert_eq!((hist.min, hist.max), (0, 100));
+        // buckets: 0 -> 1 sample, 1 -> 1, 2 (value 3) -> 1, 7 (value 100) -> 2
+        assert_eq!(hist.buckets, vec![(0, 1), (1, 1), (2, 1), (7, 2)]);
+
+        let js = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&js).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn snapshot_order_is_deterministic() {
+        let mut a = MetricsRegistry::new();
+        let mut b = MetricsRegistry::new();
+        let keys = [
+            MetricKey::at_switch("x", 2),
+            MetricKey::global("a"),
+            MetricKey::at_port("x", 2, 4),
+            MetricKey::for_flow("m", 1),
+        ];
+        for k in keys {
+            a.inc(k);
+        }
+        for k in keys.iter().rev() {
+            b.inc(*k);
+        }
+        assert_eq!(a.snapshot(), b.snapshot());
+        let rendered: Vec<&str> = a.snapshot().counters.iter().map(|_| "").collect();
+        assert_eq!(rendered.len(), 4);
+    }
+
+    #[test]
+    fn counter_total_sums_labels() {
+        let mut reg = MetricsRegistry::new();
+        reg.add(MetricKey::at_port("pfc_pause_rx", 0, 1), 2);
+        reg.add(MetricKey::at_port("pfc_pause_rx", 1, 2), 3);
+        reg.add(MetricKey::global("other"), 10);
+        assert_eq!(reg.counter_total("pfc_pause_rx"), 5);
+    }
+}

@@ -146,7 +146,8 @@ impl Dcqcn {
                 let i = self
                     .timer_iter
                     .min(self.byte_iter)
-                    .saturating_sub(self.cfg.fast_recovery_threshold) as f64;
+                    .saturating_sub(self.cfg.fast_recovery_threshold)
+                    as f64;
                 i * self.cfg.rhai
             } else {
                 self.cfg.rai
@@ -243,7 +244,10 @@ mod tests {
                 _ => d.on_bytes_sent(1_000_000),
             }
             let r = d.rate().0;
-            assert!((100e6 - 1.0..=100e9 + 1.0).contains(&r), "rate {r} out of bounds");
+            assert!(
+                (100e6 - 1.0..=100e9 + 1.0).contains(&r),
+                "rate {r} out of bounds"
+            );
         }
     }
 }

@@ -106,7 +106,11 @@ impl EventQueue {
     /// Panics in debug builds if `at` is in the past; the simulator never
     /// rewinds time.
     pub fn schedule(&mut self, at: Nanos, kind: EventKind) {
-        debug_assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at} < {}",
+            self.now
+        );
         let seq = self.seq;
         self.seq += 1;
         self.heap.push(Scheduled { at, seq, kind });

@@ -278,12 +278,21 @@ impl HostState {
         }
         if let Some(agent) = self.cfg.agent {
             if !self.flows.is_empty() {
-                q.schedule(agent.check_interval, EventKind::AgentCheck { node: self.id });
+                q.schedule(
+                    agent.check_interval,
+                    EventKind::AgentCheck { node: self.id },
+                );
             }
         }
     }
 
-    pub fn handle_flow_start(&mut self, flow_idx: u32, now: Nanos, q: &mut EventQueue, topo: &Topology) {
+    pub fn handle_flow_start(
+        &mut self,
+        flow_idx: u32,
+        now: Nanos,
+        q: &mut EventQueue,
+        topo: &Topology,
+    ) {
         let f = &mut self.flows[flow_idx as usize];
         debug_assert_eq!(f.state, FlowState::Pending);
         f.state = FlowState::Active;
@@ -292,7 +301,13 @@ impl HostState {
     }
 
     /// Pacing timer fired: the flow may transmit its next packet.
-    pub fn handle_flow_ready(&mut self, flow_idx: u32, now: Nanos, q: &mut EventQueue, topo: &Topology) {
+    pub fn handle_flow_ready(
+        &mut self,
+        flow_idx: u32,
+        now: Nanos,
+        q: &mut EventQueue,
+        topo: &Topology,
+    ) {
         let f = &self.flows[flow_idx as usize];
         if f.state != FlowState::Active || f.next_seq >= f.total_pkts {
             return;
@@ -363,7 +378,13 @@ impl HostState {
 
         self.busy = true;
         let tx = info.bandwidth.tx_time(pkt.size());
-        q.schedule(now + tx, EventKind::PortTxDone { node: self.id, port: 0 });
+        q.schedule(
+            now + tx,
+            EventKind::PortTxDone {
+                node: self.id,
+                port: 0,
+            },
+        );
         q.schedule(
             now + tx + info.delay,
             EventKind::Arrive {
@@ -481,7 +502,13 @@ impl HostState {
             let info = topo.port(crate::ids::PortId::new(self.id, 0));
             let dur = crate::units::quanta_to_pause_time(f.quanta, info.bandwidth);
             self.pause_until = now + dur;
-            q.schedule(now + dur, EventKind::PortKick { node: self.id, port: 0 });
+            q.schedule(
+                now + dur,
+                EventKind::PortKick {
+                    node: self.id,
+                    port: 0,
+                },
+            );
         } else {
             self.pause_until = now;
             self.try_tx(now, q, topo);
@@ -530,7 +557,8 @@ impl HostState {
             return;
         }
         self.stats.pfc_injected += 1;
-        self.ctrl.push_back(Packet::Pfc(PfcFrame::pause(CLASS_DATA)));
+        self.ctrl
+            .push_back(Packet::Pfc(PfcFrame::pause(CLASS_DATA)));
         q.schedule(now + inj.period, EventKind::HostPfcInject { node: self.id });
         self.try_tx(now, q, topo);
     }
@@ -554,9 +582,7 @@ impl HostState {
             }
             if let Some(period) = agent.periodic_probe {
                 let f = &mut self.flows[idx as usize];
-                if f.state == FlowState::Active
-                    && now.saturating_sub(f.last_probe_at) >= period
-                {
+                if f.state == FlowState::Active && now.saturating_sub(f.last_probe_at) >= period {
                     f.last_probe_at = now;
                     self.stats.probes_sent += 1;
                     let key = self.flows[idx as usize].key;
@@ -567,11 +593,21 @@ impl HostState {
         }
         let any_active = self.flows.iter().any(|f| f.state != FlowState::Done);
         if any_active {
-            q.schedule(now + agent.check_interval, EventKind::AgentCheck { node: self.id });
+            q.schedule(
+                now + agent.check_interval,
+                EventKind::AgentCheck { node: self.id },
+            );
         }
     }
 
-    fn maybe_detect(&mut self, idx: u32, rtt: Nanos, now: Nanos, q: &mut EventQueue, topo: &Topology) {
+    fn maybe_detect(
+        &mut self,
+        idx: u32,
+        rtt: Nanos,
+        now: Nanos,
+        q: &mut EventQueue,
+        topo: &Topology,
+    ) {
         let Some(agent) = self.cfg.agent else {
             return;
         };
@@ -579,7 +615,9 @@ impl HostState {
             return;
         }
         let f = &mut self.flows[idx as usize];
-        if f.last_probe_at != Nanos::ZERO && now.saturating_sub(f.last_probe_at) < agent.dedup_interval {
+        if f.last_probe_at != Nanos::ZERO
+            && now.saturating_sub(f.last_probe_at) < agent.dedup_interval
+        {
             return;
         }
         f.last_probe_at = now;

@@ -4,8 +4,9 @@ use core::fmt;
 
 /// A node in the topology: either a host (RDMA NIC + application) or a
 /// switch. IDs are dense indices assigned by the topology builder.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -21,8 +22,9 @@ impl fmt::Display for NodeId {
 }
 
 /// A directional port on a node. Port numbers are local to the node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct PortId {
     pub node: NodeId,
     pub port: u8,
@@ -46,8 +48,9 @@ impl fmt::Display for PortId {
 /// port carries RoCEv2 entropy for ECMP, and the destination port is the
 /// RoCEv2 UDP port (constant). The protocol byte distinguishes data flows
 /// from control pseudo-flows in telemetry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct FlowKey {
     pub src: NodeId,
     pub dst: NodeId,
@@ -103,8 +106,9 @@ impl fmt::Display for FlowKey {
 
 /// A dense per-simulation flow index (assigned in order of flow definition);
 /// cheaper to use as a map key than the 5-tuple in hot paths.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct FlowId(pub u32);
 
 impl FlowId {

@@ -31,6 +31,7 @@ pub mod event;
 pub mod hooks;
 pub mod host;
 pub mod ids;
+pub mod observed;
 pub mod packet;
 pub mod sim;
 pub mod summary;
@@ -45,12 +46,13 @@ pub use hooks::{
 };
 pub use host::{AgentConfig, Detection, HostConfig, HostState, PfcInjectorConfig};
 pub use ids::{FlowId, FlowKey, NodeId, PortId};
+pub use observed::{record_sim_metrics, trace_detections, ObservedHook};
 pub use packet::{
     AckPacket, CnpPacket, DataPacket, Packet, PfcFrame, PollingFlags, Probe, CLASS_CONTROL,
     CLASS_DATA, CTRL_PKT_SIZE, DATA_PAYLOAD, DATA_PKT_SIZE,
 };
 pub use sim::{FlowMeta, SimConfig, Simulator};
-pub use summary::RunSummary;
+pub use summary::{percentile_nearest_rank, RunSummary};
 pub use switch::{SwitchConfig, SwitchState, SwitchStats};
 pub use time::Nanos;
 pub use topology::{

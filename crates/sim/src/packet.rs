@@ -88,8 +88,7 @@ impl PfcFrame {
 ///
 /// Bit 0 ("victim" bit): trace along the victim flow path.
 /// Bit 1 ("PFC" bit): trace along PFC causality.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub struct PollingFlags(pub u8);
 
 impl PollingFlags {

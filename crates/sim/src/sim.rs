@@ -65,7 +65,9 @@ impl<H: SwitchHook> Simulator<H> {
         for i in 0..topo.node_count() as u32 {
             let id = NodeId(i);
             match topo.kind(id) {
-                NodeKind::Host => nodes.push(NodeState::Host(Box::new(HostState::new(id, cfg.host)))),
+                NodeKind::Host => {
+                    nodes.push(NodeState::Host(Box::new(HostState::new(id, cfg.host))))
+                }
                 NodeKind::Switch => nodes.push(NodeState::Switch(Box::new(SwitchState::new(
                     id,
                     topo.ports(id).len(),
@@ -365,7 +367,11 @@ mod tests {
             let mut sim = two_host_sim();
             let hosts: Vec<_> = sim.topo().hosts().collect();
             sim.add_flow(FlowKey::roce(hosts[0], hosts[2], 1), 2_000_000, Nanos::ZERO);
-            sim.add_flow(FlowKey::roce(hosts[1], hosts[2], 2), 2_000_000, Nanos(5_000));
+            sim.add_flow(
+                FlowKey::roce(hosts[1], hosts[2], 2),
+                2_000_000,
+                Nanos(5_000),
+            );
             sim.add_flow(FlowKey::roce(hosts[3], hosts[1], 3), 500_000, Nanos(2_000));
             sim.run_until(Nanos::from_millis(5));
             let mut sig = Vec::new();
@@ -373,7 +379,11 @@ mod tests {
                 let hf = sim.host(f.key.src).flow_by_id(f.id).unwrap();
                 sig.push((f.id, hf.completed_at));
             }
-            (sig, sim.events_processed(), sim.sum_switch_stats(|s| s.data_pkts))
+            (
+                sig,
+                sim.events_processed(),
+                sim.sum_switch_stats(|s| s.data_pkts),
+            )
         };
         assert_eq!(run(), run());
     }
@@ -385,10 +395,7 @@ mod tests {
         sim.add_flow(FlowKey::roce(hosts[0], hosts[2], 1), 8_000_000, Nanos::ZERO);
         sim.add_flow(FlowKey::roce(hosts[1], hosts[2], 2), 8_000_000, Nanos::ZERO);
         sim.run_until(Nanos::from_millis(5));
-        let cnps: u64 = hosts
-            .iter()
-            .map(|&h| sim.host(h).stats.cnps_rcvd)
-            .sum();
+        let cnps: u64 = hosts.iter().map(|&h| sim.host(h).stats.cnps_rcvd).sum();
         assert!(cnps > 0, "sustained 2:1 incast must ECN-mark and CNP");
         // DCQCN must have cut below line rate at some point; final rates
         // may have recovered, so check CNP receipt plus lossless delivery.

@@ -1,11 +1,31 @@
 //! Network-wide run summaries: flow completion times, pause activity, and
 //! delivered throughput — the operator-facing counters examples and
 //! experiments report alongside diagnoses.
+//!
+//! Counter-valued fields are populated *through* a
+//! [`MetricsRegistry`](hawkeye_obs::MetricsRegistry): [`RunSummary::of_with`]
+//! first folds the simulator's hardware counters into the registry
+//! ([`crate::observed::record_sim_metrics`]) and then reads the summary
+//! numbers back out of it, so the registry snapshot and the summary can
+//! never disagree.
 
 use crate::hooks::SwitchHook;
 use crate::sim::Simulator;
 use crate::time::Nanos;
+use hawkeye_obs::{MetricKey, MetricsRegistry};
 use serde::{Deserialize, Serialize};
+
+/// Nearest-rank percentile of an ascending-sorted slice: the smallest
+/// element such that at least `q * 100` percent of the data is ≤ it
+/// (rank `⌈q·n⌉`). `q` outside `(0, 1]` clamps to the extremes.
+pub fn percentile_nearest_rank<T: Copy>(sorted: &[T], q: f64) -> Option<T> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let n = sorted.len();
+    let rank = (q * n as f64).ceil() as usize;
+    Some(sorted[rank.clamp(1, n) - 1])
+}
 
 /// Aggregate statistics of a finished (or stopped) simulation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -30,44 +50,48 @@ pub struct RunSummary {
 impl RunSummary {
     /// Compute from a simulator after `run_until`.
     pub fn of<H: SwitchHook>(sim: &Simulator<H>) -> RunSummary {
+        RunSummary::of_with(sim, &mut MetricsRegistry::new())
+    }
+
+    /// Compute from a simulator, folding every counter through `reg` (see
+    /// module docs). The registry afterwards additionally holds per-switch
+    /// breakdowns of the aggregated fields and an `fct_ns` histogram.
+    pub fn of_with<H: SwitchHook>(sim: &Simulator<H>, reg: &mut MetricsRegistry) -> RunSummary {
+        crate::observed::record_sim_metrics(sim, reg);
+
         let mut fcts: Vec<Nanos> = Vec::new();
-        let mut completed = 0usize;
         for f in sim.flows() {
+            reg.inc(MetricKey::global("flows_total"));
             if let Some(hf) = sim.host(f.key.src).flow_by_id(f.id) {
                 if let Some(fct) = hf.fct() {
-                    completed += 1;
+                    reg.inc(MetricKey::global("flows_completed"));
+                    reg.observe(MetricKey::global("fct_ns"), fct.as_nanos());
                     fcts.push(fct);
                 }
             }
         }
         fcts.sort_unstable();
-        let pct = |q: f64| -> Option<Nanos> {
-            if fcts.is_empty() {
-                None
-            } else {
-                Some(fcts[((fcts.len() - 1) as f64 * q) as usize])
-            }
-        };
-        let data_rcvd: u64 = sim
-            .topo()
-            .hosts()
-            .map(|h| sim.host(h).stats.data_rcvd)
-            .sum();
+
+        let data_rcvd = reg.counter_total("host_data_rcvd");
         let bytes_delivered = data_rcvd * crate::packet::DATA_PAYLOAD as u64;
+        reg.add(MetricKey::global("bytes_delivered"), bytes_delivered);
         let horizon = sim.now().as_secs_f64().max(1e-12);
+        let goodput_bps = bytes_delivered as f64 * 8.0 / horizon;
+        reg.set(MetricKey::global("goodput_bps"), goodput_bps);
+
         RunSummary {
-            flows_total: sim.flows().len(),
-            flows_completed: completed,
-            fct_p50: pct(0.50),
-            fct_p90: pct(0.90),
-            fct_p99: pct(0.99),
+            flows_total: reg.counter(&MetricKey::global("flows_total")) as usize,
+            flows_completed: reg.counter(&MetricKey::global("flows_completed")) as usize,
+            fct_p50: percentile_nearest_rank(&fcts, 0.50),
+            fct_p90: percentile_nearest_rank(&fcts, 0.90),
+            fct_p99: percentile_nearest_rank(&fcts, 0.99),
             fct_max: fcts.last().copied(),
-            bytes_delivered,
-            goodput_bps: bytes_delivered as f64 * 8.0 / horizon,
-            pfc_pauses_sent: sim.sum_switch_stats(|s| s.pfc_pause_sent),
-            pfc_resumes_sent: sim.sum_switch_stats(|s| s.pfc_resume_sent),
-            buffer_drops: sim.sum_switch_stats(|s| s.drops_buffer),
-            detections: sim.detections().len(),
+            bytes_delivered: reg.counter(&MetricKey::global("bytes_delivered")),
+            goodput_bps,
+            pfc_pauses_sent: reg.counter_total("pfc_pause_sent"),
+            pfc_resumes_sent: reg.counter_total("pfc_resume_sent"),
+            buffer_drops: reg.counter_total("drops_buffer"),
+            detections: reg.counter(&MetricKey::global("detections")) as usize,
         }
     }
 }
@@ -108,11 +132,81 @@ mod tests {
         let topo = dumbbell(1, 1, EVAL_BANDWIDTH, EVAL_DELAY);
         let hosts: Vec<_> = topo.hosts().collect();
         let mut sim = Simulator::new(topo, SimConfig::default(), NullHook);
-        sim.add_flow(FlowKey::roce(hosts[0], hosts[1], 1), 100_000_000, Nanos::ZERO);
+        sim.add_flow(
+            FlowKey::roce(hosts[0], hosts[1], 1),
+            100_000_000,
+            Nanos::ZERO,
+        );
         sim.run_until(Nanos::from_micros(50)); // far too short
         let s = RunSummary::of(&sim);
         assert_eq!(s.flows_completed, 0);
         assert!(s.fct_p50.is_none());
         assert!(s.flows_total == 1);
+    }
+
+    #[test]
+    fn summary_agrees_with_registry_snapshot() {
+        let topo = dumbbell(2, 2, EVAL_BANDWIDTH, EVAL_DELAY);
+        let hosts: Vec<_> = topo.hosts().collect();
+        let mut sim = Simulator::new(topo, SimConfig::default(), NullHook);
+        sim.add_flow(FlowKey::roce(hosts[0], hosts[2], 1), 200_000, Nanos::ZERO);
+        sim.run_until(Nanos::from_millis(3));
+        let mut reg = MetricsRegistry::new();
+        let s = RunSummary::of_with(&sim, &mut reg);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counter("flows_completed"),
+            Some(s.flows_completed as u64)
+        );
+        assert_eq!(snap.counter("bytes_delivered"), Some(s.bytes_delivered));
+        assert_eq!(snap.gauge("goodput_bps"), Some(s.goodput_bps));
+        // The per-flow FCT histogram holds one sample per completed flow.
+        let hist = snap.histograms.iter().find(|h| h.key == "fct_ns").unwrap();
+        assert_eq!(hist.count, s.flows_completed as u64);
+    }
+
+    // --- percentile semantics -------------------------------------------
+
+    #[test]
+    fn percentile_empty_is_none() {
+        assert_eq!(percentile_nearest_rank::<u64>(&[], 0.5), None);
+    }
+
+    #[test]
+    fn percentile_single_element_is_that_element() {
+        for q in [0.01, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(percentile_nearest_rank(&[7u64], q), Some(7));
+        }
+    }
+
+    #[test]
+    fn percentile_two_elements() {
+        // Nearest-rank: p50 of {1, 2} is rank ⌈0.5·2⌉ = 1 → the 1st element;
+        // p90/p99 are rank 2 → the 2nd.
+        let v = [1u64, 2];
+        assert_eq!(percentile_nearest_rank(&v, 0.50), Some(1));
+        assert_eq!(percentile_nearest_rank(&v, 0.90), Some(2));
+        assert_eq!(percentile_nearest_rank(&v, 0.99), Some(2));
+    }
+
+    #[test]
+    fn percentile_nearest_rank_textbook_case() {
+        // Classic nearest-rank example: n = 5.
+        let v = [15u64, 20, 35, 40, 50];
+        assert_eq!(percentile_nearest_rank(&v, 0.05), Some(15));
+        assert_eq!(percentile_nearest_rank(&v, 0.30), Some(20));
+        assert_eq!(percentile_nearest_rank(&v, 0.40), Some(20));
+        assert_eq!(percentile_nearest_rank(&v, 0.50), Some(35));
+        assert_eq!(percentile_nearest_rank(&v, 1.00), Some(50));
+    }
+
+    #[test]
+    fn percentile_p99_distinguishes_tail_from_max() {
+        // 200 elements: p99 is rank 198, not the max — the old
+        // `(n-1)*q as usize` truncation under-selected the tail.
+        let v: Vec<u64> = (1..=200).collect();
+        assert_eq!(percentile_nearest_rank(&v, 0.99), Some(198));
+        assert_eq!(percentile_nearest_rank(&v, 0.50), Some(100));
+        assert_eq!(percentile_nearest_rank(&v, 1.0), Some(200));
     }
 }

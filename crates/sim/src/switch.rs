@@ -543,9 +543,7 @@ mod tests {
                     sw.handle_tx_done(port, t, &mut q, &topo);
                 }
                 EventKind::PortKick { port, .. } => sw.try_tx(port, t, &mut q, &topo),
-                EventKind::PfcRefresh { port, .. } => {
-                    sw.handle_pfc_refresh(port, t, &mut q, &topo)
-                }
+                EventKind::PfcRefresh { port, .. } => sw.handle_pfc_refresh(port, t, &mut q, &topo),
                 EventKind::Arrive { .. } => {} // delivered elsewhere
                 _ => {}
             }

@@ -13,8 +13,19 @@ use core::ops::{Add, AddAssign, Sub};
 /// `Nanos` is also used for durations; the arithmetic provided is the small
 /// saturating subset the simulator needs, so overflow bugs surface as test
 /// failures rather than wrap-arounds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Default,
+    serde::Serialize,
+    serde::Deserialize,
+)]
 pub struct Nanos(pub u64);
 
 impl Nanos {

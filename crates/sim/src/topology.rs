@@ -381,8 +381,12 @@ pub fn leaf_spine(
             hosts.push(t.add_host(format!("h{}", l * hosts_per_leaf + h)));
         }
     }
-    let leaf_ids: Vec<_> = (0..leaves).map(|l| t.add_switch(format!("leaf{l}"))).collect();
-    let spine_ids: Vec<_> = (0..spines).map(|s| t.add_switch(format!("spine{s}"))).collect();
+    let leaf_ids: Vec<_> = (0..leaves)
+        .map(|l| t.add_switch(format!("leaf{l}")))
+        .collect();
+    let spine_ids: Vec<_> = (0..spines)
+        .map(|s| t.add_switch(format!("spine{s}")))
+        .collect();
     for (l, &leaf) in leaf_ids.iter().enumerate() {
         for h in 0..hosts_per_leaf {
             t.connect(hosts[l * hosts_per_leaf + h], leaf, bw, delay);

@@ -7,8 +7,9 @@ use crate::time::Nanos;
 /// Stored in bits per second; helper constructors cover the usual data-center
 /// speeds. Conversion to serialization time is exact in integer nanoseconds
 /// (rounded up so a transmitting port is never released early).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct Bandwidth {
     bits_per_sec: u64,
 }

@@ -2,8 +2,7 @@
 //! conservation, completion, and determinism under randomized workloads.
 
 use hawkeye_sim::{
-    dumbbell, fat_tree, FlowKey, Nanos, NullHook, SimConfig, Simulator, EVAL_BANDWIDTH,
-    EVAL_DELAY,
+    dumbbell, fat_tree, FlowKey, Nanos, NullHook, SimConfig, Simulator, EVAL_BANDWIDTH, EVAL_DELAY,
 };
 use proptest::prelude::*;
 

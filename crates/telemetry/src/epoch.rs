@@ -11,8 +11,7 @@
 use hawkeye_sim::Nanos;
 
 /// Epoch layout parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct EpochConfig {
     /// log2 of the epoch length in nanoseconds (e.g. 20 -> ~1.05 ms,
     /// matching the paper's "1 ms is approximately 2^20 ns").

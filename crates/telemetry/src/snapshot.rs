@@ -67,7 +67,10 @@ pub struct TelemetrySnapshot {
 impl TelemetrySnapshot {
     /// Bytes shipped after CPU zero-filtering — Hawkeye's actual overhead.
     pub fn wire_size_filtered(&self) -> usize {
-        self.epochs.iter().map(EpochSnapshot::wire_size).sum::<usize>()
+        self.epochs
+            .iter()
+            .map(EpochSnapshot::wire_size)
+            .sum::<usize>()
             + self.evicted.len() * (FLOW_ENTRY_BYTES + 2)
     }
 

@@ -96,9 +96,9 @@ impl SwitchTelemetry {
             slot.meter.reset();
             slot.id = Some(id);
         }
-        if let Some((key, record)) = slot
-            .flows
-            .update(&rec.key, paused, rec.qdepth_pkts, rec.out_port)
+        if let Some((key, record)) =
+            slot.flows
+                .update(&rec.key, paused, rec.qdepth_pkts, rec.out_port)
         {
             self.evicted.push(EvictedFlow {
                 key,
@@ -324,11 +324,7 @@ mod tests {
         t.on_enqueue(&rec(key, 0, 2, 0, t1));
         let snap = t.snapshot(t1);
         // Only the new epoch's data exists in that slot.
-        let e = snap
-            .epochs
-            .iter()
-            .find(|e| e.slot == ec.slot(t1))
-            .unwrap();
+        let e = snap.epochs.iter().find(|e| e.slot == ec.slot(t1)).unwrap();
         let (_, fr) = e.flows.iter().find(|(k, _)| *k == key).unwrap();
         assert_eq!(fr.pkt_count, 1, "old epoch data must be gone");
     }

@@ -54,7 +54,10 @@ pub struct FlowTable {
 
 impl FlowTable {
     pub fn new(size: usize) -> Self {
-        assert!(size.is_power_of_two(), "flow table size must be a power of two");
+        assert!(
+            size.is_power_of_two(),
+            "flow table size must be a power of two"
+        );
         FlowTable {
             slots: vec![None; size],
         }

@@ -11,7 +11,9 @@
 pub mod poller;
 pub mod resources;
 
-pub use poller::{poll, poll_analytic, poll_time_ms, PollerReport, MTU_EXPORT_BYTES, PHV_EXPORT_BYTES};
+pub use poller::{
+    poll, poll_analytic, poll_time_ms, PollerReport, MTU_EXPORT_BYTES, PHV_EXPORT_BYTES,
+};
 pub use resources::{
     memory_sweep, memory_usage, resource_usage, MemoryUsage, ResourceUsage, SwitchDims,
     FLOW_SLOT_BYTES, METER_CELL_BYTES, PORT_SLOT_BYTES, SALU_PER_STAGE, SRAM_BLOCKS_PER_STAGE,

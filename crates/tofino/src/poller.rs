@@ -81,8 +81,7 @@ pub fn poll_analytic(
     active_ports: usize,
 ) -> PollerReport {
     let full = epochs * (max_flows * FLOW_ENTRY_BYTES + ports * PORT_ENTRY_BYTES);
-    let filtered =
-        epochs * (concurrent_flows * FLOW_ENTRY_BYTES + active_ports * PORT_ENTRY_BYTES);
+    let filtered = epochs * (concurrent_flows * FLOW_ENTRY_BYTES + active_ports * PORT_ENTRY_BYTES);
     PollerReport {
         full_bytes: full,
         filtered_bytes: filtered,
@@ -106,7 +105,11 @@ mod tests {
         // "in most cases, the concurrent flow count in one epoch is much
         // smaller than the maximum": e.g. 300 of 4096 slots.
         let r = poll_analytic(4, 4096, 300, 64, 16);
-        assert!(r.size_reduction() > 0.8, "Fig 14a: {:.2}", r.size_reduction());
+        assert!(
+            r.size_reduction() > 0.8,
+            "Fig 14a: {:.2}",
+            r.size_reduction()
+        );
         assert!(
             r.packet_reduction() > 0.9,
             "Fig 14b: {:.2}",

@@ -57,13 +57,7 @@ impl FatTreeNav {
     pub fn port_to(&self, topo: &Topology, from: NodeId, to: NodeId) -> u8 {
         (0..topo.ports(from).len() as u8)
             .find(|&p| topo.peer(PortId::new(from, p)).node == to)
-            .unwrap_or_else(|| {
-                panic!(
-                    "{} has no link to {}",
-                    topo.name(from),
-                    topo.name(to)
-                )
-            })
+            .unwrap_or_else(|| panic!("{} has no link to {}", topo.name(from), topo.name(to)))
     }
 
     /// Egress PortId on `from` toward `to`.

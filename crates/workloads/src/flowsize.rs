@@ -22,10 +22,10 @@ impl FlowSizeDist {
     pub fn empirical() -> Self {
         // (probability mass, low, high) per segment.
         let segs: &[(f64, f64, f64)] = &[
-            (0.50, 1e3, 1e5),   // mice: 1 KB - 100 KB
-            (0.30, 1e5, 1e7),   // 100 KB - 10 MB   (80% below 10 MB)
-            (0.10, 1e7, 1e8),   // 10 MB - 100 MB   (90% below 100 MB)
-            (0.10, 1e8, 3e8),   // 100 MB - 300 MB  (the 10% tail)
+            (0.50, 1e3, 1e5), // mice: 1 KB - 100 KB
+            (0.30, 1e5, 1e7), // 100 KB - 10 MB   (80% below 10 MB)
+            (0.10, 1e7, 1e8), // 10 MB - 100 MB   (90% below 100 MB)
+            (0.10, 1e8, 3e8), // 100 MB - 300 MB  (the 10% tail)
         ];
         let mut segments = Vec::new();
         let mut cums = Vec::new();
@@ -47,10 +47,7 @@ impl FlowSizeDist {
             Err(i) => i.saturating_sub(1),
         };
         let (cum_lo, lo, hi) = self.segments[idx];
-        let cum_hi = self
-            .segments
-            .get(idx + 1)
-            .map_or(1.0, |s| s.0);
+        let cum_hi = self.segments.get(idx + 1).map_or(1.0, |s| s.0);
         let frac = (u - cum_lo) / (cum_hi - cum_lo);
         // Log-uniform within the segment.
         let bytes = lo * (hi / lo).powf(frac);
@@ -115,8 +112,7 @@ mod tests {
         assert!(m > 1e7 && m < 1e8, "mean {m}");
         // Empirical mean agrees within 10%.
         let mut rng = StdRng::seed_from_u64(1);
-        let emp: f64 =
-            (0..200_000).map(|_| d.sample(&mut rng) as f64).sum::<f64>() / 200_000.0;
+        let emp: f64 = (0..200_000).map(|_| d.sample(&mut rng) as f64).sum::<f64>() / 200_000.0;
         assert!((emp - m).abs() / m < 0.1, "emp {emp} vs {m}");
     }
 

@@ -23,8 +23,8 @@ use crate::background::{self, BackgroundConfig, FlowSpec};
 use crate::fattree::FatTreeNav;
 use hawkeye_core::AnomalyType;
 use hawkeye_sim::{
-    fat_tree, AgentConfig, FlowKey, Nanos, NodeId, PfcInjectorConfig, PortId, SimConfig,
-    Simulator, SwitchHook, Topology, EVAL_BANDWIDTH, EVAL_DELAY,
+    fat_tree, AgentConfig, FlowKey, Nanos, NodeId, PfcInjectorConfig, PortId, SimConfig, Simulator,
+    SwitchHook, Topology, EVAL_BANDWIDTH, EVAL_DELAY,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -55,9 +55,7 @@ impl ScenarioKind {
             ScenarioKind::MicroBurstIncast => AnomalyType::MicroBurstIncast,
             ScenarioKind::PfcStorm => AnomalyType::PfcStorm,
             ScenarioKind::InLoopDeadlock => AnomalyType::InLoopDeadlock,
-            ScenarioKind::OutOfLoopDeadlockContention => {
-                AnomalyType::OutOfLoopDeadlockContention
-            }
+            ScenarioKind::OutOfLoopDeadlockContention => AnomalyType::OutOfLoopDeadlockContention,
             ScenarioKind::OutOfLoopDeadlockInjection => AnomalyType::OutOfLoopDeadlockInjection,
             ScenarioKind::NormalContention => AnomalyType::NormalContention,
         }
@@ -233,7 +231,7 @@ pub fn build(kind: ScenarioKind, params: ScenarioParams) -> Scenario {
 
     // Pick a random remote pod host as the victim's source for variety.
     let vic_pod = 1 + (rng.gen_range(0..3usize));
-    let vic_src = nav.hosts[vic_pod][rng.gen_range(0..2)][rng.gen_range(0..2)];
+    let vic_src = nav.hosts[vic_pod][rng.gen_range(0..2usize)][rng.gen_range(0..2usize)];
 
     let truth = match kind {
         ScenarioKind::MicroBurstIncast => {
@@ -640,10 +638,13 @@ mod tests {
 
     #[test]
     fn deadlock_overrides_create_the_cbd_paths() {
-        let s = build(ScenarioKind::InLoopDeadlock, ScenarioParams {
-            load: 0.0,
-            ..Default::default()
-        });
+        let s = build(
+            ScenarioKind::InLoopDeadlock,
+            ScenarioParams {
+                load: 0.0,
+                ..Default::default()
+            },
+        );
         let nav = FatTreeNav::new(&s.topo, 4);
         let (e0, e1, a0, a1) = (
             nav.edges[0][0],
@@ -653,24 +654,45 @@ mod tests {
         );
         // Q: e0 -> a0 -> e1.
         let q = s.flows.iter().find(|f| f.key.src_port == 500).unwrap();
-        let qp: Vec<NodeId> = s.topo.flow_path(&q.key).unwrap().iter().map(|x| x.0).collect();
+        let qp: Vec<NodeId> = s
+            .topo
+            .flow_path(&q.key)
+            .unwrap()
+            .iter()
+            .map(|x| x.0)
+            .collect();
         assert_eq!(qp, vec![e0, a0, e1]);
         // P bounces a0 -> e1 -> a1 -> e0.
         let p = s.flows.iter().find(|f| f.key.src_port == 501).unwrap();
-        let pp: Vec<NodeId> = s.topo.flow_path(&p.key).unwrap().iter().map(|x| x.0).collect();
+        let pp: Vec<NodeId> = s
+            .topo
+            .flow_path(&p.key)
+            .unwrap()
+            .iter()
+            .map(|x| x.0)
+            .collect();
         assert_eq!(&pp[pp.len() - 4..], &[a0, e1, a1, e0]);
         // S bounces a1 -> e0 -> a0 -> e1.
         let sf = s.flows.iter().find(|f| f.key.src_port == 502).unwrap();
-        let sp: Vec<NodeId> = s.topo.flow_path(&sf.key).unwrap().iter().map(|x| x.0).collect();
+        let sp: Vec<NodeId> = s
+            .topo
+            .flow_path(&sf.key)
+            .unwrap()
+            .iter()
+            .map(|x| x.0)
+            .collect();
         assert_eq!(&sp[sp.len() - 4..], &[a1, e0, a0, e1]);
     }
 
     #[test]
     fn incast_bursts_enter_via_three_ports() {
-        let s = build(ScenarioKind::MicroBurstIncast, ScenarioParams {
-            load: 0.0,
-            ..Default::default()
-        });
+        let s = build(
+            ScenarioKind::MicroBurstIncast,
+            ScenarioParams {
+                load: 0.0,
+                ..Default::default()
+            },
+        );
         let nav = FatTreeNav::new(&s.topo, 4);
         let e0 = nav.edges[0][0];
         // The three culprits' last hops reach e0 via three distinct ingress

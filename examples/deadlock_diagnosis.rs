@@ -14,7 +14,10 @@ use hawkeye::workloads::{build_scenario, FatTreeNav, Scenario, ScenarioKind, Sce
 fn main() {
     let sc = build_scenario(
         ScenarioKind::InLoopDeadlock,
-        ScenarioParams { load: 0.0, ..Default::default() },
+        ScenarioParams {
+            load: 0.0,
+            ..Default::default()
+        },
     );
     let nav = FatTreeNav::new(&sc.topo, 4);
     let (e0, e1, a0, a1) = (
@@ -34,7 +37,10 @@ fn main() {
     let hook = HawkeyeHook::new(
         &sc.topo,
         HawkeyeConfig {
-            telemetry: TelemetryConfig { epochs: run.epoch, ..Default::default() },
+            telemetry: TelemetryConfig {
+                epochs: run.epoch,
+                ..Default::default()
+            },
             ..Default::default()
         },
     );
@@ -43,7 +49,10 @@ fn main() {
     let mut sim = sc.instantiate_seeded(1, agent, hook);
 
     println!("cyclic buffer dependency: e0 -> a0 -> e1 -> a1 -> e0 (route overrides)");
-    println!("burst injected at {}; ring pause states:", sc.truth.anomaly_at);
+    println!(
+        "burst injected at {}; ring pause states:",
+        sc.truth.anomaly_at
+    );
     println!("  t_us     e0->a0      a0->e1      e1->a1      a1->e0");
     for step in 1..=15u64 {
         let t = Nanos::from_micros(step * 200);
@@ -54,7 +63,11 @@ fn main() {
                 let sw = sim.switch(p.node);
                 format!(
                     "{}q{:<4}",
-                    if sw.egress_paused(p.port, t) { "PAUSE " } else { "  -   " },
+                    if sw.egress_paused(p.port, t) {
+                        "PAUSE "
+                    } else {
+                        "  -   "
+                    },
                     sw.queue_pkts(p.port)
                 )
             })
@@ -87,12 +100,23 @@ fn main() {
     if let Some(lp) = &report.deadlock_loop {
         println!(
             "deadlock loop (cyclic buffer dependency): {}",
-            lp.iter().map(|p| format!("{p}")).collect::<Vec<_>>().join(" -> ")
+            lp.iter()
+                .map(|p| format!("{p}"))
+                .collect::<Vec<_>>()
+                .join(" -> ")
         );
     }
     println!(
         "root-cause burst flows: {:?} (injected: {:?})",
-        report.major_root_cause_flows(0.2).iter().map(|k| k.to_string()).collect::<Vec<_>>(),
-        sc.truth.culprit_flows.iter().map(|k| k.to_string()).collect::<Vec<_>>()
+        report
+            .major_root_cause_flows(0.2)
+            .iter()
+            .map(|k| k.to_string())
+            .collect::<Vec<_>>(),
+        sc.truth
+            .culprit_flows
+            .iter()
+            .map(|k| k.to_string())
+            .collect::<Vec<_>>()
     );
 }

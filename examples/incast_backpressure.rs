@@ -23,14 +23,21 @@ fn main() {
     println!("designated victim: {}", sc.truth.victim);
     println!(
         "injected culprits: {:?}",
-        sc.truth.culprit_flows.iter().map(|k| k.to_string()).collect::<Vec<_>>()
+        sc.truth
+            .culprit_flows
+            .iter()
+            .map(|k| k.to_string())
+            .collect::<Vec<_>>()
     );
 
     let run = optimal_run_config(1);
     let hook = HawkeyeHook::new(
         &sc.topo,
         HawkeyeConfig {
-            telemetry: TelemetryConfig { epochs: run.epoch, ..Default::default() },
+            telemetry: TelemetryConfig {
+                epochs: run.epoch,
+                ..Default::default()
+            },
             ..Default::default()
         },
     );
@@ -66,7 +73,10 @@ fn main() {
     for path in &report.pfc_paths {
         println!(
             "PFC path: {}",
-            path.iter().map(|p| format!("{p}")).collect::<Vec<_>>().join(" -> ")
+            path.iter()
+                .map(|p| format!("{p}"))
+                .collect::<Vec<_>>()
+                .join(" -> ")
         );
     }
     println!(
@@ -79,7 +89,11 @@ fn main() {
     );
     println!(
         "spreading flows (paused at 2+ hops): {:?}",
-        report.spreading_flows.iter().map(|k| k.to_string()).collect::<Vec<_>>()
+        report
+            .spreading_flows
+            .iter()
+            .map(|k| k.to_string())
+            .collect::<Vec<_>>()
     );
     if want_dot {
         println!("\n{}", graph.to_dot(sim.topo()));

@@ -19,7 +19,10 @@ fn main() {
     for inject_us in [100u64, 300, 800, 1500] {
         let sc = build_scenario(
             ScenarioKind::PfcStorm,
-            ScenarioParams { load: 0.0, ..Default::default() },
+            ScenarioParams {
+                load: 0.0,
+                ..Default::default()
+            },
         );
         let mut sim: Simulator<NullHook> =
             sc.instantiate(SimConfig::default(), Scenario::agent(2.0), NullHook);
@@ -35,7 +38,11 @@ fn main() {
             },
         );
         sim.run_until(sc.params.duration);
-        let meta = sim.flows().iter().find(|f| f.key == sc.truth.victim).unwrap();
+        let meta = sim
+            .flows()
+            .iter()
+            .find(|f| f.key == sc.truth.victim)
+            .unwrap();
         let done = sim
             .host(sc.truth.victim.src)
             .flow_by_id(meta.id)
@@ -47,13 +54,19 @@ fn main() {
     // Full diagnosis of the scripted storm.
     let sc = build_scenario(
         ScenarioKind::PfcStorm,
-        ScenarioParams { load: 0.1, ..Default::default() },
+        ScenarioParams {
+            load: 0.1,
+            ..Default::default()
+        },
     );
     let run = optimal_run_config(1);
     let hook = HawkeyeHook::new(
         &sc.topo,
         HawkeyeConfig {
-            telemetry: TelemetryConfig { epochs: run.epoch, ..Default::default() },
+            telemetry: TelemetryConfig {
+                epochs: run.epoch,
+                ..Default::default()
+            },
             ..Default::default()
         },
     );
@@ -93,7 +106,10 @@ fn main() {
     for path in &report.pfc_paths {
         println!(
             "PFC path: {}",
-            path.iter().map(|p| format!("{p}")).collect::<Vec<_>>().join(" -> ")
+            path.iter()
+                .map(|p| format!("{p}"))
+                .collect::<Vec<_>>()
+                .join(" -> ")
         );
     }
 }

@@ -24,7 +24,10 @@ fn main() {
     let hook = HawkeyeHook::new(
         &topo,
         HawkeyeConfig {
-            telemetry: TelemetryConfig { epochs: epoch, ..Default::default() },
+            telemetry: TelemetryConfig {
+                epochs: epoch,
+                ..Default::default()
+            },
             ..Default::default()
         },
     );

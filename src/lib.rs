@@ -8,6 +8,7 @@
 pub use hawkeye_baselines as baselines;
 pub use hawkeye_core as core;
 pub use hawkeye_eval as eval;
+pub use hawkeye_obs as obs;
 pub use hawkeye_sim as sim;
 pub use hawkeye_telemetry as telemetry;
 pub use hawkeye_tofino as tofino;

@@ -18,7 +18,10 @@ fn deadlock_scenario_routing_contains_the_cbd() {
     let flows: Vec<FlowKey> = sc.flows.iter().map(|f| f.key).collect();
     let g = BufferDependencyGraph::build(&sc.topo, &flows);
     let cycles = g.find_cycles();
-    assert!(!cycles.is_empty(), "the misconfigured routing admits deadlock");
+    assert!(
+        !cycles.is_empty(),
+        "the misconfigured routing admits deadlock"
+    );
     let cyc = &cycles[0];
     assert_eq!(cyc.len(), 4);
     assert_eq!(g.cycle_switches(cyc).len(), 4);

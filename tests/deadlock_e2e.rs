@@ -21,7 +21,12 @@ fn run(kind: ScenarioKind) -> (hawkeye::workloads::Scenario, hawkeye::eval::RunO
 #[test]
 fn in_loop_deadlock_full_pipeline() {
     let (sc, out) = run(ScenarioKind::InLoopDeadlock);
-    assert_eq!(out.verdict, Some(Verdict::Correct), "report: {:#?}", out.report);
+    assert_eq!(
+        out.verdict,
+        Some(Verdict::Correct),
+        "report: {:#?}",
+        out.report
+    );
     let report = out.report.unwrap();
     assert_eq!(report.anomaly, AnomalyType::InLoopDeadlock);
 
@@ -51,11 +56,19 @@ fn in_loop_deadlock_full_pipeline() {
 #[test]
 fn out_of_loop_injection_full_pipeline() {
     let (sc, out) = run(ScenarioKind::OutOfLoopDeadlockInjection);
-    assert_eq!(out.verdict, Some(Verdict::Correct), "report: {:#?}", out.report);
+    assert_eq!(
+        out.verdict,
+        Some(Verdict::Correct),
+        "report: {:#?}",
+        out.report
+    );
     let report = out.report.unwrap();
     assert_eq!(report.anomaly, AnomalyType::OutOfLoopDeadlockInjection);
     assert!(report.deadlock_loop.is_some());
-    assert_eq!(report.injection_peers(), vec![sc.truth.injection_host.unwrap()]);
+    assert_eq!(
+        report.injection_peers(),
+        vec![sc.truth.injection_host.unwrap()]
+    );
     // The injection root names the host-facing egress.
     assert!(report.root_causes.iter().any(|rc| matches!(
         rc,
@@ -66,7 +79,12 @@ fn out_of_loop_injection_full_pipeline() {
 #[test]
 fn out_of_loop_contention_full_pipeline() {
     let (sc, out) = run(ScenarioKind::OutOfLoopDeadlockContention);
-    assert_eq!(out.verdict, Some(Verdict::Correct), "report: {:#?}", out.report);
+    assert_eq!(
+        out.verdict,
+        Some(Verdict::Correct),
+        "report: {:#?}",
+        out.report
+    );
     let report = out.report.unwrap();
     assert_eq!(report.anomaly, AnomalyType::OutOfLoopDeadlockContention);
     assert!(report.deadlock_loop.is_some());
@@ -79,7 +97,12 @@ fn out_of_loop_contention_full_pipeline() {
 #[test]
 fn normal_contention_degenerate_case() {
     let (sc, out) = run(ScenarioKind::NormalContention);
-    assert_eq!(out.verdict, Some(Verdict::Correct), "report: {:#?}", out.report);
+    assert_eq!(
+        out.verdict,
+        Some(Verdict::Correct),
+        "report: {:#?}",
+        out.report
+    );
     let report = out.report.unwrap();
     assert_eq!(report.anomaly, AnomalyType::NormalContention);
     // No PFC spreading: no deadlock loop, no PFC paths.

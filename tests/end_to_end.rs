@@ -10,8 +10,8 @@ use hawkeye::core::{
     analyze_detection, AnalyzerConfig, AnomalyType, HawkeyeConfig, HawkeyeHook, RootCause,
 };
 use hawkeye::sim::{
-    chain, AgentConfig, FlowKey, Nanos, PfcInjectorConfig, SimConfig, Simulator,
-    EVAL_BANDWIDTH, EVAL_DELAY,
+    chain, AgentConfig, FlowKey, Nanos, PfcInjectorConfig, SimConfig, Simulator, EVAL_BANDWIDTH,
+    EVAL_DELAY,
 };
 use hawkeye::telemetry::{EpochConfig, TelemetryConfig};
 

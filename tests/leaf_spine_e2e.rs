@@ -17,7 +17,10 @@ fn incast_backpressure_on_leaf_spine() {
     let hook = HawkeyeHook::new(
         &topo,
         HawkeyeConfig {
-            telemetry: TelemetryConfig { epochs: epoch, ..Default::default() },
+            telemetry: TelemetryConfig {
+                epochs: epoch,
+                ..Default::default()
+            },
             ..Default::default()
         },
     );

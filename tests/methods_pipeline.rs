@@ -19,7 +19,12 @@ fn scenario(kind: ScenarioKind) -> hawkeye::workloads::Scenario {
 #[test]
 fn hawkeye_and_full_polling_agree_on_backpressure() {
     let sc = scenario(ScenarioKind::MicroBurstIncast);
-    let h = run_method(&sc, &optimal_run_config(1), Method::Hawkeye, &ScoreConfig::default());
+    let h = run_method(
+        &sc,
+        &optimal_run_config(1),
+        Method::Hawkeye,
+        &ScoreConfig::default(),
+    );
     let f = run_method(
         &sc,
         &optimal_run_config(1),
@@ -40,7 +45,12 @@ fn victim_only_fails_deadlocks_but_matches_on_storms() {
     // Deadlock: the loop is off the victim path; victim-only collection
     // cannot see it (the paper's key Fig. 8 result).
     let sc = scenario(ScenarioKind::InLoopDeadlock);
-    let v = run_method(&sc, &optimal_run_config(1), Method::VictimOnly, &ScoreConfig::default());
+    let v = run_method(
+        &sc,
+        &optimal_run_config(1),
+        Method::VictimOnly,
+        &ScoreConfig::default(),
+    );
     assert_ne!(v.verdict, Some(Verdict::Correct));
     if let Some(r) = &v.report {
         assert_ne!(r.anomaly, AnomalyType::InLoopDeadlock);
@@ -50,7 +60,12 @@ fn victim_only_fails_deadlocks_but_matches_on_storms() {
     // Storm into the victim's own destination: the PFC path is the victim
     // path, so victim-only does as well as Hawkeye.
     let sc = scenario(ScenarioKind::PfcStorm);
-    let v = run_method(&sc, &optimal_run_config(1), Method::VictimOnly, &ScoreConfig::default());
+    let v = run_method(
+        &sc,
+        &optimal_run_config(1),
+        Method::VictimOnly,
+        &ScoreConfig::default(),
+    );
     assert_eq!(v.verdict, Some(Verdict::Correct), "{:#?}", v.report);
 }
 
@@ -70,7 +85,10 @@ fn pfc_blind_baselines_miss_pfc_anomalies() {
             if let Some(r) = &o.report {
                 // Without paused counters, no PFC anomaly type is reachable.
                 assert!(
-                    matches!(r.anomaly, AnomalyType::NormalContention | AnomalyType::NoAnomaly),
+                    matches!(
+                        r.anomaly,
+                        AnomalyType::NormalContention | AnomalyType::NoAnomaly
+                    ),
                     "{}: {:?}",
                     m.name(),
                     r.anomaly
@@ -83,7 +101,12 @@ fn pfc_blind_baselines_miss_pfc_anomalies() {
 #[test]
 fn pfc_blind_baselines_handle_normal_contention() {
     let sc = scenario(ScenarioKind::NormalContention);
-    let o = run_method(&sc, &optimal_run_config(1), Method::NetSight, &ScoreConfig::default());
+    let o = run_method(
+        &sc,
+        &optimal_run_config(1),
+        Method::NetSight,
+        &ScoreConfig::default(),
+    );
     assert_eq!(o.verdict, Some(Verdict::Correct), "{:#?}", o.report);
 }
 
@@ -92,12 +115,22 @@ fn granularity_ablations_degrade_as_described() {
     // Port-only: PFC path traceable, flow roots missing -> wrong on
     // contention-rooted anomalies.
     let sc = scenario(ScenarioKind::MicroBurstIncast);
-    let p = run_method(&sc, &optimal_run_config(1), Method::PortOnly, &ScoreConfig::default());
+    let p = run_method(
+        &sc,
+        &optimal_run_config(1),
+        Method::PortOnly,
+        &ScoreConfig::default(),
+    );
     assert_ne!(p.verdict, Some(Verdict::Correct));
 
     // Flow-only: no port causality -> deadlock loop invisible.
     let sc = scenario(ScenarioKind::InLoopDeadlock);
-    let fl = run_method(&sc, &optimal_run_config(1), Method::FlowOnly, &ScoreConfig::default());
+    let fl = run_method(
+        &sc,
+        &optimal_run_config(1),
+        Method::FlowOnly,
+        &ScoreConfig::default(),
+    );
     if let Some(r) = &fl.report {
         assert!(r.deadlock_loop.is_none(), "flow-only cannot see the loop");
     }
@@ -107,9 +140,24 @@ fn granularity_ablations_degrade_as_described() {
 #[test]
 fn overhead_ordering_matches_fig9() {
     let sc = scenario(ScenarioKind::MicroBurstIncast);
-    let h = run_method(&sc, &optimal_run_config(1), Method::Hawkeye, &ScoreConfig::default());
-    let s = run_method(&sc, &optimal_run_config(1), Method::SpiderMon, &ScoreConfig::default());
-    let n = run_method(&sc, &optimal_run_config(1), Method::NetSight, &ScoreConfig::default());
+    let h = run_method(
+        &sc,
+        &optimal_run_config(1),
+        Method::Hawkeye,
+        &ScoreConfig::default(),
+    );
+    let s = run_method(
+        &sc,
+        &optimal_run_config(1),
+        Method::SpiderMon,
+        &ScoreConfig::default(),
+    );
+    let n = run_method(
+        &sc,
+        &optimal_run_config(1),
+        Method::NetSight,
+        &ScoreConfig::default(),
+    );
     // Bandwidth: NetSight (postcards) >> SpiderMon (per-packet header)
     // >> Hawkeye (a handful of polling packets).
     assert!(n.bandwidth_bytes > s.bandwidth_bytes * 5);

@@ -1,0 +1,162 @@
+//! Observability-layer integration: the `ObservedHook` decorator must be a
+//! faithful passthrough (same simulation, same probe handling, same
+//! diagnosis as the bare hook), and the traces it produces must be
+//! deterministic — byte-identical across same-seed runs — because events
+//! carry simulation time only.
+
+use hawkeye::core::{analyze_victim_window, AnalyzerConfig, HawkeyeConfig, HawkeyeHook, Window};
+use hawkeye::eval::{optimal_run_config, run_hawkeye, run_hawkeye_obs, ScoreConfig};
+use hawkeye::obs::{emit, kind, ObsConfig};
+use hawkeye::sim::{Detection, Nanos, ObservedHook, RunSummary};
+use hawkeye::telemetry::{EpochConfig, TelemetryConfig, TelemetrySnapshot};
+use hawkeye::workloads::{build_scenario, Scenario, ScenarioKind, ScenarioParams};
+
+fn scenario() -> Scenario {
+    build_scenario(
+        ScenarioKind::MicroBurstIncast,
+        ScenarioParams {
+            seed: 7,
+            load: 0.1,
+            ..Default::default()
+        },
+    )
+}
+
+fn hcfg() -> HawkeyeConfig {
+    HawkeyeConfig {
+        telemetry: TelemetryConfig {
+            epochs: EpochConfig::for_epoch_len(Nanos::from_micros(100), 2),
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+struct Run {
+    detections: Vec<Detection>,
+    summary: RunSummary,
+    hook_stats: String,
+    snapshots: Vec<TelemetrySnapshot>,
+}
+
+fn run_bare(sc: &Scenario) -> Run {
+    let hook = HawkeyeHook::new(&sc.topo, hcfg());
+    let mut sim = sc.instantiate_seeded(1, Scenario::agent(2.0), hook);
+    sim.run_until(sc.params.duration);
+    Run {
+        detections: sim.detections(),
+        summary: RunSummary::of(&sim),
+        hook_stats: format!("{:?}", sim.hook.stats),
+        snapshots: sim.hook.collector.snapshots(),
+    }
+}
+
+fn run_observed(sc: &Scenario, cfg: ObsConfig) -> Run {
+    let hook = ObservedHook::new(HawkeyeHook::new(&sc.topo, hcfg()), cfg);
+    let mut sim = sc.instantiate_seeded(1, Scenario::agent(2.0), hook);
+    sim.run_until(sc.params.duration);
+    Run {
+        detections: sim.detections(),
+        summary: RunSummary::of(&sim),
+        hook_stats: format!("{:?}", sim.hook.inner().stats),
+        snapshots: sim.hook.inner().collector.snapshots(),
+    }
+}
+
+fn diagnose(sc: &Scenario, run: &Run) -> Option<hawkeye::core::DiagnosisReport> {
+    let victim: Vec<_> = run
+        .detections
+        .iter()
+        .filter(|d| d.key == sc.truth.victim && d.at >= sc.truth.anomaly_at)
+        .collect();
+    let (first, last) = (victim.first()?.at, victim.last()?.at);
+    let analyzer = AnalyzerConfig::for_epoch_len(Nanos::from_micros(100));
+    let window = Window {
+        from: first.saturating_sub(Nanos(
+            analyzer.epoch_len.as_nanos() * analyzer.lookback_epochs,
+        )),
+        to: last + analyzer.epoch_len,
+    };
+    Some(
+        analyze_victim_window(
+            &sc.truth.victim,
+            window,
+            &run.snapshots,
+            &sc.topo,
+            &analyzer,
+        )
+        .0,
+    )
+}
+
+/// The decorator must not change a single observable output of the run:
+/// same detections, same switch/host counters, same in-switch hook
+/// statistics (i.e. identical `ProbeDecision`s along the way), and the
+/// telemetry it collects must diagnose to the identical report.
+#[test]
+fn observed_hook_is_faithful_passthrough() {
+    let sc = scenario();
+    let bare = run_bare(&sc);
+    for cfg in [ObsConfig::default(), ObsConfig::off()] {
+        let obs = run_observed(&sc, cfg);
+        assert_eq!(bare.detections, obs.detections);
+        assert_eq!(bare.summary, obs.summary);
+        assert_eq!(bare.hook_stats, obs.hook_stats);
+        let (rb, ro) = (diagnose(&sc, &bare), diagnose(&sc, &obs));
+        assert!(rb.is_some(), "victim must be detected in this scenario");
+        assert_eq!(rb, ro);
+    }
+}
+
+/// Same seed, two full observed runs: the emitted JSONL (and the Chrome
+/// trace derived from the same records) must match byte for byte. Stage
+/// wall-clock timings live only in the `StageProfile`, never in the trace.
+#[test]
+fn same_seed_traces_are_byte_identical() {
+    let sc = scenario();
+    let cfg = ObsConfig {
+        enabled: true,
+        capacity: 1 << 20,
+        mask: kind::DEFAULT,
+    };
+    let run = |_: u32| {
+        let (_, obs) = run_hawkeye_obs(&sc, &optimal_run_config(1), &ScoreConfig::default(), cfg);
+        let recs: Vec<_> = obs.tracer.records().cloned().collect();
+        (emit::jsonl(&recs), emit::chrome_trace(&recs))
+    };
+    let (j1, c1) = run(1);
+    let (j2, c2) = run(2);
+    assert!(!j1.is_empty());
+    assert_eq!(j1, j2, "JSONL trace must be byte-identical across runs");
+    assert_eq!(c1, c2, "Chrome trace must be byte-identical across runs");
+    // PFC provenance signal must actually be in the trace.
+    assert!(j1.contains("PfcPause") && j1.contains("ProbeHop"));
+}
+
+/// `RunOutcome`'s counters are read back from the metrics registry; the
+/// snapshot carried on the outcome must agree with the fields, and the
+/// un-instrumented `run_hawkeye` must produce the same numbers.
+#[test]
+fn run_outcome_counters_come_from_the_registry() {
+    let sc = scenario();
+    let cfg = optimal_run_config(1);
+    let score = ScoreConfig::default();
+    let (out, obs) = run_hawkeye_obs(&sc, &cfg, &score, ObsConfig::default());
+    let snap = &out.metrics;
+    assert_eq!(snap.counter("polling_packets"), Some(out.polling_packets));
+    assert_eq!(
+        snap.counter("collected_bytes"),
+        Some(out.collected_bytes as u64)
+    );
+    assert_eq!(snap.counter("detections"), Some(out.all_detections as u64));
+    assert_eq!(snap.counter_total("switch_data_pkts"), out.data_packets);
+    // The diagnosis ran under span timing: all three stages profiled.
+    let stages: Vec<_> = obs.profile.spans().iter().map(|s| s.stage).collect();
+    assert!(stages.len() >= 3, "expected stage spans, got {stages:?}");
+
+    let plain = run_hawkeye(&sc, &cfg, &score);
+    assert_eq!(plain.polling_packets, out.polling_packets);
+    assert_eq!(plain.collected_bytes, out.collected_bytes);
+    assert_eq!(plain.data_packets, out.data_packets);
+    assert_eq!(plain.report, out.report);
+}

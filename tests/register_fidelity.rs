@@ -92,7 +92,12 @@ fn full_pipeline_is_deterministic() {
                 ..Default::default()
             },
         );
-        let o = run_method(&sc, &optimal_run_config(1), Method::Hawkeye, &ScoreConfig::default());
+        let o = run_method(
+            &sc,
+            &optimal_run_config(1),
+            Method::Hawkeye,
+            &ScoreConfig::default(),
+        );
         (
             o.detection.map(|d| d.at),
             format!("{:?}", o.verdict),

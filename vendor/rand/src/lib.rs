@@ -1,0 +1,178 @@
+//! Vendored minimal `rand` stand-in.
+//!
+//! Offline builds cannot fetch the real `rand`; this crate provides the
+//! small surface the workspace uses — `StdRng::seed_from_u64`,
+//! `Rng::gen_range` over integer/float ranges, `gen_bool` — backed by
+//! xoshiro256++ seeded through SplitMix64. Deterministic across platforms
+//! (a hard requirement for reproducible experiments); the exact stream
+//! differs from upstream `rand`, which only shifts which random workloads
+//! a given seed denotes.
+
+use std::ops::Range;
+
+/// Low-level entropy source.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable generators.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Range sampling, implemented for `Range<primitive>`. The sampled type
+/// is a trait parameter (as in upstream rand) so call-site usage like
+/// `v[rng.gen_range(0..n)]` infers the integer type from context.
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_range_impls {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128) as u64;
+                // Multiply-shift bounded sampling (Lemire); bias is < 2^-64
+                // per draw, irrelevant for workload generation.
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                ((self.start as u128 + hi as u128) as u64) as $t
+            }
+        }
+    )*};
+}
+
+int_range_impls!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range in gen_range");
+        // 53 uniform mantissa bits in [0, 1).
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        let r = (self.start as f64)..(self.end as f64);
+        r.sample_from(rng) as f32
+    }
+}
+
+/// User-facing convenience methods, blanket-implemented for every RngCore.
+pub trait Rng: RngCore {
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        (0.0..1.0).sample_from(self) < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator (the stand-in for rand's
+    /// `StdRng`; upstream uses ChaCha12 — any fixed stream works here).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.s;
+            let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+            let t = s1 << 17;
+            let mut s = [s0, s1, s2, s3];
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            self.s = s;
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        let equal = (0..100)
+            .all(|_| StdRng::seed_from_u64(7).gen_range(0u64..100) == c.gen_range(0u64..100));
+        assert!(!equal);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = r.gen_range(5usize..17);
+            assert!((5..17).contains(&x));
+            let f = r.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = StdRng::seed_from_u64(3);
+        let hits = (0..100_000).filter(|_| r.gen_bool(0.3)).count();
+        assert!((hits as f64 / 100_000.0 - 0.3).abs() < 0.01);
+    }
+
+    #[test]
+    fn f64_unit_interval_is_uniformish() {
+        let mut r = StdRng::seed_from_u64(11);
+        let mean: f64 = (0..100_000).map(|_| r.gen_range(0.0f64..1.0)).sum::<f64>() / 100_000.0;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

@@ -1,0 +1,384 @@
+//! Vendored minimal `#[derive(Serialize, Deserialize)]` macros.
+//!
+//! Parses the item with a hand-rolled `proc_macro` token walker (the real
+//! derive needs `syn`/`quote`, which are unavailable offline) and emits
+//! impls of the sibling vendored `serde::{Serialize, Deserialize}` traits.
+//!
+//! Supported shapes — exactly what this workspace derives on:
+//! - non-generic structs with named fields
+//! - tuple structs (newtype structs serialize transparently, like serde)
+//! - non-generic enums with unit, tuple, and struct variants
+//!
+//! `#[serde(...)]` attributes are not supported and will simply be ignored
+//! by the parser (none exist in this workspace).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    /// Named-field struct: field identifiers in declaration order.
+    Struct(Vec<String>),
+    /// Tuple struct with N fields.
+    Tuple(usize),
+    /// Unit struct.
+    Unit,
+    /// Enum variants.
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Skip any number of `#[...]` attribute groups starting at `i`.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skip a visibility qualifier (`pub`, `pub(crate)`, ...) starting at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Count top-level comma-separated, non-empty groups in a token sequence.
+fn count_top_level(tokens: &[TokenTree]) -> usize {
+    let mut depth = 0usize;
+    let mut fields = 0usize;
+    let mut saw_tokens = false;
+    for t in tokens {
+        match t {
+            TokenTree::Punct(p) if depth == 0 && p.as_char() == ',' => {
+                if saw_tokens {
+                    fields += 1;
+                }
+                saw_tokens = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                saw_tokens = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth = depth.saturating_sub(1);
+                saw_tokens = true;
+            }
+            _ => saw_tokens = true,
+        }
+    }
+    if saw_tokens {
+        fields += 1;
+    }
+    fields
+}
+
+/// Parse `field: Type, ...` inside a brace group into field names.
+fn parse_named_fields(group: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        i = skip_vis(&tokens, i);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(name.to_string());
+        i += 1;
+        // Skip `:` then the type up to a top-level comma (angle brackets
+        // nest; every other delimiter arrives pre-grouped).
+        let mut depth = 0usize;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth = depth.saturating_sub(1),
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn parse_enum_variants(group: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            break;
+        };
+        let name = name.to_string();
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Struct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                VariantShape::Tuple(count_top_level(&inner))
+            }
+            _ => VariantShape::Unit,
+        };
+        variants.push(Variant { name, shape });
+        // Skip an optional discriminant and the trailing comma.
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+    let kw = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive: expected struct/enum, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive: expected item name, found {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("vendored serde derive does not support generic type `{name}`");
+        }
+    }
+    let shape = match kw.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Struct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Shape::Tuple(count_top_level(&inner))
+            }
+            _ => Shape::Unit,
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_enum_variants(g.stream()))
+            }
+            other => panic!("derive: expected enum body, found {other:?}"),
+        },
+        other => panic!("derive supports struct/enum only, found `{other}`"),
+    };
+    Item { name, shape }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&format!(
+                    "obj.push((\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
+                ));
+            }
+            format!(
+                "let mut obj: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                 {pushes}::serde::Value::Object(obj)"
+            )
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Unit => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), {inner})]),\n",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binds = fields.join(", ");
+                        let mut pushes = String::new();
+                        for f in fields {
+                            pushes.push_str(&format!(
+                                "obj.push((\"{f}\".to_string(), ::serde::Serialize::to_value({f})));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => {{\n\
+                             let mut obj: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                             {pushes}\
+                             ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Value::Object(obj))])\n\
+                             }},\n"
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+    .parse()
+    .expect("derived Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                inits.push_str(&format!(
+                    "{f}: ::serde::Deserialize::from_value(::serde::field(v, \"{f}\")?)?,\n"
+                ));
+            }
+            format!("Ok({name} {{\n{inits}}})")
+        }
+        Shape::Tuple(1) => format!("Ok({name}(::serde::Deserialize::from_value(v)?))"),
+        Shape::Tuple(n) => {
+            let mut inits = String::new();
+            for i in 0..*n {
+                inits.push_str(&format!("::serde::Deserialize::from_value(&a[{i}])?,\n"));
+            }
+            format!(
+                "let a = v.as_array().ok_or_else(|| ::serde::Error::custom(\
+                 \"expected array for {name}\"))?;\n\
+                 if a.len() != {n} {{\n\
+                 return Err(::serde::Error::custom(format!(\
+                 \"expected {n} elements for {name}, found {{}}\", a.len())));\n}}\n\
+                 Ok({name}({inits}))"
+            )
+        }
+        Shape::Unit => format!("Ok({name})"),
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut keyed_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => return Ok({name}::{vn}),\n"));
+                    }
+                    VariantShape::Tuple(n) => {
+                        let build = if *n == 1 {
+                            format!("{name}::{vn}(::serde::Deserialize::from_value(inner)?)")
+                        } else {
+                            let mut inits = String::new();
+                            for i in 0..*n {
+                                inits.push_str(&format!(
+                                    "::serde::Deserialize::from_value(&a[{i}])?,\n"
+                                ));
+                            }
+                            format!(
+                                "{{ let a = inner.as_array().ok_or_else(|| \
+                                 ::serde::Error::custom(\"expected array for {name}::{vn}\"))?;\n\
+                                 {name}::{vn}({inits}) }}"
+                            )
+                        };
+                        keyed_arms.push_str(&format!("\"{vn}\" => return Ok({build}),\n"));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            inits.push_str(&format!(
+                                "{f}: ::serde::Deserialize::from_value(\
+                                 ::serde::field(inner, \"{f}\")?)?,\n"
+                            ));
+                        }
+                        keyed_arms.push_str(&format!(
+                            "\"{vn}\" => return Ok({name}::{vn} {{\n{inits}}}),\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "if let ::serde::Value::Str(s) = v {{\n\
+                 match s.as_str() {{\n{unit_arms}\
+                 other => return Err(::serde::Error::custom(format!(\
+                 \"unknown variant `{{other}}` of {name}\"))),\n}}\n}}\n\
+                 if let Some(obj) = v.as_object() {{\n\
+                 if let Some((tag, inner)) = obj.first() {{\n\
+                 match tag.as_str() {{\n{keyed_arms}\
+                 _ => {{}}\n}}\n}}\n}}\n\
+                 Err(::serde::Error::custom(\"no matching variant of {name}\"))"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<{name}, ::serde::Error> {{\n\
+         {body}\n}}\n}}\n"
+    )
+    .parse()
+    .expect("derived Deserialize impl must parse")
+}
