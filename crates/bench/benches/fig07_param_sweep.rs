@@ -3,7 +3,7 @@
 //! RTT) grid.
 
 use hawkeye_bench::banner;
-use hawkeye_eval::{fig7_param_sweep, EvalConfig};
+use hawkeye_eval::{default_jobs, fig7_param_sweep_jobs, EvalConfig};
 
 fn main() {
     banner(
@@ -13,5 +13,7 @@ fn main() {
          recall stays near 1 (RTT-threshold detection rarely misses).",
     );
     let cfg = EvalConfig::default();
-    print!("{}", fig7_param_sweep(&cfg));
+    let jobs = default_jobs();
+    println!("parallel trial runner: jobs={jobs} (override with HAWKEYE_JOBS)");
+    print!("{}", fig7_param_sweep_jobs(&cfg, jobs));
 }

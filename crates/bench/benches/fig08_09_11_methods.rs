@@ -7,7 +7,8 @@
 use hawkeye_baselines::Method;
 use hawkeye_bench::banner;
 use hawkeye_eval::{
-    fig11_switch_coverage, fig8_baseline_accuracy, fig9_overhead, method_matrix, EvalConfig,
+    default_jobs, fig11_switch_coverage, fig8_baseline_accuracy, fig9_overhead, method_matrix_jobs,
+    EvalConfig,
 };
 
 fn main() {
@@ -19,7 +20,9 @@ fn main() {
          with far fewer switches than full polling.",
     );
     let cfg = EvalConfig::default();
-    let matrix = method_matrix(&cfg, &Method::FIG8);
+    let jobs = default_jobs();
+    println!("parallel trial runner: jobs={jobs} (override with HAWKEYE_JOBS)");
+    let matrix = method_matrix_jobs(&cfg, &Method::FIG8, jobs);
     print!("{}", fig8_baseline_accuracy(&matrix, &cfg));
     print!("{}", fig9_overhead(&matrix, &cfg));
     print!("{}", fig11_switch_coverage(&matrix, &cfg));

@@ -3,7 +3,7 @@
 //! traffic containing all six anomaly classes.
 
 use hawkeye_bench::banner;
-use hawkeye_eval::{fig10_granularity, EvalConfig};
+use hawkeye_eval::{default_jobs, fig10_granularity_jobs, EvalConfig};
 
 fn main() {
     banner(
@@ -12,5 +12,7 @@ fn main() {
          cannot trace PFC spreading; both fall far below full Hawkeye.",
     );
     let cfg = EvalConfig::default();
-    print!("{}", fig10_granularity(&cfg));
+    let jobs = default_jobs();
+    println!("parallel trial runner: jobs={jobs} (override with HAWKEYE_JOBS)");
+    print!("{}", fig10_granularity_jobs(&cfg, jobs));
 }

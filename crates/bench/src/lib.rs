@@ -12,8 +12,12 @@
 //!   and figures of the paper, printing the same rows/series the paper
 //!   reports.
 //!
-//! Knobs: `HAWKEYE_TRIALS` (traces per configuration; default 3) and
-//! `HAWKEYE_LOAD` (background load fraction; default 0.1).
+//! Knobs: `HAWKEYE_TRIALS` (traces per configuration; default 3),
+//! `HAWKEYE_LOAD` (background load fraction; default 0.1), `HAWKEYE_JOBS`
+//! (worker threads for the sweep harnesses; default
+//! `available_parallelism`), and `HAWKEYE_BENCH_SAMPLES` /
+//! `HAWKEYE_BENCH_BUDGET_MS` (micro-harness sample count and per-bench
+//! measurement budget; defaults 10 / 200 — drop both for a smoke run).
 
 /// Shared banner so every figure harness states its provenance.
 pub fn banner(fig: &str, paper_claim: &str) {
@@ -86,10 +90,29 @@ pub mod timing {
         }
     }
 
-    /// [`bench_with`] at the default 10 samples / 200 ms budget, printing
+    fn env_u64(key: &str, default: u64) -> u64 {
+        std::env::var(key)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or(default)
+    }
+
+    /// Samples per benchmark: `HAWKEYE_BENCH_SAMPLES`, default 10.
+    pub fn default_samples() -> usize {
+        env_u64("HAWKEYE_BENCH_SAMPLES", 10) as usize
+    }
+
+    /// Measurement budget per benchmark in milliseconds:
+    /// `HAWKEYE_BENCH_BUDGET_MS`, default 200.
+    pub fn default_budget_ms() -> u64 {
+        env_u64("HAWKEYE_BENCH_BUDGET_MS", 200)
+    }
+
+    /// [`bench_with`] at the default (env-tunable) samples/budget, printing
     /// the report line.
     pub fn bench<R>(name: &str, f: impl FnMut() -> R) -> Measurement {
-        let m = bench_with(name, 10, 200, f);
+        let m = bench_with(name, default_samples(), default_budget_ms(), f);
         println!("{}", m.report());
         m
     }

@@ -19,7 +19,9 @@
 
 use hawkeye_baselines::Method;
 use hawkeye_core::{BufferDependencyGraph, RootCause};
-use hawkeye_eval::{optimal_run_config, run_hawkeye_obs, run_method, ScoreConfig};
+use hawkeye_eval::{
+    default_jobs, optimal_run_config, par_map, run_hawkeye_obs, run_method, ScoreConfig,
+};
 use hawkeye_obs::{kind as evkind, ObsConfig};
 use hawkeye_workloads::{build_scenario, ScenarioKind, ScenarioParams};
 use serde::Serialize;
@@ -47,6 +49,10 @@ struct Opts {
     seed: u64,
     json: bool,
     format: TraceFormat,
+    /// Worker threads for sweep-style subcommands (`matrix`, `methods`).
+    /// Precedence: `--jobs` flag, then `HAWKEYE_JOBS`, then
+    /// `available_parallelism`.
+    jobs: usize,
 }
 
 /// Strict option parser: every `--flag` must be known and every value must
@@ -58,6 +64,7 @@ fn parse_opts(args: &[String]) -> Result<(Opts, Vec<String>), String> {
         seed: 1,
         json: false,
         format: TraceFormat::Jsonl,
+        jobs: default_jobs(),
     };
     let mut pos = Vec::new();
     let mut it = args.iter();
@@ -76,6 +83,14 @@ fn parse_opts(args: &[String]) -> Result<(Opts, Vec<String>), String> {
                     .map_err(|_| format!("--seed: '{v}' is not an unsigned integer"))?;
             }
             "--json" => o.json = true,
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs requires a value")?;
+                o.jobs = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("--jobs: '{v}' is not a positive integer"))?;
+            }
             "--format" => {
                 let v = it.next().ok_or("--format requires a value")?;
                 o.format = match v.as_str() {
@@ -94,7 +109,7 @@ fn parse_opts(args: &[String]) -> Result<(Opts, Vec<String>), String> {
 fn usage() -> ! {
     eprintln!(
         "usage: hawkeye <scenario|matrix|methods|cbd|dot|resources|summary|trace> [kind] \
-         [--load F] [--seed N] [--json] [--format jsonl|chrome]\n\
+         [--load F] [--seed N] [--jobs N] [--json] [--format jsonl|chrome]\n\
          kinds: incast storm inloop oolc oolinj contention"
     );
     std::process::exit(2)
@@ -173,14 +188,16 @@ fn cmd_scenario(kind: ScenarioKind, o: &Opts) {
 
 fn cmd_matrix(o: &Opts) {
     println!("{:<33} {:<10} diagnosis", "anomaly", "verdict");
-    for kind in ScenarioKind::ALL {
+    let outs = par_map(o.jobs, &ScenarioKind::ALL, |&kind| {
         let sc = build(kind, o);
-        let out = run_method(
+        run_method(
             &sc,
             &optimal_run_config(o.seed),
             Method::Hawkeye,
             &ScoreConfig::default(),
-        );
+        )
+    });
+    for (kind, out) in ScenarioKind::ALL.into_iter().zip(outs) {
         println!(
             "{:<33} {:<10} {}",
             kind.name(),
@@ -197,9 +214,11 @@ fn cmd_methods(kind: ScenarioKind, o: &Opts) {
         "{:<13} {:<17} {:<10} {:<10} bw_B",
         "method", "verdict", "switches", "proc_B"
     );
-    for m in Method::ALL {
+    let outs = par_map(o.jobs, &Method::ALL, |&m| {
         let sc = build(kind, o);
-        let out = run_method(&sc, &optimal_run_config(o.seed), m, &ScoreConfig::default());
+        run_method(&sc, &optimal_run_config(o.seed), m, &ScoreConfig::default())
+    });
+    for (m, out) in Method::ALL.into_iter().zip(outs) {
         println!(
             "{:<13} {:<17} {:<10} {:<10} {}",
             m.name(),

@@ -1,0 +1,45 @@
+//! `--jobs` contract: strict parsing (anything that isn't a positive
+//! integer is a usage error, exit 2) and identical sweep output for any
+//! accepted worker count.
+
+use std::process::Command;
+
+fn hawkeye(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_hawkeye"))
+        .args(args)
+        .env_remove("HAWKEYE_JOBS")
+        .output()
+        .expect("spawn hawkeye")
+}
+
+#[test]
+fn bad_jobs_values_are_usage_errors() {
+    for bad in ["0", "-1", "two", "1.5", ""] {
+        let out = hawkeye(&["matrix", "--jobs", bad]);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "--jobs {bad:?} must exit 2, got {:?}",
+            out.status
+        );
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("usage:"), "stderr must show usage, got: {err}");
+    }
+    let out = hawkeye(&["matrix", "--jobs"]);
+    assert_eq!(out.status.code(), Some(2), "--jobs without a value exits 2");
+}
+
+#[test]
+fn matrix_output_is_identical_across_job_counts() {
+    let base = hawkeye(&["matrix", "--jobs", "1", "--load", "0"]);
+    assert!(base.status.success(), "jobs=1 matrix failed");
+    for jobs in ["2", "4"] {
+        let out = hawkeye(&["matrix", "--jobs", jobs, "--load", "0"]);
+        assert!(out.status.success(), "jobs={jobs} matrix failed");
+        assert_eq!(
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&base.stdout),
+            "matrix output diverged at jobs={jobs}"
+        );
+    }
+}

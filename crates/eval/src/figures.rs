@@ -5,6 +5,7 @@
 
 use crate::methods::{run_method, MethodOutcome};
 use crate::metrics::{PrecisionRecall, ScoreConfig, Verdict};
+use crate::parallel::{default_jobs, par_map};
 use crate::runner::RunConfig;
 use hawkeye_baselines::Method;
 use hawkeye_core::TracingPolicy;
@@ -110,26 +111,62 @@ pub fn optimal_run_config(seed: u64) -> RunConfig {
     }
 }
 
-fn pr_over_trials(
+/// One cell of a figure grid, flattened for the parallel runner: a single
+/// `(scenario, seed, method)` simulation at one operating point.
+#[derive(Debug, Clone, Copy)]
+struct TrialSpec {
     kind: ScenarioKind,
-    cfg: &EvalConfig,
-    mk_run: impl Fn(u64) -> RunConfig,
+    epoch: EpochConfig,
+    threshold: f64,
+    seed: u64,
     method: Method,
-) -> PrecisionRecall {
+    load: f64,
+}
+
+/// Run one grid cell. Pure in its spec: two calls with equal specs return
+/// identical outcomes, which is what lets the parallel sweeps aggregate in
+/// input order and stay bit-for-bit equal to a sequential pass.
+fn run_trial(t: &TrialSpec) -> MethodOutcome {
     let score = ScoreConfig::default();
+    let sc = build_scenario(
+        t.kind,
+        ScenarioParams {
+            seed: t.seed,
+            load: t.load,
+            ..Default::default()
+        },
+    );
+    let run = RunConfig {
+        epoch: t.epoch,
+        threshold_factor: t.threshold,
+        sim_seed: t.seed,
+        policy: TracingPolicy::Hawkeye,
+    };
+    run_method(&sc, &run, t.method, &score)
+}
+
+impl EvalConfig {
+    /// All trials of one operating point, seeded `base_seed..+trials`.
+    fn trials_at(&self, kind: ScenarioKind, run: &RunConfig, method: Method) -> Vec<TrialSpec> {
+        (0..self.trials)
+            .map(|t| TrialSpec {
+                kind,
+                epoch: run.epoch,
+                threshold: run.threshold_factor,
+                seed: self.base_seed + t as u64,
+                method,
+                load: self.load,
+            })
+            .collect()
+    }
+}
+
+/// Fold one operating point's verdicts (a `trials`-sized chunk of the flat
+/// outcome list) into a precision/recall cell.
+fn pr_of(outcomes: &[MethodOutcome]) -> PrecisionRecall {
     let mut pr = PrecisionRecall::default();
-    for t in 0..cfg.trials {
-        let seed = cfg.base_seed + t as u64;
-        let sc = build_scenario(
-            kind,
-            ScenarioParams {
-                seed,
-                load: cfg.load,
-                ..Default::default()
-            },
-        );
-        let out = run_method(&sc, &mk_run(seed), method, &score);
-        pr.record(out.verdict);
+    for o in outcomes {
+        pr.record(o.verdict.clone());
     }
     pr
 }
@@ -137,21 +174,34 @@ fn pr_over_trials(
 /// **Figure 7**: Hawkeye's precision & recall per anomaly across epoch
 /// sizes and detection thresholds.
 pub fn fig7_param_sweep(cfg: &EvalConfig) -> FigureTable {
-    let mut rows = Vec::new();
+    fig7_param_sweep_jobs(cfg, default_jobs())
+}
+
+/// [`fig7_param_sweep`] with an explicit worker count: the full
+/// anomaly × epoch × threshold × trial grid is flattened and fanned across
+/// `jobs` threads, then folded back per operating point in input order.
+pub fn fig7_param_sweep_jobs(cfg: &EvalConfig, jobs: usize) -> FigureTable {
+    let mut specs = Vec::new();
     for kind in ScenarioKind::ALL {
-        for (elabel, epoch) in epoch_sweep() {
+        for (_, epoch) in epoch_sweep() {
             for th in threshold_sweep() {
-                let pr = pr_over_trials(
-                    kind,
-                    cfg,
-                    |seed| RunConfig {
-                        epoch,
-                        threshold_factor: th,
-                        sim_seed: seed,
-                        policy: TracingPolicy::Hawkeye,
-                    },
-                    Method::Hawkeye,
-                );
+                let run = RunConfig {
+                    epoch,
+                    threshold_factor: th,
+                    sim_seed: cfg.base_seed,
+                    policy: TracingPolicy::Hawkeye,
+                };
+                specs.extend(cfg.trials_at(kind, &run, Method::Hawkeye));
+            }
+        }
+    }
+    let outcomes = par_map(jobs, &specs, run_trial);
+    let mut rows = Vec::new();
+    let mut chunks = outcomes.chunks(cfg.trials.max(1));
+    for kind in ScenarioKind::ALL {
+        for (elabel, _) in epoch_sweep() {
+            for th in threshold_sweep() {
+                let pr = pr_of(chunks.next().unwrap_or(&[]));
                 rows.push(vec![
                     kind.name().to_string(),
                     elabel.to_string(),
@@ -181,24 +231,31 @@ pub fn method_matrix(
     cfg: &EvalConfig,
     methods: &[Method],
 ) -> Vec<(Method, ScenarioKind, Vec<MethodOutcome>)> {
-    let score = ScoreConfig::default();
+    method_matrix_jobs(cfg, methods, default_jobs())
+}
+
+/// [`method_matrix`] with an explicit worker count: the
+/// method × anomaly × trial grid is flattened, fanned across `jobs`
+/// threads, and regrouped per `(method, anomaly)` in input order.
+pub fn method_matrix_jobs(
+    cfg: &EvalConfig,
+    methods: &[Method],
+    jobs: usize,
+) -> Vec<(Method, ScenarioKind, Vec<MethodOutcome>)> {
+    let mut specs = Vec::new();
+    for &m in methods {
+        for kind in ScenarioKind::ALL {
+            specs.extend(cfg.trials_at(kind, &optimal_run_config(cfg.base_seed), m));
+        }
+    }
+    let mut outcomes = par_map(jobs, &specs, run_trial).into_iter();
     let mut out = Vec::new();
     for &m in methods {
         for kind in ScenarioKind::ALL {
-            let mut outcomes = Vec::new();
-            for t in 0..cfg.trials {
-                let seed = cfg.base_seed + t as u64;
-                let sc = build_scenario(
-                    kind,
-                    ScenarioParams {
-                        seed,
-                        load: cfg.load,
-                        ..Default::default()
-                    },
-                );
-                outcomes.push(run_method(&sc, &optimal_run_config(seed), m, &score));
-            }
-            out.push((m, kind, outcomes));
+            let group: Vec<MethodOutcome> = (0..cfg.trials)
+                .map(|_| outcomes.next().expect("one outcome per spec"))
+                .collect();
+            out.push((m, kind, group));
         }
     }
     out
@@ -281,12 +338,23 @@ pub fn fig9_overhead(
 /// **Figure 10**: diagnosis effectiveness of the telemetry granularities
 /// (Hawkeye vs port-only vs flow-only), aggregated over all anomalies.
 pub fn fig10_granularity(cfg: &EvalConfig) -> FigureTable {
-    let mut rows = Vec::new();
+    fig10_granularity_jobs(cfg, default_jobs())
+}
+
+/// [`fig10_granularity`] with an explicit worker count.
+pub fn fig10_granularity_jobs(cfg: &EvalConfig, jobs: usize) -> FigureTable {
+    let mut specs = Vec::new();
     for m in Method::FIG10 {
-        let mut pr = PrecisionRecall::default();
         for kind in ScenarioKind::ALL {
-            pr.merge(&pr_over_trials(kind, cfg, optimal_run_config, m));
+            specs.extend(cfg.trials_at(kind, &optimal_run_config(cfg.base_seed), m));
         }
+    }
+    let outcomes = par_map(jobs, &specs, run_trial);
+    let mut rows = Vec::new();
+    let per_method = ScenarioKind::ALL.len() * cfg.trials;
+    for (i, m) in Method::FIG10.into_iter().enumerate() {
+        let slice = &outcomes[i * per_method..(i + 1) * per_method];
+        let pr = pr_of(slice);
         rows.push(vec![
             m.name().to_string(),
             format!("{:.2}", pr.precision()),

@@ -8,13 +8,16 @@
 pub mod figures;
 pub mod methods;
 pub mod metrics;
+pub mod parallel;
 pub mod runner;
 
 pub use figures::{
-    epoch_sweep, fig10_granularity, fig11_switch_coverage, fig12_case_study, fig7_param_sweep,
-    fig8_baseline_accuracy, fig9_overhead, method_matrix, optimal_run_config, threshold_sweep,
+    epoch_sweep, fig10_granularity, fig10_granularity_jobs, fig11_switch_coverage,
+    fig12_case_study, fig7_param_sweep, fig7_param_sweep_jobs, fig8_baseline_accuracy,
+    fig9_overhead, method_matrix, method_matrix_jobs, optimal_run_config, threshold_sweep,
     EvalConfig, FigureTable,
 };
 pub use methods::{run_method, MethodOutcome};
 pub use metrics::{judge, PrecisionRecall, ScoreConfig, Verdict};
+pub use parallel::{default_jobs, par_map};
 pub use runner::{run_hawkeye, run_hawkeye_obs, RunConfig, RunOutcome};

@@ -385,14 +385,7 @@ impl HostState {
                 port: 0,
             },
         );
-        q.schedule(
-            now + tx + info.delay,
-            EventKind::Arrive {
-                node: info.peer.node,
-                port: info.peer.port,
-                packet: pkt,
-            },
-        );
+        q.schedule_arrive(now + tx + info.delay, info.peer.node, info.peer.port, pkt);
     }
 
     pub fn handle_tx_done(&mut self, now: Nanos, q: &mut EventQueue, topo: &Topology) {
@@ -673,7 +666,7 @@ mod tests {
                     host.handle_flow_ready(flow_idx, t, &mut q, &topo)
                 }
                 EventKind::PortTxDone { .. } => host.handle_tx_done(t, &mut q, &topo),
-                EventKind::Arrive { packet, .. } if packet.is_data() => sent += 1,
+                EventKind::Arrive { packet, .. } if q.packet(packet).is_data() => sent += 1,
                 _ => {}
             }
         }
@@ -711,7 +704,9 @@ mod tests {
                 }
                 EventKind::PortTxDone { .. } => host.handle_tx_done(t, &mut q, &topo),
                 EventKind::PortKick { .. } => host.try_tx(t, &mut q, &topo),
-                EventKind::Arrive { packet, .. } if packet.is_data() => data_arrivals += 1,
+                EventKind::Arrive { packet, .. } if q.packet(packet).is_data() => {
+                    data_arrivals += 1
+                }
                 _ => {}
             }
         }
@@ -837,7 +832,7 @@ mod tests {
                 EventKind::HostPfcInject { .. } => host.handle_pfc_inject(t, &mut q, &topo),
                 EventKind::PortTxDone { .. } => host.handle_tx_done(t, &mut q, &topo),
                 EventKind::Arrive { packet, .. } => {
-                    if matches!(packet, Packet::Pfc(f) if f.is_pause()) {
+                    if matches!(q.packet(packet), Packet::Pfc(f) if f.is_pause()) {
                         pauses += 1;
                     }
                 }

@@ -40,7 +40,7 @@ pub mod time;
 pub mod topology;
 pub mod units;
 
-pub use event::{EventKind, EventQueue};
+pub use event::{EventKind, EventQueue, HeapQueue, PacketRef};
 pub use hooks::{
     CpuNotification, EnqueueRecord, NullHook, PfcEvent, ProbeDecision, SwitchHook, SwitchView,
 };

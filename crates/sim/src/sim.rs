@@ -230,18 +230,23 @@ impl<H: SwitchHook> Simulator<H> {
 
     fn dispatch(&mut self, now: Nanos, ev: EventKind) {
         match ev {
-            EventKind::Arrive { node, port, packet } => match &mut self.nodes[node.index()] {
-                NodeState::Switch(sw) => sw.handle_arrive(
-                    port,
-                    packet,
-                    now,
-                    &mut self.queue,
-                    &self.topo,
-                    &mut self.hook,
-                    &mut self.cpu_log,
-                ),
-                NodeState::Host(h) => h.handle_arrive(packet, now, &mut self.queue, &self.topo),
-            },
+            EventKind::Arrive { node, port, packet } => {
+                // Copy the frame out of the pool, recycling its slot before
+                // the handler can schedule the next hop into it.
+                let pkt = self.queue.take_packet(packet);
+                match &mut self.nodes[node.index()] {
+                    NodeState::Switch(sw) => sw.handle_arrive(
+                        port,
+                        pkt,
+                        now,
+                        &mut self.queue,
+                        &self.topo,
+                        &mut self.hook,
+                        &mut self.cpu_log,
+                    ),
+                    NodeState::Host(h) => h.handle_arrive(pkt, now, &mut self.queue, &self.topo),
+                }
+            }
             EventKind::PortTxDone { node, port } => match &mut self.nodes[node.index()] {
                 NodeState::Switch(sw) => sw.handle_tx_done(port, now, &mut self.queue, &self.topo),
                 NodeState::Host(h) => h.handle_tx_done(now, &mut self.queue, &self.topo),

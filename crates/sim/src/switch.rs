@@ -445,14 +445,7 @@ impl SwitchState {
                 port,
             },
         );
-        q.schedule(
-            now + tx + info.delay,
-            EventKind::Arrive {
-                node: info.peer.node,
-                port: info.peer.port,
-                packet: pkt,
-            },
-        );
+        q.schedule_arrive(now + tx + info.delay, info.peer.node, info.peer.port, pkt);
         if let Some(ing) = resume_ingress {
             self.send_resume(ing, now, q, topo);
         }
@@ -599,10 +592,7 @@ mod tests {
         assert!(
             evs.iter().any(|(_, e)| matches!(
                 e,
-                EventKind::Arrive {
-                    packet: Packet::Ack(_),
-                    ..
-                }
+                EventKind::Arrive { packet, .. } if matches!(q.packet(*packet), Packet::Ack(_))
             )),
             "ACK must be serialized despite data-class pause"
         );

@@ -16,4 +16,14 @@ cargo fmt --check
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> bench smoke (1 sample, tiny budget, jobs=2)"
+# Exercises the micro-bench harness end to end — queue speedup numbers,
+# overhead check, sweep wall-clock, BENCH_2.json write — at a budget small
+# enough for CI; the recorded numbers are meaningless at this budget, so
+# restore BENCH_2.json afterwards.
+HAWKEYE_BENCH_SAMPLES=1 HAWKEYE_BENCH_BUDGET_MS=5 HAWKEYE_TRIALS=1 \
+  HAWKEYE_LOAD=0.05 HAWKEYE_JOBS=2 \
+  cargo bench -p hawkeye-bench --bench micro
+git checkout -- BENCH_2.json 2>/dev/null || true
+
 echo "==> all checks passed"
