@@ -9,8 +9,14 @@
 //! hawkeye resources                                        Tofino resource model (Fig 13)
 //! hawkeye summary  <kind> [--load F] [--seed N] [--json]   network-wide run statistics
 //! hawkeye trace    <kind> [--format jsonl|chrome]          structured event trace of a run
+//! hawkeye chaos    [--rates R,..] [--trials N] [--out F]   fault-rate sweep, accuracy table
 //! ```
 //! Kinds: incast, storm, inloop, oolc, oolinj, contention.
+//!
+//! `chaos` sweeps control-plane fault rates (default 0%-50%) across the
+//! whole scenario matrix, prints an accuracy/confidence table, and writes
+//! the same data as JSON (default `CHAOS.json`). Exit codes: 0 success,
+//! 2 usage, 3 diagnosis failed with a typed cause (`scenario` only).
 //!
 //! `trace` emits sim-time-stamped events (PFC pause/resume, probe hops, CPU
 //! mirrors, detections, diagnosis stage spans) — `--format chrome` produces
@@ -20,7 +26,8 @@
 use hawkeye_baselines::Method;
 use hawkeye_core::{BufferDependencyGraph, RootCause};
 use hawkeye_eval::{
-    default_jobs, optimal_run_config, par_map, run_hawkeye_obs, run_method, ScoreConfig,
+    chaos_sweep, default_jobs, optimal_run_config, par_map, run_hawkeye_obs, run_method,
+    ChaosConfig, ScoreConfig,
 };
 use hawkeye_obs::{kind as evkind, ObsConfig};
 use hawkeye_workloads::{build_scenario, ScenarioKind, ScenarioParams};
@@ -49,10 +56,16 @@ struct Opts {
     seed: u64,
     json: bool,
     format: TraceFormat,
-    /// Worker threads for sweep-style subcommands (`matrix`, `methods`).
-    /// Precedence: `--jobs` flag, then `HAWKEYE_JOBS`, then
+    /// Worker threads for sweep-style subcommands (`matrix`, `methods`,
+    /// `chaos`). Precedence: `--jobs` flag, then `HAWKEYE_JOBS`, then
     /// `available_parallelism`.
     jobs: usize,
+    /// Fault rates for `chaos` (fractions).
+    rates: Vec<f64>,
+    /// Trials per (scenario, rate) cell for `chaos`.
+    trials: usize,
+    /// JSON output path for `chaos`.
+    out: String,
 }
 
 /// Strict option parser: every `--flag` must be known and every value must
@@ -65,6 +78,9 @@ fn parse_opts(args: &[String]) -> Result<(Opts, Vec<String>), String> {
         json: false,
         format: TraceFormat::Jsonl,
         jobs: default_jobs(),
+        rates: ChaosConfig::default().rates,
+        trials: ChaosConfig::default().trials,
+        out: "CHAOS.json".to_string(),
     };
     let mut pos = Vec::new();
     let mut it = args.iter();
@@ -91,6 +107,33 @@ fn parse_opts(args: &[String]) -> Result<(Opts, Vec<String>), String> {
                     .filter(|&n| n >= 1)
                     .ok_or_else(|| format!("--jobs: '{v}' is not a positive integer"))?;
             }
+            "--rates" => {
+                let v = it.next().ok_or("--rates requires a comma-separated list")?;
+                o.rates = v
+                    .split(',')
+                    .map(|r| {
+                        r.trim()
+                            .parse::<f64>()
+                            .ok()
+                            .filter(|r| (0.0..=1.0).contains(r))
+                            .ok_or_else(|| format!("--rates: '{r}' is not a fraction in [0, 1]"))
+                    })
+                    .collect::<Result<_, _>>()?;
+                if o.rates.is_empty() {
+                    return Err("--rates: list is empty".to_string());
+                }
+            }
+            "--trials" => {
+                let v = it.next().ok_or("--trials requires a value")?;
+                o.trials = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("--trials: '{v}' is not a positive integer"))?;
+            }
+            "--out" => {
+                o.out = it.next().ok_or("--out requires a path")?.clone();
+            }
             "--format" => {
                 let v = it.next().ok_or("--format requires a value")?;
                 o.format = match v.as_str() {
@@ -108,8 +151,9 @@ fn parse_opts(args: &[String]) -> Result<(Opts, Vec<String>), String> {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: hawkeye <scenario|matrix|methods|cbd|dot|resources|summary|trace> [kind] \
-         [--load F] [--seed N] [--jobs N] [--json] [--format jsonl|chrome]\n\
+        "usage: hawkeye <scenario|matrix|methods|cbd|dot|resources|summary|trace|chaos> [kind] \
+         [--load F] [--seed N] [--jobs N] [--json] [--format jsonl|chrome] \
+         [--rates R,R,..] [--trials N] [--out F]\n\
          kinds: incast storm inloop oolc oolinj contention"
     );
     std::process::exit(2)
@@ -135,8 +179,13 @@ fn cmd_scenario(kind: ScenarioKind, o: &Opts) {
         &ScoreConfig::default(),
     );
     let Some(report) = &out.report else {
-        println!("victim was never detected");
-        return;
+        // A typed failure, not a panic: one line on stderr, exit 3 so
+        // scripts can tell "no diagnosis" from a crash or a usage error.
+        let cause = out
+            .error
+            .map_or_else(|| "no diagnosis produced".to_string(), |e| e.to_string());
+        eprintln!("hawkeye: {cause}");
+        std::process::exit(3);
     };
     if o.json {
         println!("{}", serde_json::to_string_pretty(report).unwrap());
@@ -330,6 +379,29 @@ fn cmd_trace(kind: ScenarioKind, o: &Opts) {
     }
 }
 
+fn cmd_chaos(o: &Opts) {
+    let cfg = ChaosConfig {
+        rates: o.rates.clone(),
+        trials: o.trials,
+        load: o.load,
+        base_seed: o.seed,
+    };
+    let rep = chaos_sweep(&cfg, o.jobs);
+    let json = serde_json::to_string_pretty(&rep.to_value()).unwrap();
+    if o.json {
+        println!("{json}");
+    } else {
+        println!("{}", rep.to_figure());
+    }
+    if let Err(e) = std::fs::write(&o.out, json + "\n") {
+        eprintln!("hawkeye: cannot write {}: {e}", o.out);
+        std::process::exit(1);
+    }
+    if !o.json {
+        eprintln!("wrote {}", o.out);
+    }
+}
+
 fn cmd_resources() {
     let u = hawkeye_tofino::resource_usage(
         &hawkeye_telemetry::TelemetryConfig::default(),
@@ -374,6 +446,7 @@ fn main() {
         ("resources", None) => cmd_resources(),
         ("summary", Some(k)) => cmd_summary(k, &opts),
         ("trace", Some(k)) => cmd_trace(k, &opts),
+        ("chaos", None) => cmd_chaos(&opts),
         _ => usage(),
     }
 }

@@ -2,11 +2,13 @@
 //! telemetry to a [`DiagnosisReport`].
 
 use crate::aggregate::{AggTelemetry, Window};
-use crate::diagnosis::{diagnose, DiagnosisConfig, DiagnosisReport};
+use crate::diagnosis::{diagnose, AnomalyType, DiagnosisConfig, DiagnosisReport};
+use crate::error::Confidence;
 use crate::provenance::{build_graph, ProvenanceGraph, ReplayConfig};
 use hawkeye_obs::{Recorder, Stage};
-use hawkeye_sim::{Detection, Nanos, Topology};
+use hawkeye_sim::{Detection, Nanos, NodeId, Topology};
 use hawkeye_telemetry::TelemetrySnapshot;
+use std::collections::HashSet;
 
 /// Analyzer configuration.
 #[derive(Debug, Clone, Copy)]
@@ -32,6 +34,40 @@ impl AnalyzerConfig {
             diagnosis: DiagnosisConfig::default(),
         }
     }
+}
+
+/// Victim-path switches that never delivered a snapshot — the missing set
+/// grading a verdict's [`Confidence`]. Coverage is judged on delivery, not
+/// row content: an empty-but-delivered snapshot is evidence of quiet, while
+/// an absent one is a blind spot.
+fn victim_path_gaps(
+    victim: &hawkeye_sim::FlowKey,
+    snapshots: &[TelemetrySnapshot],
+    topo: &Topology,
+) -> Vec<NodeId> {
+    let covered: HashSet<NodeId> = snapshots.iter().map(|s| s.switch).collect();
+    let mut missing: Vec<NodeId> = topo
+        .flow_egress_ports(victim)
+        .into_iter()
+        .map(|p| p.node)
+        .filter(|sw| !covered.contains(sw))
+        .collect();
+    missing.sort_unstable();
+    missing.dedup();
+    missing
+}
+
+/// Grade a report by telemetry coverage of the victim's path.
+fn grade_report(
+    report: &mut DiagnosisReport,
+    victim: &hawkeye_sim::FlowKey,
+    snapshots: &[TelemetrySnapshot],
+    topo: &Topology,
+) {
+    report.confidence = Confidence::grade(
+        victim_path_gaps(victim, snapshots, topo),
+        report.anomaly != AnomalyType::NoAnomaly,
+    );
 }
 
 /// The window a detection's diagnosis aggregates over: from `lookback`
@@ -91,9 +127,10 @@ pub fn analyze_victim_window_obs(
     let g = obs.stage(Stage::GraphBuild, from, to, || {
         build_graph(&agg, topo, cfg.replay)
     });
-    let report = obs.stage(Stage::SignatureMatch, from, to, || {
+    let mut report = obs.stage(Stage::SignatureMatch, from, to, || {
         diagnose(&g, topo, &agg, victim, cfg.diagnosis)
     });
+    grade_report(&mut report, victim, snapshots, topo);
     (report, g, agg)
 }
 
@@ -147,8 +184,41 @@ pub fn analyze_detection_obs(
     let g = obs.stage(Stage::GraphBuild, from, to, || {
         build_graph(&agg, topo, cfg.replay)
     });
-    let report = obs.stage(Stage::SignatureMatch, from, to, || {
+    let mut report = obs.stage(Stage::SignatureMatch, from, to, || {
         diagnose(&g, topo, &agg, &det.key, cfg.diagnosis)
     });
+    grade_report(&mut report, &det.key, snapshots, topo);
     (report, g, agg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_graphs::{fkey, topo4};
+
+    #[test]
+    fn no_snapshots_grades_inconclusive() {
+        let topo = topo4();
+        let victim = fkey(1);
+        let window = Window {
+            from: Nanos::ZERO,
+            to: Nanos(1 << 21),
+        };
+        let (report, _, _) = analyze_victim_window(
+            &victim,
+            window,
+            &[],
+            &topo,
+            &AnalyzerConfig::for_epoch_len(Nanos(1 << 20)),
+        );
+        assert_eq!(report.anomaly, AnomalyType::NoAnomaly);
+        assert!(report.confidence.is_inconclusive());
+        assert!(!report.confidence.missing().is_empty());
+        // The degraded field survives a serde round trip, and a complete
+        // verdict's JSON never mentions confidence at all.
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("confidence"));
+        let back: DiagnosisReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.confidence, report.confidence);
+    }
 }

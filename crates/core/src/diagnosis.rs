@@ -3,12 +3,14 @@
 //! points, and attribute root causes to flows or host PFC injection.
 
 use crate::aggregate::AggTelemetry;
+use crate::error::Confidence;
 use crate::provenance::{victim_extents, ProvenanceGraph, ReplayConfig};
 use crate::signature::{contributors, has_flow_contention, CONTENTION_EPS};
 #[cfg(test)]
 use hawkeye_sim::Nanos;
 use hawkeye_sim::{FlowKey, NodeId, PortId, Topology, DATA_PKT_SIZE};
 use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
 use std::collections::{BTreeSet, HashMap};
 
 /// The anomaly classes of Table 2.
@@ -88,7 +90,7 @@ impl Default for DiagnosisConfig {
 }
 
 /// The complete anomaly breakdown Hawkeye reports to the operator.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DiagnosisReport {
     pub victim: FlowKey,
     pub anomaly: AnomalyType,
@@ -105,6 +107,55 @@ pub struct DiagnosisReport {
     pub spreading_flows: Vec<FlowKey>,
     /// Root-cause contributors classified as transient bursts.
     pub burst_flows: Vec<FlowKey>,
+    /// How much of the expected telemetry backed this verdict.
+    pub confidence: Confidence,
+}
+
+// Hand-written (de)serialization: `confidence` rides the wire only when it
+// carries information, so complete (fault-free) reports are byte-identical
+// to reports that predate the field — and such older reports still parse.
+impl Serialize for DiagnosisReport {
+    fn to_value(&self) -> serde::Value {
+        let mut obj: Vec<(String, serde::Value)> = vec![
+            ("victim".to_string(), self.victim.to_value()),
+            ("anomaly".to_string(), self.anomaly.to_value()),
+            ("root_causes".to_string(), self.root_causes.to_value()),
+            ("pfc_paths".to_string(), self.pfc_paths.to_value()),
+            ("deadlock_loop".to_string(), self.deadlock_loop.to_value()),
+            ("victim_extents".to_string(), self.victim_extents.to_value()),
+            (
+                "spreading_flows".to_string(),
+                self.spreading_flows.to_value(),
+            ),
+            ("burst_flows".to_string(), self.burst_flows.to_value()),
+        ];
+        if !self.confidence.is_complete() {
+            obj.push(("confidence".to_string(), self.confidence.to_value()));
+        }
+        serde::Value::Object(obj)
+    }
+}
+
+impl Deserialize for DiagnosisReport {
+    fn from_value(v: &serde::Value) -> Result<DiagnosisReport, serde::Error> {
+        Ok(DiagnosisReport {
+            victim: Deserialize::from_value(serde::field(v, "victim")?)?,
+            anomaly: Deserialize::from_value(serde::field(v, "anomaly")?)?,
+            root_causes: Deserialize::from_value(serde::field(v, "root_causes")?)?,
+            pfc_paths: Deserialize::from_value(serde::field(v, "pfc_paths")?)?,
+            deadlock_loop: Deserialize::from_value(serde::field(v, "deadlock_loop")?)?,
+            victim_extents: Deserialize::from_value(serde::field(v, "victim_extents")?)?,
+            spreading_flows: Deserialize::from_value(serde::field(v, "spreading_flows")?)?,
+            burst_flows: Deserialize::from_value(serde::field(v, "burst_flows")?)?,
+            confidence: match v
+                .as_object()
+                .and_then(|o| o.iter().find(|(k, _)| k == "confidence"))
+            {
+                Some((_, cv)) => Deserialize::from_value(cv)?,
+                None => Confidence::Complete,
+            },
+        })
+    }
 }
 
 impl DiagnosisReport {
@@ -165,6 +216,18 @@ impl DiagnosisReport {
         v
     }
 
+    /// Fold additional known-failed collections (the collector's
+    /// [`crate::collector::MissingTelemetry`] log) into the confidence
+    /// grade and re-grade against this report's verdict.
+    pub fn note_missing(&mut self, more: &[NodeId]) {
+        if more.is_empty() {
+            return;
+        }
+        let mut missing = std::mem::take(&mut self.confidence).missing().to_vec();
+        missing.extend_from_slice(more);
+        self.confidence = Confidence::grade(missing, self.anomaly != AnomalyType::NoAnomaly);
+    }
+
     /// Injection peers named as root causes.
     pub fn injection_peers(&self) -> Vec<NodeId> {
         self.root_causes
@@ -215,7 +278,11 @@ impl<'a> Walker<'a> {
             // Heaviest cause first for deterministic, severity-ordered
             // reports.
             let mut nbrs = self.g.port_neighbors(p).to_vec();
-            nbrs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+            nbrs.sort_by(|a, b| {
+                b.1.partial_cmp(&a.1)
+                    .unwrap_or(Ordering::Equal)
+                    .then(a.0.cmp(&b.0))
+            });
             for (nbr, _) in nbrs {
                 self.check_port(nbr, path);
             }
@@ -343,7 +410,11 @@ impl<'a> Walker<'a> {
             .into_iter()
             .filter(|(_, w)| *w > CONTENTION_EPS)
             .collect();
-        flows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        flows.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
         Some(flows)
     }
 
@@ -592,7 +663,7 @@ pub fn diagnose(
         starts.sort_by(|a, b| {
             pos(&a.0)
                 .cmp(&pos(&b.0))
-                .then(b.1.partial_cmp(&a.1).unwrap())
+                .then(b.1.partial_cmp(&a.1).unwrap_or(Ordering::Equal))
                 .then(a.0.cmp(&b.0))
         });
         for (port, _) in &starts {
@@ -615,14 +686,15 @@ pub fn diagnose(
                 // The primary root — the most severe one — names the
                 // anomaly; a victim often crosses secondary congestion
                 // (background contention) on the way to the real cause.
-                let primary = w
-                    .roots
-                    .iter()
-                    .max_by(|a, b| w.root_severity(a).partial_cmp(&w.root_severity(b)).unwrap())
-                    .unwrap();
+                let primary = w.roots.iter().max_by(|a, b| {
+                    w.root_severity(a)
+                        .partial_cmp(&w.root_severity(b))
+                        .unwrap_or(Ordering::Equal)
+                });
                 anomaly = match primary {
-                    RootCause::HostPfcInjection { .. } => AnomalyType::PfcStorm,
-                    RootCause::FlowContention { .. } => AnomalyType::MicroBurstIncast,
+                    Some(RootCause::HostPfcInjection { .. }) => AnomalyType::PfcStorm,
+                    Some(RootCause::FlowContention { .. }) => AnomalyType::MicroBurstIncast,
+                    None => AnomalyType::NoAnomaly,
                 };
             }
         }
@@ -658,6 +730,9 @@ pub fn diagnose(
         victim_extents: extents,
         spreading_flows: spreading,
         burst_flows,
+        // Coverage is graded by the analyzer, which knows which switches
+        // delivered snapshots; `diagnose` alone assumes full evidence.
+        confidence: Confidence::default(),
     }
 }
 

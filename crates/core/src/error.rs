@@ -1,0 +1,174 @@
+//! Typed failures and verdict confidence for the diagnosis pipeline.
+//!
+//! Under degraded telemetry (upload loss, dead switch CPUs, probe loss) the
+//! collector→analyzer→diagnosis path must fail *descriptively*, never by
+//! panicking: a pipeline stage that cannot proceed returns a
+//! [`DiagnosisError`], and every verdict that IS produced carries a
+//! [`Confidence`] grade saying how much of the expected evidence backed it.
+
+use hawkeye_sim::{FlowKey, NodeId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Why the pipeline could not produce a verdict for a victim.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DiagnosisError {
+    /// The victim never triggered a post-anomaly detection (probe loss can
+    /// starve the host agent of RTT samples entirely).
+    NoDetection { victim: FlowKey },
+    /// A detection fired but no telemetry at all reached the analyzer
+    /// inside its window.
+    NoTelemetry {
+        victim: FlowKey,
+        /// Switches whose collection is known to have failed.
+        missing: Vec<NodeId>,
+    },
+}
+
+impl DiagnosisError {
+    /// The victim this failure concerns.
+    pub fn victim(&self) -> &FlowKey {
+        match self {
+            DiagnosisError::NoDetection { victim } => victim,
+            DiagnosisError::NoTelemetry { victim, .. } => victim,
+        }
+    }
+}
+
+impl fmt::Display for DiagnosisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiagnosisError::NoDetection { victim } => {
+                write!(f, "no post-anomaly detection for victim {victim:?}")
+            }
+            DiagnosisError::NoTelemetry { victim, missing } => write!(
+                f,
+                "no telemetry reached the analyzer for victim {victim:?} ({} known failed collections)",
+                missing.len()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DiagnosisError {}
+
+/// How much of the expected telemetry backed a verdict.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Confidence {
+    /// Every victim-path switch delivered telemetry.
+    #[default]
+    Complete,
+    /// Some expected switches never delivered, but the surviving evidence
+    /// still supported a diagnosis — treat the verdict as partial.
+    Degraded { missing: Vec<NodeId> },
+    /// Expected switches are missing AND nothing was diagnosable: the
+    /// verdict says more about the telemetry gaps than about the network.
+    Inconclusive { missing: Vec<NodeId> },
+}
+
+impl Confidence {
+    pub fn is_complete(&self) -> bool {
+        matches!(self, Confidence::Complete)
+    }
+
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, Confidence::Degraded { .. })
+    }
+
+    pub fn is_inconclusive(&self) -> bool {
+        matches!(self, Confidence::Inconclusive { .. })
+    }
+
+    /// Switches whose telemetry never arrived (empty when complete).
+    pub fn missing(&self) -> &[NodeId] {
+        match self {
+            Confidence::Complete => &[],
+            Confidence::Degraded { missing } | Confidence::Inconclusive { missing } => missing,
+        }
+    }
+
+    pub fn label(&self) -> &'static str {
+        match self {
+            Confidence::Complete => "complete",
+            Confidence::Degraded { .. } => "degraded",
+            Confidence::Inconclusive { .. } => "inconclusive",
+        }
+    }
+
+    /// Grade coverage: no gaps → [`Confidence::Complete`]; gaps with a
+    /// standing diagnosis → [`Confidence::Degraded`]; gaps and nothing
+    /// diagnosed → [`Confidence::Inconclusive`].
+    pub fn grade(mut missing: Vec<NodeId>, diagnosed: bool) -> Confidence {
+        missing.sort_unstable();
+        missing.dedup();
+        if missing.is_empty() {
+            Confidence::Complete
+        } else if diagnosed {
+            Confidence::Degraded { missing }
+        } else {
+            Confidence::Inconclusive { missing }
+        }
+    }
+}
+
+impl fmt::Display for Confidence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Confidence::Complete => write!(f, "complete"),
+            Confidence::Degraded { missing } => {
+                write!(f, "degraded ({} switches missing)", missing.len())
+            }
+            Confidence::Inconclusive { missing } => {
+                write!(f, "inconclusive ({} switches missing)", missing.len())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grade_sorts_and_dedups() {
+        let c = Confidence::grade(vec![NodeId(3), NodeId(1), NodeId(3)], true);
+        assert_eq!(
+            c,
+            Confidence::Degraded {
+                missing: vec![NodeId(1), NodeId(3)]
+            }
+        );
+        assert_eq!(c.missing(), &[NodeId(1), NodeId(3)]);
+        assert_eq!(c.label(), "degraded");
+    }
+
+    #[test]
+    fn grade_distinguishes_all_three_levels() {
+        assert!(Confidence::grade(vec![], true).is_complete());
+        assert!(Confidence::grade(vec![], false).is_complete());
+        assert!(Confidence::grade(vec![NodeId(1)], true).is_degraded());
+        assert!(Confidence::grade(vec![NodeId(1)], false).is_inconclusive());
+    }
+
+    #[test]
+    fn default_confidence_roundtrips_as_absent_field() {
+        // `#[serde(default)]` consumers rely on Complete being the default.
+        assert_eq!(Confidence::default(), Confidence::Complete);
+        let json = serde_json::to_string(&Confidence::Complete).unwrap();
+        let back: Confidence = serde_json::from_str(&json).unwrap();
+        assert!(back.is_complete());
+    }
+
+    #[test]
+    fn error_displays_one_line_causes() {
+        let v = FlowKey::roce(NodeId(1), NodeId(2), 3);
+        let e = DiagnosisError::NoDetection { victim: v };
+        assert!(e.to_string().contains("no post-anomaly detection"));
+        let e = DiagnosisError::NoTelemetry {
+            victim: v,
+            missing: vec![NodeId(9)],
+        };
+        assert!(e.to_string().contains("1 known failed collections"));
+        assert_eq!(*e.victim(), v);
+    }
+}

@@ -6,7 +6,7 @@
 
 use crate::collector::{Collector, CollectorConfig};
 use hawkeye_sim::{
-    EnqueueRecord, FlowKey, Nanos, NodeId, PfcEvent, PollingFlags, Probe, ProbeDecision,
+    EnqueueRecord, FaultPlan, FlowKey, Nanos, NodeId, PfcEvent, PollingFlags, Probe, ProbeDecision,
     SwitchHook, SwitchView, Topology,
 };
 use hawkeye_telemetry::{SwitchTelemetry, TelemetryConfig};
@@ -38,6 +38,10 @@ pub struct HawkeyeConfig {
     /// telemetry of EVERY switch in the network, not just the mirroring
     /// one.
     pub full_polling: bool,
+    /// Upload-path fault injection, applied by the collector. Pass the same
+    /// plan the simulator runs under; [`FaultPlan::none()`] (default) is a
+    /// no-op.
+    pub faults: FaultPlan,
 }
 
 impl Default for HawkeyeConfig {
@@ -47,6 +51,7 @@ impl Default for HawkeyeConfig {
             probe_dedup: Nanos::from_micros(400),
             policy: TracingPolicy::Hawkeye,
             full_polling: false,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -92,7 +97,7 @@ impl HawkeyeHook {
             cfg,
             switches,
             dedup: HashMap::new(),
-            collector: Collector::new(coll),
+            collector: Collector::with_faults(coll, cfg.faults),
             stats: HookStats::default(),
         }
     }

@@ -23,6 +23,7 @@ pub mod analyzer;
 pub mod cbd;
 pub mod collector;
 pub mod diagnosis;
+pub mod error;
 pub mod hook;
 pub mod provenance;
 pub mod signature;
@@ -34,7 +35,11 @@ pub use analyzer::{
     detection_window, AnalyzerConfig,
 };
 pub use cbd::BufferDependencyGraph;
-pub use collector::{CollectionEvent, Collector, CollectorConfig};
+pub use collector::{
+    CollectionEvent, Collector, CollectorConfig, CollectorFaultStats, MissingReason,
+    MissingTelemetry,
+};
 pub use diagnosis::{diagnose, AnomalyType, DiagnosisConfig, DiagnosisReport, RootCause};
+pub use error::{Confidence, DiagnosisError};
 pub use hook::{HawkeyeConfig, HawkeyeHook, HookStats, TracingPolicy};
 pub use provenance::{build_graph, contribution, victim_extents, ProvenanceGraph, ReplayConfig};

@@ -316,7 +316,7 @@ pub fn contribution(
         }
     }
     // Stable sort keeps same-time arrivals in flow order: deterministic.
-    arrivals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    arrivals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
 
     // Replay a FIFO queue draining one MTU per pkt_tx_ns.
     let mut w = vec![0u64; n * n];

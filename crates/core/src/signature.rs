@@ -27,7 +27,11 @@ pub fn contributors(g: &ProvenanceGraph, port: usize) -> Vec<(usize, f64)> {
         .copied()
         .filter(|&(_, w)| w > CONTENTION_EPS)
         .collect();
-    v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    v.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
     v
 }
 

@@ -1,0 +1,311 @@
+//! Chaos sweep: diagnosis accuracy and verdict confidence as functions of
+//! control-plane fault rate.
+//!
+//! Each grid cell runs one scenario under a [`FaultPlan`] derived from a
+//! scalar fault rate (see [`plan_for_rate`]) with the host agent's re-poll
+//! ladder enabled, then records whether the pipeline still detected,
+//! diagnosed correctly, and how the verdict's [`Confidence`] degraded. The
+//! whole grid fans across the parallel trial runner and aggregates in input
+//! order, so a sweep is bit-for-bit reproducible from `(rates, seeds)`.
+//!
+//! [`Confidence`]: hawkeye_core::Confidence
+
+use crate::metrics::{ScoreConfig, Verdict};
+use crate::parallel::par_map;
+use crate::runner::{run_hawkeye, RunConfig, RunOutcome};
+use hawkeye_sim::{CpuPathFault, FaultPlan, Nanos, ProbeRetryConfig};
+use hawkeye_workloads::{build_scenario, ScenarioKind, ScenarioParams};
+use serde::{Serialize, Value};
+
+/// Derive a full [`FaultPlan`] from one scalar fault rate in `[0, 1]`.
+///
+/// The rate is the per-hop probe-drop probability; the other fault classes
+/// scale with it (delays and upload losses at half the rate, duplication /
+/// truncation / meter corruption at a quarter) so one knob drives a
+/// realistically mixed failure cocktail. From 40% up, switch CPUs also flap
+/// with a 200 µs period — the harshest regime short of killing telemetry
+/// outright. Rate zero returns [`FaultPlan::none()`], the bit-identical
+/// fault-free pipeline.
+pub fn plan_for_rate(rate: f64, seed: u64) -> FaultPlan {
+    if rate <= 0.0 {
+        return FaultPlan::none();
+    }
+    FaultPlan {
+        seed,
+        probe_drop: rate,
+        probe_delay: rate / 2.0,
+        probe_delay_max: Nanos::from_micros(20),
+        probe_duplicate: rate / 4.0,
+        upload_drop: rate / 2.0,
+        upload_delay: rate / 2.0,
+        upload_delay_max: Nanos::from_micros(200),
+        snapshot_stale: rate / 2.0,
+        snapshot_truncate: rate / 4.0,
+        meter_corrupt: rate / 4.0,
+        cpu_fault: (rate >= 0.4).then_some(CpuPathFault {
+            switch: None,
+            down_from: Nanos::ZERO,
+            down_to: Nanos(u64::MAX),
+            flap_period: Some(Nanos::from_micros(200)),
+        }),
+    }
+}
+
+/// Sweep parameters.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Fault rates to sweep (fractions, e.g. `0.2` = 20%).
+    pub rates: Vec<f64>,
+    /// Trials (seeds) per scenario per rate.
+    pub trials: usize,
+    /// Background load for every scenario.
+    pub load: f64,
+    pub base_seed: u64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            rates: vec![0.0, 0.1, 0.2, 0.3, 0.5],
+            trials: 2,
+            load: 0.1,
+            base_seed: 1,
+        }
+    }
+}
+
+/// Aggregated results at one fault rate, across the scenario matrix.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChaosCell {
+    pub rate: f64,
+    /// Total runs at this rate (scenarios × trials).
+    pub trials: usize,
+    /// Runs where the victim was still detected post-anomaly.
+    pub detected: usize,
+    /// Runs judged [`Verdict::Correct`].
+    pub correct: usize,
+    /// Verdicts carrying degraded confidence.
+    pub degraded: usize,
+    /// Verdicts carrying inconclusive confidence.
+    pub inconclusive: usize,
+    /// Runs ending in a typed [`DiagnosisError`](hawkeye_core::DiagnosisError).
+    pub errors: usize,
+    pub faults_injected: u64,
+    pub probes_retried: u64,
+}
+
+impl ChaosCell {
+    fn absorb(&mut self, out: &RunOutcome) {
+        self.trials += 1;
+        if out.detection.is_some() {
+            self.detected += 1;
+        }
+        if matches!(out.verdict, Some(Verdict::Correct)) {
+            self.correct += 1;
+        }
+        if let Some(r) = &out.report {
+            if r.confidence.is_degraded() {
+                self.degraded += 1;
+            }
+            if r.confidence.is_inconclusive() {
+                self.inconclusive += 1;
+            }
+        }
+        if out.error.is_some() {
+            self.errors += 1;
+        }
+        self.faults_injected += out.metrics.counter("faults_injected").unwrap_or(0);
+        self.probes_retried += out.metrics.counter("probes_retried").unwrap_or(0);
+    }
+
+    pub fn accuracy(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.trials as f64
+        }
+    }
+}
+
+impl Serialize for ChaosCell {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("rate".to_string(), Value::Float(self.rate)),
+            ("trials".to_string(), Value::UInt(self.trials as u64)),
+            ("detected".to_string(), Value::UInt(self.detected as u64)),
+            ("correct".to_string(), Value::UInt(self.correct as u64)),
+            ("accuracy".to_string(), Value::Float(self.accuracy())),
+            ("degraded".to_string(), Value::UInt(self.degraded as u64)),
+            (
+                "inconclusive".to_string(),
+                Value::UInt(self.inconclusive as u64),
+            ),
+            ("errors".to_string(), Value::UInt(self.errors as u64)),
+            (
+                "faults_injected".to_string(),
+                Value::UInt(self.faults_injected),
+            ),
+            (
+                "probes_retried".to_string(),
+                Value::UInt(self.probes_retried),
+            ),
+        ])
+    }
+}
+
+/// One row per swept fault rate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosReport {
+    pub cells: Vec<ChaosCell>,
+}
+
+impl ChaosReport {
+    pub fn to_figure(&self) -> crate::figures::FigureTable {
+        crate::figures::FigureTable {
+            title: "Diagnosis accuracy vs. control-plane fault rate".to_string(),
+            headers: [
+                "fault_rate",
+                "trials",
+                "detected",
+                "correct",
+                "accuracy",
+                "degraded",
+                "inconclusive",
+                "errors",
+                "faults",
+                "repolls",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+            rows: self
+                .cells
+                .iter()
+                .map(|c| {
+                    vec![
+                        format!("{:.0}%", c.rate * 100.0),
+                        c.trials.to_string(),
+                        c.detected.to_string(),
+                        c.correct.to_string(),
+                        format!("{:.2}", c.accuracy()),
+                        c.degraded.to_string(),
+                        c.inconclusive.to_string(),
+                        c.errors.to_string(),
+                        c.faults_injected.to_string(),
+                        c.probes_retried.to_string(),
+                    ]
+                })
+                .collect(),
+        }
+    }
+}
+
+impl Serialize for ChaosReport {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![(
+            "chaos".to_string(),
+            Value::Array(self.cells.iter().map(|c| c.to_value()).collect()),
+        )])
+    }
+}
+
+/// One grid cell, flattened for the parallel runner.
+#[derive(Debug, Clone, Copy)]
+struct ChaosSpec {
+    kind: ScenarioKind,
+    rate: f64,
+    seed: u64,
+    load: f64,
+}
+
+fn run_chaos_trial(t: &ChaosSpec) -> RunOutcome {
+    let sc = build_scenario(
+        t.kind,
+        ScenarioParams {
+            seed: t.seed,
+            load: t.load,
+            ..Default::default()
+        },
+    );
+    let faults = plan_for_rate(t.rate, t.seed);
+    let run = RunConfig {
+        sim_seed: t.seed,
+        faults,
+        // The re-poll ladder is part of the resilience story under faults;
+        // at rate zero it stays off so that row IS the fault-free baseline.
+        agent_retry: (!faults.is_none()).then(ProbeRetryConfig::default),
+        ..RunConfig::default()
+    };
+    run_hawkeye(&sc, &run, &ScoreConfig::default())
+}
+
+/// Run the full rate × scenario × trial grid across `jobs` workers and
+/// aggregate per rate, in input order (bit-reproducible for any `jobs`).
+pub fn chaos_sweep(cfg: &ChaosConfig, jobs: usize) -> ChaosReport {
+    let mut specs = Vec::new();
+    for &rate in &cfg.rates {
+        for kind in ScenarioKind::ALL {
+            for t in 0..cfg.trials {
+                specs.push(ChaosSpec {
+                    kind,
+                    rate,
+                    seed: cfg.base_seed + t as u64,
+                    load: cfg.load,
+                });
+            }
+        }
+    }
+    let outcomes = par_map(jobs, &specs, run_chaos_trial);
+    let per_rate = ScenarioKind::ALL.len() * cfg.trials;
+    let cells = cfg
+        .rates
+        .iter()
+        .zip(outcomes.chunks(per_rate.max(1)))
+        .map(|(&rate, chunk)| {
+            let mut cell = ChaosCell {
+                rate,
+                ..ChaosCell::default()
+            };
+            for out in chunk {
+                cell.absorb(out);
+            }
+            cell
+        })
+        .collect();
+    ChaosReport { cells }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_rate_plan_is_none() {
+        assert!(plan_for_rate(0.0, 9).is_none());
+        assert!(!plan_for_rate(0.2, 9).is_none());
+        assert!(plan_for_rate(0.2, 9).cpu_fault.is_none());
+        assert!(plan_for_rate(0.5, 9).cpu_fault.is_some());
+    }
+
+    #[test]
+    fn tiny_sweep_aggregates_and_serializes() {
+        let cfg = ChaosConfig {
+            rates: vec![0.0, 0.3],
+            trials: 1,
+            load: 0.0,
+            base_seed: 1,
+        };
+        let rep = chaos_sweep(&cfg, 2);
+        assert_eq!(rep.cells.len(), 2);
+        assert_eq!(rep.cells[0].rate, 0.0);
+        assert_eq!(rep.cells[0].trials, ScenarioKind::ALL.len());
+        assert_eq!(
+            rep.cells[0].faults_injected, 0,
+            "rate 0 must inject nothing"
+        );
+        assert!(rep.cells[1].faults_injected > 0, "rate 0.3 must inject");
+        let js = serde_json::to_string(&rep.to_value()).unwrap();
+        assert!(js.contains("\"accuracy\""));
+        assert_eq!(rep.to_figure().rows.len(), 2);
+    }
+}

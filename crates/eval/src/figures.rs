@@ -108,6 +108,7 @@ pub fn optimal_run_config(seed: u64) -> RunConfig {
         threshold_factor: 2.0,
         sim_seed: seed,
         policy: TracingPolicy::Hawkeye,
+        ..RunConfig::default()
     }
 }
 
@@ -141,6 +142,7 @@ fn run_trial(t: &TrialSpec) -> MethodOutcome {
         threshold_factor: t.threshold,
         sim_seed: t.seed,
         policy: TracingPolicy::Hawkeye,
+        ..RunConfig::default()
     };
     run_method(&sc, &run, t.method, &score)
 }
@@ -190,6 +192,7 @@ pub fn fig7_param_sweep_jobs(cfg: &EvalConfig, jobs: usize) -> FigureTable {
                     threshold_factor: th,
                     sim_seed: cfg.base_seed,
                     policy: TracingPolicy::Hawkeye,
+                    ..RunConfig::default()
                 };
                 specs.extend(cfg.trials_at(kind, &run, Method::Hawkeye));
             }

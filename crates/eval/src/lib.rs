@@ -5,12 +5,14 @@
 //! experiment drivers that regenerate every table and figure of the paper
 //! (see `hawkeye-bench` for the bench targets that print them).
 
+pub mod chaos;
 pub mod figures;
 pub mod methods;
 pub mod metrics;
 pub mod parallel;
 pub mod runner;
 
+pub use chaos::{chaos_sweep, plan_for_rate, ChaosCell, ChaosConfig, ChaosReport};
 pub use figures::{
     epoch_sweep, fig10_granularity, fig10_granularity_jobs, fig11_switch_coverage,
     fig12_case_study, fig7_param_sweep, fig7_param_sweep_jobs, fig8_baseline_accuracy,

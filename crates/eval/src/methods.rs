@@ -8,8 +8,8 @@ use hawkeye_baselines::{
     spidermon_bandwidth, spidermon_processing, strip_flows, strip_pfc, strip_ports, Method,
 };
 use hawkeye_core::{
-    analyze_victim_window, AnalyzerConfig, DiagnosisReport, HawkeyeConfig, HawkeyeHook,
-    TracingPolicy, Window,
+    analyze_victim_window, AnalyzerConfig, DiagnosisError, DiagnosisReport, HawkeyeConfig,
+    HawkeyeHook, TracingPolicy, Window,
 };
 use hawkeye_sim::{Detection, Nanos, NodeId};
 use hawkeye_telemetry::{TelemetryConfig, TelemetrySnapshot};
@@ -34,6 +34,8 @@ pub struct MethodOutcome {
     pub report_packets: usize,
     pub data_packets: u64,
     pub packet_hops: u64,
+    /// Why no (meaningful) diagnosis was possible, when it was not.
+    pub error: Option<DiagnosisError>,
 }
 
 /// Run `scenario` under `method` and judge the result.
@@ -55,12 +57,14 @@ pub fn run_method(
         },
         policy,
         full_polling: method.collects_everything(),
+        faults: cfg.faults,
         ..Default::default()
     };
     let hook = HawkeyeHook::new(&scenario.topo, hcfg);
     let mut agent = Scenario::agent(cfg.threshold_factor);
     agent.dedup_interval = Nanos::from_micros(400);
-    let mut sim = scenario.instantiate_seeded(cfg.sim_seed, agent, hook);
+    agent.retry = cfg.agent_retry;
+    let mut sim = scenario.instantiate_faulted(cfg.sim_seed, agent, hook, cfg.faults);
     sim.run_until(scenario.params.duration);
 
     let dets = sim.detections();
@@ -71,16 +75,16 @@ pub fn run_method(
     let detection = victim_dets.last().copied().copied();
 
     let analyzer = AnalyzerConfig::for_epoch_len(cfg.epoch.epoch_len());
-    let window = detection.map(|_| {
-        let first = victim_dets.first().unwrap().at;
-        let last = victim_dets.last().unwrap().at;
-        Window {
-            from: first.saturating_sub(Nanos(
+    // No detection → no window: handled as a typed error, never a panic.
+    let window = victim_dets
+        .first()
+        .zip(victim_dets.last())
+        .map(|(f, l)| Window {
+            from: f.at.saturating_sub(Nanos(
                 cfg.epoch.epoch_len().as_nanos() * analyzer.lookback_epochs,
             )),
-            to: last + cfg.epoch.epoch_len(),
-        }
-    });
+            to: l.at + cfg.epoch.epoch_len(),
+        });
 
     // Only the collections belonging to THIS diagnosis (within its window)
     // count toward its telemetry and coverage — unrelated background
@@ -113,8 +117,26 @@ pub fn run_method(
         )),
     };
 
+    let missing_in_window: Vec<NodeId> = window
+        .map(|w| sim.hook.collector.missing_switches(w.from, w.to))
+        .unwrap_or_default();
+    let error = if window.is_none() {
+        Some(DiagnosisError::NoDetection {
+            victim: scenario.truth.victim,
+        })
+    } else if snapshots.is_empty() {
+        Some(DiagnosisError::NoTelemetry {
+            victim: scenario.truth.victim,
+            missing: missing_in_window.clone(),
+        })
+    } else {
+        None
+    };
     let report = window.map(|w| {
-        analyze_victim_window(&scenario.truth.victim, w, &snapshots, sim.topo(), &analyzer).0
+        let mut r =
+            analyze_victim_window(&scenario.truth.victim, w, &snapshots, sim.topo(), &analyzer).0;
+        r.note_missing(&missing_in_window);
+        r
     });
     let verdict = report.as_ref().map(|r| judge(&scenario.truth, r, score));
 
@@ -182,5 +204,6 @@ pub fn run_method(
         report_packets: sim.hook.collector.report_packets(),
         data_packets,
         packet_hops,
+        error,
     }
 }

@@ -10,11 +10,14 @@
 
 use crate::metrics::{judge, ScoreConfig, Verdict};
 use hawkeye_core::{
-    analyze_victim_window_obs, AnalyzerConfig, DiagnosisReport, HawkeyeConfig, HawkeyeHook,
-    TracingPolicy, Window,
+    analyze_victim_window_obs, AnalyzerConfig, DiagnosisError, DiagnosisReport, HawkeyeConfig,
+    HawkeyeHook, TracingPolicy, Window,
 };
 use hawkeye_obs::{MetricKey, MetricsSnapshot, ObsConfig, Recorder};
-use hawkeye_sim::{record_sim_metrics, trace_detections, Detection, Nanos, NodeId, ObservedHook};
+use hawkeye_sim::{
+    record_sim_metrics, trace_detections, trace_drop_warnings, Detection, FaultPlan, Nanos, NodeId,
+    ObservedHook, ProbeRetryConfig,
+};
 use hawkeye_telemetry::{EpochConfig, TelemetryConfig};
 use hawkeye_workloads::Scenario;
 
@@ -27,6 +30,11 @@ pub struct RunConfig {
     pub threshold_factor: f64,
     pub sim_seed: u64,
     pub policy: TracingPolicy,
+    /// Control-plane fault injection; [`FaultPlan::none()`] reproduces the
+    /// fault-free pipeline bit for bit.
+    pub faults: FaultPlan,
+    /// Host-agent probe re-poll ladder (None = single-shot probes).
+    pub agent_retry: Option<ProbeRetryConfig>,
 }
 
 impl Default for RunConfig {
@@ -36,6 +44,8 @@ impl Default for RunConfig {
             threshold_factor: 2.0,
             sim_seed: 1,
             policy: TracingPolicy::Hawkeye,
+            faults: FaultPlan::none(),
+            agent_retry: None,
         }
     }
 }
@@ -61,6 +71,10 @@ pub struct RunOutcome {
     /// Total data packets forwarded (for normalizing overheads).
     pub data_packets: u64,
     pub all_detections: usize,
+    /// Why the pipeline could not produce a (meaningful) diagnosis, when it
+    /// could not. A report may still accompany a [`DiagnosisError::NoTelemetry`]
+    /// (graded inconclusive); [`DiagnosisError::NoDetection`] never has one.
+    pub error: Option<DiagnosisError>,
     /// The registry snapshot every counter above was read back from.
     pub metrics: MetricsSnapshot,
 }
@@ -87,12 +101,14 @@ pub fn run_hawkeye_obs(
             ..Default::default()
         },
         policy: cfg.policy,
+        faults: cfg.faults,
         ..Default::default()
     };
     let hook = ObservedHook::new(HawkeyeHook::new(&scenario.topo, hcfg), ocfg);
     let mut agent = Scenario::agent(cfg.threshold_factor);
     agent.dedup_interval = Nanos::from_micros(400);
-    let mut sim = scenario.instantiate_seeded(cfg.sim_seed, agent, hook);
+    agent.retry = cfg.agent_retry;
+    let mut sim = scenario.instantiate_faulted(cfg.sim_seed, agent, hook, cfg.faults);
     sim.run_until(scenario.params.duration);
 
     let dets = sim.detections();
@@ -111,23 +127,45 @@ pub fn run_hawkeye_obs(
     let snapshots = sim.hook.inner().collector.snapshots();
     let analyzer = AnalyzerConfig::for_epoch_len(cfg.epoch.epoch_len());
     let topo = sim.topo().clone();
-    let report = detection.as_ref().map(|_| {
-        let first = victim_dets.first().unwrap().at;
-        let last = victim_dets.last().unwrap().at;
+    // No detection → no window → no diagnosis: a typed error, not a panic.
+    let window = victim_dets.first().zip(victim_dets.last()).map(|(f, l)| {
         let ep = cfg.epoch.epoch_len().as_nanos();
-        let window = Window {
-            from: first.saturating_sub(hawkeye_sim::Nanos(ep * analyzer.lookback_epochs)),
-            to: last + cfg.epoch.epoch_len(),
-        };
-        analyze_victim_window_obs(
+        Window {
+            from: f
+                .at
+                .saturating_sub(hawkeye_sim::Nanos(ep * analyzer.lookback_epochs)),
+            to: l.at + cfg.epoch.epoch_len(),
+        }
+    });
+    // Collections that demonstrably failed inside the diagnosis window —
+    // folded into the verdict's confidence below.
+    let missing_in_window: Vec<NodeId> = window
+        .map(|w| sim.hook.inner().collector.missing_switches(w.from, w.to))
+        .unwrap_or_default();
+    let error = if window.is_none() {
+        Some(DiagnosisError::NoDetection {
+            victim: scenario.truth.victim,
+        })
+    } else if snapshots.is_empty() {
+        Some(DiagnosisError::NoTelemetry {
+            victim: scenario.truth.victim,
+            missing: missing_in_window.clone(),
+        })
+    } else {
+        None
+    };
+    let report = window.map(|w| {
+        let mut r = analyze_victim_window_obs(
             &scenario.truth.victim,
-            window,
+            w,
             &snapshots,
             &topo,
             &analyzer,
             &mut sim.hook.obs,
         )
-        .0
+        .0;
+        r.note_missing(&missing_in_window);
+        r
     });
     let verdict = report.as_ref().map(|r| judge(&scenario.truth, r, score));
 
@@ -152,8 +190,30 @@ pub fn run_hawkeye_obs(
     // back out of it — the snapshot and the fields can never disagree.
     let mut obs = std::mem::replace(&mut sim.hook.obs, Recorder::disabled());
     record_sim_metrics(&sim, &mut obs.metrics);
+    trace_drop_warnings(&sim, &mut obs);
     let collector = &sim.hook.inner().collector;
     let m = &mut obs.metrics;
+    // Fault-handling counters fold only when they fired: zero-valued keys
+    // would perturb the registry snapshot of every fault-free run.
+    if !cfg.faults.is_none() {
+        let cs = collector.fault_stats;
+        m.add(
+            MetricKey::global("faults_injected"),
+            cs.uploads_dropped
+                + cs.uploads_delayed
+                + cs.snapshots_stale
+                + cs.snapshots_truncated
+                + cs.meter_entries_corrupted
+                + cs.cpu_down_drops,
+        );
+        m.add(
+            MetricKey::global("snapshots_stale_dropped"),
+            cs.snapshots_stale_dropped + cs.uploads_late_dropped,
+        );
+    }
+    if report.as_ref().is_some_and(|r| !r.confidence.is_complete()) {
+        m.inc(MetricKey::global("verdicts_degraded"));
+    }
     m.add(
         MetricKey::global("collected_bytes"),
         collector.total_bytes() as u64,
@@ -194,6 +254,7 @@ pub fn run_hawkeye_obs(
         all_detections: m.counter_total("detections") as usize,
         collected_switches: collected,
         report,
+        error,
         metrics: m.snapshot(),
     };
     (outcome, obs)

@@ -268,6 +268,24 @@ pub fn chrome_trace(records: &[TraceRecord]) -> String {
                     obj(vec![]),
                 ));
             }
+            TraceEvent::DropWarning {
+                switch,
+                what,
+                count,
+            } => {
+                // Switch-wide, like CPU mirrors: use tid 255.
+                let (pid, _) = note_row(&mut events, &mut seen_rows, *switch, 255);
+                events.push(instant(
+                    "drop_warning",
+                    pid,
+                    255,
+                    rec.at_ns,
+                    obj(vec![
+                        ("what", Value::Str(what.clone())),
+                        ("count", Value::UInt(*count)),
+                    ]),
+                ));
+            }
         }
     }
 

@@ -22,8 +22,11 @@ pub mod kind {
     pub const DETECTION: u32 = 1 << 4;
     /// Diagnosis-pipeline stage spans.
     pub const STAGE: u32 = 1 << 5;
+    /// Anomalous-condition warnings (e.g. buffer drops on a lossless
+    /// fabric) — rare, always worth keeping in the ring.
+    pub const WARNING: u32 = 1 << 6;
 
-    pub const ALL: u32 = ENQUEUE | PFC | PROBE | CPU_MIRROR | DETECTION | STAGE;
+    pub const ALL: u32 = ENQUEUE | PFC | PROBE | CPU_MIRROR | DETECTION | STAGE | WARNING;
     /// Everything except per-packet enqueues: the default for CLI tracing,
     /// where millions of enqueues would otherwise evict the interesting
     /// causal events from the ring.
@@ -89,6 +92,13 @@ pub enum TraceEvent {
         from_ns: u64,
         to_ns: u64,
     },
+    /// A switch dropped packets it should not have — `what` names the drop
+    /// class (`"buffer"` on a lossless fabric, `"no_route"` anywhere).
+    DropWarning {
+        switch: u32,
+        what: String,
+        count: u64,
+    },
 }
 
 impl TraceEvent {
@@ -101,6 +111,7 @@ impl TraceEvent {
             TraceEvent::CpuMirror { .. } => kind::CPU_MIRROR,
             TraceEvent::Detection { .. } => kind::DETECTION,
             TraceEvent::StageSpan { .. } => kind::STAGE,
+            TraceEvent::DropWarning { .. } => kind::WARNING,
         }
     }
 
@@ -114,6 +125,7 @@ impl TraceEvent {
             TraceEvent::CpuMirror { .. } => "cpu_mirror",
             TraceEvent::Detection { .. } => "detection",
             TraceEvent::StageSpan { .. } => "stage",
+            TraceEvent::DropWarning { .. } => "drop_warning",
         }
     }
 }
@@ -184,6 +196,11 @@ mod tests {
                 stage: "graph_build".into(),
                 from_ns: 0,
                 to_ns: 1,
+            },
+            TraceEvent::DropWarning {
+                switch: 0,
+                what: "buffer".into(),
+                count: 3,
             },
         ];
         let mut seen = 0u32;

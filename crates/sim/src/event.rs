@@ -66,6 +66,13 @@ pub enum EventKind {
     FlowStart { node: NodeId, flow_idx: u32 },
     /// Host detection-agent periodic check of flow RTTs.
     AgentCheck { node: NodeId },
+    /// Re-poll timer for a flow whose detection probe may have been lost
+    /// (attempt is 1-based; see `host::ProbeRetryConfig`).
+    ProbeRetry {
+        node: NodeId,
+        flow_idx: u32,
+        attempt: u32,
+    },
 }
 
 #[derive(Debug, Clone, Copy)]

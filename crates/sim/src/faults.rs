@@ -1,0 +1,394 @@
+//! Deterministic, seed-driven fault injection for the monitoring control
+//! plane.
+//!
+//! Hawkeye's control plane is best-effort end to end: polling packets ride
+//! the data plane through congested (even PFC-paused) ports, and telemetry
+//! reaches the collector via switch-CPU uploads that can be dropped,
+//! delayed, truncated or stale. A [`FaultPlan`] describes which of those
+//! failures to inject and at what rates; every decision is drawn from a
+//! dedicated [`FaultRng`] stream seeded from `(plan.seed, stream id)`, so a
+//! given `(seed, plan)` pair replays the exact same failure sequence — each
+//! observed failure is a reproducible test case.
+//!
+//! Two layers consume the plan:
+//!
+//! - the simulator applies the *probe-path* faults (drop / delay / duplicate
+//!   of polling packets, per switch hop) while dispatching `Arrive` events;
+//! - the collector (in `hawkeye-core`) applies the *upload-path* faults
+//!   (upload loss and delay, stale or truncated snapshots, corrupted
+//!   causality-meter entries) plus the switch-CPU kill/flap window.
+//!
+//! [`FaultPlan::none()`] — the default — takes **zero** behavior-affecting
+//! branches: the injector is consulted only when the plan is active, so a
+//! fault-free run is bit-for-bit identical to a build without this module.
+
+use crate::ids::NodeId;
+use crate::time::Nanos;
+
+/// A switch-CPU path outage: within `[down_from, down_to)` the CPU neither
+/// sees mirrored probes nor uploads telemetry. With `flap_period` set the
+/// outage flaps instead: alternating dead/alive half-periods (dead first),
+/// modelling a wedged-then-restarted telemetry agent.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuPathFault {
+    /// Switch whose CPU path fails; `None` hits every switch.
+    pub switch: Option<NodeId>,
+    pub down_from: Nanos,
+    pub down_to: Nanos,
+    /// Flap with this period inside the window; `None` = hard down.
+    pub flap_period: Option<Nanos>,
+}
+
+impl CpuPathFault {
+    /// Is `sw`'s CPU path dead at `now` under this fault?
+    pub fn is_down(&self, sw: NodeId, now: Nanos) -> bool {
+        if self.switch.is_some_and(|s| s != sw) {
+            return false;
+        }
+        if now < self.down_from || now >= self.down_to {
+            return false;
+        }
+        match self.flap_period {
+            None => true,
+            Some(p) if p.0 == 0 => true,
+            Some(p) => {
+                // Dead for the first half-period of each cycle, alive for
+                // the second — purely a function of (now, plan): replayable.
+                let phase = (now.0 - self.down_from.0) % p.0;
+                phase < p.0 / 2
+            }
+        }
+    }
+}
+
+/// Fault rates and windows for one run. All probabilities are per-event
+/// (per probe hop, per upload, per meter entry) in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the fault decision streams. Independent from
+    /// `SimConfig::seed` so the same traffic can be replayed under
+    /// different fault draws (and vice versa).
+    pub seed: u64,
+    /// Per-hop probability that a polling packet is dropped on arrival at
+    /// a switch (congestion loss on the probe's own path).
+    pub probe_drop: f64,
+    /// Per-hop probability that a polling packet is held for a uniform
+    /// `1..=probe_delay_max` ns before re-arriving — this also *reorders*
+    /// probes relative to each other and to data.
+    pub probe_delay: f64,
+    pub probe_delay_max: Nanos,
+    /// Per-hop probability that a polling packet arrival is duplicated
+    /// (the copy re-arrives after a short jitter).
+    pub probe_duplicate: f64,
+    /// Probability a switch-CPU telemetry upload is lost entirely.
+    pub upload_drop: f64,
+    /// Probability an upload is delayed by a uniform
+    /// `1..=upload_delay_max` ns; uploads arriving past the collector's
+    /// per-switch deadline are discarded as late.
+    pub upload_delay: f64,
+    pub upload_delay_max: Nanos,
+    /// Probability a delivered snapshot is stale: its newest epoch is
+    /// missing (the CPU read raced the telemetry ring).
+    pub snapshot_stale: f64,
+    /// Probability a delivered snapshot is truncated (flow rows cut, as if
+    /// the upload was cut short mid-transfer).
+    pub snapshot_truncate: f64,
+    /// Per-entry probability that a causality-meter record in a delivered
+    /// snapshot is corrupted (zeroed volume).
+    pub meter_corrupt: f64,
+    /// Optional switch-CPU kill/flap window.
+    pub cpu_fault: Option<CpuPathFault>,
+}
+
+impl FaultPlan {
+    /// The fault-free plan: every rate zero, no CPU fault. Runs under this
+    /// plan are bit-for-bit identical to runs without fault injection.
+    pub const fn none() -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            probe_drop: 0.0,
+            probe_delay: 0.0,
+            probe_delay_max: Nanos(0),
+            probe_duplicate: 0.0,
+            upload_drop: 0.0,
+            upload_delay: 0.0,
+            upload_delay_max: Nanos(0),
+            snapshot_stale: 0.0,
+            snapshot_truncate: 0.0,
+            meter_corrupt: 0.0,
+            cpu_fault: None,
+        }
+    }
+
+    /// True if no fault can ever fire under this plan.
+    pub fn is_none(&self) -> bool {
+        self.probe_drop <= 0.0
+            && self.probe_delay <= 0.0
+            && self.probe_duplicate <= 0.0
+            && self.upload_drop <= 0.0
+            && self.upload_delay <= 0.0
+            && self.snapshot_stale <= 0.0
+            && self.snapshot_truncate <= 0.0
+            && self.meter_corrupt <= 0.0
+            && self.cpu_fault.is_none()
+    }
+
+    /// True if any probe-path fault can fire (the simulator's fast-path
+    /// gate: when false, dispatch never consults the injector).
+    pub fn probe_faults_active(&self) -> bool {
+        self.probe_drop > 0.0 || self.probe_delay > 0.0 || self.probe_duplicate > 0.0
+    }
+
+    /// True if any upload-path fault can fire (the collector's gate).
+    pub fn upload_faults_active(&self) -> bool {
+        self.upload_drop > 0.0
+            || self.upload_delay > 0.0
+            || self.snapshot_stale > 0.0
+            || self.snapshot_truncate > 0.0
+            || self.meter_corrupt > 0.0
+            || self.cpu_fault.is_some()
+    }
+
+    /// Is `sw`'s CPU path dead at `now`?
+    pub fn cpu_down(&self, sw: NodeId, now: Nanos) -> bool {
+        self.cpu_fault.is_some_and(|f| f.is_down(sw, now))
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+/// Counters for every fault actually injected (as opposed to the plan's
+/// *rates*). Folded into the metrics registry by the eval runner.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    pub probes_dropped: u64,
+    pub probes_delayed: u64,
+    pub probes_duplicated: u64,
+    pub uploads_dropped: u64,
+    pub uploads_delayed: u64,
+    pub snapshots_stale: u64,
+    pub snapshots_truncated: u64,
+    pub meters_corrupted: u64,
+    /// Uploads suppressed because the switch's CPU path was dead.
+    pub cpu_down_drops: u64,
+}
+
+impl FaultStats {
+    /// Total individual faults injected, across every category.
+    pub fn total_injected(&self) -> u64 {
+        self.probes_dropped
+            + self.probes_delayed
+            + self.probes_duplicated
+            + self.uploads_dropped
+            + self.uploads_delayed
+            + self.snapshots_stale
+            + self.snapshots_truncated
+            + self.meters_corrupted
+            + self.cpu_down_drops
+    }
+}
+
+/// Stream identifiers: each consumer of the plan owns a disjoint stream so
+/// adding a draw in one layer never perturbs another layer's sequence.
+pub const STREAM_PROBE: u64 = 0x50_52_4f_42; // "PROB"
+pub const STREAM_UPLOAD: u64 = 0x55_50_4c_44; // "UPLD"
+
+/// xorshift64* generator seeded through a splitmix64 mix of
+/// `(seed, stream)` — the same family the switches use for ECN marking,
+/// but on an independent stream so fault draws never perturb the traffic.
+#[derive(Debug, Clone)]
+pub struct FaultRng {
+    state: u64,
+}
+
+impl FaultRng {
+    pub fn new(seed: u64, stream: u64) -> FaultRng {
+        // splitmix64 finalizer over the combined seed; never zero.
+        let mut z = seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(stream)
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        FaultRng { state: z | 1 }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Bernoulli draw. `p <= 0` consumes no randomness so a knob set to
+    /// zero never perturbs the other knobs' streams.
+    pub fn chance(&mut self, p: f64) -> bool {
+        p > 0.0 && self.next_f64() < p
+    }
+
+    /// Uniform delay in `1..=max` ns (0 if `max` is 0).
+    pub fn delay(&mut self, max: Nanos) -> Nanos {
+        if max.0 == 0 {
+            return Nanos(0);
+        }
+        Nanos(1 + self.next_u64() % max.0)
+    }
+}
+
+/// What the injector decided for one probe arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeFate {
+    /// Deliver normally.
+    Deliver,
+    /// Lost at this hop.
+    Drop,
+    /// Re-arrives after this extra delay (a delayed probe is re-examined
+    /// on re-arrival, so long delay chains decay geometrically).
+    Delay(Nanos),
+    /// Delivered now, plus a duplicate re-arriving after this jitter.
+    Duplicate(Nanos),
+}
+
+/// Simulator-side injector: owns the probe-path decision stream and the
+/// probe-path counters. One per simulation; single-threaded by construction
+/// (parallelism in the eval harness is across whole trials).
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    pub plan: FaultPlan,
+    rng: FaultRng,
+    pub stats: FaultStats,
+}
+
+impl FaultInjector {
+    pub fn new(plan: FaultPlan) -> FaultInjector {
+        FaultInjector {
+            plan,
+            rng: FaultRng::new(plan.seed, STREAM_PROBE),
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// Does dispatch need to consult [`Self::probe_arrival`] at all?
+    #[inline]
+    pub fn probes_active(&self) -> bool {
+        self.plan.probe_faults_active()
+    }
+
+    /// Decide the fate of one polling packet arriving at a switch. Order of
+    /// draws is fixed (drop, then delay, then duplicate) so each knob has a
+    /// stable stream position.
+    pub fn probe_arrival(&mut self) -> ProbeFate {
+        if self.rng.chance(self.plan.probe_drop) {
+            self.stats.probes_dropped += 1;
+            return ProbeFate::Drop;
+        }
+        if self.rng.chance(self.plan.probe_delay) {
+            self.stats.probes_delayed += 1;
+            return ProbeFate::Delay(self.rng.delay(self.plan.probe_delay_max));
+        }
+        if self.rng.chance(self.plan.probe_duplicate) {
+            self.stats.probes_duplicated += 1;
+            // Duplicates trail closely: jitter within a sixteenth of the
+            // delay bound (min 64 ns) keeps them in the same epoch.
+            let max = Nanos((self.plan.probe_delay_max.0 / 16).max(64));
+            return ProbeFate::Duplicate(self.rng.delay(max));
+        }
+        ProbeFate::Deliver
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_plan_is_inactive_everywhere() {
+        let p = FaultPlan::none();
+        assert!(p.is_none());
+        assert!(!p.probe_faults_active());
+        assert!(!p.upload_faults_active());
+        assert!(!p.cpu_down(NodeId(0), Nanos(123)));
+        assert_eq!(FaultPlan::default(), p);
+    }
+
+    #[test]
+    fn rng_streams_are_deterministic_and_disjoint() {
+        let mut a = FaultRng::new(7, STREAM_PROBE);
+        let mut b = FaultRng::new(7, STREAM_PROBE);
+        let mut c = FaultRng::new(7, STREAM_UPLOAD);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys, "same (seed, stream) must replay");
+        assert_ne!(xs, zs, "streams must be independent");
+    }
+
+    #[test]
+    fn zero_probability_consumes_no_draws() {
+        let mut a = FaultRng::new(3, STREAM_PROBE);
+        let mut b = FaultRng::new(3, STREAM_PROBE);
+        assert!(!a.chance(0.0));
+        assert!(!a.chance(-1.0));
+        // `a` drew nothing: both streams stay aligned.
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn injector_replays_identically() {
+        let plan = FaultPlan {
+            seed: 42,
+            probe_drop: 0.3,
+            probe_delay: 0.3,
+            probe_delay_max: Nanos(1000),
+            probe_duplicate: 0.2,
+            ..FaultPlan::none()
+        };
+        let run = || {
+            let mut inj = FaultInjector::new(plan);
+            let fates: Vec<ProbeFate> = (0..256).map(|_| inj.probe_arrival()).collect();
+            (fates, inj.stats)
+        };
+        assert_eq!(run(), run());
+        let (fates, stats) = run();
+        assert!(fates.contains(&ProbeFate::Drop));
+        assert!(fates.iter().any(|f| matches!(f, ProbeFate::Delay(_))));
+        assert!(stats.probes_dropped > 0 && stats.total_injected() > 0);
+    }
+
+    #[test]
+    fn cpu_fault_windows_and_flap() {
+        let hard = CpuPathFault {
+            switch: Some(NodeId(4)),
+            down_from: Nanos(100),
+            down_to: Nanos(200),
+            flap_period: None,
+        };
+        assert!(!hard.is_down(NodeId(4), Nanos(99)));
+        assert!(hard.is_down(NodeId(4), Nanos(100)));
+        assert!(hard.is_down(NodeId(4), Nanos(199)));
+        assert!(!hard.is_down(NodeId(4), Nanos(200)));
+        assert!(!hard.is_down(NodeId(5), Nanos(150)), "scoped to one switch");
+
+        let flap = CpuPathFault {
+            switch: None,
+            down_from: Nanos(0),
+            down_to: Nanos(1000),
+            flap_period: Some(Nanos(100)),
+        };
+        assert!(flap.is_down(NodeId(0), Nanos(10)), "first half dead");
+        assert!(!flap.is_down(NodeId(0), Nanos(60)), "second half alive");
+        assert!(flap.is_down(NodeId(9), Nanos(110)), "applies to any switch");
+    }
+}

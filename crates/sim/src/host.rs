@@ -39,6 +39,38 @@ pub struct AgentConfig {
     /// when set, every agent check also emits a polling packet for each
     /// active flow at this interval, regardless of its RTT.
     pub periodic_probe: Option<Nanos>,
+    /// Probe timeout + bounded exponential-backoff re-poll: polling packets
+    /// ride the (lossy, congested) data plane, so a detection whose probe
+    /// is lost would otherwise never be diagnosed. `None` (the default)
+    /// disables re-polling; the fault-free pipeline is unchanged.
+    pub retry: Option<ProbeRetryConfig>,
+}
+
+/// Re-poll schedule after a detection: attempt `k` (1-based) fires
+/// `timeout * backoff^(k-1)` after the previous probe, while the flow still
+/// looks anomalous, up to `max_attempts` re-polls and never past `deadline`
+/// from the triggering detection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeRetryConfig {
+    /// Re-polls after the initial probe (0 disables).
+    pub max_attempts: u32,
+    /// Wait before the first re-poll.
+    pub timeout: Nanos,
+    /// Backoff multiplier between consecutive re-polls.
+    pub backoff: u32,
+    /// Hard bound on the whole ladder, measured from the detection.
+    pub deadline: Nanos,
+}
+
+impl Default for ProbeRetryConfig {
+    fn default() -> Self {
+        ProbeRetryConfig {
+            max_attempts: 3,
+            timeout: Nanos::from_micros(100),
+            backoff: 2,
+            deadline: Nanos::from_millis(1),
+        }
+    }
 }
 
 impl AgentConfig {
@@ -119,6 +151,8 @@ pub struct HostFlow {
     pub last_rtt: Nanos,
     pub completed_at: Option<Nanos>,
     last_probe_at: Nanos,
+    /// Detection time anchoring the current re-poll ladder.
+    retry_anchor: Nanos,
 }
 
 impl HostFlow {
@@ -150,6 +184,9 @@ pub struct HostStats {
     pub pfc_pause_rcvd: u64,
     pub pfc_injected: u64,
     pub probes_sent: u64,
+    /// Probes re-sent by the timeout/backoff ladder (subset of
+    /// `probes_sent`).
+    pub probes_retried: u64,
 }
 
 /// Runtime state of one host.
@@ -234,6 +271,7 @@ impl HostState {
             last_rtt: Nanos::ZERO,
             completed_at: None,
             last_probe_at: Nanos::ZERO,
+            retry_anchor: Nanos::ZERO,
         });
         self.by_flow_id.insert(id, idx);
         idx
@@ -621,7 +659,77 @@ impl HostState {
             observed_rtt: rtt,
         });
         self.stats.probes_sent += 1;
-        self.ctrl.push_back(Packet::Probe(Probe::new(f.key)));
+        let key = f.key;
+        if let Some(r) = agent.retry {
+            if r.max_attempts > 0 {
+                self.flows[idx as usize].retry_anchor = now;
+                q.schedule(
+                    now + r.timeout,
+                    EventKind::ProbeRetry {
+                        node: self.id,
+                        flow_idx: idx,
+                        attempt: 1,
+                    },
+                );
+            }
+        }
+        self.ctrl.push_back(Packet::Probe(Probe::new(key)));
+        self.try_tx(now, q, topo);
+    }
+
+    /// A re-poll timer fired: if the flow still looks anomalous (measured
+    /// or implied RTT over threshold), send another polling packet and arm
+    /// the next rung of the backoff ladder.
+    pub fn handle_probe_retry(
+        &mut self,
+        flow_idx: u32,
+        attempt: u32,
+        now: Nanos,
+        q: &mut EventQueue,
+        topo: &Topology,
+    ) {
+        let Some(agent) = self.cfg.agent else {
+            return;
+        };
+        let Some(r) = agent.retry else {
+            return;
+        };
+        let f = &self.flows[flow_idx as usize];
+        if f.state != FlowState::Active {
+            return;
+        }
+        let implied = f
+            .outstanding
+            .front()
+            .map(|&(_, sent_at)| now.saturating_sub(sent_at))
+            .unwrap_or(Nanos::ZERO);
+        if f.last_rtt.max(implied) < agent.threshold() {
+            return; // anomaly cleared; stop re-polling
+        }
+        let f = &mut self.flows[flow_idx as usize];
+        f.last_probe_at = now;
+        let key = f.key;
+        let anchor = f.retry_anchor;
+        self.stats.probes_sent += 1;
+        self.stats.probes_retried += 1;
+        self.ctrl.push_back(Packet::Probe(Probe::new(key)));
+        if attempt < r.max_attempts {
+            let delay = Nanos(
+                r.timeout
+                    .0
+                    .saturating_mul((r.backoff.max(1) as u64).saturating_pow(attempt)),
+            );
+            if (now + delay).saturating_sub(anchor) <= r.deadline {
+                q.schedule(
+                    now + delay,
+                    EventKind::ProbeRetry {
+                        node: self.id,
+                        flow_idx,
+                        attempt: attempt + 1,
+                    },
+                );
+            }
+        }
         self.try_tx(now, q, topo);
     }
 }
@@ -749,6 +857,7 @@ mod tests {
             check_interval: Nanos::from_micros(100),
             dedup_interval: Nanos::from_millis(1),
             periodic_probe: None,
+            retry: None,
         });
         host.add_flow(FlowId(0), key, 1_000_000, Nanos::ZERO);
         // Simulate an ACK with a 50 µs RTT (threshold is 20 µs).
@@ -782,6 +891,7 @@ mod tests {
             check_interval: Nanos::from_micros(100),
             dedup_interval: Nanos::from_millis(1),
             periodic_probe: None,
+            retry: None,
         });
         host.add_flow(FlowId(0), key, 1_000_000, Nanos::ZERO);
         host.flows[0].state = FlowState::Active;
@@ -802,6 +912,7 @@ mod tests {
             check_interval: Nanos::from_micros(100),
             dedup_interval: Nanos::from_millis(10),
             periodic_probe: Some(Nanos::from_micros(300)),
+            retry: None,
         });
         host.add_flow(FlowId(0), key, 1_000_000, Nanos::ZERO);
         host.flows[0].state = FlowState::Active;
@@ -841,6 +952,89 @@ mod tests {
         }
         assert_eq!(pauses, 5, "one pause per period in [0,500)us");
         assert_eq!(host.stats.pfc_injected, 5);
+    }
+
+    fn retry_agent() -> AgentConfig {
+        AgentConfig {
+            rtt_threshold_factor: 2.0,
+            base_rtt: Nanos::from_micros(10),
+            check_interval: Nanos::from_micros(100),
+            dedup_interval: Nanos::from_millis(10),
+            periodic_probe: None,
+            retry: Some(ProbeRetryConfig {
+                max_attempts: 3,
+                timeout: Nanos::from_micros(50),
+                backoff: 2,
+                deadline: Nanos::from_millis(1),
+            }),
+        }
+    }
+
+    fn drive_retries(host: &mut HostState, q: &mut EventQueue, topo: &Topology) {
+        while let Some((t, ev)) = q.pop() {
+            match ev {
+                EventKind::ProbeRetry {
+                    flow_idx, attempt, ..
+                } => host.handle_probe_retry(flow_idx, attempt, t, q, topo),
+                EventKind::PortTxDone { .. } => host.handle_tx_done(t, q, topo),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn probe_retry_ladder_repolls_while_anomalous() {
+        let (topo, mut host, mut q) = setup();
+        let hosts: Vec<_> = topo.hosts().collect();
+        let key = FlowKey::roce(hosts[0], hosts[1], 1);
+        host.cfg.agent = Some(retry_agent());
+        host.add_flow(FlowId(0), key, 1_000_000, Nanos::ZERO);
+        host.flows[0].state = FlowState::Active;
+        host.flows[0].outstanding.push_back((0, Nanos::ZERO));
+        // A 50 µs RTT (threshold 20 µs) triggers detection + probe; the
+        // RTT never improves, so every rung of the ladder re-polls.
+        let ack = AckPacket {
+            flow: FlowId(0),
+            key: reverse_key(&key),
+            seq: 0,
+            echo_sent_at: Nanos::ZERO,
+            last: false,
+        };
+        host.handle_arrive(Packet::Ack(ack), Nanos::from_micros(50), &mut q, &topo);
+        assert_eq!(host.detections.len(), 1);
+        drive_retries(&mut host, &mut q, &topo);
+        assert_eq!(host.stats.probes_retried, 3, "full ladder while anomalous");
+        assert_eq!(host.stats.probes_sent, 4, "initial probe + 3 re-polls");
+        assert_eq!(host.detections.len(), 1, "re-polls are not new detections");
+    }
+
+    #[test]
+    fn probe_retry_stops_when_anomaly_clears() {
+        let (topo, mut host, mut q) = setup();
+        let hosts: Vec<_> = topo.hosts().collect();
+        let key = FlowKey::roce(hosts[0], hosts[1], 1);
+        host.cfg.agent = Some(retry_agent());
+        host.add_flow(FlowId(0), key, 1_000_000, Nanos::ZERO);
+        host.flows[0].state = FlowState::Active;
+        host.flows[0].outstanding.push_back((0, Nanos::ZERO));
+        let ack = AckPacket {
+            flow: FlowId(0),
+            key: reverse_key(&key),
+            seq: 0,
+            echo_sent_at: Nanos::ZERO,
+            last: false,
+        };
+        host.handle_arrive(Packet::Ack(ack), Nanos::from_micros(50), &mut q, &topo);
+        assert_eq!(host.detections.len(), 1);
+        // The congestion clears: a fresh fast ACK before the first re-poll.
+        let ack2 = AckPacket {
+            seq: 1,
+            echo_sent_at: Nanos::from_micros(54),
+            ..ack
+        };
+        host.handle_arrive(Packet::Ack(ack2), Nanos::from_micros(59), &mut q, &topo);
+        drive_retries(&mut host, &mut q, &topo);
+        assert_eq!(host.stats.probes_retried, 0, "ladder stops once healthy");
     }
 
     #[test]

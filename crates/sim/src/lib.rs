@@ -28,6 +28,7 @@
 
 pub mod dcqcn;
 pub mod event;
+pub mod faults;
 pub mod hooks;
 pub mod host;
 pub mod ids;
@@ -41,12 +42,18 @@ pub mod topology;
 pub mod units;
 
 pub use event::{EventKind, EventQueue, HeapQueue, PacketRef};
+pub use faults::{
+    CpuPathFault, FaultInjector, FaultPlan, FaultRng, FaultStats, ProbeFate, STREAM_PROBE,
+    STREAM_UPLOAD,
+};
 pub use hooks::{
     CpuNotification, EnqueueRecord, NullHook, PfcEvent, ProbeDecision, SwitchHook, SwitchView,
 };
-pub use host::{AgentConfig, Detection, HostConfig, HostState, PfcInjectorConfig};
+pub use host::{
+    AgentConfig, Detection, HostConfig, HostState, PfcInjectorConfig, ProbeRetryConfig,
+};
 pub use ids::{FlowId, FlowKey, NodeId, PortId};
-pub use observed::{record_sim_metrics, trace_detections, ObservedHook};
+pub use observed::{record_sim_metrics, trace_detections, trace_drop_warnings, ObservedHook};
 pub use packet::{
     AckPacket, CnpPacket, DataPacket, Packet, PfcFrame, PollingFlags, Probe, CLASS_CONTROL,
     CLASS_DATA, CTRL_PKT_SIZE, DATA_PAYLOAD, DATA_PKT_SIZE,

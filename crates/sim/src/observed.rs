@@ -190,6 +190,38 @@ pub fn trace_detections(obs: &mut Recorder, detections: &[Detection]) {
     }
 }
 
+/// Emit a [`TraceEvent::DropWarning`] for every switch that dropped packets
+/// it should not have. Buffer drops on a PFC-enabled fabric and routing
+/// misses are both anomalies worth flagging loudly: a lossless fabric that
+/// drops has already violated its core invariant, and diagnosis quality
+/// degrades silently when the victim's packets never reached the victim.
+pub fn trace_drop_warnings<H: SwitchHook>(sim: &Simulator<H>, obs: &mut Recorder) {
+    let now = sim.now().as_nanos();
+    for sw in sim.topo().switches() {
+        let st = &sim.switch(sw).stats;
+        if st.drops_buffer > 0 {
+            obs.trace(
+                now,
+                TraceEvent::DropWarning {
+                    switch: sw.0,
+                    what: "buffer".to_string(),
+                    count: st.drops_buffer,
+                },
+            );
+        }
+        if st.drops_no_route > 0 {
+            obs.trace(
+                now,
+                TraceEvent::DropWarning {
+                    switch: sw.0,
+                    what: "no_route".to_string(),
+                    count: st.drops_no_route,
+                },
+            );
+        }
+    }
+}
+
 /// Fold the simulator's per-switch and per-host hardware counters into a
 /// metrics registry. This is the single source of truth the run summary
 /// and eval outcomes read back from.
@@ -247,6 +279,23 @@ pub fn record_sim_metrics<H: SwitchHook>(sim: &Simulator<H>, reg: &mut MetricsRe
         MetricKey::global("detections"),
         sim.detections().len() as u64,
     );
+    // Fault-injection counters are folded only when something actually
+    // happened: creating a zero-valued key would perturb the registry
+    // snapshot of every fault-free run.
+    if !sim.fault_plan().is_none() {
+        reg.add(
+            MetricKey::global("faults_injected"),
+            sim.fault_stats().total_injected(),
+        );
+    }
+    let retried: u64 = sim
+        .topo()
+        .hosts()
+        .map(|h| sim.host(h).stats.probes_retried)
+        .sum();
+    if retried > 0 {
+        reg.add(MetricKey::global("probes_retried"), retried);
+    }
 }
 
 #[cfg(test)]

@@ -2,9 +2,11 @@
 //! the instrumentation hook, and dispatches events until a time horizon.
 
 use crate::event::{EventKind, EventQueue};
+use crate::faults::{FaultInjector, FaultPlan, FaultStats, ProbeFate};
 use crate::hooks::{CpuNotification, SwitchHook};
 use crate::host::{AgentConfig, Detection, HostConfig, HostState, PfcInjectorConfig};
 use crate::ids::{FlowId, FlowKey, NodeId};
+use crate::packet::Packet;
 use crate::switch::{SwitchConfig, SwitchState};
 use crate::time::Nanos;
 use crate::topology::{NodeKind, Topology};
@@ -27,6 +29,9 @@ pub struct SimConfig {
     /// Seed for all stochastic decisions (ECN marking); identical seeds
     /// reproduce identical runs.
     pub seed: u64,
+    /// Control-plane fault injection; [`FaultPlan::none()`] (the default)
+    /// is bit-for-bit identical to a run without fault injection.
+    pub faults: FaultPlan,
 }
 
 impl Default for SimConfig {
@@ -35,6 +40,7 @@ impl Default for SimConfig {
             switch: SwitchConfig::default(),
             host: HostConfig::for_line_rate(100e9),
             seed: 1,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -56,6 +62,7 @@ pub struct Simulator<H: SwitchHook> {
     /// Probes mirrored to switch CPUs (drives telemetry collection).
     pub cpu_log: Vec<CpuNotification>,
     flows: Vec<FlowMeta>,
+    faults: FaultInjector,
     started: bool,
 }
 
@@ -83,8 +90,20 @@ impl<H: SwitchHook> Simulator<H> {
             hook,
             cpu_log: Vec::new(),
             flows: Vec::new(),
+            faults: FaultInjector::new(cfg.faults),
             started: false,
         }
+    }
+
+    /// The fault plan this simulation runs under.
+    pub fn fault_plan(&self) -> FaultPlan {
+        self.faults.plan
+    }
+
+    /// Probe-path faults injected so far (upload-path faults are counted
+    /// by the collector, which owns its own stream).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults.stats
     }
 
     pub fn topo(&self) -> &Topology {
@@ -235,15 +254,44 @@ impl<H: SwitchHook> Simulator<H> {
                 // the handler can schedule the next hop into it.
                 let pkt = self.queue.take_packet(packet);
                 match &mut self.nodes[node.index()] {
-                    NodeState::Switch(sw) => sw.handle_arrive(
-                        port,
-                        pkt,
-                        now,
-                        &mut self.queue,
-                        &self.topo,
-                        &mut self.hook,
-                        &mut self.cpu_log,
-                    ),
+                    NodeState::Switch(sw) => {
+                        // Probe-path fault injection: only polling packets
+                        // arriving at switches are eligible, and the
+                        // injector is consulted only under an active plan.
+                        if self.faults.probes_active() && matches!(pkt, Packet::Probe(_)) {
+                            match self.faults.probe_arrival() {
+                                ProbeFate::Deliver => {}
+                                ProbeFate::Drop => return,
+                                ProbeFate::Delay(d) => {
+                                    self.queue.schedule_arrive(now + d, node, port, pkt);
+                                    return;
+                                }
+                                ProbeFate::Duplicate(d) => {
+                                    self.queue.schedule_arrive(now + d, node, port, pkt);
+                                }
+                            }
+                        }
+                        // A dead switch CPU loses any probe mirrored to it
+                        // this arrival (the data-plane forwarding of the
+                        // probe is unaffected).
+                        let cpu_dead = self.faults.plan.cpu_fault.is_some()
+                            && self.faults.plan.cpu_down(node, now);
+                        let log_mark = self.cpu_log.len();
+                        sw.handle_arrive(
+                            port,
+                            pkt,
+                            now,
+                            &mut self.queue,
+                            &self.topo,
+                            &mut self.hook,
+                            &mut self.cpu_log,
+                        );
+                        if cpu_dead && self.cpu_log.len() > log_mark {
+                            self.faults.stats.cpu_down_drops +=
+                                (self.cpu_log.len() - log_mark) as u64;
+                            self.cpu_log.truncate(log_mark);
+                        }
+                    }
                     NodeState::Host(h) => h.handle_arrive(pkt, now, &mut self.queue, &self.topo),
                 }
             }
@@ -288,6 +336,15 @@ impl<H: SwitchHook> Simulator<H> {
             EventKind::AgentCheck { node } => {
                 if let NodeState::Host(h) = &mut self.nodes[node.index()] {
                     h.handle_agent_check(now, &mut self.queue, &self.topo);
+                }
+            }
+            EventKind::ProbeRetry {
+                node,
+                flow_idx,
+                attempt,
+            } => {
+                if let NodeState::Host(h) = &mut self.nodes[node.index()] {
+                    h.handle_probe_retry(flow_idx, attempt, now, &mut self.queue, &self.topo);
                 }
             }
         }
@@ -417,6 +474,7 @@ mod tests {
             check_interval: Nanos::from_micros(100),
             dedup_interval: Nanos::from_millis(1),
             periodic_probe: None,
+            retry: None,
         });
         // Heavy incast: the victim flow's packets queue behind PFC.
         for (i, &src) in [hosts[0], hosts[1], hosts[3]].iter().enumerate() {

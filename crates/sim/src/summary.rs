@@ -44,6 +44,10 @@ pub struct RunSummary {
     pub pfc_pauses_sent: u64,
     pub pfc_resumes_sent: u64,
     pub buffer_drops: u64,
+    /// Packets discarded for lack of a route — nonzero means the topology
+    /// or routing tables are wrong, never normal congestion.
+    #[serde(default)]
+    pub route_drops: u64,
     pub detections: usize,
 }
 
@@ -91,6 +95,7 @@ impl RunSummary {
             pfc_pauses_sent: reg.counter_total("pfc_pause_sent"),
             pfc_resumes_sent: reg.counter_total("pfc_resume_sent"),
             buffer_drops: reg.counter_total("drops_buffer"),
+            route_drops: reg.counter_total("drops_no_route"),
             detections: reg.counter(&MetricKey::global("detections")) as usize,
         }
     }

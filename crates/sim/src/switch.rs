@@ -237,6 +237,15 @@ impl SwitchState {
             return;
         };
         if self.total_data_bytes + d.size as u64 > self.cfg.buffer_bytes {
+            // With PFC on, upstream pause thresholds are sized to fire
+            // before the shared buffer fills — a lossless fabric dropping
+            // for buffer means the headroom model is miscalibrated.
+            debug_assert!(
+                !self.cfg.pfc_enabled,
+                "buffer drop on PFC-enabled switch {:?} (lossless fabric \
+                 should have paused upstream first)",
+                self.id
+            );
             self.stats.drops_buffer += 1;
             return;
         }

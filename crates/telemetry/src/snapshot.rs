@@ -102,6 +102,48 @@ impl TelemetrySnapshot {
     pub fn report_packets(&self, payload_bytes: usize) -> usize {
         self.wire_size_filtered().div_ceil(payload_bytes).max(1)
     }
+
+    /// End time of the newest epoch carried (the snapshot's information
+    /// horizon; `taken_at` if it carries no epochs).
+    pub fn newest_epoch_end(&self) -> Nanos {
+        self.epochs
+            .iter()
+            .map(EpochSnapshot::end)
+            .max()
+            .unwrap_or(self.taken_at)
+    }
+
+    /// Degrade to a *stale* read: remove the newest epoch, as if the CPU
+    /// read raced the telemetry ring and missed the in-flight slot. Returns
+    /// whether an epoch was dropped (a single-epoch snapshot is left
+    /// intact — there is nothing older to fall back to).
+    pub fn make_stale(&mut self) -> bool {
+        if self.epochs.len() < 2 {
+            return false;
+        }
+        let newest = self
+            .epochs
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, e)| e.end())
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        self.epochs.remove(newest);
+        true
+    }
+
+    /// Degrade to a *truncated* upload: the transfer was cut short, so each
+    /// epoch keeps only the first half of its flow rows (the register scan
+    /// is in slot order, so the tail is what's lost). Returns rows cut.
+    pub fn truncate_flows(&mut self) -> usize {
+        let mut cut = 0;
+        for e in &mut self.epochs {
+            let keep = e.flows.len() / 2;
+            cut += e.flows.len() - keep;
+            e.flows.truncate(keep);
+        }
+        cut
+    }
 }
 
 #[cfg(test)]

@@ -23,8 +23,8 @@ use crate::background::{self, BackgroundConfig, FlowSpec};
 use crate::fattree::FatTreeNav;
 use hawkeye_core::AnomalyType;
 use hawkeye_sim::{
-    fat_tree, AgentConfig, FlowKey, Nanos, NodeId, PfcInjectorConfig, PortId, SimConfig, Simulator,
-    SwitchHook, Topology, EVAL_BANDWIDTH, EVAL_DELAY,
+    fat_tree, AgentConfig, FaultPlan, FlowKey, Nanos, NodeId, PfcInjectorConfig, PortId, SimConfig,
+    Simulator, SwitchHook, Topology, EVAL_BANDWIDTH, EVAL_DELAY,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -149,6 +149,23 @@ impl Scenario {
         self.instantiate(cfg, agent, hook)
     }
 
+    /// [`Scenario::instantiate_seeded`] with a control-plane fault plan.
+    /// `FaultPlan::none()` reproduces `instantiate_seeded` exactly.
+    pub fn instantiate_faulted<H: SwitchHook>(
+        &self,
+        seed: u64,
+        agent: AgentConfig,
+        hook: H,
+        faults: FaultPlan,
+    ) -> Simulator<H> {
+        let cfg = SimConfig {
+            seed,
+            faults,
+            ..self.sim_config
+        };
+        self.instantiate(cfg, agent, hook)
+    }
+
     pub fn instantiate<H: SwitchHook>(
         &self,
         sim_cfg: SimConfig,
@@ -176,6 +193,7 @@ impl Scenario {
             check_interval: Nanos::from_micros(50),
             dedup_interval: Nanos::from_millis(2),
             periodic_probe: None,
+            retry: None,
         }
     }
 }

@@ -16,6 +16,27 @@ cargo fmt --check
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> chaos smoke (20% fault rate, 1 trial, jobs=2)"
+# A tiny fault-injection sweep through the release CLI: must finish without
+# a panic and must report at least one degraded/inconclusive verdict, or
+# the degraded-telemetry path has silently stopped being exercised.
+chaos_out=$(mktemp)
+./target/release/hawkeye chaos --rates 0.0,0.2 --trials 1 --jobs 2 \
+  --json --out "$chaos_out" > /dev/null
+python3 - "$chaos_out" <<'EOF'
+import json, sys
+cells = json.load(open(sys.argv[1]))["chaos"]
+faulted = [c for c in cells if c["rate"] > 0]
+assert faulted, "no faulted cell in sweep"
+assert any(c["degraded"] + c["inconclusive"] + c["errors"] > 0 for c in faulted), \
+    "20% fault rate produced no degraded/inconclusive verdict and no typed error"
+assert all(c["faults_injected"] > 0 for c in faulted), "no faults injected"
+zero = [c for c in cells if c["rate"] == 0]
+assert all(c["faults_injected"] == 0 for c in zero), "rate 0 injected faults"
+print("chaos smoke ok:", {c["rate"]: c["degraded"] + c["inconclusive"] for c in cells})
+EOF
+rm -f "$chaos_out"
+
 echo "==> bench smoke (1 sample, tiny budget, jobs=2)"
 # Exercises the micro-bench harness end to end — queue speedup numbers,
 # overhead check, sweep wall-clock, BENCH_2.json write — at a budget small

@@ -31,6 +31,7 @@ fn incast_backpressure_on_leaf_spine() {
         check_interval: Nanos::from_micros(50),
         dedup_interval: Nanos::from_micros(400),
         periodic_probe: None,
+        retry: None,
     });
 
     // Victim: leaf0 host -> leaf1 host (never touches the incast target).
