@@ -1,0 +1,167 @@
+//! Micro-benchmarks for the online serving path (`hawkeye-serve`):
+//! telemetry-store append/query throughput, wire-codec round-trips, and —
+//! the headline number — incremental provenance update latency against a
+//! from-scratch batch rebuild over the same telemetry. Results land in
+//! `BENCH_4.json` at the workspace root, in the BENCH_2 format.
+
+use hawkeye_bench::timing::{bench, Measurement};
+use hawkeye_core::{build_graph, AggTelemetry, IncrementalProvenance, ReplayConfig};
+use hawkeye_eval::optimal_run_config;
+use hawkeye_serve::{replay_streaming, StoreConfig, TelemetryStore, VecSink};
+use hawkeye_sim::Nanos;
+use hawkeye_telemetry::{decode_snapshot, encode_snapshot, TelemetrySnapshot};
+use hawkeye_workloads::{build_scenario, Scenario, ScenarioKind, ScenarioParams};
+
+/// One real incast run's telemetry stream, in collection order — the
+/// workload every serving bench replays.
+fn incast_stream() -> (Scenario, Vec<TelemetrySnapshot>) {
+    let sc = build_scenario(ScenarioKind::MicroBurstIncast, ScenarioParams::default());
+    let cfg = optimal_run_config(1);
+    let (_, sink) = replay_streaming(&sc, &cfg, VecSink::default());
+    assert!(!sink.snaps.is_empty(), "incast produced no telemetry");
+    (sc, sink.snaps)
+}
+
+fn bench_store(snaps: &[TelemetrySnapshot], all: &mut Vec<Measurement>) {
+    all.push(bench("store_append_stream", || {
+        let mut store = TelemetryStore::new(StoreConfig::default());
+        for s in snaps {
+            store.append(s);
+        }
+        store.epochs_held()
+    }));
+
+    let mut store = TelemetryStore::new(StoreConfig::default());
+    for s in snaps {
+        store.append(s);
+    }
+    let key = snaps
+        .iter()
+        .flat_map(|s| s.epochs.iter())
+        .flat_map(|e| e.flows.iter())
+        .map(|(k, _)| *k)
+        .next()
+        .expect("stream has at least one flow");
+    all.push(bench("store_snapshots_in_window", || {
+        store.snapshots_in(Nanos::ZERO, Nanos(2_000_000)).len()
+    }));
+    all.push(bench("store_flow_history", || {
+        store.flow_history(&key).len()
+    }));
+}
+
+fn bench_codec(snaps: &[TelemetrySnapshot], all: &mut Vec<Measurement>) {
+    let encoded: Vec<Vec<u8>> = snaps.iter().map(encode_snapshot).collect();
+    let bytes: usize = encoded.iter().map(Vec::len).sum();
+    println!("codec corpus: {} snapshots, {} bytes", snaps.len(), bytes);
+    all.push(bench("codec_encode_stream", || {
+        snaps
+            .iter()
+            .map(|s| encode_snapshot(s).len())
+            .sum::<usize>()
+    }));
+    all.push(bench("codec_decode_stream", || {
+        encoded
+            .iter()
+            .map(|b| decode_snapshot(b).expect("canonical bytes").epochs.len())
+            .sum::<usize>()
+    }));
+}
+
+/// The tentpole comparison: applying ONE fresh snapshot to a warm
+/// incremental engine (apply + fragment refresh) vs rebuilding the whole
+/// wait-for graph from scratch over the same telemetry.
+fn bench_incremental(
+    sc: &Scenario,
+    snaps: &[TelemetrySnapshot],
+    all: &mut Vec<Measurement>,
+) -> f64 {
+    let (warm, last) = snaps.split_at(snaps.len() - 1);
+
+    let mut eng = IncrementalProvenance::new(ReplayConfig::default(), 1024);
+    for s in warm {
+        eng.apply(s);
+    }
+    eng.graph(&sc.topo); // settle the warm state once
+                         // Each iteration delivers a GENUINE delta — a fresher re-collection of
+                         // the final snapshot (later taken_at, perturbed counter) — so the
+                         // engine dirties one switch and recomputes its fragments, not the
+                         // duplicate-dedup fast path.
+    let mut revision = 0u64;
+    let m_incr = bench("incremental_apply_one_snapshot", || {
+        revision += 1;
+        let mut delta = last[0].clone();
+        delta.taken_at = Nanos(delta.taken_at.as_nanos() + revision);
+        if let Some(ep) = delta.epochs.last_mut() {
+            if let Some((_, rec)) = ep.flows.last_mut() {
+                rec.pkt_count += revision as u32;
+            }
+        }
+        eng.apply(&delta);
+        eng.graph(&sc.topo).ports.len()
+    });
+
+    let m_batch = bench("batch_rebuild_full_window", || {
+        let agg = AggTelemetry::build(snaps, eng.window());
+        build_graph(&agg, &sc.topo, ReplayConfig::default())
+            .ports
+            .len()
+    });
+
+    let speedup = m_batch.min_ns / m_incr.min_ns.max(1.0);
+    println!("incremental update vs batch rebuild: {speedup:.2}x (min ns)");
+    all.push(m_incr);
+    all.push(m_batch);
+    speedup
+}
+
+fn write_bench_json(all: &[Measurement], speedup: f64) -> std::io::Result<()> {
+    use serde::Value;
+    let benches = Value::Object(
+        all.iter()
+            .map(|m| {
+                (
+                    m.name.clone(),
+                    Value::Object(vec![
+                        ("mean_ns".to_string(), Value::Float(m.mean_ns)),
+                        ("min_ns".to_string(), Value::Float(m.min_ns)),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    let doc = Value::Object(vec![
+        ("benches".to_string(), benches),
+        (
+            "incremental_speedup_min_ns".to_string(),
+            Value::Float(speedup),
+        ),
+    ]);
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root");
+    let path = root.join("BENCH_4.json");
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&doc).expect("serializable doc"),
+    )?;
+    println!("wrote {}", path.display());
+    Ok(())
+}
+
+fn main() {
+    println!("serve micro benchmarks (store / codec / incremental engine)");
+    let (sc, snaps) = incast_stream();
+    println!("replayed incast: {} snapshots", snaps.len());
+    let mut all = Vec::new();
+    bench_store(&snaps, &mut all);
+    bench_codec(&snaps, &mut all);
+    let speedup = bench_incremental(&sc, &snaps, &mut all);
+    if let Err(e) = write_bench_json(&all, speedup) {
+        eprintln!("could not write BENCH_4.json: {e}");
+    }
+    if speedup < 1.0 {
+        println!("WARNING: incremental update slower than a full rebuild");
+    }
+}

@@ -10,6 +10,7 @@
 //! hawkeye summary  <kind> [--load F] [--seed N] [--json]   network-wide run statistics
 //! hawkeye trace    <kind> [--format jsonl|chrome]          structured event trace of a run
 //! hawkeye chaos    [--rates R,..] [--trials N] [--out F]   fault-rate sweep, accuracy table
+//! hawkeye serve    [--replay KIND] [--socket P|--tcp A]    online diagnosis daemon
 //! ```
 //! Kinds: incast, storm, inloop, oolc, oolinj, contention.
 //!
@@ -66,6 +67,12 @@ struct Opts {
     trials: usize,
     /// JSON output path for `chaos`.
     out: String,
+    /// Unix socket path for `serve`.
+    socket: Option<String>,
+    /// TCP bind address for `serve` (e.g. 127.0.0.1:0).
+    tcp: Option<String>,
+    /// Scenario to stream through the daemon (`serve --replay <kind>`).
+    replay: Option<ScenarioKind>,
 }
 
 /// Strict option parser: every `--flag` must be known and every value must
@@ -81,6 +88,9 @@ fn parse_opts(args: &[String]) -> Result<(Opts, Vec<String>), String> {
         rates: ChaosConfig::default().rates,
         trials: ChaosConfig::default().trials,
         out: "CHAOS.json".to_string(),
+        socket: None,
+        tcp: None,
+        replay: None,
     };
     let mut pos = Vec::new();
     let mut it = args.iter();
@@ -134,6 +144,17 @@ fn parse_opts(args: &[String]) -> Result<(Opts, Vec<String>), String> {
             "--out" => {
                 o.out = it.next().ok_or("--out requires a path")?.clone();
             }
+            "--socket" => {
+                o.socket = Some(it.next().ok_or("--socket requires a path")?.clone());
+            }
+            "--tcp" => {
+                o.tcp = Some(it.next().ok_or("--tcp requires a bind address")?.clone());
+            }
+            "--replay" => {
+                let v = it.next().ok_or("--replay requires a scenario kind")?;
+                o.replay =
+                    Some(parse_kind(v).ok_or_else(|| format!("--replay: unknown kind '{v}'"))?);
+            }
             "--format" => {
                 let v = it.next().ok_or("--format requires a value")?;
                 o.format = match v.as_str() {
@@ -151,9 +172,10 @@ fn parse_opts(args: &[String]) -> Result<(Opts, Vec<String>), String> {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: hawkeye <scenario|matrix|methods|cbd|dot|resources|summary|trace|chaos> [kind] \
-         [--load F] [--seed N] [--jobs N] [--json] [--format jsonl|chrome] \
-         [--rates R,R,..] [--trials N] [--out F]\n\
+        "usage: hawkeye <scenario|matrix|methods|cbd|dot|resources|summary|trace|chaos|serve> \
+         [kind] [--load F] [--seed N] [--jobs N] [--json] [--format jsonl|chrome] \
+         [--rates R,R,..] [--trials N] [--out F] \
+         [--socket PATH] [--tcp ADDR] [--replay KIND]\n\
          kinds: incast storm inloop oolc oolinj contention"
     );
     std::process::exit(2)
@@ -188,12 +210,18 @@ fn cmd_scenario(kind: ScenarioKind, o: &Opts) {
         std::process::exit(3);
     };
     if o.json {
-        println!("{}", serde_json::to_string_pretty(report).unwrap());
+        println!(
+            "{}",
+            serde_json::to_string_pretty(report).expect("report serialization is infallible")
+        );
         return;
     }
     println!("scenario : {}", kind.name());
     println!("victim   : {}", sc.truth.victim);
-    println!("verdict  : {:?}", out.verdict.unwrap());
+    println!(
+        "verdict  : {:?}",
+        out.verdict.expect("verdict accompanies every report")
+    );
     println!("diagnosis: {:?}", report.anomaly);
     for p in &report.pfc_paths {
         println!(
@@ -334,7 +362,10 @@ fn cmd_summary(kind: ScenarioKind, o: &Opts) {
             ("summary".to_string(), s.to_value()),
             ("metrics".to_string(), reg.snapshot().to_value()),
         ]);
-        println!("{}", serde_json::to_string_pretty(&doc).unwrap());
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&doc).expect("value serialization is infallible")
+        );
     } else {
         println!("{s:#?}");
         let snap = reg.snapshot();
@@ -387,7 +418,8 @@ fn cmd_chaos(o: &Opts) {
         base_seed: o.seed,
     };
     let rep = chaos_sweep(&cfg, o.jobs);
-    let json = serde_json::to_string_pretty(&rep.to_value()).unwrap();
+    let json =
+        serde_json::to_string_pretty(&rep.to_value()).expect("value serialization is infallible");
     if o.json {
         println!("{json}");
     } else {
@@ -399,6 +431,170 @@ fn cmd_chaos(o: &Opts) {
     }
     if !o.json {
         eprintln!("wrote {}", o.out);
+    }
+}
+
+/// `hawkeye serve`: start the online diagnosis daemon. With `--replay
+/// <kind>` the CLI also streams that scenario's telemetry into the daemon
+/// over the socket, asks it for a diagnosis of the same window the
+/// one-shot pipeline would use, verifies verdict parity, and shuts the
+/// daemon down — the end-to-end online mode. Without `--replay` the daemon
+/// runs in the foreground until a `Shutdown` request arrives.
+///
+/// Exit codes: 0 success (replay: parity verified), 1 served/one-shot
+/// mismatch, 3 no diagnosis produced.
+fn cmd_serve(o: &Opts) {
+    use hawkeye_core::AnalyzerConfig;
+    use hawkeye_serve::{replay_streaming, Endpoint, ServeClient, ServeConfig};
+
+    let runcfg = optimal_run_config(o.seed);
+    let endpoint = match (&o.socket, &o.tcp) {
+        (Some(path), _) => Endpoint::Unix(path.into()),
+        (None, Some(addr)) => Endpoint::Tcp(addr.clone()),
+        // Replay is self-contained, so an ephemeral local port is the
+        // no-flags default; a foreground daemon needs an address the
+        // operator knows.
+        (None, None) if o.replay.is_some() => Endpoint::Tcp("127.0.0.1:0".to_string()),
+        (None, None) => {
+            eprintln!("hawkeye: serve requires --socket PATH or --tcp ADDR (or --replay KIND)");
+            usage()
+        }
+    };
+    let Some(kind) = o.replay else {
+        // Foreground daemon mode: a replay client (possibly another
+        // hawkeye process) connects later. The topology must match the
+        // scenario the client streams; default to the incast fabric.
+        let sc = build(ScenarioKind::MicroBurstIncast, o);
+        let cfg = ServeConfig {
+            analyzer: AnalyzerConfig::for_epoch_len(runcfg.epoch.epoch_len()),
+            gather_jobs: o.jobs,
+            ..Default::default()
+        };
+        match hawkeye_serve::spawn(sc.topo, cfg, endpoint) {
+            Ok(handle) => {
+                if let Some(addr) = handle.local_addr {
+                    eprintln!("hawkeye: serving on {addr}");
+                }
+                handle.wait();
+            }
+            Err(e) => {
+                eprintln!("hawkeye: cannot bind daemon: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    };
+
+    let sc = build(kind, o);
+    let cfg = ServeConfig {
+        analyzer: AnalyzerConfig::for_epoch_len(runcfg.epoch.epoch_len()),
+        gather_jobs: o.jobs,
+        ..Default::default()
+    };
+    let handle = match hawkeye_serve::spawn(sc.topo.clone(), cfg, endpoint.clone()) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("hawkeye: cannot bind daemon: {e}");
+            std::process::exit(1);
+        }
+    };
+    let client = match &endpoint {
+        Endpoint::Unix(path) => ServeClient::connect_unix(std::path::Path::new(path)),
+        Endpoint::Tcp(_) => {
+            let addr = handle
+                .local_addr
+                .expect("TCP endpoint always has a bound address");
+            ServeClient::connect_tcp(&addr.to_string())
+        }
+    };
+    let client = match client {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("hawkeye: cannot connect to daemon: {e}");
+            handle.shutdown();
+            std::process::exit(1);
+        }
+    };
+
+    let (outcome, mut client) = replay_streaming(&sc, &runcfg, client);
+    let served = outcome.window.and_then(|w| {
+        client
+            .diagnose(sc.truth.victim, w.from, w.to, outcome.missing.clone())
+            .map_err(|e| eprintln!("hawkeye: served diagnosis failed: {e}"))
+            .ok()
+    });
+    let stats = client.stats().ok();
+    if let Err(e) = client.shutdown() {
+        eprintln!("hawkeye: daemon shutdown failed: {e}");
+    }
+    handle.wait();
+
+    let (Some(one), Some(served)) = (&outcome.oneshot, &served) else {
+        eprintln!(
+            "hawkeye: no diagnosis produced ({})",
+            if outcome.window.is_none() {
+                "victim anomaly never detected"
+            } else {
+                "served diagnosis unavailable"
+            }
+        );
+        std::process::exit(3);
+    };
+    let parity = outcome.parity_with(served);
+    if o.json {
+        let mut doc = vec![
+            (
+                "scenario".to_string(),
+                serde::Value::Str(kind.name().into()),
+            ),
+            (
+                "verdict".to_string(),
+                serde::Value::Str(format!(
+                    "{:?}",
+                    outcome.verdict.expect("verdict accompanies every report")
+                )),
+            ),
+            ("parity".to_string(), serde::Value::Bool(parity)),
+            ("oneshot".to_string(), one.to_value()),
+            ("served".to_string(), served.to_value()),
+            (
+                "epochs_streamed".to_string(),
+                serde::Value::UInt(outcome.stream.pushed),
+            ),
+            (
+                "epochs_shed".to_string(),
+                serde::Value::UInt(outcome.stream.shed),
+            ),
+        ];
+        if let Some(stats) = stats {
+            doc.push(("daemon".to_string(), stats));
+        }
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&serde::Value::Object(doc))
+                .expect("value serialization is infallible")
+        );
+    } else {
+        println!("scenario : {}", kind.name());
+        println!(
+            "verdict  : {:?}",
+            outcome.verdict.expect("verdict accompanies every report")
+        );
+        println!("served   : {:?} ({:?})", served.anomaly, served.confidence);
+        println!(
+            "streamed : {} snapshots ({} shed, {} errors)",
+            outcome.stream.pushed, outcome.stream.shed, outcome.stream.errors
+        );
+        println!("parity   : {}", if parity { "ok" } else { "MISMATCH" });
+        if let Some(stats) = stats {
+            println!(
+                "daemon   : {}",
+                serde_json::to_string(&stats).expect("value serialization is infallible")
+            );
+        }
+    }
+    if !parity {
+        std::process::exit(1);
     }
 }
 
@@ -447,6 +643,7 @@ fn main() {
         ("summary", Some(k)) => cmd_summary(k, &opts),
         ("trace", Some(k)) => cmd_trace(k, &opts),
         ("chaos", None) => cmd_chaos(&opts),
+        ("serve", None) => cmd_serve(&opts),
         _ => usage(),
     }
 }

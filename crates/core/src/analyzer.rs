@@ -46,11 +46,23 @@ fn victim_path_gaps(
     topo: &Topology,
 ) -> Vec<NodeId> {
     let covered: HashSet<NodeId> = snapshots.iter().map(|s| s.switch).collect();
+    victim_coverage_gaps(victim, |sw| covered.contains(&sw), topo)
+}
+
+/// Victim-path switches for which `covered` is false — the coverage-gap
+/// primitive behind confidence grading, usable by callers that track
+/// coverage as a set of reporting switches (e.g. the online store) rather
+/// than a snapshot slice.
+pub fn victim_coverage_gaps(
+    victim: &hawkeye_sim::FlowKey,
+    covered: impl Fn(NodeId) -> bool,
+    topo: &Topology,
+) -> Vec<NodeId> {
     let mut missing: Vec<NodeId> = topo
         .flow_egress_ports(victim)
         .into_iter()
         .map(|p| p.node)
-        .filter(|sw| !covered.contains(sw))
+        .filter(|&sw| !covered(sw))
         .collect();
     missing.sort_unstable();
     missing.dedup();

@@ -1,0 +1,608 @@
+//! Incremental maintenance of the wait-for provenance graph (Algorithm 1)
+//! under a stream of telemetry snapshots.
+//!
+//! The batch pipeline rebuilds [`AggTelemetry`] and the whole graph for
+//! every diagnosis. An online service ingesting one snapshot per collection
+//! epoch cannot afford that: the expensive step — per-epoch FIFO contention
+//! replay ([`contribution`](crate::provenance::contribution)) — is
+//! O(packets × queue depth) per port, while a single snapshot only changes
+//! the evidence of *one* switch (and, through the causality meters, the
+//! port-level edges of its upstream neighbors).
+//!
+//! [`IncrementalProvenance`] therefore keeps, per switch, the deduplicated
+//! epoch ring (keep-latest by `taken_at`, mirroring
+//! [`AggTelemetry::build`]'s reconciliation exactly) and incrementally
+//! maintained global aggregates, plus a cache of per-port edge fragments.
+//! On refresh only the fragments of *dirty* switches — those that received
+//! new epochs, aged some out, or sit downstream of one that did — are
+//! recomputed; everything else is reused. Graph assembly then replays the
+//! deterministic construction order of the batch builder, so the result is
+//! **positionally identical** to `build_graph` over the same evidence: the
+//! `rebuild == incremental` equivalence property is testable with plain
+//! `==` on the adjacency lists.
+//!
+//! Node lifecycle follows the evidence: a port/flow node appears when a
+//! snapshot first carries it and is retired when the epochs mentioning it
+//! age past the retention horizon ([`IncrementalProvenance::retire_before`])
+//! or fall off the per-switch ring budget.
+
+use crate::aggregate::{AggTelemetry, FlowAgg, PortAgg, Window};
+use crate::provenance::{
+    assemble_graph, port_causality_edges, port_contention, ProvenanceGraph, ReplayConfig,
+};
+use hawkeye_sim::{FlowKey, Nanos, NodeId, PortId, Topology};
+use hawkeye_telemetry::{EpochSnapshot, EvictedFlow, TelemetrySnapshot};
+use std::collections::{BTreeSet, HashMap};
+
+/// Counters describing how much work the engine did — and, more to the
+/// point, how much it avoided.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IncrStats {
+    pub snapshots_applied: u64,
+    /// Epochs newly inserted into a switch ring.
+    pub epochs_applied: u64,
+    /// Epochs replaced by a fresher version of themselves (re-collection).
+    pub epochs_superseded: u64,
+    /// Epochs rejected on arrival because they ended before the horizon.
+    pub epochs_skipped: u64,
+    /// Epochs removed by aging ([`IncrementalProvenance::retire_before`])
+    /// or the per-switch ring budget.
+    pub epochs_retired: u64,
+    /// Graph reassemblies performed.
+    pub refreshes: u64,
+    /// Per-port edge fragments recomputed across all refreshes.
+    pub frags_recomputed: u64,
+    /// Per-port edge fragments served from cache across all refreshes.
+    pub frags_reused: u64,
+}
+
+/// Per-switch slice of the engine's state: the deduplicated epoch ring and
+/// the aggregate keys this switch currently contributes, so its entire
+/// contribution can be subtracted in O(own size) when it changes.
+#[derive(Debug, Default)]
+struct SwitchState {
+    /// (ring slot, epoch id) -> (taken_at, epoch); keep-latest by
+    /// `taken_at` with later arrivals winning ties — the exact dedup rule
+    /// of [`AggTelemetry::build`].
+    epochs: HashMap<(usize, u8), (Nanos, EpochSnapshot)>,
+    /// The cumulative eviction list from the switch's latest snapshot.
+    evicted_taken: Nanos,
+    evicted: Vec<EvictedFlow>,
+    k_ports: Vec<PortId>,
+    k_flows: Vec<(FlowKey, PortId)>,
+    k_meters: Vec<(NodeId, u8, u8)>,
+    k_pes: Vec<PortId>,
+}
+
+/// See module docs.
+#[derive(Debug)]
+pub struct IncrementalProvenance {
+    replay: ReplayConfig,
+    /// Maximum epochs retained per switch (the paper's ring depth, enforced
+    /// analyzer-side); oldest-starting epochs fall off first.
+    ring_budget: usize,
+    /// Epochs ending at or before this never enter (or stay in) the state.
+    horizon: Nanos,
+    switches: HashMap<NodeId, SwitchState>,
+    agg: AggTelemetry,
+    dirty: BTreeSet<NodeId>,
+    frag_port: HashMap<PortId, Vec<(PortId, f64)>>,
+    frag_cont: HashMap<PortId, Vec<(FlowKey, f64)>>,
+    graph: ProvenanceGraph,
+    graph_valid: bool,
+    /// Epoch length changed (mixed telemetry configs): every contention
+    /// fragment depends on it, so everything goes dirty.
+    len_changed: bool,
+    stats: IncrStats,
+}
+
+impl IncrementalProvenance {
+    pub fn new(replay: ReplayConfig, ring_budget: usize) -> Self {
+        IncrementalProvenance {
+            replay,
+            ring_budget: ring_budget.max(1),
+            horizon: Nanos::ZERO,
+            switches: HashMap::new(),
+            agg: AggTelemetry::default(),
+            dirty: BTreeSet::new(),
+            frag_port: HashMap::new(),
+            frag_cont: HashMap::new(),
+            graph: ProvenanceGraph::default(),
+            graph_valid: false,
+            len_changed: false,
+            stats: IncrStats::default(),
+        }
+    }
+
+    /// Ingest one snapshot: dedup its epochs into the switch's ring
+    /// (keep-latest), adopt its eviction list if newer, enforce the ring
+    /// budget. Returns whether any evidence actually changed.
+    pub fn apply(&mut self, snap: &TelemetrySnapshot) -> bool {
+        self.stats.snapshots_applied += 1;
+        self.agg.collected.insert(snap.switch);
+        let st = self.switches.entry(snap.switch).or_default();
+        let mut changed = false;
+        for ep in &snap.epochs {
+            if ep.end() <= self.horizon {
+                self.stats.epochs_skipped += 1;
+                continue;
+            }
+            if self.agg.epoch_len != Nanos::ZERO && ep.len != self.agg.epoch_len {
+                self.len_changed = true;
+            }
+            match st.epochs.get_mut(&(ep.slot, ep.id)) {
+                Some(cur) if snap.taken_at < cur.0 => {} // stale re-delivery
+                Some(cur) => {
+                    self.stats.epochs_superseded += 1;
+                    if cur.1 != *ep {
+                        changed = true;
+                    }
+                    *cur = (snap.taken_at, ep.clone());
+                }
+                None => {
+                    st.epochs
+                        .insert((ep.slot, ep.id), (snap.taken_at, ep.clone()));
+                    self.stats.epochs_applied += 1;
+                    changed = true;
+                }
+            }
+        }
+        // Ring budget: oldest-starting epochs age out first.
+        while st.epochs.len() > self.ring_budget {
+            let oldest = st
+                .epochs
+                .iter()
+                .map(|(&k, v)| (v.1.start, k.0, k.1))
+                .min()
+                .map(|(_, slot, id)| (slot, id))
+                .expect("non-empty ring has an oldest epoch");
+            st.epochs.remove(&oldest);
+            self.stats.epochs_retired += 1;
+            changed = true;
+        }
+        if snap.taken_at >= st.evicted_taken {
+            st.evicted_taken = snap.taken_at;
+            if st.evicted != snap.evicted {
+                st.evicted = snap.evicted.clone();
+                changed = true;
+            }
+        }
+        if changed {
+            self.dirty.insert(snap.switch);
+            self.graph_valid = false;
+        }
+        changed
+    }
+
+    /// Age out every epoch ending at or before `horizon`; port and flow
+    /// nodes whose evidence is gone disappear from the next graph. The
+    /// horizon only moves forward.
+    pub fn retire_before(&mut self, horizon: Nanos) -> u64 {
+        if horizon <= self.horizon {
+            return 0;
+        }
+        self.horizon = horizon;
+        let mut retired = 0;
+        for (&sw, st) in &mut self.switches {
+            let before = st.epochs.len();
+            st.epochs.retain(|_, (_, ep)| ep.end() > horizon);
+            let gone = (before - st.epochs.len()) as u64;
+            if gone > 0 {
+                retired += gone;
+                self.dirty.insert(sw);
+                self.graph_valid = false;
+            }
+        }
+        self.stats.epochs_retired += retired;
+        retired
+    }
+
+    /// Re-aggregate dirty switches, recompute the affected per-port edge
+    /// fragments, and reassemble the graph. No-op when nothing changed.
+    pub fn refresh(&mut self, topo: &Topology) {
+        if self.graph_valid && self.dirty.is_empty() {
+            return;
+        }
+        if self.len_changed {
+            // Every contention fragment normalizes by the epoch length.
+            let all: Vec<NodeId> = self.switches.keys().copied().collect();
+            self.dirty.extend(all);
+            self.len_changed = false;
+        }
+        let dirty: Vec<NodeId> = self.dirty.iter().copied().collect();
+        for &sw in &dirty {
+            self.reaggregate_switch(sw);
+        }
+        // Fragments of removed ports die with them.
+        let live = &self.agg.ports;
+        self.frag_port.retain(|p, _| live.contains_key(p));
+        self.frag_cont.retain(|p, _| live.contains_key(p));
+        // A port's fragments depend on its own switch (counters, per-epoch
+        // flow lists) and on its link peer (meters, downstream queue
+        // depths) — recompute exactly those touching a dirty switch.
+        let affected: Vec<PortId> = self
+            .agg
+            .ports
+            .keys()
+            .copied()
+            .filter(|p| self.dirty.contains(&p.node) || self.dirty.contains(&topo.peer(*p).node))
+            .collect();
+        for &pi in &affected {
+            self.frag_port
+                .insert(pi, port_causality_edges(&self.agg, topo, self.replay, pi));
+            self.frag_cont
+                .insert(pi, port_contention(&self.agg, topo, self.replay, pi));
+        }
+        self.stats.frags_recomputed += affected.len() as u64;
+        self.stats.frags_reused += (self.agg.ports.len() - affected.len()) as u64;
+        self.graph = assemble_graph(&self.agg, &self.frag_port, &self.frag_cont);
+        self.graph_valid = true;
+        self.dirty.clear();
+        self.stats.refreshes += 1;
+    }
+
+    /// Subtract one switch's previous contribution from the global
+    /// aggregates and re-add it from its current epoch ring — the same
+    /// arithmetic [`AggTelemetry::build`] performs for that switch's
+    /// deduplicated epochs, restricted to one switch.
+    fn reaggregate_switch(&mut self, sw: NodeId) {
+        let Some(st) = self.switches.get_mut(&sw) else {
+            return;
+        };
+        for p in std::mem::take(&mut st.k_ports) {
+            self.agg.ports.remove(&p);
+        }
+        for k in std::mem::take(&mut st.k_flows) {
+            self.agg.flows.remove(&k);
+        }
+        for k in std::mem::take(&mut st.k_meters) {
+            self.agg.meters.remove(&k);
+        }
+        for p in std::mem::take(&mut st.k_pes) {
+            self.agg.port_epochs.remove(&p);
+        }
+        let mut eps: Vec<&(Nanos, EpochSnapshot)> = st.epochs.values().collect();
+        eps.sort_unstable_by_key(|(_, ep)| (ep.start, ep.slot, ep.id));
+        let mut k_ports: BTreeSet<PortId> = BTreeSet::new();
+        let mut k_flows: BTreeSet<(FlowKey, PortId)> = BTreeSet::new();
+        let mut k_meters: BTreeSet<(NodeId, u8, u8)> = BTreeSet::new();
+        let mut k_pes: BTreeSet<PortId> = BTreeSet::new();
+        for (_, ep) in eps {
+            self.agg.epoch_len = ep.len;
+            for (key, rec) in &ep.flows {
+                let port = PortId::new(sw, rec.out_port);
+                let f = self.agg.flows.entry((*key, port)).or_default();
+                f.pkt_num += rec.pkt_count as u64;
+                f.paused_num += rec.paused_count as u64;
+                f.qdepth_sum += rec.qdepth_sum;
+                f.epochs_active += 1;
+                k_flows.insert((*key, port));
+                let ef = FlowAgg {
+                    pkt_num: rec.pkt_count as u64,
+                    paused_num: rec.paused_count as u64,
+                    qdepth_sum: rec.qdepth_sum,
+                    epochs_active: 1,
+                };
+                self.agg
+                    .port_epochs
+                    .entry(port)
+                    .or_default()
+                    .entry(ep.start.as_nanos())
+                    .or_default()
+                    .1
+                    .push((*key, ef));
+                k_pes.insert(port);
+            }
+            for (port, rec) in &ep.ports {
+                let pid = PortId::new(sw, *port);
+                let p = self.agg.ports.entry(pid).or_default();
+                p.pkt_num += rec.pkt_count as u64;
+                p.paused_num += rec.paused_count as u64;
+                p.qdepth_sum += rec.qdepth_sum;
+                k_ports.insert(pid);
+                let pe = self
+                    .agg
+                    .port_epochs
+                    .entry(pid)
+                    .or_default()
+                    .entry(ep.start.as_nanos())
+                    .or_default();
+                pe.0 = PortAgg {
+                    pkt_num: rec.pkt_count as u64,
+                    paused_num: rec.paused_count as u64,
+                    qdepth_sum: rec.qdepth_sum,
+                };
+                k_pes.insert(pid);
+            }
+            for (ip, op, bytes) in &ep.meter {
+                *self.agg.meters.entry((sw, *ip, *op)).or_default() += bytes;
+                k_meters.insert((sw, *ip, *op));
+            }
+        }
+        for ev in &st.evicted {
+            let port = PortId::new(sw, ev.record.out_port);
+            let f = self.agg.flows.entry((ev.key, port)).or_default();
+            f.pkt_num += ev.record.pkt_count as u64;
+            f.paused_num += ev.record.paused_count as u64;
+            f.qdepth_sum += ev.record.qdepth_sum;
+            f.epochs_active += 1;
+            k_flows.insert((ev.key, port));
+        }
+        st.k_ports = k_ports.into_iter().collect();
+        st.k_flows = k_flows.into_iter().collect();
+        st.k_meters = k_meters.into_iter().collect();
+        st.k_pes = k_pes.into_iter().collect();
+    }
+
+    /// The current graph, refreshing first if needed.
+    pub fn graph(&mut self, topo: &Topology) -> &ProvenanceGraph {
+        self.refresh(topo);
+        &self.graph
+    }
+
+    /// The incrementally maintained aggregate (refresh first for a current
+    /// view).
+    pub fn agg(&self) -> &AggTelemetry {
+        &self.agg
+    }
+
+    /// Switches that have delivered at least one snapshot.
+    pub fn collected(&self) -> &BTreeSet<NodeId> {
+        &self.agg.collected
+    }
+
+    /// Total epochs currently held across all switch rings.
+    pub fn epochs_held(&self) -> usize {
+        self.switches.values().map(|s| s.epochs.len()).sum()
+    }
+
+    /// The retention horizon (epochs ending at or before it are gone).
+    pub fn horizon(&self) -> Nanos {
+        self.horizon
+    }
+
+    pub fn stats(&self) -> &IncrStats {
+        &self.stats
+    }
+
+    /// The batch-equivalent window of the current state: everything after
+    /// the horizon. Feeding [`AggTelemetry::build`] the same snapshots with
+    /// this window yields the aggregate this engine maintains.
+    pub fn window(&self) -> Window {
+        Window {
+            from: self.horizon,
+            to: Nanos::MAX,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::provenance::build_graph;
+    use hawkeye_telemetry::{FlowRecord, PortRecord};
+
+    fn key(i: u16) -> FlowKey {
+        FlowKey::roce(NodeId(100), NodeId(101), i)
+    }
+
+    fn epoch(slot: usize, id: u8, start: u64, nflows: u16) -> EpochSnapshot {
+        EpochSnapshot {
+            slot,
+            id,
+            start: Nanos(start),
+            len: Nanos(1 << 20),
+            flows: (0..nflows)
+                .map(|i| {
+                    (
+                        key(i),
+                        FlowRecord {
+                            pkt_count: 40 + u32::from(i),
+                            paused_count: 4,
+                            qdepth_sum: 200,
+                            out_port: 1,
+                        },
+                    )
+                })
+                .collect(),
+            ports: vec![(
+                1,
+                PortRecord {
+                    pkt_count: 50,
+                    paused_count: 8,
+                    qdepth_sum: 600,
+                },
+            )],
+            meter: vec![(0, 1, 52_400)],
+        }
+    }
+
+    fn snap(sw: u32, taken: u64, epochs: Vec<EpochSnapshot>) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            switch: NodeId(sw),
+            taken_at: Nanos(taken),
+            nports: 4,
+            max_flows: 64,
+            epochs,
+            evicted: vec![],
+        }
+    }
+
+    fn topo() -> Topology {
+        hawkeye_sim::chain(3, 1, hawkeye_sim::EVAL_BANDWIDTH, hawkeye_sim::EVAL_DELAY)
+    }
+
+    fn assert_matches_batch(
+        eng: &mut IncrementalProvenance,
+        fed: &[TelemetrySnapshot],
+        topo: &Topology,
+    ) {
+        let batch = build_graph(
+            &AggTelemetry::build(fed, eng.window()),
+            topo,
+            ReplayConfig::default(),
+        );
+        let g = eng.graph(topo);
+        assert_eq!(g.ports, batch.ports);
+        assert_eq!(g.flows, batch.flows);
+        assert_eq!(g.port_edges, batch.port_edges);
+        assert_eq!(g.flow_port_edges, batch.flow_port_edges);
+        assert_eq!(g.port_flow_edges, batch.port_flow_edges);
+    }
+
+    #[test]
+    fn single_snapshot_matches_batch() {
+        let topo = topo();
+        let sws: Vec<NodeId> = topo.switches().collect();
+        let s = snap(sws[0].0, 2_000_000, vec![epoch(0, 1, 0, 3)]);
+        let mut eng = IncrementalProvenance::new(ReplayConfig::default(), 64);
+        assert!(eng.apply(&s));
+        assert_matches_batch(&mut eng, &[s], &topo);
+    }
+
+    #[test]
+    fn duplicate_redelivery_changes_nothing() {
+        let topo = topo();
+        let sws: Vec<NodeId> = topo.switches().collect();
+        let s = snap(sws[0].0, 2_000_000, vec![epoch(0, 1, 0, 3)]);
+        let mut eng = IncrementalProvenance::new(ReplayConfig::default(), 64);
+        assert!(eng.apply(&s));
+        eng.refresh(&topo);
+        let before = eng.stats;
+        assert!(!eng.apply(&s), "byte-identical redelivery is a no-op");
+        eng.refresh(&topo);
+        assert_eq!(eng.stats.frags_recomputed, before.frags_recomputed);
+        assert_matches_batch(&mut eng, &[s.clone(), s], &topo);
+    }
+
+    #[test]
+    fn fresher_version_of_same_epoch_supersedes() {
+        let topo = topo();
+        let sws: Vec<NodeId> = topo.switches().collect();
+        let partial = snap(sws[0].0, 1_500_000, vec![epoch(0, 1, 0, 2)]);
+        let complete = snap(sws[0].0, 2_000_000, vec![epoch(0, 1, 0, 5)]);
+        let mut eng = IncrementalProvenance::new(ReplayConfig::default(), 64);
+        eng.apply(&partial);
+        eng.apply(&complete);
+        assert_eq!(eng.stats().epochs_superseded, 1);
+        assert_matches_batch(&mut eng, &[partial, complete], &topo);
+    }
+
+    #[test]
+    fn stale_redelivery_is_ignored() {
+        let topo = topo();
+        let sws: Vec<NodeId> = topo.switches().collect();
+        let complete = snap(sws[0].0, 2_000_000, vec![epoch(0, 1, 0, 5)]);
+        let partial = snap(sws[0].0, 1_500_000, vec![epoch(0, 1, 0, 2)]);
+        let mut eng = IncrementalProvenance::new(ReplayConfig::default(), 64);
+        eng.apply(&complete);
+        assert!(!eng.apply(&partial), "older taken_at never wins");
+        // Batch sees both, keeps the later-taken one: still equivalent.
+        assert_matches_batch(&mut eng, &[complete, partial], &topo);
+    }
+
+    #[test]
+    fn untouched_switch_fragments_are_reused() {
+        let topo = topo();
+        let sws: Vec<NodeId> = topo.switches().collect();
+        // sw2 is not adjacent to sw0 in the 3-switch chain.
+        let far = snap(sws[2].0, 2_000_000, vec![epoch(0, 1, 0, 3)]);
+        let near = snap(sws[0].0, 2_100_000, vec![epoch(0, 2, 1 << 20, 2)]);
+        let mut eng = IncrementalProvenance::new(ReplayConfig::default(), 64);
+        eng.apply(&far);
+        eng.refresh(&topo);
+        eng.apply(&near);
+        eng.refresh(&topo);
+        assert!(
+            eng.stats().frags_reused > 0,
+            "sw2's fragments must be served from cache: {:?}",
+            eng.stats()
+        );
+        assert_matches_batch(&mut eng, &[far, near], &topo);
+    }
+
+    #[test]
+    fn retire_before_ages_nodes_out() {
+        let topo = topo();
+        let sws: Vec<NodeId> = topo.switches().collect();
+        let old = epoch(0, 1, 0, 3);
+        let new = epoch(1, 2, 1 << 20, 2);
+        let s = snap(sws[0].0, 3_000_000, vec![old, new]);
+        let mut eng = IncrementalProvenance::new(ReplayConfig::default(), 64);
+        eng.apply(&s);
+        eng.refresh(&topo);
+        assert_eq!(eng.epochs_held(), 2);
+        assert_eq!(eng.retire_before(Nanos(1 << 20)), 1);
+        assert_eq!(eng.epochs_held(), 1);
+        // Batch over the post-horizon window agrees with the aged state.
+        assert_matches_batch(&mut eng, std::slice::from_ref(&s), &topo);
+        // Retiring everything empties the graph.
+        eng.retire_before(Nanos(1 << 22));
+        assert_matches_batch(&mut eng, &[s], &topo);
+        assert!(eng.graph(&topo).ports.is_empty());
+    }
+
+    #[test]
+    fn ring_budget_keeps_newest_epochs() {
+        let topo = topo();
+        let sws: Vec<NodeId> = topo.switches().collect();
+        let mut eng = IncrementalProvenance::new(ReplayConfig::default(), 2);
+        let mut fed = Vec::new();
+        for i in 0u64..4 {
+            let s = snap(
+                sws[0].0,
+                3_000_000 + i,
+                vec![epoch(i as usize % 2, i as u8, i << 20, 2)],
+            );
+            eng.apply(&s);
+            fed.push(s);
+        }
+        assert_eq!(eng.epochs_held(), 2);
+        assert_eq!(eng.stats().epochs_retired, 2);
+        let g = eng.graph(&topo).clone();
+        // The engine's ring equals batch over only the snapshots that
+        // survive the budget (the two newest-starting epochs).
+        let batch = build_graph(
+            &AggTelemetry::build(&fed[2..], Window::default()),
+            &topo,
+            ReplayConfig::default(),
+        );
+        assert_eq!(g.ports, batch.ports);
+        assert_eq!(g.port_flow_edges, batch.port_flow_edges);
+    }
+
+    #[test]
+    fn eviction_list_tracks_latest_snapshot() {
+        let topo = topo();
+        let sws: Vec<NodeId> = topo.switches().collect();
+        let mut s1 = snap(sws[0].0, 2_000_000, vec![epoch(0, 1, 0, 2)]);
+        s1.evicted = vec![EvictedFlow {
+            key: key(40),
+            record: FlowRecord {
+                pkt_count: 9,
+                paused_count: 1,
+                qdepth_sum: 12,
+                out_port: 1,
+            },
+            epoch_id: 0,
+            slot: 0,
+        }];
+        let mut s2 = snap(sws[0].0, 2_500_000, vec![epoch(1, 2, 1 << 20, 2)]);
+        s2.evicted = s1.evicted.clone();
+        s2.evicted.push(EvictedFlow {
+            key: key(41),
+            record: FlowRecord {
+                pkt_count: 3,
+                paused_count: 0,
+                qdepth_sum: 4,
+                out_port: 1,
+            },
+            epoch_id: 1,
+            slot: 1,
+        });
+        let mut eng = IncrementalProvenance::new(ReplayConfig::default(), 64);
+        eng.apply(&s1);
+        eng.apply(&s2);
+        assert_matches_batch(&mut eng, &[s1, s2], &topo);
+    }
+}

@@ -25,6 +25,7 @@ pub mod collector;
 pub mod diagnosis;
 pub mod error;
 pub mod hook;
+pub mod incremental;
 pub mod provenance;
 pub mod signature;
 pub mod test_graphs;
@@ -32,7 +33,7 @@ pub mod test_graphs;
 pub use aggregate::{AggTelemetry, FlowAgg, PortAgg, Window};
 pub use analyzer::{
     analyze_detection, analyze_detection_obs, analyze_victim_window, analyze_victim_window_obs,
-    detection_window, AnalyzerConfig,
+    detection_window, victim_coverage_gaps, AnalyzerConfig,
 };
 pub use cbd::BufferDependencyGraph;
 pub use collector::{
@@ -42,4 +43,8 @@ pub use collector::{
 pub use diagnosis::{diagnose, AnomalyType, DiagnosisConfig, DiagnosisReport, RootCause};
 pub use error::{Confidence, DiagnosisError};
 pub use hook::{HawkeyeConfig, HawkeyeHook, HookStats, TracingPolicy};
-pub use provenance::{build_graph, contribution, victim_extents, ProvenanceGraph, ReplayConfig};
+pub use incremental::{IncrStats, IncrementalProvenance};
+pub use provenance::{
+    build_graph, contribution, port_causality_edges, port_contention, victim_extents,
+    ProvenanceGraph, ReplayConfig,
+};

@@ -180,8 +180,102 @@ impl ProvenanceGraph {
     }
 }
 
-/// Algorithm 1: construct the provenance graph from reported telemetry.
-pub fn build_graph(agg: &AggTelemetry, topo: &Topology, replay: ReplayConfig) -> ProvenanceGraph {
+/// Port-level provenance edges out of one paused egress port `pi`
+/// (Algorithm 1's PFC-causality step, for a single source port).
+///
+/// `pi`'s link peer B was the pauser; B's congested egresses fed by that
+/// link are the waited-for ports. Returns the `(downstream port, weight)`
+/// pairs in the deterministic order `build_graph` emits them (meter egress
+/// ports sorted). Shared by the batch builder and the incremental engine so
+/// both produce bit-identical edge lists.
+pub fn port_causality_edges(
+    agg: &AggTelemetry,
+    topo: &Topology,
+    replay: ReplayConfig,
+    pi: PortId,
+) -> Vec<(PortId, f64)> {
+    let mut edges = Vec::new();
+    let Some(pa) = agg.ports.get(&pi) else {
+        return edges;
+    };
+    if pa.paused_num == 0 {
+        return edges;
+    }
+    let peer = topo.peer(pi);
+    if topo.is_host(peer.node) {
+        // Downstream is a host: PFC was injected by it; no port-level
+        // edge exists (pi becomes an out-degree-0 initial node).
+        return edges;
+    }
+    let b = peer.node;
+    let b_in = peer.port;
+    let sum_meter = agg.meter_ingress_total(b, b_in);
+    if sum_meter == 0 {
+        return edges;
+    }
+    for (out, bytes) in agg.meter_out_ports(b, b_in) {
+        let pj = PortId::new(b, out);
+        let qdepth = agg.peak_qdepth(pj);
+        let pj_paused = agg.ports.get(&pj).map_or(0, |a| a.paused_num);
+        // Pj held Pi's traffic back if its queue visibly built up, or
+        // if Pj itself was paused with packets arriving (a frozen
+        // standing queue is invisible to enqueue-sampled depth).
+        if qdepth < replay.min_qdepth && pj_paused == 0 {
+            continue;
+        }
+        let qdepth = if pj_paused > 0 {
+            qdepth.max(1.0)
+        } else {
+            qdepth
+        };
+        let weight = pa.paused_num as f64 * (bytes as f64 / sum_meter as f64) * qdepth;
+        if weight > 0.0 {
+            edges.push((pj, weight));
+        }
+    }
+    edges
+}
+
+/// Port→flow contention weights at one egress port, replayed independently
+/// per epoch (Algorithm 1's T is the epoch size) and summed over the
+/// window, so transient bursts keep their intra-epoch dominance instead of
+/// being smeared across the whole window. Result is sorted by flow key —
+/// the exact list `build_graph` attaches to the port node.
+pub fn port_contention(
+    agg: &AggTelemetry,
+    topo: &Topology,
+    replay: ReplayConfig,
+    pi: PortId,
+) -> Vec<(FlowKey, f64)> {
+    let epoch_ns = agg.epoch_len.as_nanos() as f64;
+    let pkt_tx_ns = topo
+        .port(pi)
+        .bandwidth
+        .tx_time(hawkeye_sim::DATA_PKT_SIZE)
+        .as_nanos() as f64;
+    let mut total: HashMap<FlowKey, f64> = HashMap::new();
+    for epoch_flows in agg.epoch_flows_at(pi) {
+        for (key, w) in contribution(&epoch_flows, epoch_ns, pkt_tx_ns, replay) {
+            *total.entry(key).or_default() += w;
+        }
+    }
+    let mut total: Vec<(FlowKey, f64)> = total.into_iter().collect();
+    total.sort_unstable_by_key(|(k, _)| *k);
+    total
+}
+
+/// Assemble a provenance graph from precomputed per-port edge fragments.
+///
+/// Node-creation and edge-push order replicates the original one-pass
+/// builder exactly, so a graph assembled from cached fragments (the
+/// incremental engine) is *positionally identical* — same `ports[i]` /
+/// `flows[j]` indices, same adjacency lists — to a from-scratch
+/// [`build_graph`] over the same aggregate.
+pub(crate) fn assemble_graph(
+    agg: &AggTelemetry,
+    frag_port: &HashMap<PortId, Vec<(PortId, f64)>>,
+    frag_cont: &HashMap<PortId, Vec<(FlowKey, f64)>>,
+) -> ProvenanceGraph {
     let mut g = ProvenanceGraph::default();
 
     // Deterministic port ordering.
@@ -192,43 +286,9 @@ pub fn build_graph(agg: &AggTelemetry, topo: &Topology, replay: ReplayConfig) ->
     }
 
     // --- Port-level provenance (PFC causality). ---
-    // For each paused egress port Pi, its link's downstream switch B was the
-    // pauser; B's congested egresses fed by that link are the waited-for
-    // ports.
     for &pi in &ports {
-        let pa = agg.ports[&pi];
-        if pa.paused_num == 0 {
-            continue;
-        }
-        let peer = topo.peer(pi);
-        if topo.is_host(peer.node) {
-            // Downstream is a host: PFC was injected by it; no port-level
-            // edge exists (Pi becomes an out-degree-0 initial node).
-            continue;
-        }
-        let b = peer.node;
-        let b_in = peer.port;
-        let sum_meter = agg.meter_ingress_total(b, b_in);
-        if sum_meter == 0 {
-            continue;
-        }
-        for (out, bytes) in agg.meter_out_ports(b, b_in) {
-            let pj = PortId::new(b, out);
-            let qdepth = agg.peak_qdepth(pj);
-            let pj_paused = agg.ports.get(&pj).map_or(0, |a| a.paused_num);
-            // Pj held Pi's traffic back if its queue visibly built up, or
-            // if Pj itself was paused with packets arriving (a frozen
-            // standing queue is invisible to enqueue-sampled depth).
-            if qdepth < replay.min_qdepth && pj_paused == 0 {
-                continue;
-            }
-            let qdepth = if pj_paused > 0 {
-                qdepth.max(1.0)
-            } else {
-                qdepth
-            };
-            let weight = pa.paused_num as f64 * (bytes as f64 / sum_meter as f64) * qdepth;
-            if weight > 0.0 {
+        if let Some(es) = frag_port.get(&pi) {
+            for &(pj, weight) in es {
                 let i = g.add_port(pi);
                 let j = g.add_port(pj);
                 g.port_edges[i].push((j, weight));
@@ -249,32 +309,31 @@ pub fn build_graph(agg: &AggTelemetry, topo: &Topology, replay: ReplayConfig) ->
     }
 
     // --- Port-flow provenance (contention contribution via replay). ---
-    // Replayed independently per epoch (Algorithm 1's T is the epoch size)
-    // and summed over the window, so transient bursts keep their intra-epoch
-    // dominance instead of being smeared across the whole window.
     for &pi in &ports {
-        let epoch_ns = agg.epoch_len.as_nanos() as f64;
-        let pkt_tx_ns = topo
-            .port(pi)
-            .bandwidth
-            .tx_time(hawkeye_sim::DATA_PKT_SIZE)
-            .as_nanos() as f64;
-        let mut total: HashMap<FlowKey, f64> = HashMap::new();
-        for epoch_flows in agg.epoch_flows_at(pi) {
-            for (key, w) in contribution(&epoch_flows, epoch_ns, pkt_tx_ns, replay) {
-                *total.entry(key).or_default() += w;
-            }
-        }
-        let mut total: Vec<(FlowKey, f64)> = total.into_iter().collect();
-        total.sort_unstable_by_key(|(k, _)| *k);
         let i = g.add_port(pi);
-        for (key, w) in total {
-            let j = g.add_flow(key);
-            g.port_flow_edges[i].push((j, w));
+        if let Some(cs) = frag_cont.get(&pi) {
+            for &(key, w) in cs {
+                let j = g.add_flow(key);
+                g.port_flow_edges[i].push((j, w));
+            }
         }
     }
 
     g
+}
+
+/// Algorithm 1: construct the provenance graph from reported telemetry.
+pub fn build_graph(agg: &AggTelemetry, topo: &Topology, replay: ReplayConfig) -> ProvenanceGraph {
+    let ports: Vec<PortId> = agg.ports.keys().copied().collect();
+    let frag_port: HashMap<PortId, Vec<(PortId, f64)>> = ports
+        .iter()
+        .map(|&pi| (pi, port_causality_edges(agg, topo, replay, pi)))
+        .collect();
+    let frag_cont: HashMap<PortId, Vec<(FlowKey, f64)>> = ports
+        .iter()
+        .map(|&pi| (pi, port_contention(agg, topo, replay, pi)))
+        .collect();
+    assemble_graph(agg, &frag_port, &frag_cont)
 }
 
 /// `ReplayQueue` + `Contribution` of Algorithm 1, for one epoch of one

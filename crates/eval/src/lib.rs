@@ -22,4 +22,4 @@ pub use figures::{
 pub use methods::{run_method, MethodOutcome};
 pub use metrics::{judge, PrecisionRecall, ScoreConfig, Verdict};
 pub use parallel::{default_jobs, par_map};
-pub use runner::{run_hawkeye, run_hawkeye_obs, RunConfig, RunOutcome};
+pub use runner::{run_hawkeye, run_hawkeye_obs, victim_window, RunConfig, RunOutcome};

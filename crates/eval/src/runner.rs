@@ -79,6 +79,37 @@ pub struct RunOutcome {
     pub metrics: MetricsSnapshot,
 }
 
+/// The window a victim's diagnosis aggregates over, given every detection
+/// the run produced: from `lookback_epochs` before the FIRST post-anomaly
+/// detection of the victim (onset evidence) to one epoch after the LAST
+/// (fully-developed causality — a persisting anomaly re-triggers detection
+/// every dedup interval, and e.g. a deadlock loop takes hundreds of
+/// microseconds to close). `None` when the victim was never detected after
+/// the anomaly. Shared by the one-shot runner and the online replay path
+/// (`hawkeye-serve`), whose verdict parity depends on using the *same*
+/// window arithmetic.
+pub fn victim_window(
+    dets: &[Detection],
+    victim: &hawkeye_sim::FlowKey,
+    anomaly_at: Nanos,
+    epoch_len: Nanos,
+    lookback_epochs: u64,
+) -> Option<Window> {
+    let victim_dets: Vec<&Detection> = dets
+        .iter()
+        .filter(|d| d.key == *victim && d.at >= anomaly_at)
+        .collect();
+    victim_dets
+        .first()
+        .zip(victim_dets.last())
+        .map(|(f, l)| Window {
+            from: f
+                .at
+                .saturating_sub(Nanos(epoch_len.as_nanos() * lookback_epochs)),
+            to: l.at + epoch_len,
+        })
+}
+
 /// Run a scenario under Hawkeye (full or victim-only tracing).
 pub fn run_hawkeye(scenario: &Scenario, cfg: &RunConfig, score: &ScoreConfig) -> RunOutcome {
     run_hawkeye_obs(scenario, cfg, score, ObsConfig::off()).0
@@ -128,15 +159,13 @@ pub fn run_hawkeye_obs(
     let analyzer = AnalyzerConfig::for_epoch_len(cfg.epoch.epoch_len());
     let topo = sim.topo().clone();
     // No detection → no window → no diagnosis: a typed error, not a panic.
-    let window = victim_dets.first().zip(victim_dets.last()).map(|(f, l)| {
-        let ep = cfg.epoch.epoch_len().as_nanos();
-        Window {
-            from: f
-                .at
-                .saturating_sub(hawkeye_sim::Nanos(ep * analyzer.lookback_epochs)),
-            to: l.at + cfg.epoch.epoch_len(),
-        }
-    });
+    let window = victim_window(
+        &dets,
+        &scenario.truth.victim,
+        scenario.truth.anomaly_at,
+        cfg.epoch.epoch_len(),
+        analyzer.lookback_epochs,
+    );
     // Collections that demonstrably failed inside the diagnosis window —
     // folded into the verdict's confidence below.
     let missing_in_window: Vec<NodeId> = window

@@ -35,6 +35,20 @@ pub use metrics::{MetricKey, MetricsRegistry, MetricsSnapshot};
 pub use span::{SpanRecord, Stage, StageProfile};
 pub use tracer::Tracer;
 
+/// Well-known counter names shared between producers and dashboards.
+/// Registered here (rather than at each call site) so a name change is a
+/// one-place edit and consumers can enumerate what a daemon may report.
+pub mod names {
+    /// Telemetry epochs accepted into the serve daemon's store.
+    pub const EPOCHS_INGESTED: &str = "epochs_ingested";
+    /// Snapshots shed by a full ingest queue (backpressure).
+    pub const INGEST_SHED: &str = "ingest_shed";
+    /// Snapshots that actually changed the incremental provenance state.
+    pub const INCREMENTAL_UPDATES: &str = "incremental_updates";
+    /// Client sessions accepted by the serve daemon.
+    pub const SERVE_SESSIONS: &str = "serve_sessions";
+}
+
 /// Configuration for a [`Recorder`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ObsConfig {

@@ -1,0 +1,120 @@
+//! Synchronous client for the serve protocol, plus the [`EpochSink`]
+//! adapter that lets a [`StreamingHook`](crate::StreamingHook) feed a
+//! running daemon.
+
+use crate::proto::{
+    decode_response, read_frame, write_request, DiagnoseParams, ProtoError, Request, Response,
+};
+use crate::server::AnyStream;
+use crate::stream::EpochSink;
+use hawkeye_core::DiagnosisReport;
+use hawkeye_sim::{FlowKey, Nanos, NodeId};
+use hawkeye_telemetry::TelemetrySnapshot;
+use std::io;
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::time::Duration;
+
+/// One connection to a daemon; requests are synchronous (send, await
+/// response).
+pub struct ServeClient {
+    stream: AnyStream,
+}
+
+impl ServeClient {
+    pub fn connect_unix(path: &Path) -> io::Result<ServeClient> {
+        let s = UnixStream::connect(path)?;
+        s.set_read_timeout(Some(Duration::from_secs(30)))?;
+        Ok(ServeClient {
+            stream: AnyStream::Unix(s),
+        })
+    }
+
+    pub fn connect_tcp(addr: &str) -> io::Result<ServeClient> {
+        let s = TcpStream::connect(addr)?;
+        s.set_read_timeout(Some(Duration::from_secs(30)))?;
+        s.set_nodelay(true)?;
+        Ok(ServeClient {
+            stream: AnyStream::Tcp(s),
+        })
+    }
+
+    fn call(&mut self, req: &Request) -> Result<Response, ProtoError> {
+        write_request(&mut self.stream, req)?;
+        let (op, body) = read_frame(&mut self.stream)?.ok_or_else(|| {
+            ProtoError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "daemon closed mid-request",
+            ))
+        })?;
+        match decode_response(op, &body)? {
+            Response::Error(msg) => Err(ProtoError::Remote(msg)),
+            resp => Ok(resp),
+        }
+    }
+
+    /// Ingest one snapshot; `Ok(false)` means the daemon shed it under
+    /// backpressure.
+    pub fn ingest(&mut self, snap: &TelemetrySnapshot) -> Result<bool, ProtoError> {
+        match self.call(&Request::IngestEpoch(snap.clone()))? {
+            Response::Ack(accepted) => Ok(accepted),
+            other => Err(ProtoError::BadBody(format!(
+                "unexpected response {other:?}"
+            ))),
+        }
+    }
+
+    /// Run a diagnosis over `[from, to)` for `victim`; `missing` is the
+    /// client-side list of switches known to have failed collection in the
+    /// window (graded into the confidence).
+    pub fn diagnose(
+        &mut self,
+        victim: FlowKey,
+        from: Nanos,
+        to: Nanos,
+        missing: Vec<NodeId>,
+    ) -> Result<DiagnosisReport, ProtoError> {
+        let req = Request::Diagnose(DiagnoseParams {
+            victim,
+            from,
+            to,
+            missing,
+        });
+        match self.call(&req)? {
+            Response::Diagnosis(report) => Ok(report),
+            other => Err(ProtoError::BadBody(format!(
+                "unexpected response {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetch the daemon's counter object.
+    pub fn stats(&mut self) -> Result<serde::Value, ProtoError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(v) => Ok(v),
+            other => Err(ProtoError::BadBody(format!(
+                "unexpected response {other:?}"
+            ))),
+        }
+    }
+
+    /// Ask the daemon to stop; returns once it acknowledges.
+    pub fn shutdown(&mut self) -> Result<(), ProtoError> {
+        match self.call(&Request::Shutdown)? {
+            Response::Bye => Ok(()),
+            other => Err(ProtoError::BadBody(format!(
+                "unexpected response {other:?}"
+            ))),
+        }
+    }
+}
+
+impl EpochSink for ServeClient {
+    /// Streamed collection epochs become `IngestEpoch` requests; a shed
+    /// snapshot is reported (`Ok(false)`) but never fails the stream.
+    fn push(&mut self, snap: &TelemetrySnapshot) -> io::Result<bool> {
+        self.ingest(snap)
+            .map_err(|e| io::Error::other(e.to_string()))
+    }
+}

@@ -1,0 +1,34 @@
+//! `hawkeye-serve`: the online diagnosis service.
+//!
+//! Turns the one-shot pipeline (simulate → collect → diagnose → exit) into
+//! a long-running monitoring plane, the deployment shape §3.4's
+//! controller-assisted collection implies:
+//!
+//! - [`store`] — epoch-indexed telemetry store with per-switch ring
+//!   retention and watermark tracking; the daemon's source of truth.
+//! - [`proto`] — length-prefixed frame protocol over unix/TCP sockets
+//!   (binary snapshots on the hot path, JSON at the query edges).
+//! - [`server`] — the multi-threaded daemon: per-connection sessions,
+//!   switch-sharded bounded ingest queues with explicit shedding, and the
+//!   shared [`IncrementalProvenance`](hawkeye_core::IncrementalProvenance)
+//!   engine maintained on the ingest path.
+//! - [`client`] — synchronous protocol client, also usable as an
+//!   [`EpochSink`].
+//! - [`stream`] — [`StreamingHook`], the simulator decorator that pushes
+//!   each collection epoch to a sink as it happens.
+//! - [`replay`] — end-to-end online diagnosis: stream a scenario into a
+//!   live daemon and check served-vs-one-shot verdict parity.
+
+pub mod client;
+pub mod proto;
+pub mod replay;
+pub mod server;
+pub mod store;
+pub mod stream;
+
+pub use client::ServeClient;
+pub use proto::{DiagnoseParams, ProtoError, Request, Response, MAX_FRAME};
+pub use replay::{replay_streaming, ReplayOutcome};
+pub use server::{spawn, DaemonHandle, Endpoint, ServeConfig};
+pub use store::{StoreConfig, StoreStats, TelemetryStore};
+pub use stream::{EpochSink, StreamStats, StreamingHook, VecSink};

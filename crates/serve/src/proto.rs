@@ -1,0 +1,340 @@
+//! The serve wire protocol: length-prefixed frames over a byte stream.
+//!
+//! Frame layout (all integers little-endian):
+//!
+//! ```text
+//! +--------------+----------------------------------+
+//! | len: u32     | payload: len bytes               |
+//! +--------------+----------------------------------+
+//! payload = opcode: u8, body: len-1 bytes
+//! ```
+//!
+//! Request opcodes (client → daemon):
+//! - `1` IngestEpoch — body is a binary-codec [`TelemetrySnapshot`]
+//!   ([`hawkeye_telemetry::wire`]); the hot path carries no JSON.
+//! - `2` Diagnose — body is JSON `{victim, from, to, missing}`.
+//! - `3` Stats — empty body.
+//! - `4` Shutdown — empty body.
+//!
+//! Response opcodes (daemon → client):
+//! - `129` Ack — body is one byte: `1` accepted, `0` shed (backpressure).
+//! - `130` Diagnosis — body is a JSON [`DiagnosisReport`].
+//! - `131` Stats — body is a JSON counter object.
+//! - `132` Bye — shutdown acknowledged.
+//! - `255` Error — body is a UTF-8 message.
+//!
+//! Frames above [`MAX_FRAME`] are rejected before allocation; a malformed
+//! frame poisons only its own connection, never the daemon.
+
+use hawkeye_core::DiagnosisReport;
+use hawkeye_sim::{FlowKey, Nanos, NodeId};
+use hawkeye_telemetry::{decode_snapshot, encode_snapshot, TelemetrySnapshot};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Upper bound on one frame's payload: comfortably above the largest
+/// full-fleet snapshot, far below anything that could wedge the daemon.
+pub const MAX_FRAME: u32 = 16 << 20;
+
+/// A protocol-level failure on one connection.
+#[derive(Debug)]
+pub enum ProtoError {
+    Io(io::Error),
+    /// Frame length over [`MAX_FRAME`] or shorter than the opcode byte.
+    BadFrame(u32),
+    /// Unknown opcode for the expected direction.
+    BadOpcode(u8),
+    /// Body failed to parse (binary codec or JSON).
+    BadBody(String),
+    /// The daemon answered with opcode 255.
+    Remote(String),
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Io(e) => write!(f, "io: {e}"),
+            ProtoError::BadFrame(n) => write!(f, "bad frame length {n}"),
+            ProtoError::BadOpcode(op) => write!(f, "unknown opcode {op}"),
+            ProtoError::BadBody(m) => write!(f, "malformed body: {m}"),
+            ProtoError::Remote(m) => write!(f, "daemon error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<io::Error> for ProtoError {
+    fn from(e: io::Error) -> Self {
+        ProtoError::Io(e)
+    }
+}
+
+/// Client → daemon.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    IngestEpoch(TelemetrySnapshot),
+    Diagnose(DiagnoseParams),
+    Stats,
+    Shutdown,
+}
+
+/// Parameters of a `Diagnose` request: the victim flow, the window, and
+/// the switches the *collector* knows failed to report inside it (folded
+/// into the verdict's confidence, mirroring the one-shot path).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiagnoseParams {
+    pub victim: FlowKey,
+    pub from: Nanos,
+    pub to: Nanos,
+    pub missing: Vec<NodeId>,
+}
+
+/// Daemon → client.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// `true` = ingested; `false` = shed under backpressure.
+    Ack(bool),
+    Diagnosis(DiagnosisReport),
+    Stats(serde::Value),
+    Bye,
+    Error(String),
+}
+
+const OP_INGEST: u8 = 1;
+const OP_DIAGNOSE: u8 = 2;
+const OP_STATS: u8 = 3;
+const OP_SHUTDOWN: u8 = 4;
+const OP_ACK: u8 = 129;
+const OP_DIAGNOSIS: u8 = 130;
+const OP_STATS_RESP: u8 = 131;
+const OP_BYE: u8 = 132;
+const OP_ERROR: u8 = 255;
+
+/// Write one frame: length prefix, opcode, body.
+pub fn write_frame(w: &mut impl Write, opcode: u8, body: &[u8]) -> io::Result<()> {
+    let len = (body.len() + 1) as u32;
+    debug_assert!(len <= MAX_FRAME, "oversized outbound frame");
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(&[opcode])?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Read one frame's (opcode, body). `Ok(None)` on clean EOF at a frame
+/// boundary — the peer hung up between requests, which is not an error.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<(u8, Vec<u8>)>, ProtoError> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e.into()),
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len == 0 || len > MAX_FRAME {
+        return Err(ProtoError::BadFrame(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    let body = payload.split_off(1);
+    Ok(Some((payload[0], body)))
+}
+
+pub fn write_request(w: &mut impl Write, req: &Request) -> io::Result<()> {
+    match req {
+        Request::IngestEpoch(snap) => write_frame(w, OP_INGEST, &encode_snapshot(snap)),
+        Request::Diagnose(p) => {
+            let body = serde_json::to_string(&serde::Value::Object(vec![
+                ("victim".into(), p.victim.to_value()),
+                ("from".into(), serde::Value::UInt(p.from.0)),
+                ("to".into(), serde::Value::UInt(p.to.0)),
+                (
+                    "missing".into(),
+                    serde::Value::Array(
+                        p.missing
+                            .iter()
+                            .map(|n| serde::Value::UInt(n.0 as u64))
+                            .collect(),
+                    ),
+                ),
+            ]))
+            .expect("value serialization is infallible");
+            write_frame(w, OP_DIAGNOSE, body.as_bytes())
+        }
+        Request::Stats => write_frame(w, OP_STATS, &[]),
+        Request::Shutdown => write_frame(w, OP_SHUTDOWN, &[]),
+    }
+}
+
+fn parse_diagnose(body: &[u8]) -> Result<DiagnoseParams, ProtoError> {
+    let text = std::str::from_utf8(body).map_err(|e| ProtoError::BadBody(e.to_string()))?;
+    let v = serde_json::parse(text).map_err(|e| ProtoError::BadBody(e.0))?;
+    let field = |name: &str| {
+        v.get(name)
+            .ok_or_else(|| ProtoError::BadBody(format!("missing field {name}")))
+    };
+    let victim = FlowKey::from_value(field("victim")?).map_err(|e| ProtoError::BadBody(e.0))?;
+    let from = field("from")?
+        .as_u64()
+        .ok_or_else(|| ProtoError::BadBody("from not u64".into()))?;
+    let to = field("to")?
+        .as_u64()
+        .ok_or_else(|| ProtoError::BadBody("to not u64".into()))?;
+    let missing = field("missing")?
+        .as_array()
+        .ok_or_else(|| ProtoError::BadBody("missing not array".into()))?
+        .iter()
+        .map(|n| {
+            n.as_u64()
+                .map(|id| NodeId(id as u32))
+                .ok_or_else(|| ProtoError::BadBody("missing entry not u64".into()))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(DiagnoseParams {
+        victim,
+        from: Nanos(from),
+        to: Nanos(to),
+        missing,
+    })
+}
+
+/// Decode a request frame (daemon side).
+pub fn decode_request(opcode: u8, body: &[u8]) -> Result<Request, ProtoError> {
+    match opcode {
+        OP_INGEST => Ok(Request::IngestEpoch(
+            decode_snapshot(body).map_err(|e| ProtoError::BadBody(e.to_string()))?,
+        )),
+        OP_DIAGNOSE => Ok(Request::Diagnose(parse_diagnose(body)?)),
+        OP_STATS => Ok(Request::Stats),
+        OP_SHUTDOWN => Ok(Request::Shutdown),
+        op => Err(ProtoError::BadOpcode(op)),
+    }
+}
+
+pub fn write_response(w: &mut impl Write, resp: &Response) -> io::Result<()> {
+    match resp {
+        Response::Ack(accepted) => write_frame(w, OP_ACK, &[u8::from(*accepted)]),
+        Response::Diagnosis(report) => {
+            let body = serde_json::to_string(report).expect("report serialization is infallible");
+            write_frame(w, OP_DIAGNOSIS, body.as_bytes())
+        }
+        Response::Stats(v) => {
+            let body = serde_json::to_string(v).expect("value serialization is infallible");
+            write_frame(w, OP_STATS_RESP, body.as_bytes())
+        }
+        Response::Bye => write_frame(w, OP_BYE, &[]),
+        Response::Error(msg) => write_frame(w, OP_ERROR, msg.as_bytes()),
+    }
+}
+
+/// Decode a response frame (client side).
+pub fn decode_response(opcode: u8, body: &[u8]) -> Result<Response, ProtoError> {
+    match opcode {
+        OP_ACK => Ok(Response::Ack(body.first().copied().unwrap_or(0) == 1)),
+        OP_DIAGNOSIS => {
+            let text = std::str::from_utf8(body).map_err(|e| ProtoError::BadBody(e.to_string()))?;
+            let report: DiagnosisReport =
+                serde_json::from_str(text).map_err(|e| ProtoError::BadBody(e.0))?;
+            Ok(Response::Diagnosis(report))
+        }
+        OP_STATS_RESP => {
+            let text = std::str::from_utf8(body).map_err(|e| ProtoError::BadBody(e.to_string()))?;
+            Ok(Response::Stats(
+                serde_json::parse(text).map_err(|e| ProtoError::BadBody(e.0))?,
+            ))
+        }
+        OP_BYE => Ok(Response::Bye),
+        OP_ERROR => Ok(Response::Error(String::from_utf8_lossy(body).into_owned())),
+        op => Err(ProtoError::BadOpcode(op)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hawkeye_telemetry::EpochSnapshot;
+
+    fn sample_snap() -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            switch: NodeId(5),
+            taken_at: Nanos(42),
+            nports: 4,
+            max_flows: 16,
+            epochs: vec![EpochSnapshot {
+                slot: 0,
+                id: 1,
+                start: Nanos(0),
+                len: Nanos(1 << 20),
+                flows: vec![],
+                ports: vec![],
+                meter: vec![],
+            }],
+            evicted: vec![],
+        }
+    }
+
+    fn roundtrip_request(req: Request) -> Request {
+        let mut buf = Vec::new();
+        write_request(&mut buf, &req).expect("write to Vec");
+        let (op, body) = read_frame(&mut buf.as_slice())
+            .expect("frame parses")
+            .expect("frame present");
+        decode_request(op, &body).expect("request decodes")
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        let ingest = Request::IngestEpoch(sample_snap());
+        assert_eq!(roundtrip_request(ingest.clone()), ingest);
+        let diag = Request::Diagnose(DiagnoseParams {
+            victim: FlowKey::roce(NodeId(1), NodeId(2), 33),
+            from: Nanos(100),
+            to: Nanos(900),
+            missing: vec![NodeId(4), NodeId(9)],
+        });
+        assert_eq!(roundtrip_request(diag.clone()), diag);
+        assert_eq!(roundtrip_request(Request::Stats), Request::Stats);
+        assert_eq!(roundtrip_request(Request::Shutdown), Request::Shutdown);
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        for resp in [
+            Response::Ack(true),
+            Response::Ack(false),
+            Response::Bye,
+            Response::Error("boom".into()),
+        ] {
+            let mut buf = Vec::new();
+            write_response(&mut buf, &resp).expect("write to Vec");
+            let (op, body) = read_frame(&mut buf.as_slice())
+                .expect("frame parses")
+                .expect("frame present");
+            assert_eq!(decode_response(op, &body).expect("decodes"), resp);
+        }
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        let empty: &[u8] = &[];
+        assert!(read_frame(&mut &*empty).expect("eof ok").is_none());
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let bytes = (MAX_FRAME + 1).to_le_bytes();
+        assert!(matches!(
+            read_frame(&mut bytes.as_slice()),
+            Err(ProtoError::BadFrame(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_payload_is_error_not_eof() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&10u32.to_le_bytes());
+        buf.push(OP_STATS); // 1 of 10 promised bytes
+        assert!(read_frame(&mut buf.as_slice()).is_err());
+    }
+}

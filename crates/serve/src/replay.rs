@@ -1,0 +1,114 @@
+//! End-to-end online diagnosis: replay a scenario through a live daemon.
+//!
+//! The simulation runs under a [`StreamingHook`] wrapping the standard
+//! [`HawkeyeHook`] — identical trajectory to the one-shot pipeline in
+//! `hawkeye_eval::runner` — while every collection epoch is simultaneously
+//! pushed to the daemon as an `IngestEpoch`. Afterwards the same diagnosis
+//! window is analyzed twice: locally from the run's own collector (the
+//! one-shot reference) and remotely via `Diagnose` over the socket. On a
+//! fault-free run the two verdicts must be identical in label, culprits
+//! and confidence ([`ReplayOutcome::parity`]), because the daemon's store
+//! reconstructs the exact canonical telemetry the batch aggregator
+//! derives from the raw snapshot slice.
+
+use crate::stream::{EpochSink, StreamStats, StreamingHook};
+use hawkeye_core::{
+    analyze_victim_window, AnalyzerConfig, DiagnosisReport, HawkeyeConfig, HawkeyeHook, Window,
+};
+use hawkeye_eval::{judge, victim_window, RunConfig, ScoreConfig, Verdict};
+use hawkeye_sim::{Nanos, NodeId};
+use hawkeye_telemetry::TelemetryConfig;
+use hawkeye_workloads::Scenario;
+
+/// Everything a replayed run produced.
+#[derive(Debug)]
+pub struct ReplayOutcome {
+    /// Local reference diagnosis from the run's own collector.
+    pub oneshot: Option<DiagnosisReport>,
+    /// The verdict judged against ground truth (from the one-shot report).
+    pub verdict: Option<Verdict>,
+    /// The diagnosis window, when a detection produced one.
+    pub window: Option<Window>,
+    /// Switches that failed collection inside the window (fault runs).
+    pub missing: Vec<NodeId>,
+    /// Streaming delivery counters.
+    pub stream: StreamStats,
+}
+
+impl ReplayOutcome {
+    /// Whether a served report matches the one-shot reference on the
+    /// fields the acceptance criteria name: anomaly label, root causes,
+    /// and confidence.
+    pub fn parity_with(&self, served: &DiagnosisReport) -> bool {
+        let Some(one) = &self.oneshot else {
+            return false;
+        };
+        one.anomaly == served.anomaly
+            && one.root_causes == served.root_causes
+            && one.confidence == served.confidence
+    }
+}
+
+/// Run `scenario` with telemetry streamed into `sink`, then produce the
+/// local one-shot reference diagnosis. Returns the outcome plus the sink,
+/// so a [`ServeClient`](crate::ServeClient) sink can subsequently issue
+/// the served `Diagnose` for the same window.
+pub fn replay_streaming<S: EpochSink>(
+    scenario: &Scenario,
+    cfg: &RunConfig,
+    sink: S,
+) -> (ReplayOutcome, S) {
+    let hcfg = HawkeyeConfig {
+        telemetry: TelemetryConfig {
+            epochs: cfg.epoch,
+            ..Default::default()
+        },
+        policy: cfg.policy,
+        faults: cfg.faults,
+        ..Default::default()
+    };
+    let hook = StreamingHook::new(HawkeyeHook::new(&scenario.topo, hcfg), sink);
+    let mut agent = Scenario::agent(cfg.threshold_factor);
+    agent.dedup_interval = Nanos::from_micros(400);
+    agent.retry = cfg.agent_retry;
+    let mut sim = scenario.instantiate_faulted(cfg.sim_seed, agent, hook, cfg.faults);
+    sim.run_until(scenario.params.duration);
+
+    let analyzer = AnalyzerConfig::for_epoch_len(cfg.epoch.epoch_len());
+    let dets = sim.detections();
+    let window = victim_window(
+        &dets,
+        &scenario.truth.victim,
+        scenario.truth.anomaly_at,
+        cfg.epoch.epoch_len(),
+        analyzer.lookback_epochs,
+    );
+
+    let collector = &sim.hook.inner().collector;
+    let missing: Vec<NodeId> = window
+        .map(|w| collector.missing_switches(w.from, w.to))
+        .unwrap_or_default();
+    let snapshots = collector.snapshots();
+    let topo = sim.topo().clone();
+    let oneshot = window.map(|w| {
+        let mut r =
+            analyze_victim_window(&scenario.truth.victim, w, &snapshots, &topo, &analyzer).0;
+        r.note_missing(&missing);
+        r
+    });
+    let verdict = oneshot
+        .as_ref()
+        .map(|r| judge(&scenario.truth, r, &ScoreConfig::default()));
+
+    let (_, sink, stream) = sim.hook.into_parts();
+    (
+        ReplayOutcome {
+            oneshot,
+            verdict,
+            window,
+            missing,
+            stream,
+        },
+        sink,
+    )
+}

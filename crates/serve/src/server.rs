@@ -1,0 +1,558 @@
+//! The `hawkeye serve` daemon: a multi-threaded diagnosis service.
+//!
+//! Threading model:
+//!
+//! - One **accept loop** (the daemon thread) polls a nonblocking unix or
+//!   TCP listener and spawns one **session thread** per connection.
+//! - Sessions decode request frames and route `IngestEpoch` by
+//!   `switch id % shards` into bounded per-shard queues. A full queue
+//!   *sheds* the snapshot — `Ack(false)` plus the `ingest_shed` counter,
+//!   never unbounded growth; the client stream keeps its local collector,
+//!   so shedding degrades confidence, not correctness.
+//! - Each **shard worker** owns a [`TelemetryStore`] partition and feeds
+//!   the shared [`IncrementalProvenance`] engine, so graph maintenance
+//!   happens on the ingest path, not the query path.
+//! - `Diagnose` flushes every shard queue (barrier), gathers the shards'
+//!   canonical snapshots on the PR-2 work-stealing pool
+//!   ([`par_map`]), and runs the batch analyzer over them — the store's
+//!   canonical form makes this verdict-identical to the one-shot path on
+//!   the same telemetry (see `tests/serve_e2e.rs`).
+//!
+//! Counters (`epochs_ingested`, `ingest_shed`, `incremental_updates`,
+//! `serve_sessions`) live in a shared [`MetricsRegistry`] and are reported
+//! over the `Stats` request.
+
+use crate::proto::{decode_request, read_frame, write_response, DiagnoseParams, Request, Response};
+use crate::store::{StoreConfig, TelemetryStore};
+use hawkeye_core::{
+    analyze_victim_window, AnalyzerConfig, IncrementalProvenance, ReplayConfig, Window,
+};
+use hawkeye_eval::par_map;
+use hawkeye_obs::{MetricKey, MetricsRegistry, MetricsSnapshot};
+use hawkeye_sim::{Nanos, Topology};
+use hawkeye_telemetry::TelemetrySnapshot;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+pub use hawkeye_obs::names::{EPOCHS_INGESTED, INCREMENTAL_UPDATES, INGEST_SHED, SERVE_SESSIONS};
+
+/// Daemon tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    pub store: StoreConfig,
+    pub replay: ReplayConfig,
+    pub analyzer: AnalyzerConfig,
+    /// Ingest shards (worker threads + store partitions).
+    pub shards: usize,
+    /// Bounded depth of each shard's ingest queue; overflow sheds.
+    pub queue_depth: usize,
+    /// Threads for the diagnose-time gather on the work-stealing pool.
+    pub gather_jobs: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            store: StoreConfig::default(),
+            replay: ReplayConfig::default(),
+            analyzer: AnalyzerConfig::for_epoch_len(Nanos::from_micros(100)),
+            shards: 4,
+            queue_depth: 256,
+            gather_jobs: 2,
+        }
+    }
+}
+
+/// Where the daemon listens.
+#[derive(Debug, Clone)]
+pub enum Endpoint {
+    Unix(PathBuf),
+    /// Bind address, e.g. `127.0.0.1:0` (port 0 = ephemeral).
+    Tcp(String),
+}
+
+enum AnyListener {
+    Unix(UnixListener),
+    Tcp(TcpListener),
+}
+
+/// A connected session stream, unix or TCP.
+pub enum AnyStream {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Read for AnyStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            AnyStream::Unix(s) => s.read(buf),
+            AnyStream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for AnyStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            AnyStream::Unix(s) => s.write(buf),
+            AnyStream::Tcp(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            AnyStream::Unix(s) => s.flush(),
+            AnyStream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+impl AnyStream {
+    fn set_read_timeout(&self, d: Option<Duration>) -> io::Result<()> {
+        match self {
+            AnyStream::Unix(s) => s.set_read_timeout(d),
+            AnyStream::Tcp(s) => s.set_read_timeout(d),
+        }
+    }
+}
+
+enum ShardMsg {
+    Ingest(TelemetrySnapshot),
+    /// Barrier: reply once every prior message on this queue is applied.
+    Flush(SyncSender<()>),
+}
+
+/// State shared between sessions, shard workers and the daemon handle.
+struct Shared {
+    topo: Topology,
+    cfg: ServeConfig,
+    stores: Vec<Mutex<TelemetryStore>>,
+    engine: Mutex<IncrementalProvenance>,
+    metrics: Mutex<MetricsRegistry>,
+    stop: AtomicBool,
+}
+
+impl Shared {
+    fn shard_of(&self, snap: &TelemetrySnapshot) -> usize {
+        snap.switch.0 as usize % self.stores.len()
+    }
+
+    /// All shards' canonical snapshots, gathered on the work-stealing pool
+    /// and merged in switch-id order (each switch lives in exactly one
+    /// shard, so this is a disjoint union).
+    fn gather_snapshots(&self) -> Vec<TelemetrySnapshot> {
+        let idx: Vec<usize> = (0..self.stores.len()).collect();
+        let mut per_shard = par_map(self.cfg.gather_jobs, &idx, |&i| {
+            self.stores[i].lock().expect("store lock").snapshots()
+        });
+        let mut all: Vec<TelemetrySnapshot> = per_shard.drain(..).flatten().collect();
+        all.sort_unstable_by_key(|s| s.switch);
+        all
+    }
+
+    fn diagnose(&self, p: &DiagnoseParams) -> Response {
+        let snapshots = self.gather_snapshots();
+        if snapshots.is_empty() {
+            return Response::Error("no telemetry ingested".into());
+        }
+        let window = Window {
+            from: p.from,
+            to: p.to,
+        };
+        let (mut report, _graph, _agg) = analyze_victim_window(
+            &p.victim,
+            window,
+            &snapshots,
+            &self.topo,
+            &self.cfg.analyzer,
+        );
+        report.note_missing(&p.missing);
+        Response::Diagnosis(report)
+    }
+
+    fn stats(&self) -> Response {
+        let m = self.metrics.lock().expect("metrics lock");
+        let engine = self.engine.lock().expect("engine lock");
+        let estats = *engine.stats();
+        let mut store_snapshots = 0u64;
+        let mut store_epochs = 0usize;
+        for s in &self.stores {
+            let s = s.lock().expect("store lock");
+            store_snapshots += s.stats().snapshots_appended;
+            store_epochs += s.epochs_held();
+        }
+        let counters = [
+            EPOCHS_INGESTED,
+            INGEST_SHED,
+            INCREMENTAL_UPDATES,
+            SERVE_SESSIONS,
+        ]
+        .iter()
+        .map(|&name| (name.to_string(), serde::Value::UInt(m.counter_total(name))))
+        .collect::<Vec<_>>();
+        let mut fields = counters;
+        fields.push((
+            "store_snapshots_appended".into(),
+            serde::Value::UInt(store_snapshots),
+        ));
+        fields.push((
+            "store_epochs_held".into(),
+            serde::Value::UInt(store_epochs as u64),
+        ));
+        fields.push((
+            "engine_snapshots_applied".into(),
+            serde::Value::UInt(estats.snapshots_applied),
+        ));
+        fields.push((
+            "engine_frags_recomputed".into(),
+            serde::Value::UInt(estats.frags_recomputed),
+        ));
+        fields.push((
+            "engine_frags_reused".into(),
+            serde::Value::UInt(estats.frags_reused),
+        ));
+        Response::Stats(serde::Value::Object(fields))
+    }
+}
+
+fn shard_worker(shared: Arc<Shared>, shard: usize, rx: Receiver<ShardMsg>) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ShardMsg::Ingest(snap) => {
+                let epochs = snap.epochs.len() as u64;
+                shared.stores[shard]
+                    .lock()
+                    .expect("store lock")
+                    .append(&snap);
+                let changed = shared.engine.lock().expect("engine lock").apply(&snap);
+                let mut m = shared.metrics.lock().expect("metrics lock");
+                m.add(MetricKey::global(EPOCHS_INGESTED), epochs);
+                if changed {
+                    m.inc(MetricKey::global(INCREMENTAL_UPDATES));
+                }
+            }
+            ShardMsg::Flush(ack) => {
+                // Queue order means everything before the barrier is done.
+                let _ = ack.send(());
+            }
+        }
+    }
+}
+
+/// Route one snapshot to its shard's bounded queue. A full queue sheds —
+/// the ingest is acknowledged `false` and counted, never buffered
+/// unboundedly; the client's own collector still holds the telemetry, so a
+/// shed shows up as degraded confidence, not lost correctness.
+fn route_ingest(
+    shared: &Shared,
+    txs: &[SyncSender<ShardMsg>],
+    snap: TelemetrySnapshot,
+) -> Response {
+    let shard = shared.shard_of(&snap);
+    match txs[shard].try_send(ShardMsg::Ingest(snap)) {
+        Ok(()) => Response::Ack(true),
+        Err(TrySendError::Full(_)) => {
+            shared
+                .metrics
+                .lock()
+                .expect("metrics lock")
+                .inc(MetricKey::global(INGEST_SHED));
+            Response::Ack(false)
+        }
+        Err(TrySendError::Disconnected(_)) => Response::Error("shard worker gone".into()),
+    }
+}
+
+fn session(shared: Arc<Shared>, txs: Vec<SyncSender<ShardMsg>>, mut stream: AnyStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    shared
+        .metrics
+        .lock()
+        .expect("metrics lock")
+        .inc(MetricKey::global(SERVE_SESSIONS));
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let frame = match read_frame(&mut stream) {
+            Ok(Some(f)) => f,
+            Ok(None) => return, // clean disconnect
+            Err(crate::proto::ProtoError::Io(e))
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue; // idle poll; re-check the stop flag
+            }
+            Err(e) => {
+                let _ = write_response(&mut stream, &Response::Error(e.to_string()));
+                return;
+            }
+        };
+        let resp = match decode_request(frame.0, &frame.1) {
+            Ok(Request::IngestEpoch(snap)) => route_ingest(&shared, &txs, snap),
+            Ok(Request::Diagnose(p)) => {
+                // Barrier: drain every shard queue so the diagnosis sees
+                // all telemetry acknowledged before this request.
+                let (ack_tx, ack_rx) = sync_channel(txs.len());
+                let mut pending = 0;
+                for tx in &txs {
+                    if tx.send(ShardMsg::Flush(ack_tx.clone())).is_ok() {
+                        pending += 1;
+                    }
+                }
+                for _ in 0..pending {
+                    let _ = ack_rx.recv();
+                }
+                shared.diagnose(&p)
+            }
+            Ok(Request::Stats) => shared.stats(),
+            Ok(Request::Shutdown) => {
+                shared.stop.store(true, Ordering::SeqCst);
+                let _ = write_response(&mut stream, &Response::Bye);
+                return;
+            }
+            Err(e) => Response::Error(e.to_string()),
+        };
+        if write_response(&mut stream, &resp).is_err() {
+            return;
+        }
+    }
+}
+
+/// A running daemon; dropping the handle does NOT stop it — call
+/// [`DaemonHandle::shutdown`].
+pub struct DaemonHandle {
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+    /// Bound TCP address when listening on TCP (for port-0 binds).
+    pub local_addr: Option<std::net::SocketAddr>,
+}
+
+impl DaemonHandle {
+    /// Signal stop and join every daemon thread.
+    pub fn shutdown(mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// Block until a `Shutdown` request stops the daemon, then join every
+    /// thread — the foreground `hawkeye serve` mode.
+    pub fn wait(mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// True once a `Shutdown` request (or `shutdown()`) stopped the daemon.
+    pub fn is_stopped(&self) -> bool {
+        self.shared.stop.load(Ordering::SeqCst)
+    }
+
+    /// Point-in-time copy of the daemon's metrics registry.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.lock().expect("metrics lock").snapshot()
+    }
+}
+
+/// Start the daemon on `endpoint`. Returns once the listener is bound and
+/// accepting; serving continues on background threads until a `Shutdown`
+/// request arrives or [`DaemonHandle::shutdown`] is called.
+pub fn spawn(topo: Topology, cfg: ServeConfig, endpoint: Endpoint) -> io::Result<DaemonHandle> {
+    let listener = match &endpoint {
+        Endpoint::Unix(path) => {
+            // A previous unclean exit leaves the socket file behind.
+            if path.exists() {
+                std::fs::remove_file(path)?;
+            }
+            let l = UnixListener::bind(path)?;
+            l.set_nonblocking(true)?;
+            AnyListener::Unix(l)
+        }
+        Endpoint::Tcp(addr) => {
+            let l = TcpListener::bind(addr.as_str())?;
+            l.set_nonblocking(true)?;
+            AnyListener::Tcp(l)
+        }
+    };
+    let local_addr = match &listener {
+        AnyListener::Tcp(l) => Some(l.local_addr()?),
+        AnyListener::Unix(_) => None,
+    };
+
+    let shards = cfg.shards.max(1);
+    let shared = Arc::new(Shared {
+        topo,
+        cfg,
+        stores: (0..shards)
+            .map(|_| Mutex::new(TelemetryStore::new(cfg.store)))
+            .collect(),
+        engine: Mutex::new(IncrementalProvenance::new(
+            cfg.replay,
+            cfg.store.epoch_budget,
+        )),
+        metrics: Mutex::new(MetricsRegistry::default()),
+        stop: AtomicBool::new(false),
+    });
+
+    let mut txs = Vec::with_capacity(shards);
+    let mut workers = Vec::with_capacity(shards);
+    for shard in 0..shards {
+        let (tx, rx) = sync_channel(cfg.queue_depth.max(1));
+        txs.push(tx);
+        let sh = Arc::clone(&shared);
+        workers.push(
+            thread::Builder::new()
+                .name(format!("hawkeye-shard-{shard}"))
+                .spawn(move || shard_worker(sh, shard, rx))
+                .expect("spawn shard worker"),
+        );
+    }
+
+    let accept_shared = Arc::clone(&shared);
+    let socket_path = match &endpoint {
+        Endpoint::Unix(p) => Some(p.clone()),
+        Endpoint::Tcp(_) => None,
+    };
+    let accept_thread = thread::Builder::new()
+        .name("hawkeye-accept".into())
+        .spawn(move || {
+            let mut sessions: Vec<JoinHandle<()>> = Vec::new();
+            while !accept_shared.stop.load(Ordering::SeqCst) {
+                let accepted = match &listener {
+                    AnyListener::Unix(l) => l.accept().map(|(s, _)| AnyStream::Unix(s)),
+                    AnyListener::Tcp(l) => l.accept().map(|(s, _)| AnyStream::Tcp(s)),
+                };
+                match accepted {
+                    Ok(stream) => {
+                        let sh = Arc::clone(&accept_shared);
+                        let txs = txs.clone();
+                        sessions.push(
+                            thread::Builder::new()
+                                .name("hawkeye-session".into())
+                                .spawn(move || session(sh, txs, stream))
+                                .expect("spawn session"),
+                        );
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(_) => break,
+                }
+            }
+            for s in sessions {
+                let _ = s.join();
+            }
+            // Dropping the senders lets every shard worker's recv() fail
+            // and the workers exit.
+            drop(txs);
+            for w in workers {
+                let _ = w.join();
+            }
+            if let Some(p) = socket_path {
+                let _ = std::fs::remove_file(p);
+            }
+        })
+        .expect("spawn accept loop");
+
+    Ok(DaemonHandle {
+        shared,
+        accept_thread: Some(accept_thread),
+        local_addr,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hawkeye_sim::{chain, NodeId, EVAL_BANDWIDTH, EVAL_DELAY};
+
+    fn test_shared(shards: usize) -> Shared {
+        let topo = chain(2, 1, EVAL_BANDWIDTH, EVAL_DELAY);
+        let cfg = ServeConfig {
+            shards,
+            ..ServeConfig::default()
+        };
+        Shared {
+            topo,
+            cfg,
+            stores: (0..shards)
+                .map(|_| Mutex::new(TelemetryStore::new(cfg.store)))
+                .collect(),
+            engine: Mutex::new(IncrementalProvenance::new(
+                cfg.replay,
+                cfg.store.epoch_budget,
+            )),
+            metrics: Mutex::new(MetricsRegistry::default()),
+            stop: AtomicBool::new(false),
+        }
+    }
+
+    fn snap(switch: u32) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            switch: NodeId(switch),
+            taken_at: Nanos(1),
+            nports: 2,
+            max_flows: 8,
+            epochs: Vec::new(),
+            evicted: Vec::new(),
+        }
+    }
+
+    /// A full shard queue sheds the ingest (Ack(false) + counter) instead
+    /// of blocking or buffering unboundedly.
+    #[test]
+    fn full_queue_sheds_with_counter() {
+        let shared = test_shared(1);
+        // Capacity-1 queue with no worker draining it: the second ingest
+        // routed to the shard must shed deterministically.
+        let (tx, _rx) = sync_channel(1);
+        let txs = vec![tx];
+
+        assert!(matches!(
+            route_ingest(&shared, &txs, snap(0)),
+            Response::Ack(true)
+        ));
+        assert!(matches!(
+            route_ingest(&shared, &txs, snap(0)),
+            Response::Ack(false)
+        ));
+        assert!(matches!(
+            route_ingest(&shared, &txs, snap(2)),
+            Response::Ack(false)
+        ));
+        let shed = shared.metrics.lock().unwrap().counter_total(INGEST_SHED);
+        assert_eq!(shed, 2);
+    }
+
+    /// A disconnected shard (worker gone) reports an error, not a panic.
+    #[test]
+    fn disconnected_shard_reports_error() {
+        let shared = test_shared(1);
+        let (tx, rx) = sync_channel(1);
+        drop(rx);
+        assert!(matches!(
+            route_ingest(&shared, &[tx], snap(0)),
+            Response::Error(_)
+        ));
+    }
+
+    /// Sharding is stable per switch and spreads across the store set.
+    #[test]
+    fn shard_of_is_switch_stable() {
+        let shared = test_shared(4);
+        for sw in 0..16u32 {
+            let a = shared.shard_of(&snap(sw));
+            let b = shared.shard_of(&snap(sw));
+            assert_eq!(a, b);
+            assert!(a < 4);
+        }
+        assert_ne!(shared.shard_of(&snap(0)), shared.shard_of(&snap(1)));
+    }
+}

@@ -1,0 +1,334 @@
+//! Epoch-indexed telemetry store: the daemon's source of truth.
+//!
+//! Semantically an append-only log of [`TelemetrySnapshot`]s, physically a
+//! per-switch *canonical* state: epochs deduplicated by (ring slot, epoch
+//! id) keeping the latest-taken version — exactly the reconciliation
+//! [`AggTelemetry::build`](hawkeye_core::AggTelemetry) applies to a raw
+//! snapshot slice — bounded by a configurable per-switch epoch budget
+//! (mirroring the paper's switch-side ring buffers at the controller), with
+//! the cumulative eviction list tracked from the latest snapshot.
+//!
+//! Because the canonical form is a pure function of the *set* of accepted
+//! (snapshot, epoch) observations and their `taken_at` stamps — not of
+//! arrival order — ingesting the same snapshots out of order or duplicated
+//! reconstructs byte-identical canonical snapshots (property-tested through
+//! the wire codec in `tests/store_props.rs`).
+
+use hawkeye_sim::{FlowKey, Nanos, NodeId};
+use hawkeye_telemetry::{EpochSnapshot, EvictedFlow, FlowRecord, TelemetrySnapshot};
+use std::collections::{BTreeMap, HashMap};
+
+/// Store tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreConfig {
+    /// Maximum epochs retained per switch; the oldest-starting epoch falls
+    /// off first when exceeded.
+    pub epoch_budget: usize,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        // 256 epochs at the reference 100µs epoch length is ~25ms of
+        // history per switch — an order of magnitude beyond the widest
+        // diagnosis window the analyzer requests.
+        StoreConfig { epoch_budget: 256 }
+    }
+}
+
+/// Ingest/retention counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    pub snapshots_appended: u64,
+    /// Epochs newly admitted to a ring.
+    pub epochs_appended: u64,
+    /// Epochs replaced by a later-taken version of themselves.
+    pub epochs_superseded: u64,
+    /// Epochs dropped to enforce the per-switch budget.
+    pub epochs_evicted: u64,
+}
+
+/// Canonical per-switch state.
+#[derive(Debug)]
+struct SwitchLog {
+    /// (slot, id) -> (taken_at, epoch); keep-latest by taken_at, later
+    /// arrival winning ties.
+    epochs: HashMap<(usize, u8), (Nanos, EpochSnapshot)>,
+    taken_at: Nanos,
+    nports: usize,
+    max_flows: usize,
+    evicted: Vec<EvictedFlow>,
+    /// Largest epoch end observed — the switch's ingest watermark. Never
+    /// regresses, even when the epochs behind it age out of the ring.
+    watermark: Nanos,
+}
+
+/// See module docs.
+#[derive(Debug)]
+pub struct TelemetryStore {
+    cfg: StoreConfig,
+    switches: BTreeMap<NodeId, SwitchLog>,
+    stats: StoreStats,
+}
+
+impl TelemetryStore {
+    pub fn new(cfg: StoreConfig) -> Self {
+        TelemetryStore {
+            cfg,
+            switches: BTreeMap::new(),
+            stats: StoreStats::default(),
+        }
+    }
+
+    /// Ingest one snapshot. Idempotent for duplicates, order-independent
+    /// for re-deliveries (see module docs).
+    pub fn append(&mut self, snap: &TelemetrySnapshot) {
+        self.stats.snapshots_appended += 1;
+        let log = self
+            .switches
+            .entry(snap.switch)
+            .or_insert_with(|| SwitchLog {
+                epochs: HashMap::new(),
+                taken_at: snap.taken_at,
+                nports: snap.nports,
+                max_flows: snap.max_flows,
+                evicted: snap.evicted.clone(),
+                watermark: Nanos::ZERO,
+            });
+        // Snapshot-level fields follow the latest-taken snapshot (later
+        // arrival wins ties), like AggTelemetry's eviction-list rule.
+        if snap.taken_at >= log.taken_at {
+            log.taken_at = snap.taken_at;
+            log.nports = snap.nports;
+            log.max_flows = snap.max_flows;
+            log.evicted = snap.evicted.clone();
+        }
+        for ep in &snap.epochs {
+            log.watermark = log.watermark.max(ep.end());
+            match log.epochs.get_mut(&(ep.slot, ep.id)) {
+                Some(cur) if snap.taken_at < cur.0 => {}
+                Some(cur) => {
+                    self.stats.epochs_superseded += 1;
+                    *cur = (snap.taken_at, ep.clone());
+                }
+                None => {
+                    log.epochs
+                        .insert((ep.slot, ep.id), (snap.taken_at, ep.clone()));
+                    self.stats.epochs_appended += 1;
+                }
+            }
+        }
+        while log.epochs.len() > self.cfg.epoch_budget {
+            let oldest = log
+                .epochs
+                .iter()
+                .map(|(&k, v)| (v.1.start, k.0, k.1))
+                .min()
+                .map(|(_, slot, id)| (slot, id))
+                .expect("over-budget ring is non-empty");
+            log.epochs.remove(&oldest);
+            self.stats.epochs_evicted += 1;
+        }
+    }
+
+    /// The canonical snapshot of one switch: deduplicated epochs sorted by
+    /// (start, slot, id), snapshot-level fields from the latest-taken
+    /// snapshot. `None` if the switch never reported.
+    pub fn snapshot_of(&self, sw: NodeId) -> Option<TelemetrySnapshot> {
+        let log = self.switches.get(&sw)?;
+        let mut epochs: Vec<EpochSnapshot> = log.epochs.values().map(|(_, e)| e.clone()).collect();
+        epochs.sort_unstable_by_key(|e| (e.start, e.slot, e.id));
+        Some(TelemetrySnapshot {
+            switch: sw,
+            taken_at: log.taken_at,
+            nports: log.nports,
+            max_flows: log.max_flows,
+            epochs,
+            evicted: log.evicted.clone(),
+        })
+    }
+
+    /// Canonical snapshots of every reporting switch, ordered by switch id.
+    pub fn snapshots(&self) -> Vec<TelemetrySnapshot> {
+        self.switches
+            .keys()
+            .map(|&sw| self.snapshot_of(sw).expect("key exists"))
+            .collect()
+    }
+
+    /// Canonical snapshots restricted to epochs overlapping `[from, to)`;
+    /// switches with no overlapping epoch still appear (with their
+    /// eviction list) — a delivered-but-quiet snapshot is evidence of
+    /// quiet, not a blind spot.
+    pub fn snapshots_in(&self, from: Nanos, to: Nanos) -> Vec<TelemetrySnapshot> {
+        self.snapshots()
+            .into_iter()
+            .map(|mut s| {
+                s.epochs.retain(|e| e.start < to && e.end() > from);
+                s
+            })
+            .collect()
+    }
+
+    /// Every epoch-level observation of `key`, as (switch, epoch start,
+    /// record), ordered by (start, switch). The store-level flow query —
+    /// e.g. "where was this flow seen in the last N epochs".
+    pub fn flow_history(&self, key: &FlowKey) -> Vec<(NodeId, Nanos, FlowRecord)> {
+        let mut out = Vec::new();
+        for (&sw, log) in &self.switches {
+            for (_, ep) in log.epochs.values() {
+                for (k, rec) in &ep.flows {
+                    if k == key {
+                        out.push((sw, ep.start, *rec));
+                    }
+                }
+            }
+        }
+        out.sort_unstable_by_key(|(sw, start, _)| (*start, *sw));
+        out
+    }
+
+    /// A switch's ingest watermark: the largest epoch end it has reported.
+    pub fn watermark(&self, sw: NodeId) -> Option<Nanos> {
+        self.switches.get(&sw).map(|l| l.watermark)
+    }
+
+    /// The fleet watermark: everything at or before this instant has been
+    /// reported by *every* switch seen so far (the "safe to diagnose up
+    /// to" frontier). `None` before any ingest.
+    pub fn min_watermark(&self) -> Option<Nanos> {
+        self.switches.values().map(|l| l.watermark).min()
+    }
+
+    /// Switches that have reported at least once, in id order.
+    pub fn switches(&self) -> Vec<NodeId> {
+        self.switches.keys().copied().collect()
+    }
+
+    /// Total epochs currently retained.
+    pub fn epochs_held(&self) -> usize {
+        self.switches.values().map(|l| l.epochs.len()).sum()
+    }
+
+    pub fn stats(&self) -> &StoreStats {
+        &self.stats
+    }
+}
+
+impl Default for TelemetryStore {
+    fn default() -> Self {
+        TelemetryStore::new(StoreConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hawkeye_telemetry::{FlowRecord, PortRecord};
+
+    fn key(i: u16) -> FlowKey {
+        FlowKey::roce(NodeId(90), NodeId(91), i)
+    }
+
+    fn epoch(slot: usize, id: u8, start: u64) -> EpochSnapshot {
+        EpochSnapshot {
+            slot,
+            id,
+            start: Nanos(start),
+            len: Nanos(1 << 20),
+            flows: vec![(
+                key(id as u16),
+                FlowRecord {
+                    pkt_count: 10,
+                    paused_count: 2,
+                    qdepth_sum: 30,
+                    out_port: 1,
+                },
+            )],
+            ports: vec![(
+                1,
+                PortRecord {
+                    pkt_count: 10,
+                    paused_count: 2,
+                    qdepth_sum: 30,
+                },
+            )],
+            meter: vec![(0, 1, 10_480)],
+        }
+    }
+
+    fn snap(sw: u32, taken: u64, epochs: Vec<EpochSnapshot>) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            switch: NodeId(sw),
+            taken_at: Nanos(taken),
+            nports: 4,
+            max_flows: 64,
+            epochs,
+            evicted: vec![],
+        }
+    }
+
+    #[test]
+    fn append_and_query_roundtrip() {
+        let mut st = TelemetryStore::default();
+        st.append(&snap(3, 500, vec![epoch(0, 1, 0), epoch(1, 2, 1 << 20)]));
+        let s = st.snapshot_of(NodeId(3)).expect("switch 3 reported");
+        assert_eq!(s.epochs.len(), 2);
+        assert_eq!(s.epochs[0].id, 1, "sorted by start");
+        assert_eq!(st.watermark(NodeId(3)), Some(Nanos(2 << 20)));
+        assert_eq!(st.min_watermark(), Some(Nanos(2 << 20)));
+        assert_eq!(st.flow_history(&key(1)).len(), 1);
+    }
+
+    #[test]
+    fn later_taken_version_supersedes() {
+        let mut st = TelemetryStore::default();
+        let mut better = epoch(0, 1, 0);
+        better.flows[0].1.pkt_count = 99;
+        st.append(&snap(3, 500, vec![epoch(0, 1, 0)]));
+        st.append(&snap(3, 900, vec![better]));
+        let s = st.snapshot_of(NodeId(3)).unwrap();
+        assert_eq!(s.epochs.len(), 1);
+        assert_eq!(s.epochs[0].flows[0].1.pkt_count, 99);
+        assert_eq!(st.stats().epochs_superseded, 1);
+    }
+
+    #[test]
+    fn stale_version_is_ignored() {
+        let mut st = TelemetryStore::default();
+        let mut worse = epoch(0, 1, 0);
+        worse.flows[0].1.pkt_count = 1;
+        st.append(&snap(3, 900, vec![epoch(0, 1, 0)]));
+        st.append(&snap(3, 500, vec![worse]));
+        assert_eq!(
+            st.snapshot_of(NodeId(3)).unwrap().epochs[0].flows[0]
+                .1
+                .pkt_count,
+            10
+        );
+    }
+
+    #[test]
+    fn budget_evicts_oldest_start() {
+        let mut st = TelemetryStore::new(StoreConfig { epoch_budget: 2 });
+        st.append(&snap(3, 500, vec![epoch(0, 1, 0)]));
+        st.append(&snap(3, 600, vec![epoch(1, 2, 1 << 20)]));
+        st.append(&snap(3, 700, vec![epoch(0, 3, 2 << 20)]));
+        let s = st.snapshot_of(NodeId(3)).unwrap();
+        assert_eq!(s.epochs.len(), 2);
+        assert_eq!(s.epochs[0].id, 2, "epoch starting at 0 evicted");
+        assert_eq!(st.stats().epochs_evicted, 1);
+        // Watermark survives the eviction.
+        assert_eq!(st.watermark(NodeId(3)), Some(Nanos(3 << 20)));
+    }
+
+    #[test]
+    fn window_query_filters_epochs_not_switches() {
+        let mut st = TelemetryStore::default();
+        st.append(&snap(3, 500, vec![epoch(0, 1, 0)]));
+        st.append(&snap(4, 500, vec![epoch(0, 1, 5 << 20)]));
+        let got = st.snapshots_in(Nanos(4 << 20), Nanos(8 << 20));
+        assert_eq!(got.len(), 2, "quiet switch still present");
+        assert!(got[0].epochs.is_empty());
+        assert_eq!(got[1].epochs.len(), 1);
+    }
+}

@@ -1,0 +1,126 @@
+//! Streaming telemetry out of a running simulation.
+//!
+//! [`StreamingHook`] decorates the concrete [`HawkeyeHook`] (the same
+//! decorator shape as [`ObservedHook`](hawkeye_sim::ObservedHook)): every
+//! simulator callback is delegated unchanged — probe decisions, telemetry
+//! registers and the local collector behave bit-for-bit as in a one-shot
+//! run — and after each `on_probe` any collection events the hook's
+//! collector just accepted are *additionally* pushed into an
+//! [`EpochSink`]. Replays through the daemon therefore produce the exact
+//! simulation trajectory of the one-shot path, which is what makes
+//! served-vs-one-shot verdict parity a meaningful check.
+
+use hawkeye_core::HawkeyeHook;
+use hawkeye_sim::{
+    EnqueueRecord, Nanos, NodeId, PfcEvent, Probe, ProbeDecision, SwitchHook, SwitchView,
+};
+use hawkeye_telemetry::TelemetrySnapshot;
+use std::io;
+
+/// Where streamed snapshots go. `push` returns `Ok(false)` when the sink
+/// sheds the snapshot under backpressure (delivery failed but the stream
+/// should continue), `Err` when the sink is gone.
+pub trait EpochSink {
+    fn push(&mut self, snap: &TelemetrySnapshot) -> io::Result<bool>;
+}
+
+/// A sink that buffers everything — unit tests and local captures.
+#[derive(Debug, Default)]
+pub struct VecSink {
+    pub snaps: Vec<TelemetrySnapshot>,
+}
+
+impl EpochSink for VecSink {
+    fn push(&mut self, snap: &TelemetrySnapshot) -> io::Result<bool> {
+        self.snaps.push(snap.clone());
+        Ok(true)
+    }
+}
+
+/// Delivery counters for one streamed run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    pub pushed: u64,
+    /// Sink accepted the write but shed the snapshot (daemon backpressure).
+    pub shed: u64,
+    /// Sink I/O failures (daemon unreachable); streaming degrades to a
+    /// local-only run rather than aborting the simulation.
+    pub errors: u64,
+}
+
+/// See module docs.
+pub struct StreamingHook<S: EpochSink> {
+    inner: HawkeyeHook,
+    sink: S,
+    /// Collector events already forwarded (`inner.collector.events` is
+    /// append-only).
+    forwarded: usize,
+    pub stats: StreamStats,
+}
+
+impl<S: EpochSink> StreamingHook<S> {
+    pub fn new(inner: HawkeyeHook, sink: S) -> Self {
+        StreamingHook {
+            inner,
+            sink,
+            forwarded: 0,
+            stats: StreamStats::default(),
+        }
+    }
+
+    pub fn inner(&self) -> &HawkeyeHook {
+        &self.inner
+    }
+
+    pub fn inner_mut(&mut self) -> &mut HawkeyeHook {
+        &mut self.inner
+    }
+
+    pub fn sink(&self) -> &S {
+        &self.sink
+    }
+
+    /// Unwrap into the inner hook, the sink, and the delivery counters.
+    pub fn into_parts(self) -> (HawkeyeHook, S, StreamStats) {
+        (self.inner, self.sink, self.stats)
+    }
+
+    /// Forward collector events accepted since the last drain.
+    fn drain(&mut self) {
+        while self.forwarded < self.inner.collector.events.len() {
+            let snap = self.inner.collector.events[self.forwarded].snapshot.clone();
+            self.forwarded += 1;
+            match self.sink.push(&snap) {
+                Ok(true) => self.stats.pushed += 1,
+                Ok(false) => self.stats.shed += 1,
+                Err(_) => self.stats.errors += 1,
+            }
+        }
+    }
+}
+
+impl<S: EpochSink> SwitchHook for StreamingHook<S> {
+    #[inline]
+    fn on_data_enqueue(&mut self, rec: &EnqueueRecord) {
+        self.inner.on_data_enqueue(rec);
+    }
+
+    #[inline]
+    fn on_pfc_frame(&mut self, ev: &PfcEvent) {
+        self.inner.on_pfc_frame(ev);
+    }
+
+    fn on_probe(
+        &mut self,
+        switch: NodeId,
+        in_port: u8,
+        probe: Probe,
+        view: &SwitchView<'_>,
+        now: Nanos,
+    ) -> ProbeDecision {
+        // Collections happen inside this call (CPU mirror → collector).
+        let decision = self.inner.on_probe(switch, in_port, probe, view, now);
+        self.drain();
+        decision
+    }
+}

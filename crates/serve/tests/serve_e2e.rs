@@ -1,0 +1,130 @@
+//! End-to-end daemon tests: a live `hawkeye-serve` daemon on an ephemeral
+//! TCP port (and a unix socket) ingesting a replayed scenario over the
+//! wire, with the served `Diagnose` verdict required to be identical —
+//! anomaly label, culprits, confidence — to the local one-shot reference.
+
+use hawkeye_eval::{optimal_run_config, Verdict};
+use hawkeye_serve::{spawn, Endpoint, EpochSink, ServeClient, ServeConfig, StoreConfig};
+use hawkeye_workloads::{build_scenario, ScenarioKind, ScenarioParams};
+
+fn incast() -> hawkeye_workloads::Scenario {
+    build_scenario(ScenarioKind::MicroBurstIncast, ScenarioParams::default())
+}
+
+/// Fault-free incast, streamed over TCP: served diagnosis == one-shot.
+#[test]
+fn served_diagnosis_matches_oneshot_over_tcp() {
+    let sc = incast();
+    let cfg = optimal_run_config(1);
+    let handle = spawn(
+        sc.topo.clone(),
+        ServeConfig::default(),
+        Endpoint::Tcp("127.0.0.1:0".into()),
+    )
+    .expect("bind daemon");
+    let addr = handle.local_addr.expect("tcp daemon has an address");
+    let client = ServeClient::connect_tcp(&addr.to_string()).expect("connect");
+
+    let (outcome, mut client) = hawkeye_serve::replay_streaming(&sc, &cfg, client);
+    assert!(outcome.stream.pushed > 0, "no epochs streamed");
+    assert_eq!(
+        outcome.stream.errors, 0,
+        "stream errors: {:?}",
+        outcome.stream
+    );
+    assert_eq!(
+        outcome.verdict,
+        Some(Verdict::Correct),
+        "one-shot reference must be Correct on fault-free incast"
+    );
+
+    let w = outcome.window.expect("victim was detected");
+    let served = client
+        .diagnose(sc.truth.victim, w.from, w.to, outcome.missing.clone())
+        .expect("served diagnosis");
+    assert!(
+        outcome.parity_with(&served),
+        "served diagnosis diverged from one-shot:\n  one-shot: {:?}\n  served:   {:?}",
+        outcome.oneshot,
+        served
+    );
+
+    let stats = client.stats().expect("stats");
+    let obj = stats.as_object().expect("stats is an object");
+    let get = |k: &str| {
+        obj.iter()
+            .find(|(n, _)| n == k)
+            .and_then(|(_, v)| v.as_u64())
+            .unwrap_or(0)
+    };
+    assert!(get("epochs_ingested") > 0, "stats: {stats:?}");
+    assert!(get("serve_sessions") >= 1, "stats: {stats:?}");
+    assert_eq!(
+        get("ingest_shed"),
+        0,
+        "fault-free replay must not shed: {stats:?}"
+    );
+    assert!(get("store_epochs_held") > 0, "stats: {stats:?}");
+
+    client.shutdown().expect("shutdown handshake");
+    handle.wait();
+}
+
+/// The same daemon protocol over a unix socket, exercising ingest + stats
+/// + shutdown and socket-file cleanup.
+#[test]
+fn unix_socket_session_roundtrip() {
+    let sc = incast();
+    let path = std::env::temp_dir().join(format!("hawkeye-e2e-{}.sock", std::process::id()));
+    let handle = spawn(
+        sc.topo.clone(),
+        ServeConfig::default(),
+        Endpoint::Unix(path.clone()),
+    )
+    .expect("bind unix daemon");
+    let mut client = ServeClient::connect_unix(&path).expect("connect unix");
+
+    // Hand-feed a couple of snapshots through the sink interface.
+    let cfg = optimal_run_config(2);
+    let (_, sink) = hawkeye_serve::replay_streaming(&sc, &cfg, hawkeye_serve::VecSink::default());
+    assert!(!sink.snaps.is_empty());
+    for snap in sink.snaps.iter().take(4) {
+        assert!(client.push(snap).expect("ingest"), "unexpected shed");
+    }
+    let stats = client.stats().expect("stats");
+    assert!(stats.as_object().is_some());
+
+    client.shutdown().expect("shutdown");
+    handle.wait();
+    assert!(!path.exists(), "socket file must be removed on shutdown");
+}
+
+/// A snapshot for a switch outside the daemon's topology must not crash
+/// the daemon; diagnosis with no ingested telemetry is a remote error,
+/// not a hang or a panic.
+#[test]
+fn diagnose_without_telemetry_is_remote_error() {
+    let sc = incast();
+    let handle = spawn(
+        sc.topo.clone(),
+        ServeConfig {
+            store: StoreConfig { epoch_budget: 8 },
+            ..ServeConfig::default()
+        },
+        Endpoint::Tcp("127.0.0.1:0".into()),
+    )
+    .expect("bind daemon");
+    let addr = handle.local_addr.expect("tcp daemon has an address");
+    let mut client = ServeClient::connect_tcp(&addr.to_string()).expect("connect");
+
+    let err = client.diagnose(
+        sc.truth.victim,
+        hawkeye_sim::Nanos::ZERO,
+        hawkeye_sim::Nanos(1_000_000),
+        Vec::new(),
+    );
+    assert!(err.is_err(), "diagnosis over an empty store must error");
+
+    client.shutdown().expect("shutdown");
+    handle.wait();
+}

@@ -190,22 +190,45 @@ impl<H: SwitchHook> Simulator<H> {
     pub fn set_pfc_injector(&mut self, host: NodeId, inj: PfcInjectorConfig) {
         match &mut self.nodes[host.index()] {
             NodeState::Host(h) => h.set_injector(Some(inj)),
-            NodeState::Switch(_) => panic!("{host} is not a host"),
+            NodeState::Switch(_) => unreachable!(
+                "invariant: injector targets come from GroundTruth.injection_host, \
+                 which the scenario builder only assigns host ids ({host} is a switch)"
+            ),
+        }
+    }
+
+    /// Host accessor; `None` when `id` names a switch.
+    pub fn try_host(&self, id: NodeId) -> Option<&HostState> {
+        match &self.nodes[id.index()] {
+            NodeState::Host(h) => Some(h),
+            NodeState::Switch(_) => None,
+        }
+    }
+
+    /// Switch accessor; `None` when `id` names a host.
+    pub fn try_switch(&self, id: NodeId) -> Option<&SwitchState> {
+        match &self.nodes[id.index()] {
+            NodeState::Switch(s) => Some(s),
+            NodeState::Host(_) => None,
         }
     }
 
     pub fn host(&self, id: NodeId) -> &HostState {
-        match &self.nodes[id.index()] {
-            NodeState::Host(h) => h,
-            NodeState::Switch(_) => panic!("{id} is not a host"),
-        }
+        self.try_host(id).unwrap_or_else(|| {
+            unreachable!(
+                "invariant: callers resolve host ids via Topology::hosts(); \
+                 {id} is a switch — use try_host for mixed id sources"
+            )
+        })
     }
 
     pub fn switch(&self, id: NodeId) -> &SwitchState {
-        match &self.nodes[id.index()] {
-            NodeState::Switch(s) => s,
-            NodeState::Host(_) => panic!("{id} is not a switch"),
-        }
+        self.try_switch(id).unwrap_or_else(|| {
+            unreachable!(
+                "invariant: callers resolve switch ids via Topology::switches(); \
+                 {id} is a host — use try_switch for mixed id sources"
+            )
+        })
     }
 
     /// All anomaly detections reported by host agents so far.

@@ -26,6 +26,7 @@ pub mod snapshot;
 pub mod status;
 pub mod switch_state;
 pub mod tables;
+pub mod wire;
 
 pub use epoch::{EpochConfig, EPOCH_ID_BITS};
 pub use snapshot::{
@@ -35,3 +36,4 @@ pub use snapshot::{
 pub use status::PortStatusRegisters;
 pub use switch_state::{SwitchTelemetry, TelemetryConfig};
 pub use tables::{CausalityMeter, EvictedFlow, FlowRecord, FlowTable, PortRecord, PortTable};
+pub use wire::{decode_snapshot, encode_snapshot, CodecError, WIRE_VERSION};

@@ -1,0 +1,386 @@
+//! Compact binary codec for [`TelemetrySnapshot`]s.
+//!
+//! The online store and the serve protocol move snapshots constantly; the
+//! JSON edge formats are an order of magnitude larger and allocate per
+//! field. This codec is a fixed-layout little-endian encoding: a one-byte
+//! version tag, fixed-width scalars, `u32` element counts before each
+//! repeated section. No external dependencies, no varints — the snapshot
+//! volume is dominated by flow records whose counters use their full width
+//! anyway, and a fixed layout keeps decode branch-free.
+//!
+//! The encoding is canonical: encoding a decoded snapshot reproduces the
+//! input bytes exactly (there is one representation per value), which the
+//! store's byte-for-byte reconciliation tests rely on.
+
+use crate::snapshot::{EpochSnapshot, TelemetrySnapshot};
+use crate::tables::{EvictedFlow, FlowRecord, PortRecord};
+use hawkeye_sim::{FlowKey, Nanos, NodeId};
+use std::fmt;
+
+/// Version tag leading every encoded snapshot; bump on layout change.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Decode failure: structurally invalid bytes (truncation, bad version,
+/// absurd counts). Carries enough context to log usefully at the frame
+/// boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended before the layout said it should.
+    Truncated { need: usize, have: usize },
+    /// Leading version byte is not [`WIRE_VERSION`].
+    Version(u8),
+    /// An element count exceeds the sanity bound for its section.
+    Oversized { section: &'static str, count: u32 },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated { need, have } => {
+                write!(f, "truncated snapshot: need {need} bytes, have {have}")
+            }
+            CodecError::Version(v) => {
+                write!(f, "unsupported wire version {v} (expected {WIRE_VERSION})")
+            }
+            CodecError::Oversized { section, count } => {
+                write!(f, "implausible {section} count {count}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Per-section element ceiling: a real switch exports at most a few
+/// thousand flows per epoch; anything near this bound is a corrupt or
+/// hostile frame, rejected before allocation.
+const MAX_COUNT: u32 = 1 << 20;
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn count(&mut self, n: usize) {
+        debug_assert!(n <= MAX_COUNT as usize, "section count {n} over bound");
+        self.u32(n as u32);
+    }
+    fn flow_key(&mut self, k: &FlowKey) {
+        self.u32(k.src.0);
+        self.u32(k.dst.0);
+        self.u16(k.src_port);
+        self.u16(k.dst_port);
+        self.u8(k.proto);
+    }
+    fn flow_record(&mut self, r: &FlowRecord) {
+        self.u32(r.pkt_count);
+        self.u32(r.paused_count);
+        self.u64(r.qdepth_sum);
+        self.u8(r.out_port);
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.buf.len() - self.pos < n {
+            return Err(CodecError::Truncated {
+                need: self.pos + n,
+                have: self.buf.len(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, CodecError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len 2")))
+    }
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+    }
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+    fn count(&mut self, section: &'static str) -> Result<usize, CodecError> {
+        let n = self.u32()?;
+        if n > MAX_COUNT {
+            return Err(CodecError::Oversized { section, count: n });
+        }
+        Ok(n as usize)
+    }
+    fn flow_key(&mut self) -> Result<FlowKey, CodecError> {
+        Ok(FlowKey {
+            src: NodeId(self.u32()?),
+            dst: NodeId(self.u32()?),
+            src_port: self.u16()?,
+            dst_port: self.u16()?,
+            proto: self.u8()?,
+        })
+    }
+    fn flow_record(&mut self) -> Result<FlowRecord, CodecError> {
+        Ok(FlowRecord {
+            pkt_count: self.u32()?,
+            paused_count: self.u32()?,
+            qdepth_sum: self.u64()?,
+            out_port: self.u8()?,
+        })
+    }
+}
+
+/// Encode a snapshot into the versioned binary layout.
+pub fn encode_snapshot(s: &TelemetrySnapshot) -> Vec<u8> {
+    let mut w = Writer {
+        buf: Vec::with_capacity(64 + s.epochs.len() * 64),
+    };
+    w.u8(WIRE_VERSION);
+    w.u32(s.switch.0);
+    w.u64(s.taken_at.0);
+    w.u32(s.nports as u32);
+    w.u32(s.max_flows as u32);
+    w.count(s.epochs.len());
+    for ep in &s.epochs {
+        w.u32(ep.slot as u32);
+        w.u8(ep.id);
+        w.u64(ep.start.0);
+        w.u64(ep.len.0);
+        w.count(ep.flows.len());
+        for (k, r) in &ep.flows {
+            w.flow_key(k);
+            w.flow_record(r);
+        }
+        w.count(ep.ports.len());
+        for (p, r) in &ep.ports {
+            w.u8(*p);
+            w.u32(r.pkt_count);
+            w.u32(r.paused_count);
+            w.u64(r.qdepth_sum);
+        }
+        w.count(ep.meter.len());
+        for (ip, op, bytes) in &ep.meter {
+            w.u8(*ip);
+            w.u8(*op);
+            w.u64(*bytes);
+        }
+    }
+    w.count(s.evicted.len());
+    for ev in &s.evicted {
+        w.flow_key(&ev.key);
+        w.flow_record(&ev.record);
+        w.u8(ev.epoch_id);
+        w.u32(ev.slot as u32);
+    }
+    w.buf
+}
+
+/// Decode a snapshot; rejects trailing garbage.
+pub fn decode_snapshot(bytes: &[u8]) -> Result<TelemetrySnapshot, CodecError> {
+    let mut r = Reader { buf: bytes, pos: 0 };
+    let v = r.u8()?;
+    if v != WIRE_VERSION {
+        return Err(CodecError::Version(v));
+    }
+    let switch = NodeId(r.u32()?);
+    let taken_at = Nanos(r.u64()?);
+    let nports = r.u32()? as usize;
+    let max_flows = r.u32()? as usize;
+    let nepochs = r.count("epochs")?;
+    let mut epochs = Vec::with_capacity(nepochs);
+    for _ in 0..nepochs {
+        let slot = r.u32()? as usize;
+        let id = r.u8()?;
+        let start = Nanos(r.u64()?);
+        let len = Nanos(r.u64()?);
+        let nflows = r.count("flows")?;
+        let mut flows = Vec::with_capacity(nflows);
+        for _ in 0..nflows {
+            let k = r.flow_key()?;
+            let rec = r.flow_record()?;
+            flows.push((k, rec));
+        }
+        let nport = r.count("ports")?;
+        let mut ports = Vec::with_capacity(nport);
+        for _ in 0..nport {
+            let p = r.u8()?;
+            let rec = PortRecord {
+                pkt_count: r.u32()?,
+                paused_count: r.u32()?,
+                qdepth_sum: r.u64()?,
+            };
+            ports.push((p, rec));
+        }
+        let nmeter = r.count("meter")?;
+        let mut meter = Vec::with_capacity(nmeter);
+        for _ in 0..nmeter {
+            meter.push((r.u8()?, r.u8()?, r.u64()?));
+        }
+        epochs.push(EpochSnapshot {
+            slot,
+            id,
+            start,
+            len,
+            flows,
+            ports,
+            meter,
+        });
+    }
+    let nev = r.count("evicted")?;
+    let mut evicted = Vec::with_capacity(nev);
+    for _ in 0..nev {
+        let key = r.flow_key()?;
+        let record = r.flow_record()?;
+        let epoch_id = r.u8()?;
+        let slot = r.u32()? as usize;
+        evicted.push(EvictedFlow {
+            key,
+            record,
+            epoch_id,
+            slot,
+        });
+    }
+    if r.pos != bytes.len() {
+        return Err(CodecError::Truncated {
+            need: r.pos,
+            have: bytes.len(),
+        });
+    }
+    Ok(TelemetrySnapshot {
+        switch,
+        taken_at,
+        nports,
+        max_flows,
+        epochs,
+        evicted,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            switch: NodeId(7),
+            taken_at: Nanos(123_456_789),
+            nports: 8,
+            max_flows: 64,
+            epochs: vec![EpochSnapshot {
+                slot: 3,
+                id: 2,
+                start: Nanos(1 << 20),
+                len: Nanos(1 << 20),
+                flows: vec![(
+                    FlowKey::roce(NodeId(1), NodeId(2), 777),
+                    FlowRecord {
+                        pkt_count: 40,
+                        paused_count: 5,
+                        qdepth_sum: 321,
+                        out_port: 4,
+                    },
+                )],
+                ports: vec![(
+                    4,
+                    PortRecord {
+                        pkt_count: 40,
+                        paused_count: 5,
+                        qdepth_sum: 321,
+                    },
+                )],
+                meter: vec![(0, 4, 41_920)],
+            }],
+            evicted: vec![EvictedFlow {
+                key: FlowKey::roce(NodeId(3), NodeId(4), 888),
+                record: FlowRecord {
+                    pkt_count: 2,
+                    paused_count: 0,
+                    qdepth_sum: 3,
+                    out_port: 1,
+                },
+                epoch_id: 1,
+                slot: 9,
+            }],
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_identity() {
+        let s = sample();
+        let bytes = encode_snapshot(&s);
+        let back = decode_snapshot(&bytes).expect("valid bytes decode");
+        assert_eq!(back, s);
+        assert_eq!(encode_snapshot(&back), bytes, "encoding is canonical");
+    }
+
+    #[test]
+    fn empty_snapshot_roundtrips() {
+        let s = TelemetrySnapshot {
+            switch: NodeId(0),
+            taken_at: Nanos::ZERO,
+            nports: 0,
+            max_flows: 0,
+            epochs: vec![],
+            evicted: vec![],
+        };
+        assert_eq!(decode_snapshot(&encode_snapshot(&s)).unwrap(), s);
+    }
+
+    #[test]
+    fn truncation_is_detected_at_every_length() {
+        let bytes = encode_snapshot(&sample());
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_snapshot(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = encode_snapshot(&sample());
+        bytes.push(0);
+        assert!(decode_snapshot(&bytes).is_err());
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mut bytes = encode_snapshot(&sample());
+        bytes[0] = 99;
+        assert_eq!(decode_snapshot(&bytes), Err(CodecError::Version(99)));
+    }
+
+    #[test]
+    fn absurd_count_rejected_before_allocation() {
+        // version + switch + taken_at + nports + max_flows, then a huge
+        // epoch count.
+        let mut bytes = vec![WIRE_VERSION];
+        bytes.extend_from_slice(&7u32.to_le_bytes());
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_snapshot(&bytes),
+            Err(CodecError::Oversized { .. })
+        ));
+    }
+}

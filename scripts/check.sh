@@ -37,6 +37,27 @@ print("chaos smoke ok:", {c["rate"]: c["degraded"] + c["inconclusive"] for c in 
 EOF
 rm -f "$chaos_out"
 
+echo "==> serve smoke (daemon on unix socket, replay incast)"
+# End-to-end online diagnosis through the release CLI: daemon on a unix
+# socket, incast replay streamed over it, served verdict must be Correct
+# and byte-identical (label/culprits/confidence) to the one-shot path,
+# clean shutdown with exit 0 — all inside a hard timeout.
+serve_sock=$(mktemp -u /tmp/hawkeye-serve-XXXXXX.sock)
+serve_out=$(mktemp)
+timeout 120 ./target/release/hawkeye serve --replay incast \
+  --socket "$serve_sock" --json > "$serve_out"
+python3 - "$serve_out" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["verdict"] == "Correct", f"served verdict {doc['verdict']!r}"
+assert doc["parity"] is True, "served diagnosis diverged from one-shot"
+assert doc["epochs_streamed"] > 0, "no epochs streamed to the daemon"
+assert doc["epochs_shed"] == 0, "fault-free replay shed epochs"
+print("serve smoke ok:", doc["verdict"], f"({doc['epochs_streamed']} epochs)")
+EOF
+rm -f "$serve_out"
+test ! -e "$serve_sock" || { echo "stale socket file left behind"; exit 1; }
+
 echo "==> bench smoke (1 sample, tiny budget, jobs=2)"
 # Exercises the micro-bench harness end to end — queue speedup numbers,
 # overhead check, sweep wall-clock, BENCH_2.json write — at a budget small
