@@ -1,0 +1,225 @@
+//! Long-run retention benchmarks (`hawkeye-serve` tiered store):
+//! memory held by an unbounded store vs the compacting store after
+//! streaming many multiples of the ring budget, append throughput with
+//! compaction on the eviction path, and the compacted-epoch wire codec.
+//! Results land in `BENCH_5.json` at the workspace root, in the BENCH_2
+//! format.
+
+use hawkeye_bench::timing::{bench, Measurement};
+use hawkeye_serve::{StoreConfig, TelemetryStore};
+use hawkeye_sim::{FlowKey, Nanos, NodeId};
+use hawkeye_telemetry::{
+    decode_compacted, encode_compacted, CompactedEpoch, EpochSnapshot, FlowRecord, PortRecord,
+    TelemetrySnapshot,
+};
+use hawkeye_workloads::{build_scenario, ScenarioKind, ScenarioParams};
+
+const EPOCH_LEN: u64 = 1 << 17;
+const STEPS: u64 = 512;
+const BUDGET: usize = 16;
+
+fn unbounded_cfg() -> StoreConfig {
+    StoreConfig {
+        epoch_budget: usize::MAX,
+        compact_budget: 0,
+        compact_chunk: 0,
+    }
+}
+
+fn tiered_cfg() -> StoreConfig {
+    StoreConfig {
+        epoch_budget: BUDGET,
+        // Tight on purpose: the long-run story is *bounded* memory, so
+        // the oldest aggregates age out of the deque mid-stream.
+        compact_budget: 8,
+        compact_chunk: BUDGET,
+    }
+}
+
+/// A long telemetry stream over the incast topology's switches: one epoch
+/// per upload, ring keys that never collide within the run, several flows
+/// and a port record per epoch — enough state per epoch that retained
+/// bytes mean something.
+fn synth_stream() -> Vec<TelemetrySnapshot> {
+    let sc = build_scenario(ScenarioKind::MicroBurstIncast, ScenarioParams::default());
+    let switches: Vec<NodeId> = sc.topo.switches().collect();
+    let mut out = Vec::with_capacity(switches.len() * STEPS as usize);
+    for step in 0..STEPS {
+        for &sw in &switches {
+            let nports = sc.topo.ports(sw).len();
+            let out_port = (step % nports.max(1) as u64) as u8;
+            let epoch = EpochSnapshot {
+                // Fold the id's wrap count into the slot so (slot, id)
+                // never collides within the run — the unbounded store
+                // must genuinely keep every epoch.
+                slot: ((step / 256) * 4 + step % 4) as usize,
+                id: step as u8,
+                start: Nanos(step * EPOCH_LEN),
+                len: Nanos(EPOCH_LEN),
+                flows: (0..6u16)
+                    .map(|i| {
+                        (
+                            FlowKey::roce(NodeId(0), NodeId(1), i),
+                            FlowRecord {
+                                pkt_count: 40 + u32::from(i) + (step % 11) as u32,
+                                paused_count: 2,
+                                qdepth_sum: 700 + u64::from(i),
+                                out_port,
+                            },
+                        )
+                    })
+                    .collect(),
+                ports: vec![(
+                    out_port,
+                    PortRecord {
+                        pkt_count: 300,
+                        paused_count: 9,
+                        qdepth_sum: 4800,
+                    },
+                )],
+                meter: if nports >= 2 {
+                    vec![(0, 1, 4096)]
+                } else {
+                    vec![]
+                },
+            };
+            out.push(TelemetrySnapshot {
+                switch: sw,
+                taken_at: Nanos((step + 1) * EPOCH_LEN),
+                nports,
+                max_flows: 32,
+                epochs: vec![epoch],
+                evicted: vec![],
+            });
+        }
+    }
+    out
+}
+
+fn fill(cfg: StoreConfig, snaps: &[TelemetrySnapshot]) -> TelemetryStore {
+    let mut store = TelemetryStore::new(cfg);
+    for s in snaps {
+        store.append(s);
+    }
+    store
+}
+
+fn bench_append(snaps: &[TelemetrySnapshot], all: &mut Vec<Measurement>) {
+    all.push(bench("unbounded_append_stream", || {
+        fill(unbounded_cfg(), snaps).epochs_held()
+    }));
+    all.push(bench("tiered_append_stream", || {
+        let store = fill(tiered_cfg(), snaps);
+        store.epochs_held() + store.compacted_epochs_held() as usize
+    }));
+}
+
+fn bench_codec(bucket: &CompactedEpoch, all: &mut Vec<Measurement>) {
+    let encoded = encode_compacted(bucket);
+    println!(
+        "compacted bucket: {} epochs, {} flow rows, {} wire bytes",
+        bucket.epochs,
+        bucket.flows.len(),
+        encoded.len()
+    );
+    all.push(bench("compacted_encode", || encode_compacted(bucket).len()));
+    all.push(bench("compacted_decode", || {
+        decode_compacted(&encoded).expect("canonical bytes").epochs
+    }));
+}
+
+fn write_bench_json(
+    all: &[Measurement],
+    unbounded_bytes: usize,
+    tiered_bytes: usize,
+) -> std::io::Result<()> {
+    use serde::Value;
+    let benches = Value::Object(
+        all.iter()
+            .map(|m| {
+                (
+                    m.name.clone(),
+                    Value::Object(vec![
+                        ("mean_ns".to_string(), Value::Float(m.mean_ns)),
+                        ("min_ns".to_string(), Value::Float(m.min_ns)),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    let doc = Value::Object(vec![
+        ("benches".to_string(), benches),
+        (
+            "unbounded_retained_bytes".to_string(),
+            Value::UInt(unbounded_bytes as u64),
+        ),
+        (
+            "tiered_retained_bytes".to_string(),
+            Value::UInt(tiered_bytes as u64),
+        ),
+        (
+            "memory_ratio".to_string(),
+            Value::Float(unbounded_bytes as f64 / tiered_bytes.max(1) as f64),
+        ),
+    ]);
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root");
+    let path = root.join("BENCH_5.json");
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&doc).expect("serializable doc"),
+    )?;
+    println!("wrote {}", path.display());
+    Ok(())
+}
+
+fn main() {
+    println!("retention benchmarks (tiered store memory / throughput / codec)");
+    let snaps = synth_stream();
+    println!(
+        "synthetic stream: {} snapshots ({} steps x {} switches)",
+        snaps.len(),
+        STEPS,
+        snaps.len() / STEPS as usize
+    );
+
+    // Memory held after the whole stream: the unbounded store keeps every
+    // raw epoch; the tiered store keeps `BUDGET` raw per switch plus the
+    // compacted aggregates.
+    let unbounded = fill(unbounded_cfg(), &snaps);
+    let tiered = fill(tiered_cfg(), &snaps);
+    let (ub, tb) = (
+        unbounded.approx_retained_bytes(),
+        tiered.approx_retained_bytes(),
+    );
+    println!(
+        "retained: unbounded {} bytes ({} epochs) vs tiered {} bytes ({} raw + {} compacted)",
+        ub,
+        unbounded.epochs_held(),
+        tb,
+        tiered.epochs_held(),
+        tiered.compacted_epochs_held()
+    );
+    assert!(tb < ub, "compaction must retain less than unbounded");
+
+    let mut all = Vec::new();
+    bench_append(&snaps, &mut all);
+    let sw = *tiered.switches().first().expect("stream has switches");
+    let bucket = tiered
+        .compacted_of(sw)
+        .first()
+        .cloned()
+        .cloned()
+        .expect("tiered store compacted at least one bucket");
+    bench_codec(&bucket, &mut all);
+
+    if let Err(e) = write_bench_json(&all, ub, tb) {
+        eprintln!("could not write BENCH_5.json: {e}");
+    }
+    println!(
+        "memory ratio (unbounded / tiered): {:.2}x",
+        ub as f64 / tb.max(1) as f64
+    );
+}

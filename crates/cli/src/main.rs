@@ -11,6 +11,7 @@
 //! hawkeye trace    <kind> [--format jsonl|chrome]          structured event trace of a run
 //! hawkeye chaos    [--rates R,..] [--trials N] [--out F]   fault-rate sweep, accuracy table
 //! hawkeye serve    [--replay KIND] [--socket P|--tcp A]    online diagnosis daemon
+//!                  [--epoch-budget N] [--history]
 //! ```
 //! Kinds: incast, storm, inloop, oolc, oolinj, contention.
 //!
@@ -73,6 +74,12 @@ struct Opts {
     tcp: Option<String>,
     /// Scenario to stream through the daemon (`serve --replay <kind>`).
     replay: Option<ScenarioKind>,
+    /// Per-switch raw-ring budget override for `serve` (tiny values force
+    /// compaction; the long-run smoke uses this).
+    epoch_budget: Option<usize>,
+    /// `serve --replay`: also fetch the victim's flow history (raw +
+    /// compacted tiers) from the daemon and report it.
+    history: bool,
 }
 
 /// Strict option parser: every `--flag` must be known and every value must
@@ -91,6 +98,8 @@ fn parse_opts(args: &[String]) -> Result<(Opts, Vec<String>), String> {
         socket: None,
         tcp: None,
         replay: None,
+        epoch_budget: None,
+        history: false,
     };
     let mut pos = Vec::new();
     let mut it = args.iter();
@@ -155,6 +164,14 @@ fn parse_opts(args: &[String]) -> Result<(Opts, Vec<String>), String> {
                 o.replay =
                     Some(parse_kind(v).ok_or_else(|| format!("--replay: unknown kind '{v}'"))?);
             }
+            "--epoch-budget" => {
+                let v = it.next().ok_or("--epoch-budget requires a value")?;
+                o.epoch_budget =
+                    Some(v.parse().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                        format!("--epoch-budget: '{v}' is not a positive integer")
+                    })?);
+            }
+            "--history" => o.history = true,
             "--format" => {
                 let v = it.next().ok_or("--format requires a value")?;
                 o.format = match v.as_str() {
@@ -175,7 +192,7 @@ fn usage() -> ! {
         "usage: hawkeye <scenario|matrix|methods|cbd|dot|resources|summary|trace|chaos|serve> \
          [kind] [--load F] [--seed N] [--jobs N] [--json] [--format jsonl|chrome] \
          [--rates R,R,..] [--trials N] [--out F] \
-         [--socket PATH] [--tcp ADDR] [--replay KIND]\n\
+         [--socket PATH] [--tcp ADDR] [--replay KIND] [--epoch-budget N] [--history]\n\
          kinds: incast storm inloop oolc oolinj contention"
     );
     std::process::exit(2)
@@ -445,9 +462,15 @@ fn cmd_chaos(o: &Opts) {
 /// mismatch, 3 no diagnosis produced.
 fn cmd_serve(o: &Opts) {
     use hawkeye_core::AnalyzerConfig;
-    use hawkeye_serve::{replay_streaming, Endpoint, ServeClient, ServeConfig};
+    use hawkeye_serve::{replay_streaming, Endpoint, ServeClient, ServeConfig, StoreConfig};
 
     let runcfg = optimal_run_config(o.seed);
+    let store = o
+        .epoch_budget
+        .map_or_else(StoreConfig::default, |n| StoreConfig {
+            epoch_budget: n,
+            ..StoreConfig::default()
+        });
     let endpoint = match (&o.socket, &o.tcp) {
         (Some(path), _) => Endpoint::Unix(path.into()),
         (None, Some(addr)) => Endpoint::Tcp(addr.clone()),
@@ -468,6 +491,7 @@ fn cmd_serve(o: &Opts) {
         let cfg = ServeConfig {
             analyzer: AnalyzerConfig::for_epoch_len(runcfg.epoch.epoch_len()),
             gather_jobs: o.jobs,
+            store,
             ..Default::default()
         };
         match hawkeye_serve::spawn(sc.topo, cfg, endpoint) {
@@ -489,6 +513,7 @@ fn cmd_serve(o: &Opts) {
     let cfg = ServeConfig {
         analyzer: AnalyzerConfig::for_epoch_len(runcfg.epoch.epoch_len()),
         gather_jobs: o.jobs,
+        store,
         ..Default::default()
     };
     let handle = match hawkeye_serve::spawn(sc.topo.clone(), cfg, endpoint.clone()) {
@@ -524,6 +549,14 @@ fn cmd_serve(o: &Opts) {
             .ok()
     });
     let stats = client.stats().ok();
+    let history = if o.history {
+        client
+            .flow_history(sc.truth.victim)
+            .map_err(|e| eprintln!("hawkeye: flow history failed: {e}"))
+            .ok()
+    } else {
+        None
+    };
     if let Err(e) = client.shutdown() {
         eprintln!("hawkeye: daemon shutdown failed: {e}");
     }
@@ -569,6 +602,16 @@ fn cmd_serve(o: &Opts) {
         if let Some(stats) = stats {
             doc.push(("daemon".to_string(), stats));
         }
+        if let Some(rows) = &history {
+            doc.push((
+                "history".to_string(),
+                serde::Value::Array(
+                    rows.iter()
+                        .map(hawkeye_serve::observation_to_value)
+                        .collect(),
+                ),
+            ));
+        }
         println!(
             "{}",
             serde_json::to_string_pretty(&serde::Value::Object(doc))
@@ -590,6 +633,20 @@ fn cmd_serve(o: &Opts) {
             println!(
                 "daemon   : {}",
                 serde_json::to_string(&stats).expect("value serialization is infallible")
+            );
+        }
+        if let Some(rows) = &history {
+            let raw = rows
+                .iter()
+                .filter(|r| r.fidelity == hawkeye_serve::Fidelity::Raw)
+                .count();
+            let pkts: u64 = rows.iter().map(|r| r.pkt_count).sum();
+            println!(
+                "history  : {} rows ({} raw, {} compacted), {} pkts total",
+                rows.len(),
+                raw,
+                rows.len() - raw,
+                pkts
             );
         }
     }

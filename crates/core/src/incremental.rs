@@ -356,6 +356,18 @@ impl IncrementalProvenance {
         self.switches.values().map(|s| s.epochs.len()).sum()
     }
 
+    /// Cached per-port fragments currently held (pause + contention
+    /// caches). Bounded by the live port set, which retirement shrinks —
+    /// the serve daemon's bounded-memory assertion watches this.
+    pub fn fragments_held(&self) -> usize {
+        self.frag_port.len() + self.frag_cont.len()
+    }
+
+    /// Nodes (ports + flows) in the graph as of the last refresh.
+    pub fn node_count(&self) -> usize {
+        self.graph.ports.len() + self.graph.flows.len()
+    }
+
     /// The retention horizon (epochs ending at or before it are gone).
     pub fn horizon(&self) -> Nanos {
         self.horizon

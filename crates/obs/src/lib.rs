@@ -47,6 +47,8 @@ pub mod names {
     pub const INCREMENTAL_UPDATES: &str = "incremental_updates";
     /// Client sessions accepted by the serve daemon.
     pub const SERVE_SESSIONS: &str = "serve_sessions";
+    /// Epochs the incremental engine retired behind the retention horizon.
+    pub const ENGINE_EPOCHS_RETIRED: &str = "engine_epochs_retired";
 }
 
 /// Configuration for a [`Recorder`].

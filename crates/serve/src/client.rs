@@ -6,6 +6,7 @@ use crate::proto::{
     decode_response, read_frame, write_request, DiagnoseParams, ProtoError, Request, Response,
 };
 use crate::server::AnyStream;
+use crate::store::FlowObservation;
 use crate::stream::EpochSink;
 use hawkeye_core::DiagnosisReport;
 use hawkeye_sim::{FlowKey, Nanos, NodeId};
@@ -83,6 +84,17 @@ impl ServeClient {
         });
         match self.call(&req)? {
             Response::Diagnosis(report) => Ok(report),
+            other => Err(ProtoError::BadBody(format!(
+                "unexpected response {other:?}"
+            ))),
+        }
+    }
+
+    /// Where has this flow been seen — one row per raw epoch still in the
+    /// ring plus one per compacted-bucket entry, ordered by time.
+    pub fn flow_history(&mut self, flow: FlowKey) -> Result<Vec<FlowObservation>, ProtoError> {
+        match self.call(&Request::FlowHistory(flow))? {
+            Response::History(rows) => Ok(rows),
             other => Err(ProtoError::BadBody(format!(
                 "unexpected response {other:?}"
             ))),

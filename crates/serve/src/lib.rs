@@ -27,8 +27,8 @@ pub mod store;
 pub mod stream;
 
 pub use client::ServeClient;
-pub use proto::{DiagnoseParams, ProtoError, Request, Response, MAX_FRAME};
+pub use proto::{observation_to_value, DiagnoseParams, ProtoError, Request, Response, MAX_FRAME};
 pub use replay::{replay_streaming, ReplayOutcome};
 pub use server::{spawn, DaemonHandle, Endpoint, ServeConfig};
-pub use store::{StoreConfig, StoreStats, TelemetryStore};
+pub use store::{Fidelity, FlowObservation, StoreConfig, StoreStats, TelemetryStore};
 pub use stream::{EpochSink, StreamStats, StreamingHook, VecSink};

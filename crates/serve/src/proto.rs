@@ -15,17 +15,22 @@
 //! - `2` Diagnose — body is JSON `{victim, from, to, missing}`.
 //! - `3` Stats — empty body.
 //! - `4` Shutdown — empty body.
+//! - `5` FlowHistory — body is JSON `{flow}`; answered from the raw ring
+//!   *and* the compacted tier (the one coarse-fidelity query).
 //!
 //! Response opcodes (daemon → client):
 //! - `129` Ack — body is one byte: `1` accepted, `0` shed (backpressure).
 //! - `130` Diagnosis — body is a JSON [`DiagnosisReport`].
 //! - `131` Stats — body is a JSON counter object.
 //! - `132` Bye — shutdown acknowledged.
+//! - `133` History — body is a JSON array of
+//!   [`FlowObservation`](crate::store::FlowObservation) rows.
 //! - `255` Error — body is a UTF-8 message.
 //!
 //! Frames above [`MAX_FRAME`] are rejected before allocation; a malformed
 //! frame poisons only its own connection, never the daemon.
 
+use crate::store::{Fidelity, FlowObservation};
 use hawkeye_core::DiagnosisReport;
 use hawkeye_sim::{FlowKey, Nanos, NodeId};
 use hawkeye_telemetry::{decode_snapshot, encode_snapshot, TelemetrySnapshot};
@@ -78,6 +83,8 @@ pub enum Request {
     Diagnose(DiagnoseParams),
     Stats,
     Shutdown,
+    /// Where was this flow seen — served across both retention tiers.
+    FlowHistory(FlowKey),
 }
 
 /// Parameters of a `Diagnose` request: the victim flow, the window, and
@@ -99,6 +106,7 @@ pub enum Response {
     Diagnosis(DiagnosisReport),
     Stats(serde::Value),
     Bye,
+    History(Vec<FlowObservation>),
     Error(String),
 }
 
@@ -106,10 +114,12 @@ const OP_INGEST: u8 = 1;
 const OP_DIAGNOSE: u8 = 2;
 const OP_STATS: u8 = 3;
 const OP_SHUTDOWN: u8 = 4;
+const OP_FLOW_HISTORY: u8 = 5;
 const OP_ACK: u8 = 129;
 const OP_DIAGNOSIS: u8 = 130;
 const OP_STATS_RESP: u8 = 131;
 const OP_BYE: u8 = 132;
+const OP_HISTORY: u8 = 133;
 const OP_ERROR: u8 = 255;
 
 /// Write one frame: length prefix, opcode, body.
@@ -164,7 +174,77 @@ pub fn write_request(w: &mut impl Write, req: &Request) -> io::Result<()> {
         }
         Request::Stats => write_frame(w, OP_STATS, &[]),
         Request::Shutdown => write_frame(w, OP_SHUTDOWN, &[]),
+        Request::FlowHistory(flow) => {
+            let body = serde_json::to_string(&serde::Value::Object(vec![(
+                "flow".into(),
+                flow.to_value(),
+            )]))
+            .expect("value serialization is infallible");
+            write_frame(w, OP_FLOW_HISTORY, body.as_bytes())
+        }
     }
+}
+
+/// One [`FlowObservation`] as its JSON wire value (also what the CLI's
+/// `--history` report embeds).
+pub fn observation_to_value(o: &FlowObservation) -> serde::Value {
+    serde::Value::Object(vec![
+        ("switch".into(), serde::Value::UInt(u64::from(o.switch.0))),
+        ("from".into(), serde::Value::UInt(o.from.0)),
+        ("to".into(), serde::Value::UInt(o.to.0)),
+        (
+            "fidelity".into(),
+            serde::Value::Str(
+                match o.fidelity {
+                    Fidelity::Raw => "raw",
+                    Fidelity::Compacted => "compacted",
+                }
+                .into(),
+            ),
+        ),
+        ("out_port".into(), serde::Value::UInt(u64::from(o.out_port))),
+        ("pkt_count".into(), serde::Value::UInt(o.pkt_count)),
+        ("paused_count".into(), serde::Value::UInt(o.paused_count)),
+        ("qdepth_sum".into(), serde::Value::UInt(o.qdepth_sum)),
+        ("epochs".into(), serde::Value::UInt(u64::from(o.epochs))),
+    ])
+}
+
+fn observation_from_value(v: &serde::Value) -> Result<FlowObservation, ProtoError> {
+    let num = |name: &str| {
+        v.get(name)
+            .and_then(|f| f.as_u64())
+            .ok_or_else(|| ProtoError::BadBody(format!("observation field {name} not u64")))
+    };
+    let fidelity = match v.get("fidelity").and_then(|f| f.as_str()) {
+        Some("raw") => Fidelity::Raw,
+        Some("compacted") => Fidelity::Compacted,
+        other => {
+            return Err(ProtoError::BadBody(format!(
+                "observation fidelity {other:?} unknown"
+            )))
+        }
+    };
+    Ok(FlowObservation {
+        switch: NodeId(num("switch")? as u32),
+        from: Nanos(num("from")?),
+        to: Nanos(num("to")?),
+        fidelity,
+        out_port: num("out_port")? as u8,
+        pkt_count: num("pkt_count")?,
+        paused_count: num("paused_count")?,
+        qdepth_sum: num("qdepth_sum")?,
+        epochs: num("epochs")? as u32,
+    })
+}
+
+fn parse_flow_history(body: &[u8]) -> Result<FlowKey, ProtoError> {
+    let text = std::str::from_utf8(body).map_err(|e| ProtoError::BadBody(e.to_string()))?;
+    let v = serde_json::parse(text).map_err(|e| ProtoError::BadBody(e.0))?;
+    let flow = v
+        .get("flow")
+        .ok_or_else(|| ProtoError::BadBody("missing field flow".into()))?;
+    FlowKey::from_value(flow).map_err(|e| ProtoError::BadBody(e.0))
 }
 
 fn parse_diagnose(body: &[u8]) -> Result<DiagnoseParams, ProtoError> {
@@ -208,6 +288,7 @@ pub fn decode_request(opcode: u8, body: &[u8]) -> Result<Request, ProtoError> {
         OP_DIAGNOSE => Ok(Request::Diagnose(parse_diagnose(body)?)),
         OP_STATS => Ok(Request::Stats),
         OP_SHUTDOWN => Ok(Request::Shutdown),
+        OP_FLOW_HISTORY => Ok(Request::FlowHistory(parse_flow_history(body)?)),
         op => Err(ProtoError::BadOpcode(op)),
     }
 }
@@ -224,6 +305,13 @@ pub fn write_response(w: &mut impl Write, resp: &Response) -> io::Result<()> {
             write_frame(w, OP_STATS_RESP, body.as_bytes())
         }
         Response::Bye => write_frame(w, OP_BYE, &[]),
+        Response::History(rows) => {
+            let body = serde_json::to_string(&serde::Value::Array(
+                rows.iter().map(observation_to_value).collect(),
+            ))
+            .expect("value serialization is infallible");
+            write_frame(w, OP_HISTORY, body.as_bytes())
+        }
         Response::Error(msg) => write_frame(w, OP_ERROR, msg.as_bytes()),
     }
 }
@@ -245,6 +333,17 @@ pub fn decode_response(opcode: u8, body: &[u8]) -> Result<Response, ProtoError> 
             ))
         }
         OP_BYE => Ok(Response::Bye),
+        OP_HISTORY => {
+            let text = std::str::from_utf8(body).map_err(|e| ProtoError::BadBody(e.to_string()))?;
+            let v = serde_json::parse(text).map_err(|e| ProtoError::BadBody(e.0))?;
+            let rows = v
+                .as_array()
+                .ok_or_else(|| ProtoError::BadBody("history not array".into()))?
+                .iter()
+                .map(observation_from_value)
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Response::History(rows))
+        }
         OP_ERROR => Ok(Response::Error(String::from_utf8_lossy(body).into_owned())),
         op => Err(ProtoError::BadOpcode(op)),
     }
@@ -296,6 +395,44 @@ mod tests {
         assert_eq!(roundtrip_request(diag.clone()), diag);
         assert_eq!(roundtrip_request(Request::Stats), Request::Stats);
         assert_eq!(roundtrip_request(Request::Shutdown), Request::Shutdown);
+        let hist = Request::FlowHistory(FlowKey::roce(NodeId(7), NodeId(8), 11));
+        assert_eq!(roundtrip_request(hist.clone()), hist);
+    }
+
+    #[test]
+    fn history_response_roundtrips_both_fidelities() {
+        let rows = vec![
+            FlowObservation {
+                switch: NodeId(3),
+                from: Nanos(0),
+                to: Nanos(4 << 20),
+                fidelity: Fidelity::Compacted,
+                out_port: 2,
+                pkt_count: 1234,
+                paused_count: 56,
+                qdepth_sum: 789,
+                epochs: 4,
+            },
+            FlowObservation {
+                switch: NodeId(3),
+                from: Nanos(4 << 20),
+                to: Nanos(5 << 20),
+                fidelity: Fidelity::Raw,
+                out_port: 2,
+                pkt_count: 99,
+                paused_count: 1,
+                qdepth_sum: 42,
+                epochs: 1,
+            },
+        ];
+        for resp in [Response::History(rows), Response::History(Vec::new())] {
+            let mut buf = Vec::new();
+            write_response(&mut buf, &resp).expect("write to Vec");
+            let (op, body) = read_frame(&mut buf.as_slice())
+                .expect("frame parses")
+                .expect("frame present");
+            assert_eq!(decode_response(op, &body).expect("decodes"), resp);
+        }
     }
 
     #[test]

@@ -11,7 +11,11 @@
 //!   so shedding degrades confidence, not correctness.
 //! - Each **shard worker** owns a [`TelemetryStore`] partition and feeds
 //!   the shared [`IncrementalProvenance`] engine, so graph maintenance
-//!   happens on the ingest path, not the query path.
+//!   happens on the ingest path, not the query path. After every ingest
+//!   the worker publishes its store's retention horizon and retires the
+//!   engine behind the fleet-wide minimum — store and engine age out
+//!   telemetry in lockstep, so neither grows without bound (see
+//!   `tests/retention.rs`).
 //! - `Diagnose` flushes every shard queue (barrier), gathers the shards'
 //!   canonical snapshots on the PR-2 work-stealing pool
 //!   ([`par_map`]), and runs the batch analyzer over them — the store's
@@ -23,25 +27,27 @@
 //! over the `Stats` request.
 
 use crate::proto::{decode_request, read_frame, write_response, DiagnoseParams, Request, Response};
-use crate::store::{StoreConfig, TelemetryStore};
+use crate::store::{FlowObservation, StoreConfig, TelemetryStore};
 use hawkeye_core::{
     analyze_victim_window, AnalyzerConfig, IncrementalProvenance, ReplayConfig, Window,
 };
 use hawkeye_eval::par_map;
 use hawkeye_obs::{MetricKey, MetricsRegistry, MetricsSnapshot};
-use hawkeye_sim::{Nanos, Topology};
+use hawkeye_sim::{FlowKey, Nanos, Topology};
 use hawkeye_telemetry::TelemetrySnapshot;
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
-pub use hawkeye_obs::names::{EPOCHS_INGESTED, INCREMENTAL_UPDATES, INGEST_SHED, SERVE_SESSIONS};
+pub use hawkeye_obs::names::{
+    ENGINE_EPOCHS_RETIRED, EPOCHS_INGESTED, INCREMENTAL_UPDATES, INGEST_SHED, SERVE_SESSIONS,
+};
 
 /// Daemon tuning.
 #[derive(Debug, Clone, Copy)]
@@ -129,6 +135,16 @@ enum ShardMsg {
 }
 
 /// State shared between sessions, shard workers and the daemon handle.
+///
+/// **Lock order invariant: store → engine → metrics.** Any thread that
+/// holds one of these mutexes may only acquire mutexes *later* in that
+/// order (stores count as one class; a thread never holds two shard
+/// stores at once — `gather_snapshots` takes them one at a time on the
+/// pool). The `Stats` handler used to acquire metrics → engine → stores,
+/// the exact inversion of the ingest path — every accessor here now
+/// takes each lock in canonical order and drops it before the next, and
+/// `tests/lock_order.rs` hammers `Stats` against concurrent ingest to
+/// keep it that way.
 struct Shared {
     topo: Topology,
     cfg: ServeConfig,
@@ -136,11 +152,33 @@ struct Shared {
     engine: Mutex<IncrementalProvenance>,
     metrics: Mutex<MetricsRegistry>,
     stop: AtomicBool,
+    /// Per-shard retention horizons as published by the shard workers
+    /// after each ingest ([`TelemetryStore::retention_horizon`]);
+    /// `u64::MAX` = the shard has no reporting switches yet and places no
+    /// constraint on the fleet horizon.
+    horizons: Vec<AtomicU64>,
 }
 
 impl Shared {
     fn shard_of(&self, snap: &TelemetrySnapshot) -> usize {
         snap.switch.0 as usize % self.stores.len()
+    }
+
+    /// The fleet retention horizon: the minimum of every reporting
+    /// shard's published store horizon. [`Nanos::ZERO`] (retire nothing)
+    /// until at least one shard has reported one.
+    fn fleet_horizon(&self) -> Nanos {
+        let min = self
+            .horizons
+            .iter()
+            .map(|h| h.load(Ordering::Relaxed))
+            .min()
+            .unwrap_or(u64::MAX);
+        if min == u64::MAX {
+            Nanos::ZERO
+        } else {
+            Nanos(min)
+        }
     }
 
     /// All shards' canonical snapshots, gathered on the work-stealing pool
@@ -176,26 +214,59 @@ impl Shared {
         Response::Diagnosis(report)
     }
 
+    /// Where was this flow seen, across every shard and both retention
+    /// tiers, in the store's canonical row order.
+    fn flow_history(&self, key: &FlowKey) -> Response {
+        let mut rows: Vec<FlowObservation> = Vec::new();
+        for s in &self.stores {
+            rows.extend(s.lock().expect("store lock").flow_history(key));
+        }
+        rows.sort_unstable_by_key(|o| (o.from, o.to, o.switch, o.fidelity, o.out_port));
+        Response::History(rows)
+    }
+
     fn stats(&self) -> Response {
-        let m = self.metrics.lock().expect("metrics lock");
-        let engine = self.engine.lock().expect("engine lock");
-        let estats = *engine.stats();
+        // Lock order: store → engine → metrics (see the `Shared` docs);
+        // each lock is released before the next class is taken.
         let mut store_snapshots = 0u64;
         let mut store_epochs = 0usize;
+        let mut store_switches = 0usize;
+        let mut store_compacted_epochs = 0u64;
+        let mut store_compacted_buckets = 0usize;
         for s in &self.stores {
             let s = s.lock().expect("store lock");
             store_snapshots += s.stats().snapshots_appended;
             store_epochs += s.epochs_held();
+            store_switches += s.switches().len();
+            store_compacted_epochs += s.compacted_epochs_held();
+            store_compacted_buckets += s.compacted_buckets_held();
         }
+        let (estats, engine_epochs, engine_horizon, engine_fragments, engine_nodes) = {
+            let mut engine = self.engine.lock().expect("engine lock");
+            // Refresh so node/fragment counts reflect retirement, not the
+            // last diagnosis — Stats is the bounded-memory observability
+            // surface.
+            engine.refresh(&self.topo);
+            (
+                *engine.stats(),
+                engine.epochs_held(),
+                engine.horizon(),
+                engine.fragments_held(),
+                engine.node_count(),
+            )
+        };
+        let m = self.metrics.lock().expect("metrics lock");
         let counters = [
             EPOCHS_INGESTED,
             INGEST_SHED,
             INCREMENTAL_UPDATES,
             SERVE_SESSIONS,
+            ENGINE_EPOCHS_RETIRED,
         ]
         .iter()
         .map(|&name| (name.to_string(), serde::Value::UInt(m.counter_total(name))))
         .collect::<Vec<_>>();
+        drop(m);
         let mut fields = counters;
         fields.push((
             "store_snapshots_appended".into(),
@@ -204,6 +275,22 @@ impl Shared {
         fields.push((
             "store_epochs_held".into(),
             serde::Value::UInt(store_epochs as u64),
+        ));
+        fields.push((
+            "store_switches".into(),
+            serde::Value::UInt(store_switches as u64),
+        ));
+        fields.push((
+            "store_epochs_compacted_held".into(),
+            serde::Value::UInt(store_compacted_epochs),
+        ));
+        fields.push((
+            "store_compacted_buckets".into(),
+            serde::Value::UInt(store_compacted_buckets as u64),
+        ));
+        fields.push((
+            "store_retention_horizon".into(),
+            serde::Value::UInt(self.fleet_horizon().0),
         ));
         fields.push((
             "engine_snapshots_applied".into(),
@@ -217,6 +304,28 @@ impl Shared {
             "engine_frags_reused".into(),
             serde::Value::UInt(estats.frags_reused),
         ));
+        fields.push((
+            "engine_epochs_held".into(),
+            serde::Value::UInt(engine_epochs as u64),
+        ));
+        fields.push((
+            // Horizon-driven + ring-budget retirement combined; the
+            // `engine_epochs_retired` counter above is horizon-driven only.
+            "engine_epochs_retired_total".into(),
+            serde::Value::UInt(estats.epochs_retired),
+        ));
+        fields.push((
+            "engine_horizon".into(),
+            serde::Value::UInt(engine_horizon.0),
+        ));
+        fields.push((
+            "engine_fragments".into(),
+            serde::Value::UInt(engine_fragments as u64),
+        ));
+        fields.push((
+            "engine_nodes".into(),
+            serde::Value::UInt(engine_nodes as u64),
+        ));
         Response::Stats(serde::Value::Object(fields))
     }
 }
@@ -225,16 +334,32 @@ fn shard_worker(shared: Arc<Shared>, shard: usize, rx: Receiver<ShardMsg>) {
     while let Ok(msg) = rx.recv() {
         match msg {
             ShardMsg::Ingest(snap) => {
+                // Lock order: store → engine → metrics (see `Shared`),
+                // each dropped before the next is taken.
                 let epochs = snap.epochs.len() as u64;
-                shared.stores[shard]
-                    .lock()
-                    .expect("store lock")
-                    .append(&snap);
-                let changed = shared.engine.lock().expect("engine lock").apply(&snap);
+                let horizon = {
+                    let mut store = shared.stores[shard].lock().expect("store lock");
+                    store.append(&snap);
+                    store.retention_horizon()
+                };
+                shared.horizons[shard].store(horizon.map_or(u64::MAX, |h| h.0), Ordering::Relaxed);
+                let fleet = shared.fleet_horizon();
+                let (changed, retired) = {
+                    let mut engine = shared.engine.lock().expect("engine lock");
+                    let changed = engine.apply(&snap);
+                    // Retire engine state the stores no longer back with
+                    // raw epochs — the fix that keeps a long-running
+                    // daemon's wait-for graph bounded.
+                    let retired = engine.retire_before(fleet);
+                    (changed, retired)
+                };
                 let mut m = shared.metrics.lock().expect("metrics lock");
                 m.add(MetricKey::global(EPOCHS_INGESTED), epochs);
                 if changed {
                     m.inc(MetricKey::global(INCREMENTAL_UPDATES));
+                }
+                if retired > 0 {
+                    m.add(MetricKey::global(ENGINE_EPOCHS_RETIRED), retired);
                 }
             }
             ShardMsg::Flush(ack) => {
@@ -269,6 +394,21 @@ fn route_ingest(
     }
 }
 
+/// Barrier: drain every shard queue so the caller's next read sees all
+/// telemetry acknowledged before this point.
+fn flush_shards(txs: &[SyncSender<ShardMsg>]) {
+    let (ack_tx, ack_rx) = sync_channel(txs.len());
+    let mut pending = 0;
+    for tx in txs {
+        if tx.send(ShardMsg::Flush(ack_tx.clone())).is_ok() {
+            pending += 1;
+        }
+    }
+    for _ in 0..pending {
+        let _ = ack_rx.recv();
+    }
+}
+
 fn session(shared: Arc<Shared>, txs: Vec<SyncSender<ShardMsg>>, mut stream: AnyStream) {
     let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
     shared
@@ -296,19 +436,12 @@ fn session(shared: Arc<Shared>, txs: Vec<SyncSender<ShardMsg>>, mut stream: AnyS
         let resp = match decode_request(frame.0, &frame.1) {
             Ok(Request::IngestEpoch(snap)) => route_ingest(&shared, &txs, snap),
             Ok(Request::Diagnose(p)) => {
-                // Barrier: drain every shard queue so the diagnosis sees
-                // all telemetry acknowledged before this request.
-                let (ack_tx, ack_rx) = sync_channel(txs.len());
-                let mut pending = 0;
-                for tx in &txs {
-                    if tx.send(ShardMsg::Flush(ack_tx.clone())).is_ok() {
-                        pending += 1;
-                    }
-                }
-                for _ in 0..pending {
-                    let _ = ack_rx.recv();
-                }
+                flush_shards(&txs);
                 shared.diagnose(&p)
+            }
+            Ok(Request::FlowHistory(key)) => {
+                flush_shards(&txs);
+                shared.flow_history(&key)
             }
             Ok(Request::Stats) => shared.stats(),
             Ok(Request::Shutdown) => {
@@ -393,12 +526,17 @@ pub fn spawn(topo: Topology, cfg: ServeConfig, endpoint: Endpoint) -> io::Result
         stores: (0..shards)
             .map(|_| Mutex::new(TelemetryStore::new(cfg.store)))
             .collect(),
+        // The engine's own ring budget is a per-switch safety backstop at
+        // 2x the store's; primary retention is the store-driven horizon
+        // (`retire_before` after each ingest), so give it the headroom to
+        // actually be the thing that fires.
         engine: Mutex::new(IncrementalProvenance::new(
             cfg.replay,
-            cfg.store.epoch_budget,
+            cfg.store.epoch_budget.saturating_mul(2),
         )),
         metrics: Mutex::new(MetricsRegistry::default()),
         stop: AtomicBool::new(false),
+        horizons: (0..shards).map(|_| AtomicU64::new(u64::MAX)).collect(),
     });
 
     let mut txs = Vec::with_capacity(shards);
@@ -487,10 +625,11 @@ mod tests {
                 .collect(),
             engine: Mutex::new(IncrementalProvenance::new(
                 cfg.replay,
-                cfg.store.epoch_budget,
+                cfg.store.epoch_budget.saturating_mul(2),
             )),
             metrics: Mutex::new(MetricsRegistry::default()),
             stop: AtomicBool::new(false),
+            horizons: (0..shards).map(|_| AtomicU64::new(u64::MAX)).collect(),
         }
     }
 

@@ -1,37 +1,70 @@
 //! Epoch-indexed telemetry store: the daemon's source of truth.
 //!
 //! Semantically an append-only log of [`TelemetrySnapshot`]s, physically a
-//! per-switch *canonical* state: epochs deduplicated by (ring slot, epoch
-//! id) keeping the latest-taken version — exactly the reconciliation
-//! [`AggTelemetry::build`](hawkeye_core::AggTelemetry) applies to a raw
-//! snapshot slice — bounded by a configurable per-switch epoch budget
-//! (mirroring the paper's switch-side ring buffers at the controller), with
-//! the cumulative eviction list tracked from the latest snapshot.
+//! per-switch *tiered* state:
+//!
+//! - **Raw ring** — epochs deduplicated by (ring slot, epoch id) keeping
+//!   the latest-taken version — exactly the reconciliation
+//!   [`AggTelemetry::build`](hawkeye_core::AggTelemetry) applies to a raw
+//!   snapshot slice — bounded by a configurable per-switch epoch budget
+//!   (mirroring the paper's switch-side ring buffers at the controller).
+//!   Full-fidelity queries ([`TelemetryStore::snapshots_in`],
+//!   [`TelemetryStore::epoch_detail_at`]) serve this tier only, so
+//!   diagnosis verdicts never depend on compacted data.
+//! - **Compacted tier** — epochs aged past the ring budget are folded into
+//!   [`CompactedEpoch`] aggregate buckets instead of vanishing, bounded by
+//!   a second `compact_budget`. Coarse queries
+//!   ([`TelemetryStore::flow_history`]) extend into this tier.
+//!
+//! Ring eviction is what moves the per-switch **retention horizon**
+//! ([`TelemetryStore::retention_horizon`]): everything ending at or before
+//! it has left the raw ring, and the serve daemon propagates it to
+//! [`IncrementalProvenance::retire_before`](hawkeye_core::IncrementalProvenance)
+//! so store and engine retention stay synchronized.
 //!
 //! Because the canonical form is a pure function of the *set* of accepted
 //! (snapshot, epoch) observations and their `taken_at` stamps — not of
 //! arrival order — ingesting the same snapshots out of order or duplicated
 //! reconstructs byte-identical canonical snapshots (property-tested through
-//! the wire codec in `tests/store_props.rs`).
+//! the wire codec in `tests/store_props.rs`). The compacted tier keeps the
+//! *totals* side of that guarantee: folding is commutative, and a bounded
+//! `folded` version map rejects re-deliveries of already-folded epochs so
+//! nothing is double counted. The one honest caveat: a *superseding*
+//! re-collection of an epoch that was already folded is dropped (and
+//! counted in [`StoreStats::epochs_superseded_after_fold`]) — the bucket
+//! froze the stale version and cannot subtract it.
 
 use hawkeye_sim::{FlowKey, Nanos, NodeId};
-use hawkeye_telemetry::{EpochSnapshot, EvictedFlow, FlowRecord, TelemetrySnapshot};
-use std::collections::{BTreeMap, HashMap};
+use hawkeye_telemetry::{CompactedEpoch, EpochSnapshot, EvictedFlow, TelemetrySnapshot};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Store tuning.
 #[derive(Debug, Clone, Copy)]
 pub struct StoreConfig {
-    /// Maximum epochs retained per switch; the oldest-starting epoch falls
-    /// off first when exceeded.
+    /// Maximum epochs retained per switch in the raw ring; the
+    /// oldest-starting epoch falls off first when exceeded.
     pub epoch_budget: usize,
+    /// Maximum compacted buckets retained per switch; `0` disables the
+    /// compacted tier entirely (aged epochs are dropped, pre-compaction
+    /// behaviour).
+    pub compact_budget: usize,
+    /// Raw epochs folded into one bucket before it is sealed and a new
+    /// one opened; `0` means "one ring's worth" (`epoch_budget`).
+    pub compact_chunk: usize,
 }
 
 impl Default for StoreConfig {
     fn default() -> Self {
         // 256 epochs at the reference 100µs epoch length is ~25ms of
         // history per switch — an order of magnitude beyond the widest
-        // diagnosis window the analyzer requests.
-        StoreConfig { epoch_budget: 256 }
+        // diagnosis window the analyzer requests. 16 buckets of one
+        // ring's worth each extends coarse history ~16x beyond that.
+        StoreConfig {
+            epoch_budget: 256,
+            compact_budget: 16,
+            compact_chunk: 0,
+        }
     }
 }
 
@@ -43,8 +76,48 @@ pub struct StoreStats {
     pub epochs_appended: u64,
     /// Epochs replaced by a later-taken version of themselves.
     pub epochs_superseded: u64,
-    /// Epochs dropped to enforce the per-switch budget.
+    /// Epoch versions rejected because an equal-or-later-taken version was
+    /// already accepted (in the ring or already folded).
+    pub epochs_stale_rejected: u64,
+    /// Epochs aged out of the raw ring to enforce the per-switch budget
+    /// (folded into the compacted tier when it is enabled, dropped when
+    /// not).
     pub epochs_evicted: u64,
+    /// Evicted epochs folded into compacted buckets.
+    pub epochs_compacted: u64,
+    /// Later-taken re-collections of epochs that were already folded —
+    /// dropped, because the bucket cannot subtract the stale version.
+    pub epochs_superseded_after_fold: u64,
+    /// Compacted buckets dropped to enforce `compact_budget`.
+    pub compact_buckets_dropped: u64,
+    /// Raw epochs that were summed inside those dropped buckets.
+    pub compact_epochs_dropped: u64,
+}
+
+/// How much fidelity backs a [`FlowObservation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Fidelity {
+    /// From a compacted bucket: sums over an epoch range.
+    Compacted,
+    /// From a single raw epoch still in the ring.
+    Raw,
+}
+
+/// One row of [`TelemetryStore::flow_history`]: what one switch saw of a
+/// flow over `[from, to)`, either a single raw epoch or a compacted
+/// aggregate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowObservation {
+    pub switch: NodeId,
+    pub from: Nanos,
+    pub to: Nanos,
+    pub fidelity: Fidelity,
+    pub out_port: u8,
+    pub pkt_count: u64,
+    pub paused_count: u64,
+    pub qdepth_sum: u64,
+    /// Raw epochs behind this row (1 for `Fidelity::Raw`).
+    pub epochs: u32,
 }
 
 /// Canonical per-switch state.
@@ -57,9 +130,21 @@ struct SwitchLog {
     nports: usize,
     max_flows: usize,
     evicted: Vec<EvictedFlow>,
-    /// Largest epoch end observed — the switch's ingest watermark. Never
-    /// regresses, even when the epochs behind it age out of the ring.
+    /// Largest *accepted* epoch end observed — the switch's ingest
+    /// watermark. Never regresses, even when the epochs behind it age out
+    /// of the ring; never advanced by stale versions the keep-latest rule
+    /// rejects.
     watermark: Nanos,
+    /// Compacted buckets, oldest first; the back bucket is still open.
+    compacted: VecDeque<CompactedEpoch>,
+    /// (slot, id) -> (taken_at, start) of epochs already folded, so
+    /// re-deliveries are rejected instead of double counted. Bounded by
+    /// the switch's physical ring-key space (slots x 256 ids): a key is
+    /// overwritten when the slot is reused for a new epoch.
+    folded: HashMap<(usize, u8), (Nanos, Nanos)>,
+    /// Largest end among epochs aged out of the raw ring — this switch's
+    /// retention horizon.
+    fold_horizon: Nanos,
 }
 
 /// See module docs.
@@ -68,6 +153,9 @@ pub struct TelemetryStore {
     cfg: StoreConfig,
     switches: BTreeMap<NodeId, SwitchLog>,
     stats: StoreStats,
+    /// Epochs cloned while answering windowed queries — observability for
+    /// the "window queries must not clone the whole ring" guarantee.
+    window_epochs_cloned: AtomicU64,
 }
 
 impl TelemetryStore {
@@ -76,6 +164,7 @@ impl TelemetryStore {
             cfg,
             switches: BTreeMap::new(),
             stats: StoreStats::default(),
+            window_epochs_cloned: AtomicU64::new(0),
         }
     }
 
@@ -93,6 +182,9 @@ impl TelemetryStore {
                 max_flows: snap.max_flows,
                 evicted: snap.evicted.clone(),
                 watermark: Nanos::ZERO,
+                compacted: VecDeque::new(),
+                folded: HashMap::new(),
+                fold_horizon: Nanos::ZERO,
             });
         // Snapshot-level fields follow the latest-taken snapshot (later
         // arrival wins ties), like AggTelemetry's eviction-list rule.
@@ -103,17 +195,40 @@ impl TelemetryStore {
             log.evicted = snap.evicted.clone();
         }
         for ep in &snap.epochs {
-            log.watermark = log.watermark.max(ep.end());
             match log.epochs.get_mut(&(ep.slot, ep.id)) {
-                Some(cur) if snap.taken_at < cur.0 => {}
+                Some(cur) if snap.taken_at < cur.0 => {
+                    self.stats.epochs_stale_rejected += 1;
+                }
                 Some(cur) => {
                     self.stats.epochs_superseded += 1;
                     *cur = (snap.taken_at, ep.clone());
+                    log.watermark = log.watermark.max(ep.end());
                 }
                 None => {
+                    if self.cfg.compact_budget > 0 {
+                        if let Some(&(folded_taken, folded_start)) =
+                            log.folded.get(&(ep.slot, ep.id))
+                        {
+                            // Same epoch (same start) already folded: a
+                            // re-delivery is rejected; a *superseding*
+                            // re-collection is dropped too (the bucket
+                            // froze the stale version — module docs).
+                            // A different start means the switch reused
+                            // the ring key for a new epoch: admit it.
+                            if ep.start == folded_start {
+                                if snap.taken_at <= folded_taken {
+                                    self.stats.epochs_stale_rejected += 1;
+                                } else {
+                                    self.stats.epochs_superseded_after_fold += 1;
+                                }
+                                continue;
+                            }
+                        }
+                    }
                     log.epochs
                         .insert((ep.slot, ep.id), (snap.taken_at, ep.clone()));
                     self.stats.epochs_appended += 1;
+                    log.watermark = log.watermark.max(ep.end());
                 }
             }
         }
@@ -125,8 +240,34 @@ impl TelemetryStore {
                 .min()
                 .map(|(_, slot, id)| (slot, id))
                 .expect("over-budget ring is non-empty");
-            log.epochs.remove(&oldest);
+            let (taken, ep) = log.epochs.remove(&oldest).expect("oldest key exists");
             self.stats.epochs_evicted += 1;
+            log.fold_horizon = log.fold_horizon.max(ep.end());
+            if self.cfg.compact_budget == 0 {
+                continue;
+            }
+            log.folded.insert(oldest, (taken, ep.start));
+            let chunk = match self.cfg.compact_chunk {
+                0 => self.cfg.epoch_budget.max(1),
+                c => c,
+            };
+            if log
+                .compacted
+                .back()
+                .is_none_or(|b| b.epochs as usize >= chunk)
+            {
+                log.compacted.push_back(CompactedEpoch::default());
+            }
+            log.compacted
+                .back_mut()
+                .expect("bucket just ensured")
+                .fold(&ep);
+            self.stats.epochs_compacted += 1;
+            while log.compacted.len() > self.cfg.compact_budget {
+                let dropped = log.compacted.pop_front().expect("over-budget tier");
+                self.stats.compact_buckets_dropped += 1;
+                self.stats.compact_epochs_dropped += u64::from(dropped.epochs);
+            }
         }
     }
 
@@ -158,36 +299,98 @@ impl TelemetryStore {
     /// Canonical snapshots restricted to epochs overlapping `[from, to)`;
     /// switches with no overlapping epoch still appear (with their
     /// eviction list) — a delivered-but-quiet snapshot is evidence of
-    /// quiet, not a blind spot.
+    /// quiet, not a blind spot. Raw ring only: compacted buckets cannot
+    /// participate in a diagnosis window.
+    ///
+    /// Built per switch directly from the log, cloning only the epochs
+    /// that overlap the window (not the whole ring).
     pub fn snapshots_in(&self, from: Nanos, to: Nanos) -> Vec<TelemetrySnapshot> {
-        self.snapshots()
-            .into_iter()
-            .map(|mut s| {
-                s.epochs.retain(|e| e.start < to && e.end() > from);
-                s
+        self.switches
+            .iter()
+            .map(|(&sw, log)| {
+                let mut epochs: Vec<EpochSnapshot> = log
+                    .epochs
+                    .values()
+                    .filter(|(_, e)| e.start < to && e.end() > from)
+                    .map(|(_, e)| {
+                        self.window_epochs_cloned.fetch_add(1, Ordering::Relaxed);
+                        e.clone()
+                    })
+                    .collect();
+                epochs.sort_unstable_by_key(|e| (e.start, e.slot, e.id));
+                TelemetrySnapshot {
+                    switch: sw,
+                    taken_at: log.taken_at,
+                    nports: log.nports,
+                    max_flows: log.max_flows,
+                    epochs,
+                    evicted: log.evicted.clone(),
+                }
             })
             .collect()
     }
 
-    /// Every epoch-level observation of `key`, as (switch, epoch start,
-    /// record), ordered by (start, switch). The store-level flow query —
-    /// e.g. "where was this flow seen in the last N epochs".
-    pub fn flow_history(&self, key: &FlowKey) -> Vec<(NodeId, Nanos, FlowRecord)> {
+    /// The raw epoch covering instant `t` on one switch, if it is still in
+    /// the ring. Full fidelity only — a compacted bucket covering `t`
+    /// yields `None`, by design.
+    pub fn epoch_detail_at(&self, sw: NodeId, t: Nanos) -> Option<EpochSnapshot> {
+        let log = self.switches.get(&sw)?;
+        log.epochs
+            .values()
+            .filter(|(_, e)| e.start <= t && t < e.end())
+            .min_by_key(|(_, e)| (e.start, e.slot, e.id))
+            .map(|(_, e)| e.clone())
+    }
+
+    /// Every observation of `key`, as one row per raw epoch record plus
+    /// one row per compacted-bucket entry, ordered by (from, to, switch,
+    /// fidelity, out port). The store-level flow query — "where was this
+    /// flow seen" — and the one read surface that extends past the raw
+    /// ring into the compacted tier.
+    pub fn flow_history(&self, key: &FlowKey) -> Vec<FlowObservation> {
         let mut out = Vec::new();
         for (&sw, log) in &self.switches {
+            for bucket in &log.compacted {
+                for (fk, out_port, t) in &bucket.flows {
+                    if fk == key {
+                        out.push(FlowObservation {
+                            switch: sw,
+                            from: bucket.from,
+                            to: bucket.to,
+                            fidelity: Fidelity::Compacted,
+                            out_port: *out_port,
+                            pkt_count: t.pkt_count,
+                            paused_count: t.paused_count,
+                            qdepth_sum: t.qdepth_sum,
+                            epochs: t.epochs_active,
+                        });
+                    }
+                }
+            }
             for (_, ep) in log.epochs.values() {
                 for (k, rec) in &ep.flows {
                     if k == key {
-                        out.push((sw, ep.start, *rec));
+                        out.push(FlowObservation {
+                            switch: sw,
+                            from: ep.start,
+                            to: ep.end(),
+                            fidelity: Fidelity::Raw,
+                            out_port: rec.out_port,
+                            pkt_count: u64::from(rec.pkt_count),
+                            paused_count: u64::from(rec.paused_count),
+                            qdepth_sum: rec.qdepth_sum,
+                            epochs: 1,
+                        });
                     }
                 }
             }
         }
-        out.sort_unstable_by_key(|(sw, start, _)| (*start, *sw));
+        out.sort_unstable_by_key(|o| (o.from, o.to, o.switch, o.fidelity, o.out_port));
         out
     }
 
-    /// A switch's ingest watermark: the largest epoch end it has reported.
+    /// A switch's ingest watermark: the largest accepted epoch end it has
+    /// reported.
     pub fn watermark(&self, sw: NodeId) -> Option<Nanos> {
         self.switches.get(&sw).map(|l| l.watermark)
     }
@@ -199,14 +402,63 @@ impl TelemetryStore {
         self.switches.values().map(|l| l.watermark).min()
     }
 
+    /// The fleet retention horizon: every raw epoch ending at or before
+    /// this instant has left every switch's ring (it is compacted or
+    /// gone), so downstream consumers — the incremental engine — can
+    /// retire state behind it. `None` before any ingest;
+    /// [`Nanos::ZERO`] while some switch has yet to evict.
+    pub fn retention_horizon(&self) -> Option<Nanos> {
+        self.switches.values().map(|l| l.fold_horizon).min()
+    }
+
     /// Switches that have reported at least once, in id order.
     pub fn switches(&self) -> Vec<NodeId> {
         self.switches.keys().copied().collect()
     }
 
-    /// Total epochs currently retained.
+    /// Total epochs currently retained in raw rings.
     pub fn epochs_held(&self) -> usize {
         self.switches.values().map(|l| l.epochs.len()).sum()
+    }
+
+    /// Raw epochs summed inside currently retained compacted buckets.
+    pub fn compacted_epochs_held(&self) -> u64 {
+        self.switches
+            .values()
+            .flat_map(|l| l.compacted.iter())
+            .map(|b| u64::from(b.epochs))
+            .sum()
+    }
+
+    /// Compacted buckets currently retained across all switches.
+    pub fn compacted_buckets_held(&self) -> usize {
+        self.switches.values().map(|l| l.compacted.len()).sum()
+    }
+
+    /// One switch's compacted buckets, oldest first.
+    pub fn compacted_of(&self, sw: NodeId) -> Vec<&CompactedEpoch> {
+        self.switches
+            .get(&sw)
+            .map(|l| l.compacted.iter().collect())
+            .unwrap_or_default()
+    }
+
+    /// Approximate resident bytes of retained telemetry: raw epochs at
+    /// wire size plus compacted buckets at their entry-count estimate.
+    /// The retention bench's memory axis.
+    pub fn approx_retained_bytes(&self) -> usize {
+        self.switches
+            .values()
+            .map(|l| {
+                l.epochs.values().map(|(_, e)| e.wire_size()).sum::<usize>()
+                    + l.compacted.iter().map(|b| b.approx_bytes()).sum::<usize>()
+            })
+            .sum()
+    }
+
+    /// Epochs cloned by windowed queries since construction.
+    pub fn window_epochs_cloned(&self) -> u64 {
+        self.window_epochs_cloned.load(Ordering::Relaxed)
     }
 
     pub fn stats(&self) -> &StoreStats {
@@ -267,6 +519,11 @@ mod tests {
         }
     }
 
+    /// Sum of packet counts over a flow's whole history, any fidelity.
+    fn total_pkts(st: &TelemetryStore, k: &FlowKey) -> u64 {
+        st.flow_history(k).iter().map(|o| o.pkt_count).sum()
+    }
+
     #[test]
     fn append_and_query_roundtrip() {
         let mut st = TelemetryStore::default();
@@ -277,6 +534,7 @@ mod tests {
         assert_eq!(st.watermark(NodeId(3)), Some(Nanos(2 << 20)));
         assert_eq!(st.min_watermark(), Some(Nanos(2 << 20)));
         assert_eq!(st.flow_history(&key(1)).len(), 1);
+        assert_eq!(st.flow_history(&key(1))[0].fidelity, Fidelity::Raw);
     }
 
     #[test]
@@ -305,11 +563,33 @@ mod tests {
                 .pkt_count,
             10
         );
+        assert_eq!(st.stats().epochs_stale_rejected, 1);
+    }
+
+    #[test]
+    fn stale_version_does_not_advance_watermark() {
+        let mut st = TelemetryStore::default();
+        st.append(&snap(3, 900, vec![epoch(0, 1, 0)]));
+        assert_eq!(st.watermark(NodeId(3)), Some(Nanos(1 << 20)));
+        // A stale re-collection of the same (slot, id) claiming a longer
+        // epoch must not push the watermark past accepted evidence.
+        let mut stale = epoch(0, 1, 0);
+        stale.len = Nanos(5 << 20);
+        st.append(&snap(3, 500, vec![stale]));
+        assert_eq!(
+            st.watermark(NodeId(3)),
+            Some(Nanos(1 << 20)),
+            "rejected version advanced the watermark"
+        );
+        assert_eq!(st.min_watermark(), Some(Nanos(1 << 20)));
     }
 
     #[test]
     fn budget_evicts_oldest_start() {
-        let mut st = TelemetryStore::new(StoreConfig { epoch_budget: 2 });
+        let mut st = TelemetryStore::new(StoreConfig {
+            epoch_budget: 2,
+            ..StoreConfig::default()
+        });
         st.append(&snap(3, 500, vec![epoch(0, 1, 0)]));
         st.append(&snap(3, 600, vec![epoch(1, 2, 1 << 20)]));
         st.append(&snap(3, 700, vec![epoch(0, 3, 2 << 20)]));
@@ -322,6 +602,112 @@ mod tests {
     }
 
     #[test]
+    fn eviction_folds_into_compacted_tier() {
+        let mut st = TelemetryStore::new(StoreConfig {
+            epoch_budget: 2,
+            compact_budget: 4,
+            compact_chunk: 2,
+        });
+        for i in 0..5u64 {
+            st.append(&snap(
+                3,
+                500 + i,
+                vec![epoch(i as usize, i as u8 + 1, i << 20)],
+            ));
+        }
+        assert_eq!(st.epochs_held(), 2, "ring stays at budget");
+        assert_eq!(st.stats().epochs_evicted, 3);
+        assert_eq!(st.stats().epochs_compacted, 3, "evicted epochs folded");
+        assert_eq!(st.compacted_epochs_held(), 3);
+        assert_eq!(st.compacted_buckets_held(), 2, "chunk of 2 seals buckets");
+        // The horizon is the max end among evicted epochs: 0,1,2 evicted.
+        assert_eq!(st.retention_horizon(), Some(Nanos(3 << 20)));
+        // Flow 3's epoch was folded: raw detail is gone, history remains.
+        assert!(st.epoch_detail_at(NodeId(3), Nanos(2 << 20)).is_none());
+        assert!(st.epoch_detail_at(NodeId(3), Nanos(4 << 20)).is_some());
+        let hist = st.flow_history(&key(3));
+        assert_eq!(hist.len(), 1);
+        assert_eq!(hist[0].fidelity, Fidelity::Compacted);
+        assert_eq!(hist[0].pkt_count, 10);
+    }
+
+    #[test]
+    fn folded_redelivery_is_not_double_counted() {
+        let mut st = TelemetryStore::new(StoreConfig {
+            epoch_budget: 1,
+            compact_budget: 4,
+            compact_chunk: 4,
+        });
+        let first = snap(3, 500, vec![epoch(0, 1, 0)]);
+        st.append(&first);
+        st.append(&snap(3, 600, vec![epoch(1, 2, 1 << 20)]));
+        assert_eq!(st.stats().epochs_compacted, 1);
+        let before = total_pkts(&st, &key(1));
+        st.append(&first); // exact duplicate of the folded epoch
+        assert_eq!(total_pkts(&st, &key(1)), before, "duplicate double counted");
+        assert_eq!(st.stats().epochs_stale_rejected, 1);
+        // A later-taken re-collection of the folded epoch is also dropped
+        // (the bucket cannot subtract the stale version) — but counted.
+        let mut better = epoch(0, 1, 0);
+        better.flows[0].1.pkt_count = 99;
+        st.append(&snap(3, 900, vec![better]));
+        assert_eq!(total_pkts(&st, &key(1)), before);
+        assert_eq!(st.stats().epochs_superseded_after_fold, 1);
+    }
+
+    #[test]
+    fn ring_key_reuse_after_fold_is_admitted() {
+        let mut st = TelemetryStore::new(StoreConfig {
+            epoch_budget: 1,
+            compact_budget: 4,
+            compact_chunk: 4,
+        });
+        st.append(&snap(3, 500, vec![epoch(0, 1, 0)]));
+        st.append(&snap(3, 600, vec![epoch(1, 2, 1 << 20)]));
+        // (slot 0, id 1) folded; the switch's ring wraps and reuses the
+        // key for a genuinely new epoch at a later start.
+        st.append(&snap(3, 700, vec![epoch(0, 1, 8 << 20)]));
+        assert_eq!(st.stats().epochs_appended, 3);
+        assert_eq!(st.watermark(NodeId(3)), Some(Nanos(9 << 20)));
+    }
+
+    #[test]
+    fn compact_budget_zero_drops_aged_epochs() {
+        let mut st = TelemetryStore::new(StoreConfig {
+            epoch_budget: 1,
+            compact_budget: 0,
+            compact_chunk: 0,
+        });
+        st.append(&snap(3, 500, vec![epoch(0, 1, 0)]));
+        st.append(&snap(3, 600, vec![epoch(1, 2, 1 << 20)]));
+        assert_eq!(st.stats().epochs_evicted, 1);
+        assert_eq!(st.stats().epochs_compacted, 0);
+        assert_eq!(st.compacted_buckets_held(), 0);
+        assert!(st.flow_history(&key(1)).is_empty(), "dropped, not folded");
+        // Eviction still drives the retention horizon.
+        assert_eq!(st.retention_horizon(), Some(Nanos(1 << 20)));
+    }
+
+    #[test]
+    fn compact_budget_bounds_bucket_count() {
+        let mut st = TelemetryStore::new(StoreConfig {
+            epoch_budget: 1,
+            compact_budget: 2,
+            compact_chunk: 1,
+        });
+        for i in 0..6u64 {
+            st.append(&snap(
+                3,
+                500 + i,
+                vec![epoch(i as usize, i as u8 + 1, i << 20)],
+            ));
+        }
+        assert_eq!(st.compacted_buckets_held(), 2);
+        assert_eq!(st.stats().compact_buckets_dropped, 3);
+        assert_eq!(st.stats().compact_epochs_dropped, 3);
+    }
+
+    #[test]
     fn window_query_filters_epochs_not_switches() {
         let mut st = TelemetryStore::default();
         st.append(&snap(3, 500, vec![epoch(0, 1, 0)]));
@@ -330,5 +716,38 @@ mod tests {
         assert_eq!(got.len(), 2, "quiet switch still present");
         assert!(got[0].epochs.is_empty());
         assert_eq!(got[1].epochs.len(), 1);
+    }
+
+    #[test]
+    fn window_query_clones_only_the_window() {
+        let mut st = TelemetryStore::default();
+        let epochs: Vec<EpochSnapshot> = (0..64u64)
+            .map(|i| epoch(i as usize, i as u8 + 1, i << 20))
+            .collect();
+        st.append(&snap(3, 500, epochs));
+        let got = st.snapshots_in(Nanos(10 << 20), Nanos(12 << 20));
+        assert_eq!(got[0].epochs.len(), 2);
+        assert_eq!(
+            st.window_epochs_cloned(),
+            2,
+            "windowed query cloned epochs outside the window"
+        );
+        // And the output matches the reference full-clone-then-retain.
+        let mut reference = st.snapshots();
+        for s in &mut reference {
+            s.epochs
+                .retain(|e| e.start < Nanos(12 << 20) && e.end() > Nanos(10 << 20));
+        }
+        assert_eq!(got, reference);
+    }
+
+    #[test]
+    fn epoch_detail_at_finds_covering_epoch() {
+        let mut st = TelemetryStore::default();
+        st.append(&snap(3, 500, vec![epoch(0, 1, 0), epoch(1, 2, 1 << 20)]));
+        let e = st.epoch_detail_at(NodeId(3), Nanos((1 << 20) + 7)).unwrap();
+        assert_eq!(e.id, 2);
+        assert!(st.epoch_detail_at(NodeId(3), Nanos(9 << 20)).is_none());
+        assert!(st.epoch_detail_at(NodeId(9), Nanos(0)).is_none());
     }
 }

@@ -108,7 +108,10 @@ fn diagnose_without_telemetry_is_remote_error() {
     let handle = spawn(
         sc.topo.clone(),
         ServeConfig {
-            store: StoreConfig { epoch_budget: 8 },
+            store: StoreConfig {
+                epoch_budget: 8,
+                ..StoreConfig::default()
+            },
             ..ServeConfig::default()
         },
         Endpoint::Tcp("127.0.0.1:0".into()),

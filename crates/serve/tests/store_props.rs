@@ -161,7 +161,12 @@ proptest! {
             .enumerate()
             .map(|(i, (o, _))| materialize(o, i))
             .collect();
-        let cfg = StoreConfig { epoch_budget: budget };
+        // Compaction off: this property is about the legacy drop path.
+        let cfg = StoreConfig {
+            epoch_budget: budget,
+            compact_budget: 0,
+            compact_chunk: 0,
+        };
 
         let mut inorder = TelemetryStore::new(cfg);
         for s in &snaps {
@@ -180,4 +185,113 @@ proptest! {
             .iter()
             .all(|&sw| inorder.snapshot_of(sw).is_some_and(|s| s.epochs.len() <= budget)));
     }
+
+    /// A store that compacts aged epochs answers `flow_history` *totals*
+    /// and watermarks identically to an unbounded store that never ages
+    /// anything out, across out-of-order and duplicated delivery — the
+    /// compacted tier loses alignment, never counts.
+    ///
+    /// Each (switch, step) appears as exactly one collected version (the
+    /// distinct-key generator below): a *superseding re-collection* of an
+    /// already-folded epoch is the one delivery shape where the tiers
+    /// diverge by design — the bucket froze the stale version and drops
+    /// the newer one (counted in `epochs_superseded_after_fold`).
+    #[test]
+    fn compaction_preserves_totals_and_watermarks(
+        stream in proptest::collection::vec(obs_strategy(), 4..32),
+        dups in proptest::collection::vec(0..64usize, 0..10),
+        budget in 1..4usize,
+    ) {
+        // One version per (switch, step): keep first occurrence.
+        let mut seen = std::collections::HashSet::new();
+        let deduped: Vec<(Obs, u32)> = stream
+            .into_iter()
+            .filter(|((k, _), _)| seen.insert(*k))
+            .collect();
+        let snaps: Vec<TelemetrySnapshot> = deduped
+            .iter()
+            .enumerate()
+            .map(|(i, (o, _))| materialize_distinct_keys(o, i))
+            .collect();
+
+        let unbounded_cfg = StoreConfig {
+            epoch_budget: 1 << 12,
+            compact_budget: 0,
+            compact_chunk: 0,
+        };
+        let tiered_cfg = StoreConfig {
+            epoch_budget: budget,
+            compact_budget: 64, // roomy: bucket drops would lose counts
+            compact_chunk: 2,
+        };
+
+        let mut unbounded = TelemetryStore::new(unbounded_cfg);
+        let mut tiered = TelemetryStore::new(tiered_cfg);
+        for s in &snaps {
+            unbounded.append(s);
+            tiered.append(s);
+        }
+        // Same observations shuffled with duplicates spliced in.
+        let mut order: Vec<usize> = (0..snaps.len()).collect();
+        order.sort_by_key(|&i| (deduped[i].1, i));
+        let mut delivery: Vec<&TelemetrySnapshot> =
+            order.iter().map(|&i| &snaps[i]).collect();
+        for (pos, d) in dups.iter().enumerate() {
+            let dup = &snaps[d % snaps.len()];
+            delivery.insert((pos * 7) % (delivery.len() + 1), dup);
+        }
+        let mut tiered_shuffled = TelemetryStore::new(tiered_cfg);
+        for s in &delivery {
+            tiered_shuffled.append(s);
+        }
+
+        for t in [&tiered, &tiered_shuffled] {
+            prop_assert_eq!(t.stats().compact_epochs_dropped, 0);
+            prop_assert!(t.epochs_held() <= budget * t.switches().len());
+            prop_assert_eq!(unbounded.min_watermark(), t.min_watermark());
+            for sw in unbounded.switches() {
+                prop_assert_eq!(unbounded.watermark(sw), t.watermark(sw));
+            }
+            for f in 0..4u16 {
+                prop_assert_eq!(flow_totals(&unbounded, f), flow_totals(t, f));
+            }
+        }
+        // Nothing was folded twice: accepted epochs agree with the
+        // unbounded store whichever tier they now live in.
+        prop_assert_eq!(
+            tiered.stats().epochs_appended,
+            unbounded.stats().epochs_appended
+        );
+    }
+}
+
+/// `materialize` with ring keys distinct per step (slot = step % 8,
+/// id = step), so keep-latest never merges two different steps — every
+/// accepted epoch is a distinct observation both stores must count.
+fn materialize_distinct_keys(o: &Obs, idx: usize) -> TelemetrySnapshot {
+    let ((_, step), _) = *o;
+    let mut snap = materialize(o, idx);
+    snap.epochs[0].slot = (step % 8) as usize;
+    snap.epochs[0].id = step as u8;
+    for ev in &mut snap.evicted {
+        ev.slot = (step % 8) as usize;
+        ev.epoch_id = step as u8;
+    }
+    snap
+}
+
+/// (pkt, paused, qdepth, epochs) sums over a flow's whole history,
+/// whatever mix of fidelities serves it.
+fn flow_totals(store: &TelemetryStore, f: u16) -> (u64, u64, u64, u64) {
+    store
+        .flow_history(&flow(f))
+        .iter()
+        .fold((0, 0, 0, 0), |acc, o| {
+            (
+                acc.0 + o.pkt_count,
+                acc.1 + o.paused_count,
+                acc.2 + o.qdepth_sum,
+                acc.3 + u64::from(o.epochs),
+            )
+        })
 }

@@ -21,6 +21,7 @@
 //!   full-dump vs zero-filtered wire-size accounting for the overhead
 //!   experiments.
 
+pub mod compact;
 pub mod epoch;
 pub mod snapshot;
 pub mod status;
@@ -28,6 +29,7 @@ pub mod switch_state;
 pub mod tables;
 pub mod wire;
 
+pub use compact::{CompactedEpoch, FlowTotals, PortTotals};
 pub use epoch::{EpochConfig, EPOCH_ID_BITS};
 pub use snapshot::{
     EpochSnapshot, TelemetrySnapshot, EPOCH_HEADER_BYTES, FLOW_ENTRY_BYTES, METER_ENTRY_BYTES,
@@ -36,4 +38,6 @@ pub use snapshot::{
 pub use status::PortStatusRegisters;
 pub use switch_state::{SwitchTelemetry, TelemetryConfig};
 pub use tables::{CausalityMeter, EvictedFlow, FlowRecord, FlowTable, PortRecord, PortTable};
-pub use wire::{decode_snapshot, encode_snapshot, CodecError, WIRE_VERSION};
+pub use wire::{
+    decode_compacted, decode_snapshot, encode_compacted, encode_snapshot, CodecError, WIRE_VERSION,
+};

@@ -12,6 +12,7 @@
 //! input bytes exactly (there is one representation per value), which the
 //! store's byte-for-byte reconciliation tests rely on.
 
+use crate::compact::{CompactedEpoch, FlowTotals, PortTotals};
 use crate::snapshot::{EpochSnapshot, TelemetrySnapshot};
 use crate::tables::{EvictedFlow, FlowRecord, PortRecord};
 use hawkeye_sim::{FlowKey, Nanos, NodeId};
@@ -273,6 +274,114 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<TelemetrySnapshot, CodecError> {
     })
 }
 
+/// Encode a compacted bucket into the versioned binary layout. The layout
+/// shares [`WIRE_VERSION`] with snapshots but leads with a distinct kind
+/// byte, so a compacted frame can never be misparsed as a raw snapshot.
+pub fn encode_compacted(c: &CompactedEpoch) -> Vec<u8> {
+    let mut w = Writer {
+        buf: Vec::with_capacity(32 + c.flows.len() * 48),
+    };
+    w.u8(WIRE_VERSION);
+    w.u8(KIND_COMPACTED);
+    w.u64(c.from.0);
+    w.u64(c.to.0);
+    w.u32(c.epochs);
+    w.count(c.flows.len());
+    for (key, out_port, t) in &c.flows {
+        w.flow_key(key);
+        w.u8(*out_port);
+        w.u64(t.pkt_count);
+        w.u64(t.paused_count);
+        w.u64(t.qdepth_sum);
+        w.u32(t.epochs_active);
+    }
+    w.count(c.ports.len());
+    for (p, t) in &c.ports {
+        w.u8(*p);
+        w.u64(t.pkt_count);
+        w.u64(t.paused_count);
+        w.u64(t.qdepth_sum);
+    }
+    w.count(c.meter.len());
+    for (ip, op, bytes) in &c.meter {
+        w.u8(*ip);
+        w.u8(*op);
+        w.u64(*bytes);
+    }
+    w.buf
+}
+
+/// Kind byte after the version tag distinguishing a compacted bucket from
+/// a raw snapshot stream (snapshots predate the kind byte; their second
+/// byte is the low byte of a switch id, so compacted frames use a value a
+/// decode of the wrong type rejects loudly in tests).
+const KIND_COMPACTED: u8 = 0xC0;
+
+/// Decode a compacted bucket; rejects trailing garbage, like
+/// [`decode_snapshot`].
+pub fn decode_compacted(bytes: &[u8]) -> Result<CompactedEpoch, CodecError> {
+    let mut r = Reader { buf: bytes, pos: 0 };
+    let v = r.u8()?;
+    if v != WIRE_VERSION {
+        return Err(CodecError::Version(v));
+    }
+    let kind = r.u8()?;
+    if kind != KIND_COMPACTED {
+        return Err(CodecError::Version(kind));
+    }
+    let from = Nanos(r.u64()?);
+    let to = Nanos(r.u64()?);
+    let epochs = r.u32()?;
+    let nflows = r.count("compacted flows")?;
+    let mut flows = Vec::with_capacity(nflows);
+    for _ in 0..nflows {
+        let key = r.flow_key()?;
+        let out_port = r.u8()?;
+        flows.push((
+            key,
+            out_port,
+            FlowTotals {
+                pkt_count: r.u64()?,
+                paused_count: r.u64()?,
+                qdepth_sum: r.u64()?,
+                epochs_active: r.u32()?,
+            },
+        ));
+    }
+    let nports = r.count("compacted ports")?;
+    let mut ports = Vec::with_capacity(nports);
+    for _ in 0..nports {
+        let p = r.u8()?;
+        ports.push((
+            p,
+            PortTotals {
+                pkt_count: r.u64()?,
+                paused_count: r.u64()?,
+                qdepth_sum: r.u64()?,
+            },
+        ));
+    }
+    let nmeter = r.count("compacted meter")?;
+    let mut meter = Vec::with_capacity(nmeter);
+    for _ in 0..nmeter {
+        meter.push((r.u8()?, r.u8()?, r.u64()?));
+    }
+    if r.pos != bytes.len() {
+        return Err(CodecError::Truncated {
+            need: r.pos,
+            have: bytes.len(),
+        });
+    }
+    Ok(CompactedEpoch {
+        from,
+        to,
+        epochs,
+        flows,
+        ports,
+        meter,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -366,6 +475,50 @@ mod tests {
         let mut bytes = encode_snapshot(&sample());
         bytes[0] = 99;
         assert_eq!(decode_snapshot(&bytes), Err(CodecError::Version(99)));
+    }
+
+    fn sample_compacted() -> CompactedEpoch {
+        let mut c = CompactedEpoch::default();
+        for ep in &sample().epochs {
+            c.fold(ep);
+        }
+        c.fold(&sample().epochs[0]);
+        c
+    }
+
+    #[test]
+    fn compacted_roundtrip_is_identity() {
+        let c = sample_compacted();
+        let bytes = encode_compacted(&c);
+        let back = decode_compacted(&bytes).expect("valid bytes decode");
+        assert_eq!(back, c);
+        assert_eq!(encode_compacted(&back), bytes, "encoding is canonical");
+    }
+
+    #[test]
+    fn compacted_truncation_detected_at_every_length() {
+        let bytes = encode_compacted(&sample_compacted());
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_compacted(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn compacted_trailing_garbage_rejected() {
+        let mut bytes = encode_compacted(&sample_compacted());
+        bytes.push(0);
+        assert!(decode_compacted(&bytes).is_err());
+    }
+
+    #[test]
+    fn compacted_and_snapshot_frames_do_not_cross_decode() {
+        let snap_bytes = encode_snapshot(&sample());
+        assert!(decode_compacted(&snap_bytes).is_err());
+        let comp_bytes = encode_compacted(&sample_compacted());
+        assert!(decode_snapshot(&comp_bytes).is_err());
     }
 
     #[test]

@@ -58,6 +58,34 @@ EOF
 rm -f "$serve_out"
 test ! -e "$serve_sock" || { echo "stale socket file left behind"; exit 1; }
 
+echo "==> retention smoke (tiny ring budget, compaction + engine retirement)"
+# Long-running-serve retention through the release CLI: a ring budget far
+# below the replay's epoch count forces store eviction, snapshot
+# compaction and horizon-driven engine retirement — while the served
+# verdict must stay Correct and at parity (diagnosis reads the raw ring
+# only) and the victim's history must span both fidelity tiers.
+retention_out=$(mktemp)
+timeout 120 ./target/release/hawkeye serve --replay incast \
+  --epoch-budget 2 --history --json > "$retention_out"
+python3 - "$retention_out" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+d = doc["daemon"]
+assert doc["verdict"] == "Correct", f"verdict {doc['verdict']!r} under tight budget"
+assert doc["parity"] is True, "compaction changed the served diagnosis"
+assert d["store_epochs_held"] <= 2 * d["store_switches"], \
+    f"raw rings over budget: {d['store_epochs_held']} > 2x{d['store_switches']}"
+assert d["store_epochs_compacted_held"] > 0, "eviction never compacted an epoch"
+assert d["engine_epochs_retired_total"] > 0, "engine retirement never fired"
+hist = doc["history"]
+assert {r["fidelity"] for r in hist} == {"raw", "compacted"}, \
+    f"history missing a fidelity tier: {sorted({r['fidelity'] for r in hist})}"
+print("retention smoke ok:", d["store_epochs_held"], "raw epochs held,",
+      d["store_epochs_compacted_held"], "compacted,",
+      d["engine_epochs_retired_total"], "retired")
+EOF
+rm -f "$retention_out"
+
 echo "==> bench smoke (1 sample, tiny budget, jobs=2)"
 # Exercises the micro-bench harness end to end — queue speedup numbers,
 # overhead check, sweep wall-clock, BENCH_2.json write — at a budget small
