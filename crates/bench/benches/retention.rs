@@ -23,6 +23,7 @@ fn unbounded_cfg() -> StoreConfig {
         epoch_budget: usize::MAX,
         compact_budget: 0,
         compact_chunk: 0,
+        ..StoreConfig::default()
     }
 }
 
@@ -33,6 +34,7 @@ fn tiered_cfg() -> StoreConfig {
         // the oldest aggregates age out of the deque mid-stream.
         compact_budget: 8,
         compact_chunk: BUDGET,
+        ..StoreConfig::default()
     }
 }
 

@@ -12,6 +12,7 @@
 //! hawkeye chaos    [--rates R,..] [--trials N] [--out F]   fault-rate sweep, accuracy table
 //! hawkeye serve    [--replay KIND] [--socket P|--tcp A]    online diagnosis daemon
 //!                  [--epoch-budget N] [--history]
+//! hawkeye serve-stats --socket P|--tcp A [--json]          observability view of a daemon
 //! ```
 //! Kinds: incast, storm, inloop, oolc, oolinj, contention.
 //!
@@ -189,7 +190,8 @@ fn parse_opts(args: &[String]) -> Result<(Opts, Vec<String>), String> {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: hawkeye <scenario|matrix|methods|cbd|dot|resources|summary|trace|chaos|serve> \
+        "usage: hawkeye <scenario|matrix|methods|cbd|dot|resources|summary|trace|chaos|serve\
+         |serve-stats> \
          [kind] [--load F] [--seed N] [--jobs N] [--json] [--format jsonl|chrome] \
          [--rates R,R,..] [--trials N] [--out F] \
          [--socket PATH] [--tcp ADDR] [--replay KIND] [--epoch-budget N] [--history]\n\
@@ -377,7 +379,12 @@ fn cmd_summary(kind: ScenarioKind, o: &Opts) {
     if o.json {
         let doc = serde::Value::Object(vec![
             ("summary".to_string(), s.to_value()),
-            ("metrics".to_string(), reg.snapshot().to_value()),
+            // Shared with the serve daemon's Metrics handler so both
+            // surfaces stay byte-identical (see emit::golden tests).
+            (
+                "metrics".to_string(),
+                hawkeye_obs::emit::metrics_value(&reg.snapshot()),
+            ),
         ]);
         println!(
             "{}",
@@ -549,6 +556,14 @@ fn cmd_serve(o: &Opts) {
             .ok()
     });
     let stats = client.stats().ok();
+    let obs = client
+        .metrics()
+        .map_err(|e| eprintln!("hawkeye: metrics fetch failed: {e}"))
+        .ok();
+    let explain = served
+        .is_some()
+        .then(|| client.explain(None).ok())
+        .flatten();
     let history = if o.history {
         client
             .flow_history(sc.truth.victim)
@@ -602,6 +617,22 @@ fn cmd_serve(o: &Opts) {
         if let Some(stats) = stats {
             doc.push(("daemon".to_string(), stats));
         }
+        if let Some((snap, flight)) = &obs {
+            if let Some(p99) = snap
+                .histogram(hawkeye_obs::names::OP_DIAGNOSE_NS)
+                .and_then(|h| h.percentile(0.99))
+            {
+                doc.push(("diagnose_p99_ns".to_string(), serde::Value::UInt(p99)));
+            }
+            doc.push((
+                "metrics".to_string(),
+                hawkeye_obs::emit::metrics_value(snap),
+            ));
+            doc.push(("flight".to_string(), flight.clone()));
+        }
+        if let Some(rec) = &explain {
+            doc.push(("explain".to_string(), rec.to_value()));
+        }
         if let Some(rows) = &history {
             doc.push((
                 "history".to_string(),
@@ -635,6 +666,30 @@ fn cmd_serve(o: &Opts) {
                 serde_json::to_string(&stats).expect("value serialization is infallible")
             );
         }
+        if let Some((snap, _)) = &obs {
+            if let Some(h) = snap.histogram(hawkeye_obs::names::OP_DIAGNOSE_NS) {
+                println!(
+                    "diagnose : {} calls, p50 {} ns, p99 {} ns",
+                    h.count,
+                    h.percentile(0.50).unwrap_or(0),
+                    h.percentile(0.99).unwrap_or(0)
+                );
+            }
+        }
+        if let Some(rec) = &explain {
+            println!(
+                "explain  : verdict #{} {} ({}), {} epochs from {} switches, \
+                 {} dirty, frags {}r/{}c",
+                rec.seq,
+                rec.signature_row,
+                rec.confidence,
+                rec.contributing_epochs,
+                rec.contributing_switches.len(),
+                rec.dirty_switches.len(),
+                rec.frags_reused,
+                rec.frags_recomputed
+            );
+        }
         if let Some(rows) = &history {
             let raw = rows
                 .iter()
@@ -652,6 +707,114 @@ fn cmd_serve(o: &Opts) {
     }
     if !parity {
         std::process::exit(1);
+    }
+}
+
+/// `hawkeye serve-stats`: the observability view of a *running* daemon —
+/// counters, per-op latency percentiles, health gauges, the flight-ring
+/// tail and the latest verdict's audit record, over the `Metrics` and
+/// `Explain` wire ops. Point it at the daemon's `--socket`/`--tcp`.
+fn cmd_serve_stats(o: &Opts) {
+    use hawkeye_serve::ServeClient;
+
+    let client = match (&o.socket, &o.tcp) {
+        (Some(path), _) => ServeClient::connect_unix(std::path::Path::new(path)),
+        (None, Some(addr)) => ServeClient::connect_tcp(addr),
+        (None, None) => {
+            eprintln!("hawkeye: serve-stats requires --socket PATH or --tcp ADDR");
+            usage()
+        }
+    };
+    let mut client = match client {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("hawkeye: cannot connect to daemon: {e}");
+            std::process::exit(1);
+        }
+    };
+    let (snap, flight) = match client.metrics() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("hawkeye: metrics fetch failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    // No verdict journaled yet is a normal state, not an error.
+    let explain = client.explain(None).ok();
+
+    if o.json {
+        let mut doc = vec![
+            (
+                "metrics".to_string(),
+                hawkeye_obs::emit::metrics_value(&snap),
+            ),
+            ("flight".to_string(), flight),
+        ];
+        if let Some(rec) = &explain {
+            doc.push(("explain".to_string(), rec.to_value()));
+        }
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&serde::Value::Object(doc))
+                .expect("value serialization is infallible")
+        );
+        return;
+    }
+
+    for (name, total) in hawkeye_obs::emit::counter_totals(&snap) {
+        println!("{name:<28} {total}");
+    }
+    for g in &snap.gauges {
+        println!("{:<28} {}", g.key, g.value);
+    }
+    for name in [
+        hawkeye_obs::names::OP_INGEST_NS,
+        hawkeye_obs::names::OP_DIAGNOSE_NS,
+        hawkeye_obs::names::OP_FLOW_HISTORY_NS,
+        hawkeye_obs::names::OP_STATS_NS,
+        hawkeye_obs::names::OP_METRICS_NS,
+        hawkeye_obs::names::OP_EXPLAIN_NS,
+    ] {
+        if let Some(h) = snap.histogram(name) {
+            println!(
+                "{name:<28} {} calls, p50 {} ns, p99 {} ns, max {} ns",
+                h.count,
+                h.percentile(0.50).unwrap_or(0),
+                h.percentile(0.99).unwrap_or(0),
+                h.max
+            );
+        }
+    }
+    if let Some(events) = flight.as_array() {
+        println!("flight ring: {} events", events.len());
+        for e in events.iter().rev().take(8) {
+            println!(
+                "  [{}] {} {}: {}",
+                e.get("seq").and_then(|v| v.as_u64()).unwrap_or(0),
+                e.get("kind").and_then(|v| v.as_str()).unwrap_or("?"),
+                e.get("what").and_then(|v| v.as_str()).unwrap_or("?"),
+                e.get("detail").and_then(|v| v.as_str()).unwrap_or("")
+            );
+        }
+    }
+    match &explain {
+        Some(rec) => println!(
+            "latest verdict: #{} {} → {} ({}), {} epochs from {} switches, \
+             {} dirty, frags {}r/{}c, stages {}/{}/{} ns",
+            rec.seq,
+            rec.victim,
+            rec.signature_row,
+            rec.confidence,
+            rec.contributing_epochs,
+            rec.contributing_switches.len(),
+            rec.dirty_switches.len(),
+            rec.frags_reused,
+            rec.frags_recomputed,
+            rec.stage_collect_ns,
+            rec.stage_graph_ns,
+            rec.stage_match_ns
+        ),
+        None => println!("latest verdict: none journaled yet"),
     }
 }
 
@@ -701,6 +864,7 @@ fn main() {
         ("trace", Some(k)) => cmd_trace(k, &opts),
         ("chaos", None) => cmd_chaos(&opts),
         ("serve", None) => cmd_serve(&opts),
+        ("serve-stats", None) => cmd_serve_stats(&opts),
         _ => usage(),
     }
 }

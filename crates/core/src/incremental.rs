@@ -377,6 +377,15 @@ impl IncrementalProvenance {
         &self.stats
     }
 
+    /// Switches whose fragments are pending recomputation: dirtied by
+    /// apply/retire since the last [`refresh`](Self::refresh). The serve
+    /// daemon's audit trail records this set at diagnose time — it is
+    /// exactly the telemetry that changed since the graph was last
+    /// rebuilt.
+    pub fn dirty_switches(&self) -> Vec<NodeId> {
+        self.dirty.iter().copied().collect()
+    }
+
     /// The batch-equivalent window of the current state: everything after
     /// the horizon. Feeding [`AggTelemetry::build`] the same snapshots with
     /// this window yields the aggregate this engine maintains.

@@ -5,7 +5,9 @@
 //! the same seed emit byte-identical output.
 
 use crate::event::{TraceEvent, TraceRecord};
-use serde::Value;
+use crate::metrics::{bucket_upper, MetricsSnapshot};
+use serde::{Serialize, Value};
+use std::fmt::Write as _;
 
 /// Emit records as JSONL: one compact JSON object per line, trailing
 /// newline after each record.
@@ -14,6 +16,80 @@ pub fn jsonl<'a>(records: impl IntoIterator<Item = &'a TraceRecord>) -> String {
     for rec in records {
         out.push_str(&serde_json::to_string(rec).expect("trace records always serialize"));
         out.push('\n');
+    }
+    out
+}
+
+/// The one metrics-JSON shape every surface shares: the snapshot's derived
+/// serialization, verbatim. The CLI `summary --json` path and the serve
+/// daemon's Stats / metrics ops all go through here so their `"metrics"`
+/// sections can never drift apart (golden-tested).
+pub fn metrics_value(snap: &MetricsSnapshot) -> Value {
+    snap.to_value()
+}
+
+/// Per-name counter totals with labels summed, sorted by name — the flat
+/// counter section of the serve daemon's Stats response.
+pub fn counter_totals(snap: &MetricsSnapshot) -> Vec<(String, u64)> {
+    let mut totals: Vec<(String, u64)> = Vec::new();
+    for e in &snap.counters {
+        let base = e.key.split('{').next().unwrap_or(&e.key);
+        match totals.iter_mut().find(|(n, _)| n == base) {
+            Some((_, v)) => *v += e.value,
+            None => totals.push((base.to_string(), e.value)),
+        }
+    }
+    totals.sort_by(|a, b| a.0.cmp(&b.0));
+    totals
+}
+
+/// Split a rendered metric key into `(name, inner_labels)`, where
+/// `inner_labels` is the `switch=3,port=1` part without braces ("" if none).
+fn split_key(key: &str) -> (&str, &str) {
+    match key.find('{') {
+        Some(i) => (&key[..i], key[i + 1..].trim_end_matches('}')),
+        None => (key, ""),
+    }
+}
+
+/// Render a snapshot in the Prometheus text exposition format.
+///
+/// Counters and gauges emit one `name{labels} value` line each. Histograms
+/// emit cumulative `_bucket` lines with `le` set to each non-empty log2
+/// bucket's inclusive upper bound, a `+Inf` bucket, and `_sum` / `_count`
+/// lines — the shape `histogram_quantile()` expects.
+pub fn prometheus(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for c in &snap.counters {
+        writeln!(out, "{} {}", c.key, c.value).unwrap();
+    }
+    for g in &snap.gauges {
+        writeln!(out, "{} {}", g.key, g.value).unwrap();
+    }
+    for h in &snap.histograms {
+        let (name, inner) = split_key(&h.key);
+        let with = |extra: &str| -> String {
+            if inner.is_empty() {
+                format!("{{{extra}}}")
+            } else {
+                format!("{{{inner},{extra}}}")
+            }
+        };
+        let plain = if inner.is_empty() {
+            String::new()
+        } else {
+            format!("{{{inner}}}")
+        };
+        let mut cum = 0u64;
+        for &(i, c) in &h.buckets {
+            cum += c;
+            let le = with(&format!("le=\"{}\"", bucket_upper(i as usize)));
+            writeln!(out, "{name}_bucket{le} {cum}").unwrap();
+        }
+        let inf = with("le=\"+Inf\"");
+        writeln!(out, "{name}_bucket{inf} {}", h.count).unwrap();
+        writeln!(out, "{name}_sum{plain} {}", h.sum).unwrap();
+        writeln!(out, "{name}_count{plain} {}", h.count).unwrap();
     }
     out
 }
@@ -430,5 +506,71 @@ mod tests {
         let out = chrome_trace(&[]);
         let doc = serde_json::parse(&out).unwrap();
         assert!(doc.get("traceEvents").unwrap().as_array().unwrap().len() == 1);
+    }
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        use crate::metrics::{MetricKey, MetricsRegistry};
+        let mut reg = MetricsRegistry::new();
+        reg.add(MetricKey::global("epochs_ingested"), 7);
+        reg.add(MetricKey::at_switch("epochs_ingested", 2), 3);
+        reg.add(MetricKey::at_switch("epochs_ingested", 0), 1);
+        reg.set(MetricKey::global("goodput_bps"), 2.5e9);
+        for v in [0u64, 3, 3, 900] {
+            reg.observe(MetricKey::at_port("lat_ns", 1, 0), v);
+        }
+        reg.snapshot()
+    }
+
+    #[test]
+    fn metrics_value_is_snapshot_to_value() {
+        let snap = sample_snapshot();
+        assert_eq!(metrics_value(&snap), snap.to_value());
+    }
+
+    /// Golden bytes for the shared metrics-JSON shape: the CLI `summary
+    /// --json` "metrics" section and the daemon's `Metrics` response both
+    /// go through [`metrics_value`], so this string IS the wire format —
+    /// a change here breaks both surfaces at once, on purpose.
+    #[test]
+    fn metrics_value_golden_bytes() {
+        use crate::metrics::{MetricKey, MetricsRegistry};
+        let mut reg = MetricsRegistry::new();
+        reg.add(MetricKey::global("epochs_ingested"), 7);
+        reg.set(MetricKey::global("goodput_bps"), 2.5e9);
+        for v in [0u64, 3, 3, 900] {
+            reg.observe(MetricKey::at_port("lat_ns", 1, 0), v);
+        }
+        let out = serde_json::to_string(&metrics_value(&reg.snapshot()))
+            .expect("value serialization is infallible");
+        assert_eq!(
+            out,
+            r#"{"counters":[{"key":"epochs_ingested","value":7}],"gauges":[{"key":"goodput_bps","value":2500000000.0}],"histograms":[{"key":"lat_ns{switch=1,port=0}","count":4,"sum":906,"min":0,"max":900,"buckets":[[0,1],[2,2],[10,1]]}]}"#
+        );
+    }
+
+    #[test]
+    fn counter_totals_folds_labels_sorted() {
+        let totals = counter_totals(&sample_snapshot());
+        assert_eq!(totals, vec![("epochs_ingested".to_string(), 11)]);
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let out = prometheus(&sample_snapshot());
+        assert!(out.contains("epochs_ingested 7\n"));
+        assert!(out.contains("epochs_ingested{switch=2} 3\n"));
+        assert!(out.contains("goodput_bps 2500000000\n"));
+        // Histogram: buckets 0 (value 0), 2 (two 3s), 10 (900) → cumulative
+        // counts 1, 3, 4 at le = 0, 3, 1023; then +Inf / sum / count.
+        assert!(out.contains("lat_ns_bucket{switch=1,port=0,le=\"0\"} 1\n"));
+        assert!(out.contains("lat_ns_bucket{switch=1,port=0,le=\"3\"} 3\n"));
+        assert!(out.contains("lat_ns_bucket{switch=1,port=0,le=\"1023\"} 4\n"));
+        assert!(out.contains("lat_ns_bucket{switch=1,port=0,le=\"+Inf\"} 4\n"));
+        assert!(out.contains("lat_ns_sum{switch=1,port=0} 906\n"));
+        assert!(out.contains("lat_ns_count{switch=1,port=0} 4\n"));
+        // Every line is `key value`.
+        for line in out.lines() {
+            assert_eq!(line.split(' ').count(), 2, "bad line {line:?}");
+        }
     }
 }

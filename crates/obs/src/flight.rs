@@ -1,0 +1,184 @@
+//! Flight recorder: a bounded ring of recent serve-plane events.
+//!
+//! The daemon is long-running and mostly quiet; when something goes wrong
+//! the question is always "what happened in the last few seconds". The
+//! recorder keeps the most recent N events — request notes, warnings, slow
+//! ops, errors — cheaply in memory, timestamped with wall-clock
+//! microseconds since the recorder started, and dumps them on demand
+//! (`OP_METRICS`) or when an operator asks. Unlike [`crate::Tracer`], which
+//! records *sim-time* analyzer events, flight events carry free-form detail
+//! strings because the serve plane is non-deterministic anyway.
+
+use serde::Value;
+use std::collections::VecDeque;
+use std::time::Instant;
+
+/// Event kinds (the `kind` field of every [`FlightEvent`]).
+pub const REQUEST: &str = "request";
+pub const WARNING: &str = "warning";
+pub const SLOW: &str = "slow";
+pub const ERROR: &str = "error";
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Monotonically increasing sequence number (never reused, so gaps
+    /// reveal how much the ring dropped).
+    pub seq: u64,
+    /// Wall-clock microseconds since the recorder was created.
+    pub at_us: u64,
+    /// One of [`REQUEST`], [`WARNING`], [`SLOW`], [`ERROR`].
+    pub kind: &'static str,
+    /// Short machine-matchable label, e.g. `"ingest_shed"`.
+    pub what: &'static str,
+    /// Free-form human detail.
+    pub detail: String,
+}
+
+/// Bounded ring of [`FlightEvent`]s. Oldest events are evicted first.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    started: Instant,
+    buf: VecDeque<FlightEvent>,
+    capacity: usize,
+    next_seq: u64,
+    dropped: u64,
+    warnings: u64,
+}
+
+impl FlightRecorder {
+    pub fn new(capacity: usize) -> FlightRecorder {
+        FlightRecorder {
+            started: Instant::now(),
+            buf: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            next_seq: 0,
+            dropped: 0,
+            warnings: 0,
+        }
+    }
+
+    /// Record an event. With capacity 0 this is (almost) free: nothing is
+    /// stored, only `dropped` advances.
+    pub fn note(&mut self, kind: &'static str, what: &'static str, detail: String) {
+        if kind == WARNING {
+            self.warnings += 1;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(FlightEvent {
+            seq,
+            at_us: self.started.elapsed().as_micros() as u64,
+            kind,
+            what,
+            detail,
+        });
+    }
+
+    /// Shorthand for a WARNING-kind event.
+    pub fn warn(&mut self, what: &'static str, detail: String) {
+        self.note(WARNING, what, detail);
+    }
+
+    /// Events currently held, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &FlightEvent> {
+        self.buf.iter()
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events evicted (or never stored) because of the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total WARNING-kind events ever recorded (evicted ones included).
+    pub fn warnings(&self) -> u64 {
+        self.warnings
+    }
+
+    /// Serialize the ring for the metrics wire op: an array of
+    /// `{seq, at_us, kind, what, detail}` objects, oldest first.
+    pub fn to_value(&self) -> Value {
+        Value::Array(
+            self.buf
+                .iter()
+                .map(|e| {
+                    Value::Object(vec![
+                        ("seq".into(), Value::UInt(e.seq)),
+                        ("at_us".into(), Value::UInt(e.at_us)),
+                        ("kind".into(), Value::Str(e.kind.into())),
+                        ("what".into(), Value::Str(e.what.into())),
+                        ("detail".into(), Value::Str(e.detail.clone())),
+                    ])
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest_and_tracks_drops() {
+        let mut fr = FlightRecorder::new(3);
+        for i in 0..5u64 {
+            fr.note(REQUEST, "op", format!("r{i}"));
+        }
+        assert_eq!(fr.len(), 3);
+        assert_eq!(fr.dropped(), 2);
+        let seqs: Vec<u64> = fr.events().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4]); // oldest evicted, seq never reused
+    }
+
+    #[test]
+    fn capacity_zero_stores_nothing() {
+        let mut fr = FlightRecorder::new(0);
+        fr.warn("ingest_shed", "shard 1".into());
+        assert!(fr.is_empty());
+        assert_eq!(fr.dropped(), 1);
+        assert_eq!(fr.warnings(), 1); // warning count survives the drop
+    }
+
+    #[test]
+    fn to_value_shape() {
+        let mut fr = FlightRecorder::new(4);
+        fr.note(ERROR, "decode", "bad frame".into());
+        let v = fr.to_value();
+        let arr = v.as_array().unwrap();
+        assert_eq!(arr.len(), 1);
+        assert_eq!(arr[0].get("kind").unwrap().as_str(), Some("error"));
+        assert_eq!(arr[0].get("what").unwrap().as_str(), Some("decode"));
+        assert_eq!(arr[0].get("seq").unwrap().as_u64(), Some(0));
+    }
+
+    #[test]
+    fn warnings_counted_across_kinds() {
+        let mut fr = FlightRecorder::new(8);
+        fr.note(REQUEST, "op", String::new());
+        fr.warn("lag", "shard 0 behind".into());
+        fr.note(SLOW, "diagnose", "12ms".into());
+        assert_eq!(fr.warnings(), 1);
+        assert_eq!(fr.len(), 3);
+    }
+}

@@ -26,12 +26,14 @@
 
 pub mod emit;
 pub mod event;
+pub mod flight;
 pub mod metrics;
 pub mod span;
 pub mod tracer;
 
 pub use event::{kind, TraceEvent, TraceRecord};
-pub use metrics::{MetricKey, MetricsRegistry, MetricsSnapshot};
+pub use flight::{FlightEvent, FlightRecorder};
+pub use metrics::{Histogram, HistogramEntry, MetricKey, MetricsRegistry, MetricsSnapshot};
 pub use span::{SpanRecord, Stage, StageProfile};
 pub use tracer::Tracer;
 
@@ -49,6 +51,46 @@ pub mod names {
     pub const SERVE_SESSIONS: &str = "serve_sessions";
     /// Epochs the incremental engine retired behind the retention horizon.
     pub const ENGINE_EPOCHS_RETIRED: &str = "engine_epochs_retired";
+
+    // --- serve-plane request latency histograms (wall-clock ns) ---------
+
+    /// IngestEpoch request handling latency.
+    pub const OP_INGEST_NS: &str = "op_ingest_ns";
+    /// Diagnose request handling latency (includes the flush barrier).
+    pub const OP_DIAGNOSE_NS: &str = "op_diagnose_ns";
+    /// FlowHistory request handling latency.
+    pub const OP_FLOW_HISTORY_NS: &str = "op_flow_history_ns";
+    /// Stats request handling latency.
+    pub const OP_STATS_NS: &str = "op_stats_ns";
+    /// Metrics request handling latency.
+    pub const OP_METRICS_NS: &str = "op_metrics_ns";
+    /// Explain (audit-trail) request handling latency.
+    pub const OP_EXPLAIN_NS: &str = "op_explain_ns";
+
+    // --- serve-plane pipeline stage timings (wall-clock ns, counters) ---
+
+    /// Wall time in `TelemetryStore::append` admitting into the raw ring
+    /// (everything except the eviction/fold loop).
+    pub const STAGE_APPEND_NS: &str = "stage_append_ns";
+    /// Wall time folding evicted raw epochs into compacted buckets.
+    pub const STAGE_FOLD_NS: &str = "stage_fold_ns";
+    /// Wall time applying snapshots to the incremental engine.
+    pub const STAGE_ENGINE_APPLY_NS: &str = "stage_engine_apply_ns";
+    /// Wall time retiring engine state behind the retention horizon.
+    pub const STAGE_RETIRE_NS: &str = "stage_retire_ns";
+
+    // --- serve-plane health gauges and warning counters ------------------
+
+    /// Per-shard ingest queue depth (gauge, labelled by shard index).
+    pub const SHARD_QUEUE_DEPTH: &str = "shard_queue_depth";
+    /// Per-shard watermark lag behind the fleet-max watermark (gauge, ns).
+    pub const SHARD_WATERMARK_LAG_NS: &str = "shard_watermark_lag_ns";
+    /// Fleet-max watermark minus the retention horizon (gauge, ns).
+    pub const RETENTION_LAG_NS: &str = "retention_lag_ns";
+    /// Requests slower than the configured slow-op threshold.
+    pub const SLOW_OPS: &str = "slow_ops";
+    /// Watermark-lag warnings recorded in the flight ring.
+    pub const WATERMARK_LAG_WARNS: &str = "watermark_lag_warns";
 }
 
 /// Configuration for a [`Recorder`].

@@ -90,7 +90,7 @@ impl fmt::Display for MetricKey {
 const BUCKETS: usize = 65;
 
 /// A fixed-shape log2 histogram of u64 samples.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
     counts: [u64; BUCKETS],
     count: u64,
@@ -117,6 +117,44 @@ pub fn log2_bucket(v: u64) -> usize {
     (64 - v.leading_zeros()) as usize
 }
 
+/// Largest value bucket `i` can hold: 0 for the zero bucket, else `2^i - 1`
+/// (saturating at `u64::MAX` for the top bucket).
+#[inline]
+pub fn bucket_upper(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        1..=63 => (1u64 << i) - 1,
+        _ => u64::MAX,
+    }
+}
+
+/// Nearest-rank percentile over an ascending sequence of `(count, upper)`
+/// bucket pairs: the upper bound of the first bucket whose cumulative count
+/// reaches rank `⌈q·n⌉`, clamped into the observed `[min, max]` range so the
+/// answer never exceeds any sample actually recorded. Shared by
+/// [`Histogram::percentile`] and [`HistogramEntry::percentile`], which must
+/// agree bucket-for-bucket.
+fn percentile_over_buckets(
+    buckets: impl Iterator<Item = (u64, u64)>,
+    count: u64,
+    min: u64,
+    max: u64,
+    q: f64,
+) -> Option<u64> {
+    if count == 0 {
+        return None;
+    }
+    let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+    let mut seen = 0u64;
+    for (c, upper) in buckets {
+        seen += c;
+        if seen >= rank {
+            return Some(upper.clamp(min, max));
+        }
+    }
+    Some(max)
+}
+
 impl Histogram {
     #[inline]
     pub fn observe(&mut self, v: u64) {
@@ -141,6 +179,50 @@ impl Histogram {
         } else {
             self.sum as f64 / self.count as f64
         }
+    }
+
+    /// Smallest sample observed (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample observed.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Fold `other` into `self`. Because bucketing is a pure function of
+    /// each sample, merging per-shard histograms is exactly equivalent to
+    /// histogramming the concatenated sample streams (property-tested in
+    /// `tests/histogram_props.rs`).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (c, oc) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *c += oc;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Nearest-rank percentile resolved to the covering bucket's upper
+    /// bound, clamped into `[min, max]`. Monotone in `q`; `None` when
+    /// empty.
+    pub fn percentile(&self, q: f64) -> Option<u64> {
+        percentile_over_buckets(
+            self.counts
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| (c, bucket_upper(i))),
+            self.count,
+            self.min(),
+            self.max,
+            q,
+        )
     }
 }
 
@@ -205,6 +287,16 @@ impl MetricsRegistry {
             .filter(|(k, _)| k.name == name)
             .map(|(_, v)| *v)
             .sum()
+    }
+
+    /// Every distinct counter *name* currently registered (labels folded
+    /// together), sorted. The serve Stats handler iterates this so a newly
+    /// added counter can never silently drop out of the response.
+    pub fn counter_names(&self) -> Vec<&'static str> {
+        let mut names: Vec<&'static str> = self.counters.keys().map(|k| k.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        names
     }
 
     /// Deterministic, serializable view of everything in the registry.
@@ -280,6 +372,22 @@ pub struct HistogramEntry {
     pub buckets: Vec<(u8, u64)>,
 }
 
+impl HistogramEntry {
+    /// Nearest-rank percentile over the sparse bucket list; must agree with
+    /// [`Histogram::percentile`] for the histogram it was snapshotted from.
+    pub fn percentile(&self, q: f64) -> Option<u64> {
+        percentile_over_buckets(
+            self.buckets
+                .iter()
+                .map(|&(i, c)| (c, bucket_upper(i as usize))),
+            self.count,
+            self.min,
+            self.max,
+            q,
+        )
+    }
+}
+
 /// A deterministic point-in-time view of a [`MetricsRegistry`].
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct MetricsSnapshot {
@@ -315,6 +423,14 @@ impl MetricsSnapshot {
             })
             .map(|e| e.value)
             .sum()
+    }
+
+    /// Look up a histogram entry by its rendered key.
+    pub fn histogram(&self, key: &str) -> Option<&HistogramEntry> {
+        self.histograms
+            .binary_search_by(|e| e.key.as_str().cmp(key))
+            .ok()
+            .map(|i| &self.histograms[i])
     }
 }
 
@@ -410,5 +526,87 @@ mod tests {
         reg.add(MetricKey::at_port("pfc_pause_rx", 1, 2), 3);
         reg.add(MetricKey::global("other"), 10);
         assert_eq!(reg.counter_total("pfc_pause_rx"), 5);
+    }
+
+    #[test]
+    fn counter_names_dedups_labels_and_sorts() {
+        let mut reg = MetricsRegistry::new();
+        reg.add(MetricKey::at_port("pfc_pause_rx", 0, 1), 2);
+        reg.add(MetricKey::at_port("pfc_pause_rx", 1, 2), 3);
+        reg.add(MetricKey::global("alpha"), 0); // add(.., 0) registers the name
+        assert_eq!(reg.counter_names(), vec!["alpha", "pfc_pause_rx"]);
+    }
+
+    #[test]
+    fn bucket_upper_bounds() {
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(1), 1);
+        assert_eq!(bucket_upper(2), 3);
+        assert_eq!(bucket_upper(10), 1023);
+        assert_eq!(bucket_upper(64), u64::MAX);
+        // Every sample lands in a bucket whose bound covers it.
+        for v in [0u64, 1, 2, 3, 1023, 1024, u64::MAX] {
+            assert!(v <= bucket_upper(log2_bucket(v)));
+        }
+    }
+
+    #[test]
+    fn percentile_empty_and_single() {
+        let mut h = Histogram::default();
+        assert_eq!(h.percentile(0.5), None);
+        h.observe(700);
+        // Single sample: every percentile is clamped to [min, max] = {700}.
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.percentile(q), Some(700));
+        }
+    }
+
+    #[test]
+    fn percentile_monotone_and_tail_aware() {
+        let mut h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.observe(v);
+        }
+        let p50 = h.percentile(0.50).unwrap();
+        let p90 = h.percentile(0.90).unwrap();
+        let p99 = h.percentile(0.99).unwrap();
+        assert!(p50 <= p90 && p90 <= p99, "{p50} {p90} {p99}");
+        // Log2 resolution: p50 of 1..=1000 (rank 500) lies in [500, 511].
+        assert!((500..=511).contains(&p50), "{p50}");
+        assert_eq!(h.percentile(1.0), Some(1000)); // clamped to max
+    }
+
+    #[test]
+    fn merge_equals_concatenated_observation() {
+        let xs = [0u64, 5, 5, 128, 90_000];
+        let ys = [3u64, 4_096, u64::MAX];
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        let mut both = Histogram::default();
+        for &v in &xs {
+            a.observe(v);
+            both.observe(v);
+        }
+        for &v in &ys {
+            b.observe(v);
+            both.observe(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+    }
+
+    #[test]
+    fn snapshot_percentile_agrees_with_histogram() {
+        let mut reg = MetricsRegistry::new();
+        for v in [0u64, 2, 9, 17, 1 << 20, 1 << 21] {
+            reg.observe(MetricKey::global("lat_ns"), v);
+        }
+        let snap = reg.snapshot();
+        let entry = snap.histogram("lat_ns").unwrap();
+        let h = reg.histogram(&MetricKey::global("lat_ns")).unwrap();
+        for q in [0.01, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(entry.percentile(q), h.percentile(q), "q={q}");
+        }
+        assert!(snap.histogram("nonexistent").is_none());
     }
 }

@@ -1,0 +1,93 @@
+//! Property tests for the log2 histogram: nearest-rank percentiles are
+//! monotone in `q`, bounded by the observed range, and merging per-shard
+//! histograms is exactly histogramming the concatenated samples.
+
+use hawkeye_obs::metrics::{bucket_upper, log2_bucket};
+use hawkeye_obs::{Histogram, MetricKey, MetricsRegistry};
+use proptest::prelude::*;
+
+fn hist_of(samples: &[u64]) -> Histogram {
+    let mut h = Histogram::default();
+    for &v in samples {
+        h.observe(v);
+    }
+    h
+}
+
+// Mix of small values (dense low buckets) and full-range values.
+fn samples() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(
+        (0u64..1024, 0u64..u64::MAX, 0u8..2)
+            .prop_map(|(small, wide, pick)| if pick == 0 { small } else { wide }),
+        0..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn percentiles_are_monotone(vals in samples(), qa in 0.0f64..1.01, qb in 0.0f64..1.01) {
+        let h = hist_of(&vals);
+        let (lo, hi) = if qa <= qb { (qa, qb) } else { (qb, qa) };
+        match (h.percentile(lo), h.percentile(hi)) {
+            (None, None) => prop_assert!(vals.is_empty()),
+            (Some(a), Some(b)) => prop_assert!(a <= b, "p({lo})={a} > p({hi})={b}"),
+            other => prop_assert!(false, "empty-ness disagreed: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn p50_p90_p99_ordered_and_bounded(vals in samples()) {
+        if vals.is_empty() {
+            return Ok(());
+        }
+        let h = hist_of(&vals);
+        let p50 = h.percentile(0.50).unwrap();
+        let p90 = h.percentile(0.90).unwrap();
+        let p99 = h.percentile(0.99).unwrap();
+        prop_assert!(p50 <= p90 && p90 <= p99);
+        let (min, max) = (*vals.iter().min().unwrap(), *vals.iter().max().unwrap());
+        for p in [p50, p90, p99] {
+            prop_assert!((min..=max).contains(&p), "{p} outside [{min}, {max}]");
+        }
+        // Log2 resolution bound: the reported p99 never exceeds the true
+        // nearest-rank sample's bucket upper bound.
+        let mut sorted = vals.clone();
+        sorted.sort_unstable();
+        let rank = ((0.99 * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let exact = sorted[rank - 1];
+        prop_assert!(p99 <= bucket_upper(log2_bucket(exact)));
+    }
+
+    #[test]
+    fn merge_equals_concatenation(xs in samples(), ys in samples()) {
+        let mut merged = hist_of(&xs);
+        merged.merge(&hist_of(&ys));
+        let concat: Vec<u64> = xs.iter().chain(ys.iter()).copied().collect();
+        prop_assert_eq!(&merged, &hist_of(&concat));
+        // And the derived views agree too.
+        for q in [0.5, 0.9, 0.99] {
+            prop_assert_eq!(merged.percentile(q), hist_of(&concat).percentile(q));
+        }
+    }
+
+    #[test]
+    fn snapshot_entry_percentile_matches_histogram(vals in samples()) {
+        let mut reg = MetricsRegistry::new();
+        for &v in &vals {
+            reg.observe(MetricKey::global("h"), v);
+        }
+        let snap = reg.snapshot();
+        match (snap.histogram("h"), vals.is_empty()) {
+            (None, true) => {}
+            (Some(entry), false) => {
+                let h = hist_of(&vals);
+                for q in [0.01, 0.5, 0.9, 0.99, 1.0] {
+                    prop_assert_eq!(entry.percentile(q), h.percentile(q));
+                }
+            }
+            (_, empty) => prop_assert!(false, "snapshot presence disagreed (empty={empty})"),
+        }
+    }
+}

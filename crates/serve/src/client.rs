@@ -2,6 +2,7 @@
 //! adapter that lets a [`StreamingHook`](crate::StreamingHook) feed a
 //! running daemon.
 
+use crate::audit::ExplainRecord;
 use crate::proto::{
     decode_response, read_frame, write_request, DiagnoseParams, ProtoError, Request, Response,
 };
@@ -9,8 +10,10 @@ use crate::server::AnyStream;
 use crate::store::FlowObservation;
 use crate::stream::EpochSink;
 use hawkeye_core::DiagnosisReport;
+use hawkeye_obs::MetricsSnapshot;
 use hawkeye_sim::{FlowKey, Nanos, NodeId};
 use hawkeye_telemetry::TelemetrySnapshot;
+use serde::Deserialize;
 use std::io;
 use std::net::TcpStream;
 use std::os::unix::net::UnixStream;
@@ -105,6 +108,37 @@ impl ServeClient {
     pub fn stats(&mut self) -> Result<serde::Value, ProtoError> {
         match self.call(&Request::Stats)? {
             Response::Stats(v) => Ok(v),
+            other => Err(ProtoError::BadBody(format!(
+                "unexpected response {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetch the full observability surface: the daemon's metrics
+    /// snapshot (counters, gauges, per-op latency histograms) plus a dump
+    /// of the flight-recorder ring.
+    pub fn metrics(&mut self) -> Result<(MetricsSnapshot, serde::Value), ProtoError> {
+        match self.call(&Request::Metrics)? {
+            Response::Metrics(v) => {
+                let snap = v
+                    .get("metrics")
+                    .ok_or_else(|| ProtoError::BadBody("metrics field missing".into()))
+                    .and_then(|m| {
+                        MetricsSnapshot::from_value(m).map_err(|e| ProtoError::BadBody(e.0))
+                    })?;
+                let flight = v.get("flight").cloned().unwrap_or(serde::Value::Null);
+                Ok((snap, flight))
+            }
+            other => Err(ProtoError::BadBody(format!(
+                "unexpected response {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetch a verdict's audit-trail record: `None` = the latest verdict.
+    pub fn explain(&mut self, seq: Option<u64>) -> Result<ExplainRecord, ProtoError> {
+        match self.call(&Request::Explain(seq))? {
+            Response::Explain(rec) => Ok(rec),
             other => Err(ProtoError::BadBody(format!(
                 "unexpected response {other:?}"
             ))),

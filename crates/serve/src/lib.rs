@@ -19,6 +19,7 @@
 //! - [`replay`] — end-to-end online diagnosis: stream a scenario into a
 //!   live daemon and check served-vs-one-shot verdict parity.
 
+pub mod audit;
 pub mod client;
 pub mod proto;
 pub mod replay;
@@ -26,6 +27,7 @@ pub mod server;
 pub mod store;
 pub mod stream;
 
+pub use audit::{AuditTrail, ExplainRecord};
 pub use client::ServeClient;
 pub use proto::{observation_to_value, DiagnoseParams, ProtoError, Request, Response, MAX_FRAME};
 pub use replay::{replay_streaming, ReplayOutcome};

@@ -17,6 +17,10 @@
 //! - `4` Shutdown — empty body.
 //! - `5` FlowHistory — body is JSON `{flow}`; answered from the raw ring
 //!   *and* the compacted tier (the one coarse-fidelity query).
+//! - `6` Metrics — empty body; the full observability surface (metrics
+//!   snapshot + flight-recorder dump), heavier than Stats.
+//! - `7` Explain — body is JSON `{}` (latest verdict) or `{"seq": N}`;
+//!   queries the verdict audit trail.
 //!
 //! Response opcodes (daemon → client):
 //! - `129` Ack — body is one byte: `1` accepted, `0` shed (backpressure).
@@ -25,11 +29,14 @@
 //! - `132` Bye — shutdown acknowledged.
 //! - `133` History — body is a JSON array of
 //!   [`FlowObservation`](crate::store::FlowObservation) rows.
+//! - `134` Metrics — body is JSON `{metrics, flight}`.
+//! - `135` Explain — body is a JSON [`ExplainRecord`].
 //! - `255` Error — body is a UTF-8 message.
 //!
 //! Frames above [`MAX_FRAME`] are rejected before allocation; a malformed
 //! frame poisons only its own connection, never the daemon.
 
+use crate::audit::ExplainRecord;
 use crate::store::{Fidelity, FlowObservation};
 use hawkeye_core::DiagnosisReport;
 use hawkeye_sim::{FlowKey, Nanos, NodeId};
@@ -85,6 +92,11 @@ pub enum Request {
     Shutdown,
     /// Where was this flow seen — served across both retention tiers.
     FlowHistory(FlowKey),
+    /// The full observability surface: metrics snapshot + flight dump.
+    Metrics,
+    /// An audit-trail record: `None` = the latest verdict, `Some(seq)` =
+    /// that specific verdict.
+    Explain(Option<u64>),
 }
 
 /// Parameters of a `Diagnose` request: the victim flow, the window, and
@@ -107,6 +119,9 @@ pub enum Response {
     Stats(serde::Value),
     Bye,
     History(Vec<FlowObservation>),
+    /// `{metrics: <MetricsSnapshot>, flight: [events]}`.
+    Metrics(serde::Value),
+    Explain(ExplainRecord),
     Error(String),
 }
 
@@ -115,11 +130,15 @@ const OP_DIAGNOSE: u8 = 2;
 const OP_STATS: u8 = 3;
 const OP_SHUTDOWN: u8 = 4;
 const OP_FLOW_HISTORY: u8 = 5;
+const OP_METRICS: u8 = 6;
+const OP_EXPLAIN: u8 = 7;
 const OP_ACK: u8 = 129;
 const OP_DIAGNOSIS: u8 = 130;
 const OP_STATS_RESP: u8 = 131;
 const OP_BYE: u8 = 132;
 const OP_HISTORY: u8 = 133;
+const OP_METRICS_RESP: u8 = 134;
+const OP_EXPLAIN_RESP: u8 = 135;
 const OP_ERROR: u8 = 255;
 
 /// Write one frame: length prefix, opcode, body.
@@ -181,6 +200,16 @@ pub fn write_request(w: &mut impl Write, req: &Request) -> io::Result<()> {
             )]))
             .expect("value serialization is infallible");
             write_frame(w, OP_FLOW_HISTORY, body.as_bytes())
+        }
+        Request::Metrics => write_frame(w, OP_METRICS, &[]),
+        Request::Explain(seq) => {
+            let fields = match seq {
+                Some(n) => vec![("seq".to_string(), serde::Value::UInt(*n))],
+                None => vec![],
+            };
+            let body = serde_json::to_string(&serde::Value::Object(fields))
+                .expect("value serialization is infallible");
+            write_frame(w, OP_EXPLAIN, body.as_bytes())
         }
     }
 }
@@ -289,6 +318,19 @@ pub fn decode_request(opcode: u8, body: &[u8]) -> Result<Request, ProtoError> {
         OP_STATS => Ok(Request::Stats),
         OP_SHUTDOWN => Ok(Request::Shutdown),
         OP_FLOW_HISTORY => Ok(Request::FlowHistory(parse_flow_history(body)?)),
+        OP_METRICS => Ok(Request::Metrics),
+        OP_EXPLAIN => {
+            let text = std::str::from_utf8(body).map_err(|e| ProtoError::BadBody(e.to_string()))?;
+            let v = serde_json::parse(text).map_err(|e| ProtoError::BadBody(e.0))?;
+            let seq = match v.get("seq") {
+                None => None,
+                Some(n) => Some(
+                    n.as_u64()
+                        .ok_or_else(|| ProtoError::BadBody("seq not u64".into()))?,
+                ),
+            };
+            Ok(Request::Explain(seq))
+        }
         op => Err(ProtoError::BadOpcode(op)),
     }
 }
@@ -311,6 +353,14 @@ pub fn write_response(w: &mut impl Write, resp: &Response) -> io::Result<()> {
             ))
             .expect("value serialization is infallible");
             write_frame(w, OP_HISTORY, body.as_bytes())
+        }
+        Response::Metrics(v) => {
+            let body = serde_json::to_string(v).expect("value serialization is infallible");
+            write_frame(w, OP_METRICS_RESP, body.as_bytes())
+        }
+        Response::Explain(rec) => {
+            let body = serde_json::to_string(rec).expect("record serialization is infallible");
+            write_frame(w, OP_EXPLAIN_RESP, body.as_bytes())
         }
         Response::Error(msg) => write_frame(w, OP_ERROR, msg.as_bytes()),
     }
@@ -343,6 +393,18 @@ pub fn decode_response(opcode: u8, body: &[u8]) -> Result<Response, ProtoError> 
                 .map(observation_from_value)
                 .collect::<Result<Vec<_>, _>>()?;
             Ok(Response::History(rows))
+        }
+        OP_METRICS_RESP => {
+            let text = std::str::from_utf8(body).map_err(|e| ProtoError::BadBody(e.to_string()))?;
+            Ok(Response::Metrics(
+                serde_json::parse(text).map_err(|e| ProtoError::BadBody(e.0))?,
+            ))
+        }
+        OP_EXPLAIN_RESP => {
+            let text = std::str::from_utf8(body).map_err(|e| ProtoError::BadBody(e.to_string()))?;
+            let rec: ExplainRecord =
+                serde_json::from_str(text).map_err(|e| ProtoError::BadBody(e.0))?;
+            Ok(Response::Explain(rec))
         }
         OP_ERROR => Ok(Response::Error(String::from_utf8_lossy(body).into_owned())),
         op => Err(ProtoError::BadOpcode(op)),
@@ -397,6 +459,15 @@ mod tests {
         assert_eq!(roundtrip_request(Request::Shutdown), Request::Shutdown);
         let hist = Request::FlowHistory(FlowKey::roce(NodeId(7), NodeId(8), 11));
         assert_eq!(roundtrip_request(hist.clone()), hist);
+        assert_eq!(roundtrip_request(Request::Metrics), Request::Metrics);
+        assert_eq!(
+            roundtrip_request(Request::Explain(None)),
+            Request::Explain(None)
+        );
+        assert_eq!(
+            roundtrip_request(Request::Explain(Some(42))),
+            Request::Explain(Some(42))
+        );
     }
 
     #[test]
@@ -443,6 +514,43 @@ mod tests {
             Response::Bye,
             Response::Error("boom".into()),
         ] {
+            let mut buf = Vec::new();
+            write_response(&mut buf, &resp).expect("write to Vec");
+            let (op, body) = read_frame(&mut buf.as_slice())
+                .expect("frame parses")
+                .expect("frame present");
+            assert_eq!(decode_response(op, &body).expect("decodes"), resp);
+        }
+    }
+
+    #[test]
+    fn metrics_and_explain_responses_roundtrip() {
+        let metrics = Response::Metrics(serde::Value::Object(vec![
+            (
+                "metrics".into(),
+                serde::Value::Object(vec![("counters".into(), serde::Value::Array(vec![]))]),
+            ),
+            ("flight".into(), serde::Value::Array(vec![])),
+        ]));
+        let explain = Response::Explain(ExplainRecord {
+            seq: 3,
+            victim: "0:7->5".into(),
+            window_from_ns: 100,
+            window_to_ns: 900,
+            anomaly: "MicroBurstIncast".into(),
+            signature_row: "microburst_incast".into(),
+            confidence: "complete".into(),
+            root_causes: vec![2],
+            contributing_switches: vec![1, 2],
+            contributing_epochs: 8,
+            dirty_switches: vec![],
+            frags_reused: 10,
+            frags_recomputed: 2,
+            stage_collect_ns: 500,
+            stage_graph_ns: 9000,
+            stage_match_ns: 100,
+        });
+        for resp in [metrics, explain] {
             let mut buf = Vec::new();
             write_response(&mut buf, &resp).expect("write to Vec");
             let (op, body) = read_frame(&mut buf.as_slice())

@@ -23,16 +23,31 @@
 //!   the same telemetry (see `tests/serve_e2e.rs`).
 //!
 //! Counters (`epochs_ingested`, `ingest_shed`, `incremental_updates`,
-//! `serve_sessions`) live in a shared [`MetricsRegistry`] and are reported
-//! over the `Stats` request.
+//! `serve_sessions`, …) live in a shared [`MetricsRegistry`] and are
+//! reported over the `Stats` request; the full observability surface —
+//! per-op latency histograms, pipeline-stage timings, health gauges and the
+//! flight-recorder ring — rides the `Metrics` request, and every `Diagnose`
+//! journals an [`ExplainRecord`] queryable over `Explain`. All of it is
+//! gated on [`ServeConfig::obs`] so the instrumented hot path stays within
+//! a few percent of the bare one (see `benches/serve_obs.rs`).
 
+use crate::audit::{AuditTrail, ExplainRecord};
 use crate::proto::{decode_request, read_frame, write_response, DiagnoseParams, Request, Response};
 use crate::store::{FlowObservation, StoreConfig, TelemetryStore};
 use hawkeye_core::{
-    analyze_victim_window, AnalyzerConfig, IncrementalProvenance, ReplayConfig, Window,
+    analyze_victim_window_obs, AnalyzerConfig, AnomalyType, Confidence, DiagnosisReport,
+    IncrementalProvenance, ReplayConfig, RootCause, Window,
 };
 use hawkeye_eval::par_map;
-use hawkeye_obs::{MetricKey, MetricsRegistry, MetricsSnapshot};
+use hawkeye_obs::flight as flight_kind;
+use hawkeye_obs::names::{
+    OP_DIAGNOSE_NS, OP_EXPLAIN_NS, OP_FLOW_HISTORY_NS, OP_INGEST_NS, OP_METRICS_NS, OP_STATS_NS,
+    RETENTION_LAG_NS, SHARD_QUEUE_DEPTH, SHARD_WATERMARK_LAG_NS, SLOW_OPS, STAGE_APPEND_NS,
+    STAGE_ENGINE_APPLY_NS, STAGE_FOLD_NS, STAGE_RETIRE_NS, WATERMARK_LAG_WARNS,
+};
+use hawkeye_obs::{
+    FlightRecorder, MetricKey, MetricsRegistry, MetricsSnapshot, ObsConfig, Recorder, Stage,
+};
 use hawkeye_sim::{FlowKey, Nanos, Topology};
 use hawkeye_telemetry::TelemetrySnapshot;
 use std::io::{self, Read, Write};
@@ -43,7 +58,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 pub use hawkeye_obs::names::{
     ENGINE_EPOCHS_RETIRED, EPOCHS_INGESTED, INCREMENTAL_UPDATES, INGEST_SHED, SERVE_SESSIONS,
@@ -61,6 +76,21 @@ pub struct ServeConfig {
     pub queue_depth: usize,
     /// Threads for the diagnose-time gather on the work-stealing pool.
     pub gather_jobs: usize,
+    /// Master switch for serve-plane observability: per-op latency
+    /// histograms, stage timings, health gauges, the flight ring and the
+    /// verdict audit trail. Off = the bare hot path (benchmark baseline).
+    pub obs: bool,
+    /// Requests slower than this (wall-clock ns) count as `slow_ops` and
+    /// land in the flight ring.
+    pub slow_op_ns: u64,
+    /// Flight-recorder ring capacity (events).
+    pub flight_capacity: usize,
+    /// Audit-trail ring capacity (explain records).
+    pub audit_capacity: usize,
+    /// A shard lagging more than this (sim-time ns) behind the fleet-max
+    /// watermark records a WARNING flight event. Generous by default so
+    /// fault-free replays stay warning-free.
+    pub lag_warn_ns: u64,
 }
 
 impl Default for ServeConfig {
@@ -72,6 +102,11 @@ impl Default for ServeConfig {
             shards: 4,
             queue_depth: 256,
             gather_jobs: 2,
+            obs: true,
+            slow_op_ns: 10_000_000,
+            flight_capacity: 256,
+            audit_capacity: 64,
+            lag_warn_ns: 1_000_000_000,
         }
     }
 }
@@ -136,27 +171,56 @@ enum ShardMsg {
 
 /// State shared between sessions, shard workers and the daemon handle.
 ///
-/// **Lock order invariant: store → engine → metrics.** Any thread that
-/// holds one of these mutexes may only acquire mutexes *later* in that
-/// order (stores count as one class; a thread never holds two shard
-/// stores at once — `gather_snapshots` takes them one at a time on the
-/// pool). The `Stats` handler used to acquire metrics → engine → stores,
-/// the exact inversion of the ingest path — every accessor here now
-/// takes each lock in canonical order and drops it before the next, and
-/// `tests/lock_order.rs` hammers `Stats` against concurrent ingest to
-/// keep it that way.
+/// **Lock order invariant: store → engine → metrics → flight → audit.**
+/// Any thread that holds one of these mutexes may only acquire mutexes
+/// *later* in that order (stores count as one class; a thread never holds
+/// two shard stores at once — `gather_snapshots` takes them one at a time
+/// on the pool). The `Stats` handler used to acquire metrics → engine →
+/// stores, the exact inversion of the ingest path — every accessor here
+/// now takes each lock in canonical order and drops it before the next,
+/// and `tests/lock_order.rs` hammers `Stats` against concurrent ingest to
+/// keep it that way. The two observability rings sit at the end of the
+/// order because they are leaf state: nothing is ever acquired while one
+/// is held.
 struct Shared {
     topo: Topology,
     cfg: ServeConfig,
     stores: Vec<Mutex<TelemetryStore>>,
     engine: Mutex<IncrementalProvenance>,
     metrics: Mutex<MetricsRegistry>,
+    flight: Mutex<FlightRecorder>,
+    audit: Mutex<AuditTrail>,
     stop: AtomicBool,
     /// Per-shard retention horizons as published by the shard workers
     /// after each ingest ([`TelemetryStore::retention_horizon`]);
     /// `u64::MAX` = the shard has no reporting switches yet and places no
     /// constraint on the fleet horizon.
     horizons: Vec<AtomicU64>,
+    /// Per-shard freshest-data watermarks ([`TelemetryStore::min_watermark`],
+    /// sim-time ns), published like `horizons`; `u64::MAX` = none yet.
+    watermarks: Vec<AtomicU64>,
+    /// Per-shard ingest-queue occupancy: incremented on enqueue
+    /// (`route_ingest`), decremented when the shard worker dequeues.
+    queue_depths: Vec<AtomicU64>,
+}
+
+/// A registry pre-seeded with every well-known serve counter at zero, so
+/// `Stats` (which iterates registered names) reports them all even before
+/// the first event — a daemon that never shed still shows `ingest_shed: 0`.
+fn seeded_registry() -> MetricsRegistry {
+    let mut m = MetricsRegistry::default();
+    for name in [
+        EPOCHS_INGESTED,
+        INGEST_SHED,
+        INCREMENTAL_UPDATES,
+        SERVE_SESSIONS,
+        ENGINE_EPOCHS_RETIRED,
+        SLOW_OPS,
+        WATERMARK_LAG_WARNS,
+    ] {
+        m.add(MetricKey::global(name), 0);
+    }
+    m
 }
 
 impl Shared {
@@ -181,6 +245,34 @@ impl Shared {
         }
     }
 
+    /// The freshest published shard watermark (sim-time ns); `None` until
+    /// some shard has reported data.
+    fn fleet_max_watermark(&self) -> Option<u64> {
+        self.watermarks
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed))
+            .filter(|&w| w != u64::MAX)
+            .max()
+    }
+
+    /// How far (sim-time ns) `shard`'s data lags behind the freshest
+    /// shard's. 0 until both ends have reported.
+    fn watermark_lag(&self, shard: usize) -> u64 {
+        let own = self.watermarks[shard].load(Ordering::Relaxed);
+        if own == u64::MAX {
+            return 0;
+        }
+        self.fleet_max_watermark()
+            .map_or(0, |max| max.saturating_sub(own))
+    }
+
+    /// Raw-history span the daemon currently holds: fleet-max watermark
+    /// minus the fleet retention horizon (sim-time ns).
+    fn retention_lag(&self) -> u64 {
+        self.fleet_max_watermark()
+            .map_or(0, |max| max.saturating_sub(self.fleet_horizon().0))
+    }
+
     /// All shards' canonical snapshots, gathered on the work-stealing pool
     /// and merged in switch-id order (each switch lives in exactly one
     /// shard, so this is a disjoint union).
@@ -203,15 +295,122 @@ impl Shared {
             from: p.from,
             to: p.to,
         };
-        let (mut report, _graph, _agg) = analyze_victim_window(
+        // Stage timing rides the analyzer's own recorder hooks; capacity 0
+        // keeps the tracer empty (we only want the wall-clock profile).
+        let mut rec = Recorder::new(ObsConfig {
+            enabled: self.cfg.obs,
+            capacity: 0,
+            mask: 0,
+        });
+        let (mut report, _graph, _agg) = analyze_victim_window_obs(
             &p.victim,
             window,
             &snapshots,
             &self.topo,
             &self.cfg.analyzer,
+            &mut rec,
         );
         report.note_missing(&p.missing);
+        if self.cfg.obs {
+            self.journal_verdict(p, &snapshots, &report, &rec);
+        }
         Response::Diagnosis(report)
+    }
+
+    /// Deposit the verdict's provenance in the audit trail — which evidence
+    /// was consulted, what engine state was pending, which signature row
+    /// matched and where the wall-clock went. Lock order: engine → audit
+    /// (gather already released the stores).
+    fn journal_verdict(
+        &self,
+        p: &DiagnoseParams,
+        snapshots: &[TelemetrySnapshot],
+        report: &DiagnosisReport,
+        rec: &Recorder,
+    ) {
+        let mut contributing_switches = Vec::new();
+        let mut contributing_epochs = 0u64;
+        for s in snapshots {
+            let overlapping = s
+                .epochs
+                .iter()
+                .filter(|e| e.start < p.to && e.end() > p.from)
+                .count() as u64;
+            if overlapping > 0 {
+                contributing_switches.push(s.switch.0);
+                contributing_epochs += overlapping;
+            }
+        }
+        let (dirty_switches, frags_reused, frags_recomputed) = {
+            let engine = self.engine.lock().expect("engine lock");
+            let st = engine.stats();
+            let dirty = engine
+                .dirty_switches()
+                .iter()
+                .map(|n| n.0)
+                .collect::<Vec<_>>();
+            (dirty, st.frags_reused, st.frags_recomputed)
+        };
+        let mut root_causes: Vec<u32> = report
+            .root_causes
+            .iter()
+            .map(|rc| match rc {
+                RootCause::FlowContention { port, .. } => port.node.0,
+                RootCause::HostPfcInjection { port, .. } => port.node.0,
+            })
+            .collect();
+        root_causes.sort_unstable();
+        root_causes.dedup();
+        let record = ExplainRecord {
+            seq: 0, // assigned by the trail
+            victim: render_flow(&p.victim),
+            window_from_ns: p.from.0,
+            window_to_ns: p.to.0,
+            anomaly: format!("{:?}", report.anomaly),
+            signature_row: signature_row(report.anomaly).to_string(),
+            confidence: confidence_label(&report.confidence).to_string(),
+            root_causes,
+            contributing_switches,
+            contributing_epochs,
+            dirty_switches,
+            frags_reused,
+            frags_recomputed,
+            stage_collect_ns: rec.profile.wall_total_ns(Stage::TelemetryCollection),
+            stage_graph_ns: rec.profile.wall_total_ns(Stage::GraphBuild),
+            stage_match_ns: rec.profile.wall_total_ns(Stage::SignatureMatch),
+        };
+        self.audit.lock().expect("audit lock").push(record);
+    }
+
+    /// The `Metrics` request: the full metrics snapshot plus the flight
+    /// ring, as one JSON object.
+    fn metrics_response(&self) -> Response {
+        let snap = self.metrics.lock().expect("metrics lock").snapshot();
+        let flight = self.flight.lock().expect("flight lock").to_value();
+        Response::Metrics(serde::Value::Object(vec![
+            ("metrics".into(), hawkeye_obs::emit::metrics_value(&snap)),
+            ("flight".into(), flight),
+        ]))
+    }
+
+    /// The `Explain` request: a journaled verdict by seq, or the latest.
+    fn explain(&self, seq: Option<u64>) -> Response {
+        let audit = self.audit.lock().expect("audit lock");
+        let rec = match seq {
+            Some(s) => audit.get(s),
+            None => audit.latest(),
+        };
+        match rec {
+            Some(r) => Response::Explain(r.clone()),
+            None => Response::Error(match seq {
+                Some(s) => format!(
+                    "verdict {s} is not in the audit ring ({} journaled, capacity {})",
+                    audit.total(),
+                    audit.capacity()
+                ),
+                None => "no verdicts journaled yet".into(),
+            }),
+        }
     }
 
     /// Where was this flow seen, across every shard and both retention
@@ -256,16 +455,15 @@ impl Shared {
             )
         };
         let m = self.metrics.lock().expect("metrics lock");
-        let counters = [
-            EPOCHS_INGESTED,
-            INGEST_SHED,
-            INCREMENTAL_UPDATES,
-            SERVE_SESSIONS,
-            ENGINE_EPOCHS_RETIRED,
-        ]
-        .iter()
-        .map(|&name| (name.to_string(), serde::Value::UInt(m.counter_total(name))))
-        .collect::<Vec<_>>();
+        // Every registered counter, not a hand-maintained list: a counter
+        // added anywhere in the daemon shows up here without this function
+        // knowing about it (the well-known ones are pre-seeded at spawn so
+        // they appear even at zero).
+        let counters = m
+            .counter_names()
+            .into_iter()
+            .map(|name| (name.to_string(), serde::Value::UInt(m.counter_total(name))))
+            .collect::<Vec<_>>();
         drop(m);
         let mut fields = counters;
         fields.push((
@@ -330,29 +528,76 @@ impl Shared {
     }
 }
 
+/// `src:sport->dst`, the audit trail's victim rendering.
+fn render_flow(key: &FlowKey) -> String {
+    format!("{}:{}->{}", key.src.0, key.src_port, key.dst.0)
+}
+
+/// Stable slug for the Table-2 signature row a verdict matched.
+fn signature_row(a: AnomalyType) -> &'static str {
+    match a {
+        AnomalyType::MicroBurstIncast => "microburst_incast",
+        AnomalyType::PfcStorm => "pfc_storm",
+        AnomalyType::InLoopDeadlock => "in_loop_deadlock",
+        AnomalyType::OutOfLoopDeadlockContention => "out_of_loop_deadlock_contention",
+        AnomalyType::OutOfLoopDeadlockInjection => "out_of_loop_deadlock_injection",
+        AnomalyType::NormalContention => "normal_contention",
+        AnomalyType::NoAnomaly => "none",
+    }
+}
+
+fn confidence_label(c: &Confidence) -> &'static str {
+    match c {
+        Confidence::Complete => "complete",
+        Confidence::Degraded { .. } => "degraded",
+        Confidence::Inconclusive { .. } => "inconclusive",
+    }
+}
+
 fn shard_worker(shared: Arc<Shared>, shard: usize, rx: Receiver<ShardMsg>) {
     while let Ok(msg) = rx.recv() {
         match msg {
             ShardMsg::Ingest(snap) => {
-                // Lock order: store → engine → metrics (see `Shared`),
-                // each dropped before the next is taken.
+                // Lock order: store → engine → metrics → flight (see
+                // `Shared`), each dropped before the next is taken.
+                let obs = shared.cfg.obs;
+                let depth = shared.queue_depths[shard]
+                    .fetch_sub(1, Ordering::Relaxed)
+                    .saturating_sub(1);
                 let epochs = snap.epochs.len() as u64;
-                let horizon = {
+                let (horizon, watermark, d_append, d_fold) = {
                     let mut store = shared.stores[shard].lock().expect("store lock");
+                    let before = {
+                        let st = store.stats();
+                        (st.append_ns, st.fold_ns)
+                    };
                     store.append(&snap);
-                    store.retention_horizon()
+                    let st = store.stats();
+                    (
+                        store.retention_horizon(),
+                        store.min_watermark(),
+                        st.append_ns - before.0,
+                        st.fold_ns - before.1,
+                    )
                 };
                 shared.horizons[shard].store(horizon.map_or(u64::MAX, |h| h.0), Ordering::Relaxed);
+                shared.watermarks[shard]
+                    .store(watermark.map_or(u64::MAX, |w| w.0), Ordering::Relaxed);
                 let fleet = shared.fleet_horizon();
-                let (changed, retired) = {
+                let (changed, retired, apply_ns, retire_ns) = {
                     let mut engine = shared.engine.lock().expect("engine lock");
+                    let t = obs.then(Instant::now);
                     let changed = engine.apply(&snap);
+                    let apply_ns = t.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                    let t = obs.then(Instant::now);
                     // Retire engine state the stores no longer back with
                     // raw epochs — the fix that keeps a long-running
                     // daemon's wait-for graph bounded.
                     let retired = engine.retire_before(fleet);
-                    (changed, retired)
+                    let retire_ns = t.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                    (changed, retired, apply_ns, retire_ns)
                 };
+                let lag = if obs { shared.watermark_lag(shard) } else { 0 };
                 let mut m = shared.metrics.lock().expect("metrics lock");
                 m.add(MetricKey::global(EPOCHS_INGESTED), epochs);
                 if changed {
@@ -360,6 +605,38 @@ fn shard_worker(shared: Arc<Shared>, shard: usize, rx: Receiver<ShardMsg>) {
                 }
                 if retired > 0 {
                     m.add(MetricKey::global(ENGINE_EPOCHS_RETIRED), retired);
+                }
+                if obs {
+                    // Stage split: where does the ingest path spend its
+                    // wall-clock — ring admission, compaction fold, engine
+                    // apply, or horizon retirement.
+                    m.add(MetricKey::global(STAGE_APPEND_NS), d_append);
+                    m.add(MetricKey::global(STAGE_FOLD_NS), d_fold);
+                    m.add(MetricKey::global(STAGE_ENGINE_APPLY_NS), apply_ns);
+                    m.add(MetricKey::global(STAGE_RETIRE_NS), retire_ns);
+                    m.set(
+                        MetricKey::at_switch(SHARD_QUEUE_DEPTH, shard as u32),
+                        depth as f64,
+                    );
+                    m.set(
+                        MetricKey::at_switch(SHARD_WATERMARK_LAG_NS, shard as u32),
+                        lag as f64,
+                    );
+                    m.set(
+                        MetricKey::global(RETENTION_LAG_NS),
+                        shared.retention_lag() as f64,
+                    );
+                    let warn = lag >= shared.cfg.lag_warn_ns;
+                    if warn {
+                        m.inc(MetricKey::global(WATERMARK_LAG_WARNS));
+                    }
+                    drop(m);
+                    if warn {
+                        shared.flight.lock().expect("flight lock").warn(
+                            "watermark_lag",
+                            format!("shard {shard} is {lag}ns behind the fleet watermark"),
+                        );
+                    }
                 }
             }
             ShardMsg::Flush(ack) => {
@@ -381,13 +658,23 @@ fn route_ingest(
 ) -> Response {
     let shard = shared.shard_of(&snap);
     match txs[shard].try_send(ShardMsg::Ingest(snap)) {
-        Ok(()) => Response::Ack(true),
+        Ok(()) => {
+            shared.queue_depths[shard].fetch_add(1, Ordering::Relaxed);
+            Response::Ack(true)
+        }
         Err(TrySendError::Full(_)) => {
             shared
                 .metrics
                 .lock()
                 .expect("metrics lock")
                 .inc(MetricKey::global(INGEST_SHED));
+            if shared.cfg.obs {
+                shared
+                    .flight
+                    .lock()
+                    .expect("flight lock")
+                    .warn("ingest_shed", format!("shard {shard} queue full"));
+            }
             Response::Ack(false)
         }
         Err(TrySendError::Disconnected(_)) => Response::Error("shard worker gone".into()),
@@ -433,24 +720,59 @@ fn session(shared: Arc<Shared>, txs: Vec<SyncSender<ShardMsg>>, mut stream: AnyS
                 return;
             }
         };
-        let resp = match decode_request(frame.0, &frame.1) {
-            Ok(Request::IngestEpoch(snap)) => route_ingest(&shared, &txs, snap),
+        let t0 = shared.cfg.obs.then(Instant::now);
+        let (op, resp) = match decode_request(frame.0, &frame.1) {
+            Ok(Request::IngestEpoch(snap)) => {
+                (Some(OP_INGEST_NS), route_ingest(&shared, &txs, snap))
+            }
             Ok(Request::Diagnose(p)) => {
                 flush_shards(&txs);
-                shared.diagnose(&p)
+                (Some(OP_DIAGNOSE_NS), shared.diagnose(&p))
             }
             Ok(Request::FlowHistory(key)) => {
                 flush_shards(&txs);
-                shared.flow_history(&key)
+                (Some(OP_FLOW_HISTORY_NS), shared.flow_history(&key))
             }
-            Ok(Request::Stats) => shared.stats(),
+            Ok(Request::Stats) => (Some(OP_STATS_NS), shared.stats()),
+            Ok(Request::Metrics) => (Some(OP_METRICS_NS), shared.metrics_response()),
+            Ok(Request::Explain(seq)) => (Some(OP_EXPLAIN_NS), shared.explain(seq)),
             Ok(Request::Shutdown) => {
                 shared.stop.store(true, Ordering::SeqCst);
                 let _ = write_response(&mut stream, &Response::Bye);
                 return;
             }
-            Err(e) => Response::Error(e.to_string()),
+            Err(e) => (None, Response::Error(e.to_string())),
         };
+        if let (Some(t0), Some(op)) = (t0, op) {
+            // Lock order: metrics → flight.
+            let ns = t0.elapsed().as_nanos() as u64;
+            let slow = ns >= shared.cfg.slow_op_ns;
+            let mut m = shared.metrics.lock().expect("metrics lock");
+            m.observe(MetricKey::global(op), ns);
+            if slow {
+                m.inc(MetricKey::global(SLOW_OPS));
+            }
+            drop(m);
+            if slow {
+                shared.flight.lock().expect("flight lock").note(
+                    flight_kind::SLOW,
+                    op,
+                    format!("{ns} ns"),
+                );
+            }
+        }
+        // An Explain miss is an expected query outcome (clients poll for
+        // the latest verdict opportunistically); logging it would bury
+        // real errors in the ring.
+        if shared.cfg.obs && op != Some(OP_EXPLAIN_NS) {
+            if let Response::Error(msg) = &resp {
+                shared.flight.lock().expect("flight lock").note(
+                    flight_kind::ERROR,
+                    "request_error",
+                    msg.clone(),
+                );
+            }
+        }
         if write_response(&mut stream, &resp).is_err() {
             return;
         }
@@ -491,6 +813,22 @@ impl DaemonHandle {
     /// Point-in-time copy of the daemon's metrics registry.
     pub fn metrics(&self) -> MetricsSnapshot {
         self.shared.metrics.lock().expect("metrics lock").snapshot()
+    }
+
+    /// Point-in-time dump of the flight-recorder ring (the `Metrics`
+    /// request's `flight` field).
+    pub fn flight(&self) -> serde::Value {
+        self.shared.flight.lock().expect("flight lock").to_value()
+    }
+
+    /// The most recent verdict's audit-trail record, if any.
+    pub fn latest_explain(&self) -> Option<ExplainRecord> {
+        self.shared
+            .audit
+            .lock()
+            .expect("audit lock")
+            .latest()
+            .cloned()
     }
 }
 
@@ -534,9 +872,13 @@ pub fn spawn(topo: Topology, cfg: ServeConfig, endpoint: Endpoint) -> io::Result
             cfg.replay,
             cfg.store.epoch_budget.saturating_mul(2),
         )),
-        metrics: Mutex::new(MetricsRegistry::default()),
+        metrics: Mutex::new(seeded_registry()),
+        flight: Mutex::new(FlightRecorder::new(cfg.flight_capacity)),
+        audit: Mutex::new(AuditTrail::new(cfg.audit_capacity)),
         stop: AtomicBool::new(false),
         horizons: (0..shards).map(|_| AtomicU64::new(u64::MAX)).collect(),
+        watermarks: (0..shards).map(|_| AtomicU64::new(u64::MAX)).collect(),
+        queue_depths: (0..shards).map(|_| AtomicU64::new(0)).collect(),
     });
 
     let mut txs = Vec::with_capacity(shards);
@@ -627,9 +969,13 @@ mod tests {
                 cfg.replay,
                 cfg.store.epoch_budget.saturating_mul(2),
             )),
-            metrics: Mutex::new(MetricsRegistry::default()),
+            metrics: Mutex::new(seeded_registry()),
+            flight: Mutex::new(FlightRecorder::new(cfg.flight_capacity)),
+            audit: Mutex::new(AuditTrail::new(cfg.audit_capacity)),
             stop: AtomicBool::new(false),
             horizons: (0..shards).map(|_| AtomicU64::new(u64::MAX)).collect(),
+            watermarks: (0..shards).map(|_| AtomicU64::new(u64::MAX)).collect(),
+            queue_depths: (0..shards).map(|_| AtomicU64::new(0)).collect(),
         }
     }
 
@@ -680,6 +1026,90 @@ mod tests {
             route_ingest(&shared, &[tx], snap(0)),
             Response::Error(_)
         ));
+    }
+
+    /// Regression for the hardcoded counter list `Stats` used to carry:
+    /// every counter registered in the metrics registry — well-known or
+    /// not — must appear in the Stats response.
+    #[test]
+    fn stats_reports_every_registered_counter() {
+        let shared = test_shared(1);
+        shared
+            .metrics
+            .lock()
+            .unwrap()
+            .add(MetricKey::global("custom_counter"), 7);
+        let resp = shared.stats();
+        let Response::Stats(v) = resp else {
+            panic!("stats returned {resp:?}");
+        };
+        let names = shared.metrics.lock().unwrap().counter_names();
+        for name in names {
+            assert!(
+                v.get(name).is_some(),
+                "registered counter {name} missing from Stats"
+            );
+        }
+        // The seeded well-known set is present even though nothing fired.
+        assert_eq!(v.get(INGEST_SHED).unwrap().as_u64(), Some(0));
+        assert_eq!(v.get(SLOW_OPS).unwrap().as_u64(), Some(0));
+        assert_eq!(v.get("custom_counter").unwrap().as_u64(), Some(7));
+    }
+
+    /// A shed ingest leaves a WARNING in the flight ring (and nothing else
+    /// does on the fault-free path).
+    #[test]
+    fn shed_records_flight_warning() {
+        let shared = test_shared(1);
+        let (tx, _rx) = sync_channel(1);
+        let txs = vec![tx];
+        assert!(matches!(
+            route_ingest(&shared, &txs, snap(0)),
+            Response::Ack(true)
+        ));
+        assert!(shared.flight.lock().unwrap().is_empty());
+        assert!(matches!(
+            route_ingest(&shared, &txs, snap(0)),
+            Response::Ack(false)
+        ));
+        let flight = shared.flight.lock().unwrap();
+        assert_eq!(flight.warnings(), 1);
+        let ev = flight.events().next().unwrap();
+        assert_eq!(ev.what, "ingest_shed");
+    }
+
+    /// Explain on an empty audit trail is an error, not a panic; a pushed
+    /// record is served both as latest and by seq.
+    #[test]
+    fn explain_empty_then_by_seq() {
+        let shared = test_shared(1);
+        assert!(matches!(shared.explain(None), Response::Error(_)));
+        assert!(matches!(shared.explain(Some(0)), Response::Error(_)));
+        let rec = ExplainRecord {
+            seq: 0,
+            victim: "0:7->5".into(),
+            window_from_ns: 0,
+            window_to_ns: 100,
+            anomaly: "NoAnomaly".into(),
+            signature_row: "none".into(),
+            confidence: "complete".into(),
+            root_causes: vec![],
+            contributing_switches: vec![],
+            contributing_epochs: 0,
+            dirty_switches: vec![],
+            frags_reused: 0,
+            frags_recomputed: 0,
+            stage_collect_ns: 0,
+            stage_graph_ns: 0,
+            stage_match_ns: 0,
+        };
+        shared.audit.lock().unwrap().push(rec.clone());
+        let Response::Explain(latest) = shared.explain(None) else {
+            panic!("explain(None) failed after push");
+        };
+        assert_eq!(latest, rec);
+        assert!(matches!(shared.explain(Some(0)), Response::Explain(_)));
+        assert!(matches!(shared.explain(Some(1)), Response::Error(_)));
     }
 
     /// Sharding is stable per switch and spreads across the store set.

@@ -97,6 +97,7 @@ fn run_hammer() {
             epoch_budget: 4,
             compact_budget: 8,
             compact_chunk: 4,
+            ..StoreConfig::default()
         },
         ..ServeConfig::default()
     };

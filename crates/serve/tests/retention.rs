@@ -100,6 +100,7 @@ fn daemon_replay_rounds_stay_bounded() {
             epoch_budget: BUDGET,
             compact_budget: 8,
             compact_chunk: BUDGET,
+            ..StoreConfig::default()
         },
         ..ServeConfig::default()
     };
@@ -186,6 +187,7 @@ fn engine_retirement_tracks_store_horizon() {
         epoch_budget: BUDGET,
         compact_budget: 8,
         compact_chunk: BUDGET,
+        ..StoreConfig::default()
     });
     let mut engine = IncrementalProvenance::new(ReplayConfig::default(), 2 * BUDGET);
 

@@ -166,6 +166,7 @@ proptest! {
             epoch_budget: budget,
             compact_budget: 0,
             compact_chunk: 0,
+            ..StoreConfig::default()
         };
 
         let mut inorder = TelemetryStore::new(cfg);
@@ -218,11 +219,13 @@ proptest! {
             epoch_budget: 1 << 12,
             compact_budget: 0,
             compact_chunk: 0,
+            ..StoreConfig::default()
         };
         let tiered_cfg = StoreConfig {
             epoch_budget: budget,
             compact_budget: 64, // roomy: bucket drops would lose counts
             compact_chunk: 2,
+            ..StoreConfig::default()
         };
 
         let mut unbounded = TelemetryStore::new(unbounded_cfg);

@@ -1,0 +1,50 @@
+//! Property tests for the exact nearest-rank percentile the run summary
+//! reports (`fct_p50/p90/p99`). The serve plane's bucketed histogram
+//! percentiles (hawkeye-obs) are property-tested against the same
+//! invariants on their side; together they pin both percentile surfaces
+//! to the same definition.
+
+use hawkeye_sim::percentile_nearest_rank;
+use proptest::prelude::*;
+
+fn samples() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0u64..1_000_000, 0..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// p is monotone in q and always an element of the sample set,
+    /// bounded by min and max.
+    #[test]
+    fn nearest_rank_is_monotone_and_bounded(vals in samples(), qa in 0.0f64..1.01, qb in 0.0f64..1.01) {
+        let mut vals = vals;
+        vals.sort_unstable();
+        if vals.is_empty() {
+            prop_assert_eq!(percentile_nearest_rank(&vals, 0.5), None);
+            return Ok(());
+        }
+        let (lo, hi) = if qa <= qb { (qa, qb) } else { (qb, qa) };
+        let plo = percentile_nearest_rank(&vals, lo).unwrap();
+        let phi = percentile_nearest_rank(&vals, hi).unwrap();
+        prop_assert!(plo <= phi);
+        prop_assert!(vals.binary_search(&plo).is_ok());
+        prop_assert!(*vals.first().unwrap() <= plo);
+        prop_assert!(phi <= *vals.last().unwrap());
+    }
+
+    /// The canonical trio the summary publishes is ordered.
+    #[test]
+    fn p50_p90_p99_ordered(vals in samples()) {
+        let mut vals = vals;
+        vals.sort_unstable();
+        if vals.is_empty() {
+            return Ok(());
+        }
+        let p50 = percentile_nearest_rank(&vals, 0.50).unwrap();
+        let p90 = percentile_nearest_rank(&vals, 0.90).unwrap();
+        let p99 = percentile_nearest_rank(&vals, 0.99).unwrap();
+        prop_assert!(p50 <= p90);
+        prop_assert!(p90 <= p99);
+    }
+}

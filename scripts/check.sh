@@ -4,8 +4,10 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo build --release"
-cargo build --release
+echo "==> cargo build --release --workspace"
+# --workspace matters: the root manifest is a package, so a bare build
+# would skip the hawkeye-cli binary every smoke below shells out to.
+cargo build --release --workspace
 
 echo "==> cargo test -q"
 cargo test -q
@@ -57,6 +59,43 @@ print("serve smoke ok:", doc["verdict"], f"({doc['epochs_streamed']} epochs)")
 EOF
 rm -f "$serve_out"
 test ! -e "$serve_sock" || { echo "stale socket file left behind"; exit 1; }
+
+echo "==> metrics smoke (observability surface over the wire)"
+# Serve-plane observability through the release CLI: replay over a unix
+# socket, then assert the Metrics wire op saw the traffic (ingest counter,
+# Diagnose latency histogram), the flight ring stayed warning-free on a
+# fault-free run, and the Diagnose verdict's audit record round-tripped
+# over the Explain op with its evidence and stage timings intact.
+metrics_sock=$(mktemp -u /tmp/hawkeye-metrics-XXXXXX.sock)
+metrics_out=$(mktemp)
+timeout 120 ./target/release/hawkeye serve --replay incast \
+  --socket "$metrics_sock" --json > "$metrics_out"
+python3 - "$metrics_out" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+counters = {c["key"]: c["value"] for c in doc["metrics"]["counters"]}
+assert counters["epochs_ingested"] > 0, "metrics op reported no ingested epochs"
+assert counters["ingest_shed"] == 0, "fault-free replay shed epochs"
+hists = {h["key"]: h for h in doc["metrics"]["histograms"]}
+assert hists["op_ingest_ns"]["count"] == doc["epochs_streamed"], \
+    "one ingest latency sample per streamed snapshot"
+assert doc["diagnose_p99_ns"] > 0, "Diagnose p99 missing or zero"
+assert hists["op_diagnose_ns"]["count"] >= 1, "diagnose latency never recorded"
+warnings = [e for e in doc["flight"] if e.get("kind") == "warning"]
+assert not warnings, f"fault-free replay raised flight warnings: {warnings}"
+ex = doc["explain"]
+assert ex["signature_row"] == "microburst_incast", f"wrong row: {ex['signature_row']}"
+assert ex["confidence"] == "complete", f"confidence {ex['confidence']!r}"
+assert ex["window_from_ns"] < ex["window_to_ns"], "empty diagnosis window"
+assert ex["contributing_epochs"] > 0 and ex["contributing_switches"], \
+    "audit record names no evidence"
+assert ex["stage_collect_ns"] > 0 and ex["stage_graph_ns"] > 0, \
+    "audit record has zero stage timings"
+print("metrics smoke ok:", counters["epochs_ingested"], "epochs,",
+      "diagnose p99", doc["diagnose_p99_ns"], "ns, verdict #%d" % ex["seq"])
+EOF
+rm -f "$metrics_out"
+test ! -e "$metrics_sock" || { echo "stale socket file left behind"; exit 1; }
 
 echo "==> retention smoke (tiny ring budget, compaction + engine retirement)"
 # Long-running-serve retention through the release CLI: a ring budget far
