@@ -33,6 +33,7 @@ fn tiered_cfg(timed: bool) -> StoreConfig {
         compact_budget: 8,
         compact_chunk: BUDGET,
         timed,
+        ..StoreConfig::default()
     }
 }
 

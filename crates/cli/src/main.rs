@@ -81,6 +81,18 @@ struct Opts {
     /// `serve --replay`: also fetch the victim's flow history (raw +
     /// compacted tiers) from the daemon and report it.
     history: bool,
+    /// Snapshots per ingest frame for `serve --replay`. 1 = the legacy
+    /// per-snapshot path; >1 streams multi-epoch batch frames pipelined
+    /// under the daemon's credit window.
+    batch: usize,
+    /// Per-shard ingest queue depth override for `serve`.
+    queue_depth: Option<usize>,
+    /// Overload policy override for `serve`: backpressure (default) or shed.
+    overload: Option<hawkeye_serve::OverloadPolicy>,
+    /// Artificial per-snapshot shard-worker delay for `serve`
+    /// (microseconds) — deliberately slows ingest to exercise the
+    /// backpressure path.
+    slow_shard_us: u64,
 }
 
 /// Strict option parser: every `--flag` must be known and every value must
@@ -101,6 +113,10 @@ fn parse_opts(args: &[String]) -> Result<(Opts, Vec<String>), String> {
         replay: None,
         epoch_budget: None,
         history: false,
+        batch: 1,
+        queue_depth: None,
+        overload: None,
+        slow_shard_us: 0,
     };
     let mut pos = Vec::new();
     let mut it = args.iter();
@@ -173,6 +189,35 @@ fn parse_opts(args: &[String]) -> Result<(Opts, Vec<String>), String> {
                     })?);
             }
             "--history" => o.history = true,
+            "--batch" => {
+                let v = it.next().ok_or("--batch requires a value")?;
+                o.batch = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("--batch: '{v}' is not a positive integer"))?;
+            }
+            "--queue-depth" => {
+                let v = it.next().ok_or("--queue-depth requires a value")?;
+                o.queue_depth =
+                    Some(v.parse().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                        format!("--queue-depth: '{v}' is not a positive integer")
+                    })?);
+            }
+            "--overload" => {
+                let v = it.next().ok_or("--overload requires a policy")?;
+                o.overload = Some(match v.as_str() {
+                    "backpressure" => hawkeye_serve::OverloadPolicy::Backpressure,
+                    "shed" => hawkeye_serve::OverloadPolicy::Shed,
+                    _ => return Err(format!("--overload: '{v}' is not backpressure|shed")),
+                });
+            }
+            "--slow-shard-us" => {
+                let v = it.next().ok_or("--slow-shard-us requires a value")?;
+                o.slow_shard_us = v
+                    .parse()
+                    .map_err(|_| format!("--slow-shard-us: '{v}' is not an unsigned integer"))?;
+            }
             "--format" => {
                 let v = it.next().ok_or("--format requires a value")?;
                 o.format = match v.as_str() {
@@ -194,7 +239,8 @@ fn usage() -> ! {
          |serve-stats> \
          [kind] [--load F] [--seed N] [--jobs N] [--json] [--format jsonl|chrome] \
          [--rates R,R,..] [--trials N] [--out F] \
-         [--socket PATH] [--tcp ADDR] [--replay KIND] [--epoch-budget N] [--history]\n\
+         [--socket PATH] [--tcp ADDR] [--replay KIND] [--epoch-budget N] [--history] \
+         [--batch N] [--queue-depth N] [--overload backpressure|shed] [--slow-shard-us N]\n\
          kinds: incast storm inloop oolc oolinj contention"
     );
     std::process::exit(2)
@@ -469,7 +515,9 @@ fn cmd_chaos(o: &Opts) {
 /// mismatch, 3 no diagnosis produced.
 fn cmd_serve(o: &Opts) {
     use hawkeye_core::AnalyzerConfig;
-    use hawkeye_serve::{replay_streaming, Endpoint, ServeClient, ServeConfig, StoreConfig};
+    use hawkeye_serve::{
+        replay_streaming_batched, Endpoint, ServeClient, ServeConfig, StoreConfig,
+    };
 
     let runcfg = optimal_run_config(o.seed);
     let store = o
@@ -478,6 +526,22 @@ fn cmd_serve(o: &Opts) {
             epoch_budget: n,
             ..StoreConfig::default()
         });
+    let make_cfg = |store: StoreConfig| {
+        let mut cfg = ServeConfig {
+            analyzer: AnalyzerConfig::for_epoch_len(runcfg.epoch.epoch_len()),
+            gather_jobs: o.jobs,
+            store,
+            ingest_delay_ns: o.slow_shard_us * 1_000,
+            ..Default::default()
+        };
+        if let Some(d) = o.queue_depth {
+            cfg.queue_depth = d;
+        }
+        if let Some(p) = o.overload {
+            cfg.overload = p;
+        }
+        cfg
+    };
     let endpoint = match (&o.socket, &o.tcp) {
         (Some(path), _) => Endpoint::Unix(path.into()),
         (None, Some(addr)) => Endpoint::Tcp(addr.clone()),
@@ -495,12 +559,7 @@ fn cmd_serve(o: &Opts) {
         // hawkeye process) connects later. The topology must match the
         // scenario the client streams; default to the incast fabric.
         let sc = build(ScenarioKind::MicroBurstIncast, o);
-        let cfg = ServeConfig {
-            analyzer: AnalyzerConfig::for_epoch_len(runcfg.epoch.epoch_len()),
-            gather_jobs: o.jobs,
-            store,
-            ..Default::default()
-        };
+        let cfg = make_cfg(store);
         match hawkeye_serve::spawn(sc.topo, cfg, endpoint) {
             Ok(handle) => {
                 if let Some(addr) = handle.local_addr {
@@ -517,12 +576,7 @@ fn cmd_serve(o: &Opts) {
     };
 
     let sc = build(kind, o);
-    let cfg = ServeConfig {
-        analyzer: AnalyzerConfig::for_epoch_len(runcfg.epoch.epoch_len()),
-        gather_jobs: o.jobs,
-        store,
-        ..Default::default()
-    };
+    let cfg = make_cfg(store);
     let handle = match hawkeye_serve::spawn(sc.topo.clone(), cfg, endpoint.clone()) {
         Ok(h) => h,
         Err(e) => {
@@ -548,7 +602,7 @@ fn cmd_serve(o: &Opts) {
         }
     };
 
-    let (outcome, mut client) = replay_streaming(&sc, &runcfg, client);
+    let (outcome, mut client) = replay_streaming_batched(&sc, &runcfg, client, o.batch);
     let served = outcome.window.and_then(|w| {
         client
             .diagnose(sc.truth.victim, w.from, w.to, outcome.missing.clone())

@@ -66,6 +66,17 @@ pub mod names {
     pub const OP_METRICS_NS: &str = "op_metrics_ns";
     /// Explain (audit-trail) request handling latency.
     pub const OP_EXPLAIN_NS: &str = "op_explain_ns";
+    /// IngestBatch request handling latency (whole multi-epoch frame).
+    pub const OP_INGEST_BATCH_NS: &str = "op_ingest_batch_ns";
+
+    // --- batched ingest and credit flow control --------------------------
+
+    /// Multi-epoch batch frames accepted by the serve daemon.
+    pub const INGEST_BATCHES: &str = "ingest_batches";
+    /// Credits consumed by the most recent in-flight batch (gauge): how
+    /// much of a session's credit window the last `IngestBatch` frame
+    /// used. The client's true outstanding window is at least this.
+    pub const CREDITS_OUTSTANDING: &str = "credits_outstanding";
 
     // --- serve-plane pipeline stage timings (wall-clock ns, counters) ---
 
@@ -91,6 +102,9 @@ pub mod names {
     pub const SLOW_OPS: &str = "slow_ops";
     /// Watermark-lag warnings recorded in the flight ring.
     pub const WATERMARK_LAG_WARNS: &str = "watermark_lag_warns";
+    /// Fold batches queued to the compactor thread but not yet absorbed
+    /// (gauge).
+    pub const COMPACTOR_QUEUE_DEPTH: &str = "compactor_queue_depth";
 }
 
 /// Configuration for a [`Recorder`].

@@ -1,6 +1,20 @@
 //! Synchronous client for the serve protocol, plus the [`EpochSink`]
 //! adapter that lets a [`StreamingHook`](crate::StreamingHook) feed a
 //! running daemon.
+//!
+//! Two ingest shapes:
+//!
+//! - [`ServeClient::ingest`] — one snapshot per round trip (send, await
+//!   ack), the legacy path.
+//! - [`ServeClient::ingest_batch`] — pipelined multi-epoch batch frames
+//!   under a credit window: `Hello` negotiates a budget of `W` snapshots
+//!   that may be in flight un-acknowledged; each `BatchAck` piggybacks the
+//!   credits it returns. The client blocks only when the window is empty,
+//!   which is exactly when the daemon's slowest shard is the bottleneck —
+//!   RDMA-style credit flow control over a byte stream.
+//!
+//! Every synchronous request ([`ServeClient::diagnose`], `stats`, …)
+//! first settles all in-flight batch acks, so frames never interleave.
 
 use crate::audit::ExplainRecord;
 use crate::proto::{
@@ -8,12 +22,13 @@ use crate::proto::{
 };
 use crate::server::AnyStream;
 use crate::store::FlowObservation;
-use crate::stream::EpochSink;
+use crate::stream::{EpochSink, SinkAck};
 use hawkeye_core::DiagnosisReport;
 use hawkeye_obs::MetricsSnapshot;
 use hawkeye_sim::{FlowKey, Nanos, NodeId};
 use hawkeye_telemetry::TelemetrySnapshot;
 use serde::Deserialize;
+use std::collections::VecDeque;
 use std::io;
 use std::net::TcpStream;
 use std::os::unix::net::UnixStream;
@@ -21,30 +36,114 @@ use std::path::Path;
 use std::time::Duration;
 
 /// One connection to a daemon; requests are synchronous (send, await
-/// response).
+/// response) except for the pipelined [`ServeClient::ingest_batch`] path.
 pub struct ServeClient {
     stream: AnyStream,
+    /// Credit window size granted by `Hello`; 0 until negotiated.
+    window: u32,
+    /// Credits currently available to spend on un-acked snapshots.
+    credits: u32,
+    /// Sizes of batch frames sent but not yet acknowledged, FIFO.
+    outstanding: VecDeque<u32>,
+    /// Delivery counts settled since the last `finish_ingest`.
+    settled: SinkAck,
 }
 
 impl ServeClient {
+    fn from_stream(stream: AnyStream) -> ServeClient {
+        ServeClient {
+            stream,
+            window: 0,
+            credits: 0,
+            outstanding: VecDeque::new(),
+            settled: SinkAck::default(),
+        }
+    }
+
     pub fn connect_unix(path: &Path) -> io::Result<ServeClient> {
         let s = UnixStream::connect(path)?;
         s.set_read_timeout(Some(Duration::from_secs(30)))?;
-        Ok(ServeClient {
-            stream: AnyStream::Unix(s),
-        })
+        Ok(ServeClient::from_stream(AnyStream::Unix(s)))
     }
 
     pub fn connect_tcp(addr: &str) -> io::Result<ServeClient> {
         let s = TcpStream::connect(addr)?;
         s.set_read_timeout(Some(Duration::from_secs(30)))?;
         s.set_nodelay(true)?;
-        Ok(ServeClient {
-            stream: AnyStream::Tcp(s),
-        })
+        Ok(ServeClient::from_stream(AnyStream::Tcp(s)))
+    }
+
+    /// Read one response frame and settle the oldest in-flight batch with
+    /// it: replenish the window from `granted` and accumulate delivery
+    /// counts.
+    fn settle_one(&mut self) -> Result<(), ProtoError> {
+        let (op, body) = read_frame(&mut self.stream)?.ok_or_else(|| {
+            ProtoError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "daemon closed with batches in flight",
+            ))
+        })?;
+        self.outstanding.pop_front();
+        match decode_response(op, &body)? {
+            Response::BatchAck {
+                accepted,
+                shed,
+                granted,
+            } => {
+                self.settled.accepted += u64::from(accepted);
+                self.settled.shed += u64::from(shed);
+                self.credits = (self.credits + granted).min(self.window);
+                Ok(())
+            }
+            Response::Ack { accepted, granted } => {
+                if accepted {
+                    self.settled.accepted += 1;
+                } else {
+                    self.settled.shed += 1;
+                }
+                self.credits = (self.credits + granted).min(self.window);
+                Ok(())
+            }
+            Response::Error(msg) => Err(ProtoError::Remote(msg)),
+            other => Err(ProtoError::BadBody(format!(
+                "unexpected in-flight response {other:?}"
+            ))),
+        }
+    }
+
+    /// Open the credit window if this session hasn't yet.
+    fn negotiate(&mut self) -> Result<(), ProtoError> {
+        if self.window > 0 {
+            return Ok(());
+        }
+        write_request(&mut self.stream, &Request::Hello)?;
+        let (op, body) = read_frame(&mut self.stream)?.ok_or_else(|| {
+            ProtoError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "daemon closed during hello",
+            ))
+        })?;
+        match decode_response(op, &body)? {
+            Response::Ack { granted, .. } => {
+                // A pre-credit daemon grants 0: degrade to a window of 1,
+                // which makes every batch effectively synchronous.
+                self.window = granted.max(1);
+                self.credits = self.window;
+                Ok(())
+            }
+            Response::Error(msg) => Err(ProtoError::Remote(msg)),
+            other => Err(ProtoError::BadBody(format!(
+                "unexpected hello response {other:?}"
+            ))),
+        }
     }
 
     fn call(&mut self, req: &Request) -> Result<Response, ProtoError> {
+        // Settle every in-flight batch first so the next frame read is
+        // this request's response, not a stale BatchAck.
+        while !self.outstanding.is_empty() {
+            self.settle_one()?;
+        }
         write_request(&mut self.stream, req)?;
         let (op, body) = read_frame(&mut self.stream)?.ok_or_else(|| {
             ProtoError::Io(io::Error::new(
@@ -59,14 +158,59 @@ impl ServeClient {
     }
 
     /// Ingest one snapshot; `Ok(false)` means the daemon shed it under
-    /// backpressure.
+    /// the Shed overload policy.
     pub fn ingest(&mut self, snap: &TelemetrySnapshot) -> Result<bool, ProtoError> {
         match self.call(&Request::IngestEpoch(snap.clone()))? {
-            Response::Ack(accepted) => Ok(accepted),
+            Response::Ack { accepted, .. } => Ok(accepted),
             other => Err(ProtoError::BadBody(format!(
                 "unexpected response {other:?}"
             ))),
         }
+    }
+
+    /// Send one multi-epoch batch frame, pipelined under the credit
+    /// window: blocks only while the window lacks room for the batch.
+    /// Returns the delivery counts *settled during this call* (possibly
+    /// for earlier batches, possibly empty — see [`SinkAck`]);
+    /// [`ServeClient::finish_ingest`] settles the rest.
+    pub fn ingest_batch(&mut self, snaps: &[TelemetrySnapshot]) -> Result<SinkAck, ProtoError> {
+        if snaps.is_empty() {
+            return Ok(SinkAck::default());
+        }
+        self.negotiate()?;
+        let n = u32::try_from(snaps.len()).map_err(|_| {
+            ProtoError::BadBody(format!("batch of {} snapshots too large", snaps.len()))
+        })?;
+        // Wait for window room. A batch larger than the whole window can
+        // never fit: settle everything and send it alone, effectively
+        // synchronous.
+        while self.credits < n.min(self.window) && !self.outstanding.is_empty() {
+            self.settle_one()?;
+        }
+        write_request(&mut self.stream, &Request::IngestBatch(snaps.to_vec()))?;
+        self.credits = self.credits.saturating_sub(n);
+        self.outstanding.push_back(n);
+        if n > self.window {
+            while !self.outstanding.is_empty() {
+                self.settle_one()?;
+            }
+        }
+        Ok(std::mem::take(&mut self.settled))
+    }
+
+    /// Settle every batch still in flight and return the accumulated
+    /// delivery counts since the last call.
+    pub fn finish_ingest(&mut self) -> Result<SinkAck, ProtoError> {
+        while !self.outstanding.is_empty() {
+            self.settle_one()?;
+        }
+        Ok(std::mem::take(&mut self.settled))
+    }
+
+    /// Snapshots sent but not yet acknowledged (the spent part of the
+    /// credit window).
+    pub fn in_flight(&self) -> u32 {
+        self.window.saturating_sub(self.credits)
     }
 
     /// Run a diagnosis over `[from, to)` for `victim`; `missing` is the
@@ -161,6 +305,18 @@ impl EpochSink for ServeClient {
     /// snapshot is reported (`Ok(false)`) but never fails the stream.
     fn push(&mut self, snap: &TelemetrySnapshot) -> io::Result<bool> {
         self.ingest(snap)
+            .map_err(|e| io::Error::other(e.to_string()))
+    }
+
+    /// Batches become pipelined `IngestBatch` frames under the credit
+    /// window; acks may settle lazily (see [`SinkAck`]).
+    fn push_batch(&mut self, snaps: &[TelemetrySnapshot]) -> io::Result<SinkAck> {
+        self.ingest_batch(snaps)
+            .map_err(|e| io::Error::other(e.to_string()))
+    }
+
+    fn finish(&mut self) -> io::Result<SinkAck> {
+        self.finish_ingest()
             .map_err(|e| io::Error::other(e.to_string()))
     }
 }

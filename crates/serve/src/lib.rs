@@ -21,6 +21,7 @@
 
 pub mod audit;
 pub mod client;
+pub mod compactor;
 pub mod proto;
 pub mod replay;
 pub mod server;
@@ -29,8 +30,9 @@ pub mod stream;
 
 pub use audit::{AuditTrail, ExplainRecord};
 pub use client::ServeClient;
+pub use compactor::{Compactor, CompactorStats, PendingFold};
 pub use proto::{observation_to_value, DiagnoseParams, ProtoError, Request, Response, MAX_FRAME};
-pub use replay::{replay_streaming, ReplayOutcome};
-pub use server::{spawn, DaemonHandle, Endpoint, ServeConfig};
+pub use replay::{replay_streaming, replay_streaming_batched, ReplayOutcome};
+pub use server::{spawn, DaemonHandle, Endpoint, OverloadPolicy, ServeConfig};
 pub use store::{Fidelity, FlowObservation, StoreConfig, StoreStats, TelemetryStore};
-pub use stream::{EpochSink, StreamStats, StreamingHook, VecSink};
+pub use stream::{EpochSink, SinkAck, StreamStats, StreamingHook, VecSink};

@@ -21,9 +21,19 @@
 //!   snapshot + flight-recorder dump), heavier than Stats.
 //! - `7` Explain — body is JSON `{}` (latest verdict) or `{"seq": N}`;
 //!   queries the verdict audit trail.
+//! - `8` IngestBatch — body is a version-tagged multi-epoch batch frame
+//!   ([`hawkeye_telemetry::wire::encode_batch`]): several snapshots in one
+//!   frame, amortizing the per-request round trip.
+//! - `9` Hello — empty body; opens a credit window. The daemon answers
+//!   `Ack {accepted: true, granted: W}` where `W` is the session's credit
+//!   budget: the client may have up to `W` un-acknowledged snapshots in
+//!   flight and replenishes from the `granted` field piggybacked on every
+//!   subsequent `Ack`/`BatchAck` (RDMA-style credit flow control).
 //!
 //! Response opcodes (daemon → client):
-//! - `129` Ack — body is one byte: `1` accepted, `0` shed (backpressure).
+//! - `129` Ack — body is `accepted: u8` (`1` accepted, `0` shed) followed
+//!   by `granted: u32`, the credits this response returns to the client's
+//!   window. A legacy one-byte body decodes with `granted = 0`.
 //! - `130` Diagnosis — body is a JSON [`DiagnosisReport`].
 //! - `131` Stats — body is a JSON counter object.
 //! - `132` Bye — shutdown acknowledged.
@@ -31,6 +41,8 @@
 //!   [`FlowObservation`](crate::store::FlowObservation) rows.
 //! - `134` Metrics — body is JSON `{metrics, flight}`.
 //! - `135` Explain — body is a JSON [`ExplainRecord`].
+//! - `136` BatchAck — body is `accepted: u32, shed: u32, granted: u32`:
+//!   per-batch delivery outcome plus the returned credits.
 //! - `255` Error — body is a UTF-8 message.
 //!
 //! Frames above [`MAX_FRAME`] are rejected before allocation; a malformed
@@ -40,7 +52,9 @@ use crate::audit::ExplainRecord;
 use crate::store::{Fidelity, FlowObservation};
 use hawkeye_core::DiagnosisReport;
 use hawkeye_sim::{FlowKey, Nanos, NodeId};
-use hawkeye_telemetry::{decode_snapshot, encode_snapshot, TelemetrySnapshot};
+use hawkeye_telemetry::{
+    decode_batch, decode_snapshot, encode_batch, encode_snapshot, TelemetrySnapshot,
+};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -97,6 +111,11 @@ pub enum Request {
     /// An audit-trail record: `None` = the latest verdict, `Some(seq)` =
     /// that specific verdict.
     Explain(Option<u64>),
+    /// Several snapshots in one frame (one round trip, one queue routing
+    /// pass per snapshot). Answered with [`Response::BatchAck`].
+    IngestBatch(Vec<TelemetrySnapshot>),
+    /// Open a credit window; answered with `Ack {granted: W}`.
+    Hello,
 }
 
 /// Parameters of a `Diagnose` request: the victim flow, the window, and
@@ -113,8 +132,14 @@ pub struct DiagnoseParams {
 /// Daemon → client.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
-    /// `true` = ingested; `false` = shed under backpressure.
-    Ack(bool),
+    /// Single-snapshot (or Hello) acknowledgement. `accepted`: `true` =
+    /// ingested, `false` = shed under the `Shed` overload policy.
+    /// `granted`: credits returned to the client's window (the session
+    /// budget on Hello, the settled snapshot count otherwise).
+    Ack {
+        accepted: bool,
+        granted: u32,
+    },
     Diagnosis(DiagnosisReport),
     Stats(serde::Value),
     Bye,
@@ -122,6 +147,13 @@ pub enum Response {
     /// `{metrics: <MetricsSnapshot>, flight: [events]}`.
     Metrics(serde::Value),
     Explain(ExplainRecord),
+    /// Per-batch delivery outcome: `accepted + shed` equals the batch
+    /// size, `granted` returns the batch's credits to the window.
+    BatchAck {
+        accepted: u32,
+        shed: u32,
+        granted: u32,
+    },
     Error(String),
 }
 
@@ -132,6 +164,8 @@ const OP_SHUTDOWN: u8 = 4;
 const OP_FLOW_HISTORY: u8 = 5;
 const OP_METRICS: u8 = 6;
 const OP_EXPLAIN: u8 = 7;
+const OP_INGEST_BATCH: u8 = 8;
+const OP_HELLO: u8 = 9;
 const OP_ACK: u8 = 129;
 const OP_DIAGNOSIS: u8 = 130;
 const OP_STATS_RESP: u8 = 131;
@@ -139,6 +173,7 @@ const OP_BYE: u8 = 132;
 const OP_HISTORY: u8 = 133;
 const OP_METRICS_RESP: u8 = 134;
 const OP_EXPLAIN_RESP: u8 = 135;
+const OP_BATCH_ACK: u8 = 136;
 const OP_ERROR: u8 = 255;
 
 /// Write one frame: length prefix, opcode, body.
@@ -202,6 +237,8 @@ pub fn write_request(w: &mut impl Write, req: &Request) -> io::Result<()> {
             write_frame(w, OP_FLOW_HISTORY, body.as_bytes())
         }
         Request::Metrics => write_frame(w, OP_METRICS, &[]),
+        Request::IngestBatch(snaps) => write_frame(w, OP_INGEST_BATCH, &encode_batch(snaps)),
+        Request::Hello => write_frame(w, OP_HELLO, &[]),
         Request::Explain(seq) => {
             let fields = match seq {
                 Some(n) => vec![("seq".to_string(), serde::Value::UInt(*n))],
@@ -319,6 +356,10 @@ pub fn decode_request(opcode: u8, body: &[u8]) -> Result<Request, ProtoError> {
         OP_SHUTDOWN => Ok(Request::Shutdown),
         OP_FLOW_HISTORY => Ok(Request::FlowHistory(parse_flow_history(body)?)),
         OP_METRICS => Ok(Request::Metrics),
+        OP_INGEST_BATCH => Ok(Request::IngestBatch(
+            decode_batch(body).map_err(|e| ProtoError::BadBody(e.to_string()))?,
+        )),
+        OP_HELLO => Ok(Request::Hello),
         OP_EXPLAIN => {
             let text = std::str::from_utf8(body).map_err(|e| ProtoError::BadBody(e.to_string()))?;
             let v = serde_json::parse(text).map_err(|e| ProtoError::BadBody(e.0))?;
@@ -337,7 +378,12 @@ pub fn decode_request(opcode: u8, body: &[u8]) -> Result<Request, ProtoError> {
 
 pub fn write_response(w: &mut impl Write, resp: &Response) -> io::Result<()> {
     match resp {
-        Response::Ack(accepted) => write_frame(w, OP_ACK, &[u8::from(*accepted)]),
+        Response::Ack { accepted, granted } => {
+            let mut body = [0u8; 5];
+            body[0] = u8::from(*accepted);
+            body[1..5].copy_from_slice(&granted.to_le_bytes());
+            write_frame(w, OP_ACK, &body)
+        }
         Response::Diagnosis(report) => {
             let body = serde_json::to_string(report).expect("report serialization is infallible");
             write_frame(w, OP_DIAGNOSIS, body.as_bytes())
@@ -362,6 +408,17 @@ pub fn write_response(w: &mut impl Write, resp: &Response) -> io::Result<()> {
             let body = serde_json::to_string(rec).expect("record serialization is infallible");
             write_frame(w, OP_EXPLAIN_RESP, body.as_bytes())
         }
+        Response::BatchAck {
+            accepted,
+            shed,
+            granted,
+        } => {
+            let mut body = [0u8; 12];
+            body[0..4].copy_from_slice(&accepted.to_le_bytes());
+            body[4..8].copy_from_slice(&shed.to_le_bytes());
+            body[8..12].copy_from_slice(&granted.to_le_bytes());
+            write_frame(w, OP_BATCH_ACK, &body)
+        }
         Response::Error(msg) => write_frame(w, OP_ERROR, msg.as_bytes()),
     }
 }
@@ -369,7 +426,14 @@ pub fn write_response(w: &mut impl Write, resp: &Response) -> io::Result<()> {
 /// Decode a response frame (client side).
 pub fn decode_response(opcode: u8, body: &[u8]) -> Result<Response, ProtoError> {
     match opcode {
-        OP_ACK => Ok(Response::Ack(body.first().copied().unwrap_or(0) == 1)),
+        OP_ACK => {
+            let accepted = body.first().copied().unwrap_or(0) == 1;
+            // Legacy one-byte acks (pre-credit daemons) grant nothing.
+            let granted = body
+                .get(1..5)
+                .map_or(0, |b| u32::from_le_bytes(b.try_into().expect("4 bytes")));
+            Ok(Response::Ack { accepted, granted })
+        }
         OP_DIAGNOSIS => {
             let text = std::str::from_utf8(body).map_err(|e| ProtoError::BadBody(e.to_string()))?;
             let report: DiagnosisReport =
@@ -405,6 +469,20 @@ pub fn decode_response(opcode: u8, body: &[u8]) -> Result<Response, ProtoError> 
             let rec: ExplainRecord =
                 serde_json::from_str(text).map_err(|e| ProtoError::BadBody(e.0))?;
             Ok(Response::Explain(rec))
+        }
+        OP_BATCH_ACK => {
+            if body.len() != 12 {
+                return Err(ProtoError::BadBody(format!(
+                    "batch ack body {} bytes, want 12",
+                    body.len()
+                )));
+            }
+            let word = |i: usize| u32::from_le_bytes(body[i..i + 4].try_into().expect("4 bytes"));
+            Ok(Response::BatchAck {
+                accepted: word(0),
+                shed: word(4),
+                granted: word(8),
+            })
         }
         OP_ERROR => Ok(Response::Error(String::from_utf8_lossy(body).into_owned())),
         op => Err(ProtoError::BadOpcode(op)),
@@ -468,6 +546,13 @@ mod tests {
             roundtrip_request(Request::Explain(Some(42))),
             Request::Explain(Some(42))
         );
+        for batch in [
+            Request::IngestBatch(vec![]),
+            Request::IngestBatch(vec![sample_snap(), sample_snap()]),
+        ] {
+            assert_eq!(roundtrip_request(batch.clone()), batch);
+        }
+        assert_eq!(roundtrip_request(Request::Hello), Request::Hello);
     }
 
     #[test]
@@ -509,8 +594,19 @@ mod tests {
     #[test]
     fn responses_roundtrip() {
         for resp in [
-            Response::Ack(true),
-            Response::Ack(false),
+            Response::Ack {
+                accepted: true,
+                granted: 64,
+            },
+            Response::Ack {
+                accepted: false,
+                granted: 1,
+            },
+            Response::BatchAck {
+                accepted: 7,
+                shed: 1,
+                granted: 8,
+            },
             Response::Bye,
             Response::Error("boom".into()),
         ] {
@@ -521,6 +617,31 @@ mod tests {
                 .expect("frame present");
             assert_eq!(decode_response(op, &body).expect("decodes"), resp);
         }
+    }
+
+    /// A pre-credit daemon's one-byte ack still decodes (granted = 0).
+    #[test]
+    fn legacy_one_byte_ack_decodes() {
+        assert_eq!(
+            decode_response(OP_ACK, &[1]).expect("legacy ack decodes"),
+            Response::Ack {
+                accepted: true,
+                granted: 0
+            }
+        );
+        assert_eq!(
+            decode_response(OP_ACK, &[0]).expect("legacy ack decodes"),
+            Response::Ack {
+                accepted: false,
+                granted: 0
+            }
+        );
+    }
+
+    #[test]
+    fn malformed_batch_ack_rejected() {
+        assert!(decode_response(OP_BATCH_ACK, &[0u8; 11]).is_err());
+        assert!(decode_response(OP_BATCH_ACK, &[0u8; 13]).is_err());
     }
 
     #[test]

@@ -58,6 +58,19 @@ pub fn replay_streaming<S: EpochSink>(
     cfg: &RunConfig,
     sink: S,
 ) -> (ReplayOutcome, S) {
+    replay_streaming_batched(scenario, cfg, sink, 1)
+}
+
+/// [`replay_streaming`] with multi-epoch batch frames: the hook buffers
+/// `batch` snapshots per sink write (`batch <= 1` is the exact legacy
+/// per-snapshot path). Partial trailing batches and pipelined acks are
+/// settled before the outcome's stream counters are read.
+pub fn replay_streaming_batched<S: EpochSink>(
+    scenario: &Scenario,
+    cfg: &RunConfig,
+    sink: S,
+    batch: usize,
+) -> (ReplayOutcome, S) {
     let hcfg = HawkeyeConfig {
         telemetry: TelemetryConfig {
             epochs: cfg.epoch,
@@ -67,7 +80,7 @@ pub fn replay_streaming<S: EpochSink>(
         faults: cfg.faults,
         ..Default::default()
     };
-    let hook = StreamingHook::new(HawkeyeHook::new(&scenario.topo, hcfg), sink);
+    let hook = StreamingHook::new(HawkeyeHook::new(&scenario.topo, hcfg), sink).with_batch(batch);
     let mut agent = Scenario::agent(cfg.threshold_factor);
     agent.dedup_interval = Nanos::from_micros(400);
     agent.retry = cfg.agent_retry;

@@ -4,11 +4,14 @@
 //!
 //! - One **accept loop** (the daemon thread) polls a nonblocking unix or
 //!   TCP listener and spawns one **session thread** per connection.
-//! - Sessions decode request frames and route `IngestEpoch` by
-//!   `switch id % shards` into bounded per-shard queues. A full queue
-//!   *sheds* the snapshot — `Ack(false)` plus the `ingest_shed` counter,
-//!   never unbounded growth; the client stream keeps its local collector,
-//!   so shedding degrades confidence, not correctness.
+//! - Sessions decode request frames and route `IngestEpoch` /
+//!   `IngestBatch` by `switch id % shards` into bounded per-shard queues.
+//!   A full queue **backpressures** by default — the session blocks, the
+//!   client's credit window (granted on `Hello`, replenished by every
+//!   ack) empties, and the producer slows to the slowest shard's pace
+//!   with zero loss. The pre-credit *shed* behaviour (`Ack {accepted:
+//!   false}` plus the `ingest_shed` counter) survives as the explicit
+//!   [`OverloadPolicy::Shed`] escape hatch.
 //! - Each **shard worker** owns a [`TelemetryStore`] partition and feeds
 //!   the shared [`IncrementalProvenance`] engine, so graph maintenance
 //!   happens on the ingest path, not the query path. After every ingest
@@ -16,11 +19,19 @@
 //!   engine behind the fleet-wide minimum — store and engine age out
 //!   telemetry in lockstep, so neither grows without bound (see
 //!   `tests/retention.rs`).
+//! - A single **compactor thread** owns the folded tier: shard stores run
+//!   in deferred-fold mode and only *stage* ring-evicted epochs, which the
+//!   workers hand over as `CompactMsg::Fold` batches after releasing the
+//!   store lock — the fold loop (≈46% of pre-PR-7 store+engine ingest
+//!   wall) leaves the hot path entirely, with no new locks. Queries that
+//!   read the folded tier (`FlowHistory`, `Stats`) barrier on the
+//!   compactor channel first.
 //! - `Diagnose` flushes every shard queue (barrier), gathers the shards'
 //!   canonical snapshots on the PR-2 work-stealing pool
 //!   ([`par_map`]), and runs the batch analyzer over them — the store's
 //!   canonical form makes this verdict-identical to the one-shot path on
-//!   the same telemetry (see `tests/serve_e2e.rs`).
+//!   the same telemetry (see `tests/serve_e2e.rs`). Diagnosis reads the
+//!   raw ring only, so it needs no compactor barrier.
 //!
 //! Counters (`epochs_ingested`, `ingest_shed`, `incremental_updates`,
 //! `serve_sessions`, …) live in a shared [`MetricsRegistry`] and are
@@ -32,6 +43,7 @@
 //! a few percent of the bare one (see `benches/serve_obs.rs`).
 
 use crate::audit::{AuditTrail, ExplainRecord};
+use crate::compactor::{Compactor, PendingFold};
 use crate::proto::{decode_request, read_frame, write_response, DiagnoseParams, Request, Response};
 use crate::store::{FlowObservation, StoreConfig, TelemetryStore};
 use hawkeye_core::{
@@ -41,7 +53,8 @@ use hawkeye_core::{
 use hawkeye_eval::par_map;
 use hawkeye_obs::flight as flight_kind;
 use hawkeye_obs::names::{
-    OP_DIAGNOSE_NS, OP_EXPLAIN_NS, OP_FLOW_HISTORY_NS, OP_INGEST_NS, OP_METRICS_NS, OP_STATS_NS,
+    COMPACTOR_QUEUE_DEPTH, CREDITS_OUTSTANDING, INGEST_BATCHES, OP_DIAGNOSE_NS, OP_EXPLAIN_NS,
+    OP_FLOW_HISTORY_NS, OP_INGEST_BATCH_NS, OP_INGEST_NS, OP_METRICS_NS, OP_STATS_NS,
     RETENTION_LAG_NS, SHARD_QUEUE_DEPTH, SHARD_WATERMARK_LAG_NS, SLOW_OPS, STAGE_APPEND_NS,
     STAGE_ENGINE_APPLY_NS, STAGE_FOLD_NS, STAGE_RETIRE_NS, WATERMARK_LAG_WARNS,
 };
@@ -63,6 +76,21 @@ use std::time::{Duration, Instant};
 pub use hawkeye_obs::names::{
     ENGINE_EPOCHS_RETIRED, EPOCHS_INGESTED, INCREMENTAL_UPDATES, INGEST_SHED, SERVE_SESSIONS,
 };
+
+/// What a session does when a shard's ingest queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverloadPolicy {
+    /// Block the session until the shard drains (the default). Combined
+    /// with the credit window this propagates a slow shard back to the
+    /// client as reduced send rate — zero sheds, bounded memory.
+    #[default]
+    Backpressure,
+    /// Shed the snapshot (`Ack {accepted: false}` + the `ingest_shed`
+    /// counter) — the pre-credit behaviour, kept as an explicit escape
+    /// hatch for deployments that prefer fresh-data latency over
+    /// completeness under overload.
+    Shed,
+}
 
 /// Daemon tuning.
 #[derive(Debug, Clone, Copy)]
@@ -91,6 +119,15 @@ pub struct ServeConfig {
     /// watermark records a WARNING flight event. Generous by default so
     /// fault-free replays stay warning-free.
     pub lag_warn_ns: u64,
+    /// Full-queue behaviour on the ingest path.
+    pub overload: OverloadPolicy,
+    /// Credit window granted per session on `Hello`: the maximum
+    /// un-acknowledged snapshots a pipelining client may have in flight.
+    pub session_credits: u32,
+    /// Artificial per-snapshot delay (wall ns) in every shard worker — the
+    /// "deliberately slow shard" knob for backpressure tests and benches;
+    /// 0 in production.
+    pub ingest_delay_ns: u64,
 }
 
 impl Default for ServeConfig {
@@ -107,6 +144,9 @@ impl Default for ServeConfig {
             flight_capacity: 256,
             audit_capacity: 64,
             lag_warn_ns: 1_000_000_000,
+            overload: OverloadPolicy::Backpressure,
+            session_credits: 64,
+            ingest_delay_ns: 0,
         }
     }
 }
@@ -169,6 +209,71 @@ enum ShardMsg {
     Flush(SyncSender<()>),
 }
 
+/// Messages to the compactor thread, which owns the daemon's folded tier
+/// (the stores run with [`StoreConfig::deferred_fold`] and only *stage*
+/// ring-evicted epochs). One thread, one FIFO channel: per-switch fold
+/// order matches arrival order, so bucket boundaries are identical to the
+/// inline path's, and queries serialize after every fold already sent.
+enum CompactMsg {
+    /// A batch of ring-evicted epochs staged by one shard-worker append.
+    Fold(Vec<PendingFold>),
+    /// Barrier: reply once every prior fold on this channel is absorbed.
+    Flush(SyncSender<()>),
+    /// Compacted-tier rows for one flow (unsorted; the caller merges).
+    FlowHistory(FlowKey, SyncSender<Vec<FlowObservation>>),
+    /// Tier occupancy: (raw epochs summed in buckets, bucket count).
+    Tier(SyncSender<(u64, usize)>),
+    /// Exit the thread (sent by the accept loop after the shard workers
+    /// have been joined, so no fold can arrive after it).
+    Shutdown,
+}
+
+/// The shard workers' and sessions' handle to the compactor thread.
+#[derive(Clone)]
+struct CompactorHandle {
+    tx: SyncSender<CompactMsg>,
+    /// Fold batches sent but not yet absorbed (drives the
+    /// `compactor_queue_depth` gauge).
+    depth: Arc<AtomicU64>,
+}
+
+/// Depth of the compactor thread's channel. Bounded on purpose: if the
+/// compactor falls this far behind, shard workers block on the send and
+/// the slowdown propagates up the ingest path (and, under the credit
+/// window, back to the client) instead of growing an unbounded fold queue.
+const COMPACT_QUEUE_DEPTH: usize = 1024;
+
+/// The compactor thread: single owner of the folded tier. Takes only the
+/// metrics lock (a leaf in the canonical store → engine → metrics → flight
+/// → audit order), and only after `absorb` finishes — no new lock-order
+/// edges.
+fn compactor_thread(shared: Arc<Shared>, rx: Receiver<CompactMsg>, depth: Arc<AtomicU64>) {
+    let mut comp = Compactor::new(shared.cfg.store);
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            CompactMsg::Fold(batch) => {
+                let queued = depth.fetch_sub(1, Ordering::Relaxed).saturating_sub(1);
+                let ns = comp.absorb(batch);
+                if shared.cfg.obs {
+                    let mut m = shared.metrics.lock().expect("metrics lock");
+                    m.add(MetricKey::global(STAGE_FOLD_NS), ns);
+                    m.set(MetricKey::global(COMPACTOR_QUEUE_DEPTH), queued as f64);
+                }
+            }
+            CompactMsg::Flush(ack) => {
+                let _ = ack.send(());
+            }
+            CompactMsg::FlowHistory(key, reply) => {
+                let _ = reply.send(comp.flow_history(&key));
+            }
+            CompactMsg::Tier(reply) => {
+                let _ = reply.send((comp.epochs_held(), comp.buckets_held()));
+            }
+            CompactMsg::Shutdown => break,
+        }
+    }
+}
+
 /// State shared between sessions, shard workers and the daemon handle.
 ///
 /// **Lock order invariant: store → engine → metrics → flight → audit.**
@@ -202,6 +307,9 @@ struct Shared {
     /// Per-shard ingest-queue occupancy: incremented on enqueue
     /// (`route_ingest`), decremented when the shard worker dequeues.
     queue_depths: Vec<AtomicU64>,
+    /// Handle to the compactor thread; `None` in unit-test `Shared`s built
+    /// without daemon threads (their stores then fold inline).
+    compactor: Option<CompactorHandle>,
 }
 
 /// A registry pre-seeded with every well-known serve counter at zero, so
@@ -217,6 +325,7 @@ fn seeded_registry() -> MetricsRegistry {
         ENGINE_EPOCHS_RETIRED,
         SLOW_OPS,
         WATERMARK_LAG_WARNS,
+        INGEST_BATCHES,
     ] {
         m.add(MetricKey::global(name), 0);
     }
@@ -413,15 +522,61 @@ impl Shared {
         }
     }
 
+    /// Barrier on the compactor thread: returns once every fold staged
+    /// before this call is absorbed. No-op without a compactor thread.
+    fn flush_compactor(&self) {
+        if let Some(h) = &self.compactor {
+            let (ack_tx, ack_rx) = sync_channel(1);
+            if h.tx.send(CompactMsg::Flush(ack_tx)).is_ok() {
+                let _ = ack_rx.recv();
+            }
+        }
+    }
+
     /// Where was this flow seen, across every shard and both retention
-    /// tiers, in the store's canonical row order.
+    /// tiers, in the store's canonical row order. Callers that need the
+    /// folded tier up to date run `flush_compactor` first (the session
+    /// does, after the shard barrier).
     fn flow_history(&self, key: &FlowKey) -> Response {
         let mut rows: Vec<FlowObservation> = Vec::new();
         for s in &self.stores {
             rows.extend(s.lock().expect("store lock").flow_history(key));
         }
+        // Deferred mode: the stores' embedded tiers are empty and the
+        // compactor thread owns the buckets.
+        if let Some(h) = &self.compactor {
+            let (reply_tx, reply_rx) = sync_channel(1);
+            if h.tx.send(CompactMsg::FlowHistory(*key, reply_tx)).is_ok() {
+                if let Ok(compacted) = reply_rx.recv() {
+                    rows.extend(compacted);
+                }
+            }
+        }
         rows.sort_unstable_by_key(|o| (o.from, o.to, o.switch, o.fidelity, o.out_port));
         Response::History(rows)
+    }
+
+    /// Compacted-tier occupancy: (epochs summed in buckets, bucket count),
+    /// from the compactor thread in deferred mode, from the stores' own
+    /// tiers otherwise.
+    fn compacted_tier(&self) -> (u64, usize) {
+        if let Some(h) = &self.compactor {
+            let (reply_tx, reply_rx) = sync_channel(1);
+            if h.tx.send(CompactMsg::Tier(reply_tx)).is_ok() {
+                if let Ok(t) = reply_rx.recv() {
+                    return t;
+                }
+            }
+            return (0, 0);
+        }
+        let mut epochs = 0u64;
+        let mut buckets = 0usize;
+        for s in &self.stores {
+            let s = s.lock().expect("store lock");
+            epochs += s.compacted_epochs_held();
+            buckets += s.compacted_buckets_held();
+        }
+        (epochs, buckets)
     }
 
     fn stats(&self) -> Response {
@@ -430,16 +585,16 @@ impl Shared {
         let mut store_snapshots = 0u64;
         let mut store_epochs = 0usize;
         let mut store_switches = 0usize;
-        let mut store_compacted_epochs = 0u64;
-        let mut store_compacted_buckets = 0usize;
         for s in &self.stores {
             let s = s.lock().expect("store lock");
             store_snapshots += s.stats().snapshots_appended;
             store_epochs += s.epochs_held();
             store_switches += s.switches().len();
-            store_compacted_epochs += s.compacted_epochs_held();
-            store_compacted_buckets += s.compacted_buckets_held();
         }
+        // Settle the folded tier before reading it, so Stats reflects
+        // every fold staged by appends that happened before this request.
+        self.flush_compactor();
+        let (store_compacted_epochs, store_compacted_buckets) = self.compacted_tier();
         let (estats, engine_epochs, engine_horizon, engine_fragments, engine_nodes) = {
             let mut engine = self.engine.lock().expect("engine lock");
             // Refresh so node/fragment counts reflect retirement, not the
@@ -555,17 +710,27 @@ fn confidence_label(c: &Confidence) -> &'static str {
 }
 
 fn shard_worker(shared: Arc<Shared>, shard: usize, rx: Receiver<ShardMsg>) {
+    // Fleet horizon this worker last pushed into the engine. The engine's
+    // `retire_before` early-exits on a stale horizon anyway, but comparing
+    // here keeps the no-op case out of the engine critical section — most
+    // snapshots don't move the fleet-min horizon at all.
+    let mut last_fleet = Nanos::ZERO;
     while let Ok(msg) = rx.recv() {
         match msg {
             ShardMsg::Ingest(snap) => {
                 // Lock order: store → engine → metrics → flight (see
                 // `Shared`), each dropped before the next is taken.
                 let obs = shared.cfg.obs;
+                if shared.cfg.ingest_delay_ns > 0 {
+                    // The deliberately-slow-shard knob: backpressure tests
+                    // and the frames/sec bench throttle the consumer here.
+                    thread::sleep(Duration::from_nanos(shared.cfg.ingest_delay_ns));
+                }
                 let depth = shared.queue_depths[shard]
                     .fetch_sub(1, Ordering::Relaxed)
                     .saturating_sub(1);
                 let epochs = snap.epochs.len() as u64;
-                let (horizon, watermark, d_append, d_fold) = {
+                let (horizon, watermark, d_append, d_fold, staged) = {
                     let mut store = shared.stores[shard].lock().expect("store lock");
                     let before = {
                         let st = store.stats();
@@ -578,12 +743,26 @@ fn shard_worker(shared: Arc<Shared>, shard: usize, rx: Receiver<ShardMsg>) {
                         store.min_watermark(),
                         st.append_ns - before.0,
                         st.fold_ns - before.1,
+                        store.take_pending_folds(),
                     )
                 };
+                // Hand ring-evicted epochs to the compactor thread after
+                // the store lock is released — the fold leaves the ingest
+                // hot path entirely. A full compactor channel blocks here,
+                // which is the intended backpressure, not a failure.
+                if !staged.is_empty() {
+                    if let Some(h) = &shared.compactor {
+                        h.depth.fetch_add(1, Ordering::Relaxed);
+                        if h.tx.send(CompactMsg::Fold(staged)).is_err() {
+                            h.depth.fetch_sub(1, Ordering::Relaxed);
+                        }
+                    }
+                }
                 shared.horizons[shard].store(horizon.map_or(u64::MAX, |h| h.0), Ordering::Relaxed);
                 shared.watermarks[shard]
                     .store(watermark.map_or(u64::MAX, |w| w.0), Ordering::Relaxed);
                 let fleet = shared.fleet_horizon();
+                let advance = fleet > last_fleet;
                 let (changed, retired, apply_ns, retire_ns) = {
                     let mut engine = shared.engine.lock().expect("engine lock");
                     let t = obs.then(Instant::now);
@@ -592,11 +771,21 @@ fn shard_worker(shared: Arc<Shared>, shard: usize, rx: Receiver<ShardMsg>) {
                     let t = obs.then(Instant::now);
                     // Retire engine state the stores no longer back with
                     // raw epochs — the fix that keeps a long-running
-                    // daemon's wait-for graph bounded.
-                    let retired = engine.retire_before(fleet);
+                    // daemon's wait-for graph bounded. Skipped whenever
+                    // this worker already published `fleet` (another
+                    // worker may beat us to it; the engine's own horizon
+                    // check makes that race a cheap no-op).
+                    let retired = if advance {
+                        engine.retire_before(fleet)
+                    } else {
+                        0
+                    };
                     let retire_ns = t.map_or(0, |t| t.elapsed().as_nanos() as u64);
                     (changed, retired, apply_ns, retire_ns)
                 };
+                if advance {
+                    last_fleet = fleet;
+                }
                 let lag = if obs { shared.watermark_lag(shard) } else { 0 };
                 let mut m = shared.metrics.lock().expect("metrics lock");
                 m.add(MetricKey::global(EPOCHS_INGESTED), epochs);
@@ -647,20 +836,45 @@ fn shard_worker(shared: Arc<Shared>, shard: usize, rx: Receiver<ShardMsg>) {
     }
 }
 
-/// Route one snapshot to its shard's bounded queue. A full queue sheds —
-/// the ingest is acknowledged `false` and counted, never buffered
-/// unboundedly; the client's own collector still holds the telemetry, so a
-/// shed shows up as degraded confidence, not lost correctness.
+/// Route one snapshot to its shard's bounded queue.
+///
+/// Under [`OverloadPolicy::Backpressure`] (the default) a full queue
+/// *blocks* until the shard drains — the session slows down, the client's
+/// credit window empties, and the slow shard's pace propagates all the way
+/// back to the producer with zero loss. Under [`OverloadPolicy::Shed`] a
+/// full queue sheds the snapshot — `Ack {accepted: false}` plus the
+/// `ingest_shed` counter, never unbounded buffering; the client's own
+/// collector still holds the telemetry, so a shed shows up as degraded
+/// confidence, not lost correctness.
+///
+/// Either way, a *disconnected* shard (worker thread gone) is a request
+/// error — a dead consumer is a fault, never accounted as backpressure
+/// shedding.
 fn route_ingest(
     shared: &Shared,
     txs: &[SyncSender<ShardMsg>],
     snap: TelemetrySnapshot,
 ) -> Response {
     let shard = shared.shard_of(&snap);
+    if shared.cfg.overload == OverloadPolicy::Backpressure {
+        return match txs[shard].send(ShardMsg::Ingest(snap)) {
+            Ok(()) => {
+                shared.queue_depths[shard].fetch_add(1, Ordering::Relaxed);
+                Response::Ack {
+                    accepted: true,
+                    granted: 1,
+                }
+            }
+            Err(_) => Response::Error("shard worker gone".into()),
+        };
+    }
     match txs[shard].try_send(ShardMsg::Ingest(snap)) {
         Ok(()) => {
             shared.queue_depths[shard].fetch_add(1, Ordering::Relaxed);
-            Response::Ack(true)
+            Response::Ack {
+                accepted: true,
+                granted: 1,
+            }
         }
         Err(TrySendError::Full(_)) => {
             shared
@@ -675,9 +889,46 @@ fn route_ingest(
                     .expect("flight lock")
                     .warn("ingest_shed", format!("shard {shard} queue full"));
             }
-            Response::Ack(false)
+            Response::Ack {
+                accepted: false,
+                granted: 1,
+            }
         }
         Err(TrySendError::Disconnected(_)) => Response::Error("shard worker gone".into()),
+    }
+}
+
+/// Route a multi-epoch batch frame: every snapshot goes through
+/// [`route_ingest`] individually (per-switch sharding still applies), and
+/// one `BatchAck` settles the whole frame, returning its credits. A dead
+/// shard fails the batch with an error — partial delivery is reported
+/// only for sheds, which the client can count, not for faults.
+fn route_batch(
+    shared: &Shared,
+    txs: &[SyncSender<ShardMsg>],
+    snaps: Vec<TelemetrySnapshot>,
+) -> Response {
+    let n = snaps.len() as u32;
+    let mut accepted = 0u32;
+    let mut shed = 0u32;
+    for snap in snaps {
+        match route_ingest(shared, txs, snap) {
+            Response::Ack { accepted: true, .. } => accepted += 1,
+            Response::Ack {
+                accepted: false, ..
+            } => shed += 1,
+            err => return err,
+        }
+    }
+    if shared.cfg.obs {
+        let mut m = shared.metrics.lock().expect("metrics lock");
+        m.inc(MetricKey::global(INGEST_BATCHES));
+        m.set(MetricKey::global(CREDITS_OUTSTANDING), f64::from(n));
+    }
+    Response::BatchAck {
+        accepted,
+        shed,
+        granted: n,
     }
 }
 
@@ -725,12 +976,26 @@ fn session(shared: Arc<Shared>, txs: Vec<SyncSender<ShardMsg>>, mut stream: AnyS
             Ok(Request::IngestEpoch(snap)) => {
                 (Some(OP_INGEST_NS), route_ingest(&shared, &txs, snap))
             }
+            Ok(Request::IngestBatch(snaps)) => {
+                (Some(OP_INGEST_BATCH_NS), route_batch(&shared, &txs, snaps))
+            }
+            Ok(Request::Hello) => (
+                None,
+                Response::Ack {
+                    accepted: true,
+                    granted: shared.cfg.session_credits,
+                },
+            ),
             Ok(Request::Diagnose(p)) => {
                 flush_shards(&txs);
                 (Some(OP_DIAGNOSE_NS), shared.diagnose(&p))
             }
             Ok(Request::FlowHistory(key)) => {
+                // Two barriers: shards first (their appends stage the
+                // folds), then the compactor (absorb what they staged) —
+                // the query then sees a consistent dual-tier view.
                 flush_shards(&txs);
+                shared.flush_compactor();
                 (Some(OP_FLOW_HISTORY_NS), shared.flow_history(&key))
             }
             Ok(Request::Stats) => (Some(OP_STATS_NS), shared.stats()),
@@ -858,6 +1123,13 @@ pub fn spawn(topo: Topology, cfg: ServeConfig, endpoint: Endpoint) -> io::Result
     };
 
     let shards = cfg.shards.max(1);
+    // The daemon always folds off-thread: shard stores stage ring-evicted
+    // epochs and the compactor thread owns the folded tier. Inline mode
+    // remains the standalone-store default only.
+    let mut cfg = cfg;
+    cfg.store.deferred_fold = true;
+    let (compact_tx, compact_rx) = sync_channel(COMPACT_QUEUE_DEPTH);
+    let compact_depth = Arc::new(AtomicU64::new(0));
     let shared = Arc::new(Shared {
         topo,
         cfg,
@@ -879,7 +1151,19 @@ pub fn spawn(topo: Topology, cfg: ServeConfig, endpoint: Endpoint) -> io::Result
         horizons: (0..shards).map(|_| AtomicU64::new(u64::MAX)).collect(),
         watermarks: (0..shards).map(|_| AtomicU64::new(u64::MAX)).collect(),
         queue_depths: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+        compactor: Some(CompactorHandle {
+            tx: compact_tx,
+            depth: Arc::clone(&compact_depth),
+        }),
     });
+
+    let compactor_join = {
+        let sh = Arc::clone(&shared);
+        thread::Builder::new()
+            .name("hawkeye-compactor".into())
+            .spawn(move || compactor_thread(sh, compact_rx, compact_depth))
+            .expect("spawn compactor thread")
+    };
 
     let mut txs = Vec::with_capacity(shards);
     let mut workers = Vec::with_capacity(shards);
@@ -907,7 +1191,12 @@ pub fn spawn(topo: Topology, cfg: ServeConfig, endpoint: Endpoint) -> io::Result
             while !accept_shared.stop.load(Ordering::SeqCst) {
                 let accepted = match &listener {
                     AnyListener::Unix(l) => l.accept().map(|(s, _)| AnyStream::Unix(s)),
-                    AnyListener::Tcp(l) => l.accept().map(|(s, _)| AnyStream::Tcp(s)),
+                    AnyListener::Tcp(l) => l.accept().map(|(s, _)| {
+                        // Acks are 5–12 byte frames; leaving Nagle on lets
+                        // delayed-ACK stall the client's credit window.
+                        let _ = s.set_nodelay(true);
+                        AnyStream::Tcp(s)
+                    }),
                 };
                 match accepted {
                     Ok(stream) => {
@@ -935,6 +1224,13 @@ pub fn spawn(topo: Topology, cfg: ServeConfig, endpoint: Endpoint) -> io::Result
             for w in workers {
                 let _ = w.join();
             }
+            // Only after every worker is gone (no fold can still be sent)
+            // is the compactor told to exit; FIFO ordering means it
+            // absorbs everything staged before the shutdown message.
+            if let Some(h) = &accept_shared.compactor {
+                let _ = h.tx.send(CompactMsg::Shutdown);
+            }
+            let _ = compactor_join.join();
             if let Some(p) = socket_path {
                 let _ = std::fs::remove_file(p);
             }
@@ -954,9 +1250,17 @@ mod tests {
     use hawkeye_sim::{chain, NodeId, EVAL_BANDWIDTH, EVAL_DELAY};
 
     fn test_shared(shards: usize) -> Shared {
+        // The shed tests exercise the try_send path, so the unit-test
+        // Shared opts into the explicit Shed escape hatch (the daemon
+        // default is Backpressure, which never sheds — it blocks).
+        test_shared_with(shards, OverloadPolicy::Shed)
+    }
+
+    fn test_shared_with(shards: usize, overload: OverloadPolicy) -> Shared {
         let topo = chain(2, 1, EVAL_BANDWIDTH, EVAL_DELAY);
         let cfg = ServeConfig {
             shards,
+            overload,
             ..ServeConfig::default()
         };
         Shared {
@@ -976,6 +1280,7 @@ mod tests {
             horizons: (0..shards).map(|_| AtomicU64::new(u64::MAX)).collect(),
             watermarks: (0..shards).map(|_| AtomicU64::new(u64::MAX)).collect(),
             queue_depths: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            compactor: None,
         }
     }
 
@@ -990,8 +1295,9 @@ mod tests {
         }
     }
 
-    /// A full shard queue sheds the ingest (Ack(false) + counter) instead
-    /// of blocking or buffering unboundedly.
+    /// Under the Shed policy a full shard queue sheds the ingest
+    /// (Ack {accepted: false} + counter) instead of blocking or buffering
+    /// unboundedly.
     #[test]
     fn full_queue_sheds_with_counter() {
         let shared = test_shared(1);
@@ -1002,30 +1308,92 @@ mod tests {
 
         assert!(matches!(
             route_ingest(&shared, &txs, snap(0)),
-            Response::Ack(true)
+            Response::Ack { accepted: true, .. }
         ));
         assert!(matches!(
             route_ingest(&shared, &txs, snap(0)),
-            Response::Ack(false)
+            Response::Ack {
+                accepted: false,
+                ..
+            }
         ));
         assert!(matches!(
             route_ingest(&shared, &txs, snap(2)),
-            Response::Ack(false)
+            Response::Ack {
+                accepted: false,
+                ..
+            }
         ));
         let shed = shared.metrics.lock().unwrap().counter_total(INGEST_SHED);
         assert_eq!(shed, 2);
     }
 
-    /// A disconnected shard (worker gone) reports an error, not a panic.
+    /// Every ack — accepted or shed — returns exactly the one credit the
+    /// snapshot consumed, so the client's window never leaks.
+    #[test]
+    fn acks_return_credits_either_way() {
+        let shared = test_shared(1);
+        let (tx, _rx) = sync_channel(1);
+        let txs = vec![tx];
+        let Response::Ack { granted, .. } = route_ingest(&shared, &txs, snap(0)) else {
+            panic!("expected ack");
+        };
+        assert_eq!(granted, 1);
+        let Response::Ack { granted, .. } = route_ingest(&shared, &txs, snap(0)) else {
+            panic!("expected shed ack");
+        };
+        assert_eq!(granted, 1, "shed ack must still return the credit");
+    }
+
+    /// A disconnected shard (worker gone) reports an error, not a panic —
+    /// and never counts as an `ingest_shed`: a dead consumer is a fault,
+    /// not backpressure.
     #[test]
     fn disconnected_shard_reports_error() {
+        for overload in [OverloadPolicy::Shed, OverloadPolicy::Backpressure] {
+            let shared = test_shared_with(1, overload);
+            let (tx, rx) = sync_channel(1);
+            drop(rx);
+            assert!(
+                matches!(route_ingest(&shared, &[tx], snap(0)), Response::Error(_)),
+                "{overload:?}: dead shard must be a request error"
+            );
+            assert_eq!(
+                shared.metrics.lock().unwrap().counter_total(INGEST_SHED),
+                0,
+                "{overload:?}: dead shard counted as ingest_shed"
+            );
+        }
+    }
+
+    /// A dead shard fails a whole batch with an error (never a BatchAck
+    /// that silently lost snapshots), and still sheds nothing.
+    #[test]
+    fn disconnected_shard_fails_batch() {
         let shared = test_shared(1);
-        let (tx, rx) = sync_channel(1);
+        let (tx, rx) = sync_channel(4);
         drop(rx);
-        assert!(matches!(
-            route_ingest(&shared, &[tx], snap(0)),
-            Response::Error(_)
-        ));
+        let resp = route_batch(&shared, &[tx], vec![snap(0), snap(0)]);
+        assert!(matches!(resp, Response::Error(_)));
+        assert_eq!(shared.metrics.lock().unwrap().counter_total(INGEST_SHED), 0);
+    }
+
+    /// A batch through a live queue reports per-snapshot outcomes and
+    /// returns the batch's credits.
+    #[test]
+    fn batch_reports_accepted_and_shed() {
+        let shared = test_shared(1);
+        // Room for 2 of the 3 snapshots; no worker drains.
+        let (tx, _rx) = sync_channel(2);
+        let resp = route_batch(&shared, &[tx], vec![snap(0), snap(0), snap(0)]);
+        assert_eq!(
+            resp,
+            Response::BatchAck {
+                accepted: 2,
+                shed: 1,
+                granted: 3
+            }
+        );
     }
 
     /// Regression for the hardcoded counter list `Stats` used to carry:
@@ -1065,12 +1433,15 @@ mod tests {
         let txs = vec![tx];
         assert!(matches!(
             route_ingest(&shared, &txs, snap(0)),
-            Response::Ack(true)
+            Response::Ack { accepted: true, .. }
         ));
         assert!(shared.flight.lock().unwrap().is_empty());
         assert!(matches!(
             route_ingest(&shared, &txs, snap(0)),
-            Response::Ack(false)
+            Response::Ack {
+                accepted: false,
+                ..
+            }
         ));
         let flight = shared.flight.lock().unwrap();
         assert_eq!(flight.warnings(), 1);

@@ -34,10 +34,59 @@
 //! counted in [`StoreStats::epochs_superseded_after_fold`]) — the bucket
 //! froze the stale version and cannot subtract it.
 
+use crate::compactor::{Compactor, PendingFold};
 use hawkeye_sim::{FlowKey, Nanos, NodeId};
 use hawkeye_telemetry::{CompactedEpoch, EpochSnapshot, EvictedFlow, TelemetrySnapshot};
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
+use std::hash::BuildHasherDefault;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Deterministic multiply-mix hasher for the per-switch ring-key maps.
+/// Keys are (slot, id) pairs drawn from the switch's bounded ring
+/// geometry — a few bits of honest entropy, no attacker-controlled data —
+/// so SipHash's collision resistance buys nothing here while its cost
+/// lands on every epoch of the append hot path.
+#[derive(Default)]
+struct RingKeyHasher(u64);
+
+impl RingKeyHasher {
+    #[inline]
+    fn mix(&mut self, v: u64) {
+        // splitmix64 finalizer over an accumulating state.
+        let mut x = self.0 ^ v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 27;
+        self.0 = x;
+    }
+}
+
+impl std::hash::Hasher for RingKeyHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.mix(u64::from(b));
+        }
+    }
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.mix(u64::from(v));
+    }
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.mix(v as u64);
+    }
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.mix(v);
+    }
+}
+
+type RingBuild = BuildHasherDefault<RingKeyHasher>;
 
 /// Store tuning.
 #[derive(Debug, Clone, Copy)]
@@ -57,6 +106,13 @@ pub struct StoreConfig {
     /// eviction/fold loop ([`StoreStats::fold_ns`]). Two `Instant` reads
     /// per append; the observability bench gates the overhead.
     pub timed: bool,
+    /// Stage ring-evicted epochs for an external [`Compactor`] instead of
+    /// folding inline: `append` leaves them in a pending outbox
+    /// ([`TelemetryStore::take_pending_folds`]) and this store's own
+    /// compacted tier stays empty. The serve daemon runs in this mode,
+    /// handing staged folds to its compactor thread; standalone stores
+    /// keep the inline default.
+    pub deferred_fold: bool,
 }
 
 impl Default for StoreConfig {
@@ -70,6 +126,7 @@ impl Default for StoreConfig {
             compact_budget: 16,
             compact_chunk: 0,
             timed: true,
+            deferred_fold: false,
         }
     }
 }
@@ -140,7 +197,12 @@ pub struct FlowObservation {
 struct SwitchLog {
     /// (slot, id) -> (taken_at, epoch); keep-latest by taken_at, later
     /// arrival winning ties.
-    epochs: HashMap<(usize, u8), (Nanos, EpochSnapshot)>,
+    epochs: HashMap<(usize, u8), (Nanos, EpochSnapshot), RingBuild>,
+    /// Eviction order cache: (start, slot, id) min-heap over the live
+    /// ring, lazily invalidated. Ring-key reuse leaves the old entry in
+    /// place; eviction pops until the top's start matches the live epoch
+    /// under that key. Replaces an O(budget) scan per eviction.
+    evict_order: BinaryHeap<Reverse<(Nanos, usize, u8)>>,
     taken_at: Nanos,
     nports: usize,
     max_flows: usize,
@@ -150,13 +212,11 @@ struct SwitchLog {
     /// of the ring; never advanced by stale versions the keep-latest rule
     /// rejects.
     watermark: Nanos,
-    /// Compacted buckets, oldest first; the back bucket is still open.
-    compacted: VecDeque<CompactedEpoch>,
     /// (slot, id) -> (taken_at, start) of epochs already folded, so
     /// re-deliveries are rejected instead of double counted. Bounded by
     /// the switch's physical ring-key space (slots x 256 ids): a key is
     /// overwritten when the slot is reused for a new epoch.
-    folded: HashMap<(usize, u8), (Nanos, Nanos)>,
+    folded: HashMap<(usize, u8), (Nanos, Nanos), RingBuild>,
     /// Largest end among epochs aged out of the raw ring — this switch's
     /// retention horizon.
     fold_horizon: Nanos,
@@ -168,6 +228,14 @@ pub struct TelemetryStore {
     cfg: StoreConfig,
     switches: BTreeMap<NodeId, SwitchLog>,
     stats: StoreStats,
+    /// The folded tier's owner in inline mode; stays empty under
+    /// [`StoreConfig::deferred_fold`], where an external compactor (the
+    /// daemon's compactor thread) holds the buckets instead.
+    compactor: Compactor,
+    /// Evicted epochs staged for an external compactor
+    /// ([`StoreConfig::deferred_fold`]); drained by
+    /// [`TelemetryStore::take_pending_folds`].
+    pending: Vec<PendingFold>,
     /// Epochs cloned while answering windowed queries — observability for
     /// the "window queries must not clone the whole ring" guarantee.
     window_epochs_cloned: AtomicU64,
@@ -179,6 +247,8 @@ impl TelemetryStore {
             cfg,
             switches: BTreeMap::new(),
             stats: StoreStats::default(),
+            compactor: Compactor::new(cfg),
+            pending: Vec::new(),
             window_epochs_cloned: AtomicU64::new(0),
         }
     }
@@ -192,14 +262,14 @@ impl TelemetryStore {
             .switches
             .entry(snap.switch)
             .or_insert_with(|| SwitchLog {
-                epochs: HashMap::new(),
+                epochs: HashMap::default(),
+                evict_order: BinaryHeap::new(),
                 taken_at: snap.taken_at,
                 nports: snap.nports,
                 max_flows: snap.max_flows,
                 evicted: snap.evicted.clone(),
                 watermark: Nanos::ZERO,
-                compacted: VecDeque::new(),
-                folded: HashMap::new(),
+                folded: HashMap::default(),
                 fold_horizon: Nanos::ZERO,
             });
         // Snapshot-level fields follow the latest-taken snapshot (later
@@ -217,6 +287,11 @@ impl TelemetryStore {
                 }
                 Some(cur) => {
                     self.stats.epochs_superseded += 1;
+                    if cur.1.start != ep.start {
+                        // Ring-key reuse: the old heap entry goes stale
+                        // and the new epoch needs its own.
+                        log.evict_order.push(Reverse((ep.start, ep.slot, ep.id)));
+                    }
                     *cur = (snap.taken_at, ep.clone());
                     log.watermark = log.watermark.max(ep.end());
                 }
@@ -243,6 +318,7 @@ impl TelemetryStore {
                     }
                     log.epochs
                         .insert((ep.slot, ep.id), (snap.taken_at, ep.clone()));
+                    log.evict_order.push(Reverse((ep.start, ep.slot, ep.id)));
                     self.stats.epochs_appended += 1;
                     log.watermark = log.watermark.max(ep.end());
                 }
@@ -250,13 +326,18 @@ impl TelemetryStore {
         }
         let t1 = self.cfg.timed.then(std::time::Instant::now);
         while log.epochs.len() > self.cfg.epoch_budget {
-            let oldest = log
-                .epochs
-                .iter()
-                .map(|(&k, v)| (v.1.start, k.0, k.1))
-                .min()
-                .map(|(_, slot, id)| (slot, id))
-                .expect("over-budget ring is non-empty");
+            let Reverse((start, slot, id)) = log
+                .evict_order
+                .pop()
+                .expect("every live ring epoch has a heap entry");
+            let oldest = (slot, id);
+            // Lazy invalidation: a popped entry whose start no longer
+            // matches the live epoch under its key was superseded by a
+            // ring-key reuse — skip it, its replacement has its own entry.
+            match log.epochs.get(&oldest) {
+                Some((_, e)) if e.start == start => {}
+                _ => continue,
+            }
             let (taken, ep) = log.epochs.remove(&oldest).expect("oldest key exists");
             self.stats.epochs_evicted += 1;
             log.fold_horizon = log.fold_horizon.max(ep.end());
@@ -264,32 +345,34 @@ impl TelemetryStore {
                 continue;
             }
             log.folded.insert(oldest, (taken, ep.start));
-            let chunk = match self.cfg.compact_chunk {
-                0 => self.cfg.epoch_budget.max(1),
-                c => c,
-            };
-            if log
-                .compacted
-                .back()
-                .is_none_or(|b| b.epochs as usize >= chunk)
-            {
-                log.compacted.push_back(CompactedEpoch::default());
-            }
-            log.compacted
-                .back_mut()
-                .expect("bucket just ensured")
-                .fold(&ep);
-            self.stats.epochs_compacted += 1;
-            while log.compacted.len() > self.cfg.compact_budget {
-                let dropped = log.compacted.pop_front().expect("over-budget tier");
-                self.stats.compact_buckets_dropped += 1;
-                self.stats.compact_epochs_dropped += u64::from(dropped.epochs);
+            if self.cfg.deferred_fold {
+                // Stage the epoch (a move, not a clone) for the external
+                // compactor; admission bookkeeping above already happened,
+                // so correctness never waits on the fold.
+                self.pending.push(PendingFold {
+                    switch: snap.switch,
+                    epoch: ep,
+                });
+            } else {
+                self.compactor.fold(snap.switch, &ep);
             }
         }
+        let cst = *self.compactor.stats();
+        self.stats.epochs_compacted = cst.epochs_compacted;
+        self.stats.compact_buckets_dropped = cst.buckets_dropped;
+        self.stats.compact_epochs_dropped = cst.epochs_dropped;
         if let (Some(t0), Some(t1)) = (t0, t1) {
             self.stats.append_ns += (t1 - t0).as_nanos() as u64;
             self.stats.fold_ns += t1.elapsed().as_nanos() as u64;
         }
+    }
+
+    /// Drain the epochs staged for an external compactor. Always empty in
+    /// inline mode; in deferred mode the caller owns handing these to its
+    /// [`Compactor`] (the daemon sends them to the compactor thread while
+    /// still holding no lock but the store's).
+    pub fn take_pending_folds(&mut self) -> Vec<PendingFold> {
+        std::mem::take(&mut self.pending)
     }
 
     /// The canonical snapshot of one switch: deduplicated epochs sorted by
@@ -369,25 +452,8 @@ impl TelemetryStore {
     /// flow seen" — and the one read surface that extends past the raw
     /// ring into the compacted tier.
     pub fn flow_history(&self, key: &FlowKey) -> Vec<FlowObservation> {
-        let mut out = Vec::new();
+        let mut out = self.compactor.flow_history(key);
         for (&sw, log) in &self.switches {
-            for bucket in &log.compacted {
-                for (fk, out_port, t) in &bucket.flows {
-                    if fk == key {
-                        out.push(FlowObservation {
-                            switch: sw,
-                            from: bucket.from,
-                            to: bucket.to,
-                            fidelity: Fidelity::Compacted,
-                            out_port: *out_port,
-                            pkt_count: t.pkt_count,
-                            paused_count: t.paused_count,
-                            qdepth_sum: t.qdepth_sum,
-                            epochs: t.epochs_active,
-                        });
-                    }
-                }
-            }
             for (_, ep) in log.epochs.values() {
                 for (k, rec) in &ep.flows {
                     if k == key {
@@ -443,25 +509,21 @@ impl TelemetryStore {
     }
 
     /// Raw epochs summed inside currently retained compacted buckets.
+    /// Inline mode only — in deferred mode the external compactor owns the
+    /// tier and this store-side view is always zero.
     pub fn compacted_epochs_held(&self) -> u64 {
-        self.switches
-            .values()
-            .flat_map(|l| l.compacted.iter())
-            .map(|b| u64::from(b.epochs))
-            .sum()
+        self.compactor.epochs_held()
     }
 
-    /// Compacted buckets currently retained across all switches.
+    /// Compacted buckets currently retained across all switches (inline
+    /// mode; zero under deferred fold).
     pub fn compacted_buckets_held(&self) -> usize {
-        self.switches.values().map(|l| l.compacted.len()).sum()
+        self.compactor.buckets_held()
     }
 
-    /// One switch's compacted buckets, oldest first.
+    /// One switch's compacted buckets, oldest first (inline mode).
     pub fn compacted_of(&self, sw: NodeId) -> Vec<&CompactedEpoch> {
-        self.switches
-            .get(&sw)
-            .map(|l| l.compacted.iter().collect())
-            .unwrap_or_default()
+        self.compactor.buckets_of(sw)
     }
 
     /// Approximate resident bytes of retained telemetry: raw epochs at
@@ -470,11 +532,9 @@ impl TelemetryStore {
     pub fn approx_retained_bytes(&self) -> usize {
         self.switches
             .values()
-            .map(|l| {
-                l.epochs.values().map(|(_, e)| e.wire_size()).sum::<usize>()
-                    + l.compacted.iter().map(|b| b.approx_bytes()).sum::<usize>()
-            })
-            .sum()
+            .map(|l| l.epochs.values().map(|(_, e)| e.wire_size()).sum::<usize>())
+            .sum::<usize>()
+            + self.compactor.approx_bytes()
     }
 
     /// Epochs cloned by windowed queries since construction.
@@ -774,6 +834,7 @@ mod tests {
             compact_budget: 4,
             compact_chunk: 4,
             timed: true,
+            deferred_fold: false,
         });
         st.append(&snap(3, 500, vec![epoch(0, 1, 0)]));
         st.append(&snap(3, 600, vec![epoch(1, 2, 1 << 20)]));
@@ -790,6 +851,54 @@ mod tests {
         bare.append(&snap(3, 500, vec![epoch(0, 1, 0)]));
         assert_eq!(bare.stats().append_ns, 0, "untimed store recorded time");
         assert_eq!(bare.stats().fold_ns, 0);
+    }
+
+    #[test]
+    fn deferred_fold_stages_instead_of_folding() {
+        let cfg = StoreConfig {
+            epoch_budget: 2,
+            compact_budget: 4,
+            compact_chunk: 2,
+            ..StoreConfig::default()
+        };
+        let mut inline = TelemetryStore::new(cfg);
+        let mut deferred = TelemetryStore::new(StoreConfig {
+            deferred_fold: true,
+            ..cfg
+        });
+        for i in 0..5u64 {
+            let s = snap(3, 500 + i, vec![epoch(i as usize, i as u8 + 1, i << 20)]);
+            inline.append(&s);
+            deferred.append(&s);
+        }
+        // Same admission/eviction/horizon bookkeeping either way…
+        assert_eq!(
+            deferred.stats().epochs_evicted,
+            inline.stats().epochs_evicted
+        );
+        assert_eq!(deferred.retention_horizon(), inline.retention_horizon());
+        // …but the deferred store's own tier stays empty: the evicted
+        // epochs are in the pending outbox instead.
+        assert_eq!(deferred.stats().epochs_compacted, 0);
+        assert_eq!(deferred.compacted_buckets_held(), 0);
+        let staged = deferred.take_pending_folds();
+        assert_eq!(staged.len(), 3);
+        assert!(deferred.take_pending_folds().is_empty(), "drain is a take");
+        // An external compactor absorbing the staged folds reproduces the
+        // inline tier exactly.
+        let mut external = Compactor::new(cfg);
+        external.absorb(staged);
+        assert_eq!(external.epochs_held(), inline.compacted_epochs_held());
+        assert_eq!(external.buckets_held(), inline.compacted_buckets_held());
+        assert_eq!(
+            external.buckets_of(NodeId(3)),
+            inline.compacted_of(NodeId(3))
+        );
+        // Deferred re-delivery of a staged-and-folded epoch is still
+        // rejected by the synchronous `folded` map.
+        let before = deferred.stats().epochs_stale_rejected;
+        deferred.append(&snap(3, 500, vec![epoch(0, 1, 0)]));
+        assert_eq!(deferred.stats().epochs_stale_rejected, before + 1);
     }
 
     #[test]

@@ -17,11 +17,52 @@ use hawkeye_sim::{
 use hawkeye_telemetry::TelemetrySnapshot;
 use std::io;
 
+/// Delivery outcome settled by a batched/pipelined sink operation. A
+/// pipelining sink (the credit-window [`ServeClient`](crate::ServeClient))
+/// may settle acknowledgements for *earlier* pushes during any call, so
+/// counts are cumulative deltas, not per-call verdicts; after
+/// [`EpochSink::finish`] everything pushed has been settled.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SinkAck {
+    /// Snapshots acknowledged as ingested.
+    pub accepted: u64,
+    /// Snapshots acknowledged as shed (Shed overload policy only).
+    pub shed: u64,
+}
+
+impl SinkAck {
+    pub fn merge(&mut self, other: SinkAck) {
+        self.accepted += other.accepted;
+        self.shed += other.shed;
+    }
+}
+
 /// Where streamed snapshots go. `push` returns `Ok(false)` when the sink
 /// sheds the snapshot under backpressure (delivery failed but the stream
 /// should continue), `Err` when the sink is gone.
 pub trait EpochSink {
     fn push(&mut self, snap: &TelemetrySnapshot) -> io::Result<bool>;
+
+    /// Push several snapshots at once. The default delegates to per-
+    /// snapshot `push`; batching sinks override it to send one multi-epoch
+    /// frame (and may pipeline, settling acks lazily — see [`SinkAck`]).
+    fn push_batch(&mut self, snaps: &[TelemetrySnapshot]) -> io::Result<SinkAck> {
+        let mut ack = SinkAck::default();
+        for s in snaps {
+            if self.push(s)? {
+                ack.accepted += 1;
+            } else {
+                ack.shed += 1;
+            }
+        }
+        Ok(ack)
+    }
+
+    /// Settle everything still in flight (pipelined sends awaiting
+    /// acknowledgement). The default is a no-op for synchronous sinks.
+    fn finish(&mut self) -> io::Result<SinkAck> {
+        Ok(SinkAck::default())
+    }
 }
 
 /// A sink that buffers everything — unit tests and local captures.
@@ -55,6 +96,12 @@ pub struct StreamingHook<S: EpochSink> {
     /// Collector events already forwarded (`inner.collector.events` is
     /// append-only).
     forwarded: usize,
+    /// Snapshots per sink write. 1 = the legacy per-snapshot `push` path
+    /// (byte-identical behaviour); N > 1 buffers and sends multi-epoch
+    /// batch frames via [`EpochSink::push_batch`].
+    batch: usize,
+    /// Buffered snapshots awaiting a full batch (batch > 1 only).
+    buf: Vec<TelemetrySnapshot>,
     pub stats: StreamStats,
 }
 
@@ -64,8 +111,16 @@ impl<S: EpochSink> StreamingHook<S> {
             inner,
             sink,
             forwarded: 0,
+            batch: 1,
+            buf: Vec::new(),
             stats: StreamStats::default(),
         }
+    }
+
+    /// Stream in batches of `n` snapshots per frame (min 1).
+    pub fn with_batch(mut self, n: usize) -> Self {
+        self.batch = n.max(1);
+        self
     }
 
     pub fn inner(&self) -> &HawkeyeHook {
@@ -81,8 +136,31 @@ impl<S: EpochSink> StreamingHook<S> {
     }
 
     /// Unwrap into the inner hook, the sink, and the delivery counters.
-    pub fn into_parts(self) -> (HawkeyeHook, S, StreamStats) {
+    /// Flushes any buffered partial batch and settles pipelined acks
+    /// first, so the counters cover everything the run produced.
+    pub fn into_parts(mut self) -> (HawkeyeHook, S, StreamStats) {
+        self.finish();
         (self.inner, self.sink, self.stats)
+    }
+
+    /// Flush the partial batch and settle everything in flight. Idempotent.
+    pub fn finish(&mut self) {
+        if !self.buf.is_empty() {
+            let buf = std::mem::take(&mut self.buf);
+            match self.sink.push_batch(&buf) {
+                Ok(ack) => self.note(ack),
+                Err(_) => self.stats.errors += buf.len() as u64,
+            }
+        }
+        match self.sink.finish() {
+            Ok(ack) => self.note(ack),
+            Err(_) => self.stats.errors += 1,
+        }
+    }
+
+    fn note(&mut self, ack: SinkAck) {
+        self.stats.pushed += ack.accepted;
+        self.stats.shed += ack.shed;
     }
 
     /// Forward collector events accepted since the last drain.
@@ -90,10 +168,21 @@ impl<S: EpochSink> StreamingHook<S> {
         while self.forwarded < self.inner.collector.events.len() {
             let snap = self.inner.collector.events[self.forwarded].snapshot.clone();
             self.forwarded += 1;
-            match self.sink.push(&snap) {
-                Ok(true) => self.stats.pushed += 1,
-                Ok(false) => self.stats.shed += 1,
-                Err(_) => self.stats.errors += 1,
+            if self.batch <= 1 {
+                match self.sink.push(&snap) {
+                    Ok(true) => self.stats.pushed += 1,
+                    Ok(false) => self.stats.shed += 1,
+                    Err(_) => self.stats.errors += 1,
+                }
+            } else {
+                self.buf.push(snap);
+                if self.buf.len() >= self.batch {
+                    let buf = std::mem::take(&mut self.buf);
+                    match self.sink.push_batch(&buf) {
+                        Ok(ack) => self.note(ack),
+                        Err(_) => self.stats.errors += buf.len() as u64,
+                    }
+                }
             }
         }
     }

@@ -99,6 +99,80 @@ fn unix_socket_session_roundtrip() {
     assert!(!path.exists(), "socket file must be removed on shutdown");
 }
 
+/// Slow-consumer stress: a deliberately throttled shard worker, a
+/// two-deep ingest queue and a tiny credit window, streamed with
+/// multi-epoch batch frames. Credit backpressure must absorb the speed
+/// mismatch with *zero* sheds and zero errors, and the served verdict
+/// must still match the one-shot reference exactly — slowness propagates
+/// to the producer, it never costs correctness.
+#[test]
+fn slow_consumer_backpressure_sheds_nothing() {
+    let sc = incast();
+    let cfg = optimal_run_config(1);
+    let handle = spawn(
+        sc.topo.clone(),
+        ServeConfig {
+            queue_depth: 2,
+            session_credits: 4,
+            ingest_delay_ns: 100_000, // 100µs per snapshot
+            store: StoreConfig {
+                epoch_budget: 2, // force eviction → compactor-thread folds
+                ..StoreConfig::default()
+            },
+            ..ServeConfig::default()
+        },
+        Endpoint::Tcp("127.0.0.1:0".into()),
+    )
+    .expect("bind daemon");
+    let addr = handle.local_addr.expect("tcp daemon has an address");
+    let client = ServeClient::connect_tcp(&addr.to_string()).expect("connect");
+
+    let (outcome, mut client) = hawkeye_serve::replay_streaming_batched(&sc, &cfg, client, 4);
+    assert!(outcome.stream.pushed > 0, "no epochs streamed");
+    assert_eq!(
+        outcome.stream.shed, 0,
+        "backpressure must not shed: {:?}",
+        outcome.stream
+    );
+    assert_eq!(
+        outcome.stream.errors, 0,
+        "stream errors: {:?}",
+        outcome.stream
+    );
+
+    let w = outcome.window.expect("victim was detected");
+    let served = client
+        .diagnose(sc.truth.victim, w.from, w.to, outcome.missing.clone())
+        .expect("served diagnosis");
+    assert!(
+        outcome.parity_with(&served),
+        "served diagnosis diverged under backpressure:\n  one-shot: {:?}\n  served:   {:?}",
+        outcome.oneshot,
+        served
+    );
+
+    let stats = client.stats().expect("stats");
+    let obj = stats.as_object().expect("stats is an object");
+    let get = |k: &str| {
+        obj.iter()
+            .find(|(n, _)| n == k)
+            .and_then(|(_, v)| v.as_u64())
+            .unwrap_or(0)
+    };
+    assert_eq!(
+        get("ingest_shed"),
+        0,
+        "credit flow must not shed: {stats:?}"
+    );
+    assert!(
+        get("store_epochs_compacted_held") > 0,
+        "tiny ring must have forced compactor-thread folds: {stats:?}"
+    );
+
+    client.shutdown().expect("shutdown handshake");
+    handle.wait();
+}
+
 /// A snapshot for a switch outside the daemon's topology must not crash
 /// the daemon; diagnosis with no ingested telemetry is a remote error,
 /// not a hang or a panic.

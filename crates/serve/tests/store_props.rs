@@ -266,6 +266,81 @@ proptest! {
             unbounded.stats().epochs_appended
         );
     }
+
+    /// Deferred folding (the daemon's compactor-thread mode) is
+    /// observation-equivalent to inline folding: staging evicted epochs
+    /// and absorbing them through an external [`Compactor`] reproduces
+    /// the inline store's compacted tier, flow totals and watermarks for
+    /// every delivery order.
+    #[test]
+    fn deferred_fold_matches_inline(
+        stream in proptest::collection::vec(obs_strategy(), 4..32),
+        budget in 1..4usize,
+    ) {
+        let mut seen = std::collections::HashSet::new();
+        let deduped: Vec<(Obs, u32)> = stream
+            .into_iter()
+            .filter(|((k, _), _)| seen.insert(*k))
+            .collect();
+        let snaps: Vec<TelemetrySnapshot> = deduped
+            .iter()
+            .enumerate()
+            .map(|(i, (o, _))| materialize_distinct_keys(o, i))
+            .collect();
+        let mut order: Vec<usize> = (0..snaps.len()).collect();
+        order.sort_by_key(|&i| (deduped[i].1, i));
+
+        let inline_cfg = StoreConfig {
+            epoch_budget: budget,
+            compact_budget: 64,
+            compact_chunk: 2,
+            ..StoreConfig::default()
+        };
+        let deferred_cfg = StoreConfig {
+            deferred_fold: true,
+            ..inline_cfg
+        };
+
+        let mut inline = TelemetryStore::new(inline_cfg);
+        let mut deferred = TelemetryStore::new(deferred_cfg);
+        let mut comp = hawkeye_serve::Compactor::new(deferred_cfg);
+        for &i in &order {
+            inline.append(&snaps[i]);
+            deferred.append(&snaps[i]);
+            // Absorb in arbitrary-size batches, like the daemon's channel.
+            if i % 3 == 0 {
+                comp.absorb(deferred.take_pending_folds());
+            }
+        }
+        comp.absorb(deferred.take_pending_folds());
+
+        // Raw tier identical; compacted tier reproduced by the external
+        // compactor bucket-for-bucket.
+        prop_assert_eq!(canonical_bytes(&inline), canonical_bytes(&deferred));
+        prop_assert_eq!(inline.compacted_epochs_held(), comp.epochs_held());
+        prop_assert_eq!(inline.compacted_buckets_held(), comp.buckets_held());
+        prop_assert_eq!(inline.min_watermark(), deferred.min_watermark());
+        for sw in inline.switches() {
+            let a: Vec<_> = inline.compacted_of(sw).into_iter().cloned().collect();
+            let b: Vec<_> = comp.buckets_of(sw).into_iter().cloned().collect();
+            prop_assert_eq!(a, b);
+        }
+        // Flow totals agree once raw history is joined with the
+        // compactor's folded history.
+        for f in 0..4u16 {
+            let mut hist = deferred.flow_history(&flow(f));
+            hist.extend(comp.flow_history(&flow(f)));
+            let totals = hist.iter().fold((0u64, 0u64, 0u64, 0u64), |acc, o| {
+                (
+                    acc.0 + o.pkt_count,
+                    acc.1 + o.paused_count,
+                    acc.2 + o.qdepth_sum,
+                    acc.3 + u64::from(o.epochs),
+                )
+            });
+            prop_assert_eq!(flow_totals(&inline, f), totals);
+        }
+    }
 }
 
 /// `materialize` with ring keys distinct per step (slot = step % 8,

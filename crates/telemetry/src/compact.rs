@@ -82,47 +82,82 @@ impl CompactedEpoch {
     }
 
     /// Fold one raw epoch's counters into this bucket.
+    ///
+    /// Existing keys are accumulated in place; keys new to the bucket are
+    /// gathered, appended in one reserved extend and re-sorted once —
+    /// never a per-entry `Vec::insert` shifting the tail. In steady state
+    /// (the same flow set epoch after epoch) a fold is pure accumulation
+    /// with zero allocation, which is what `stage_fold_ns` measures on the
+    /// compactor thread.
     pub fn fold(&mut self, ep: &EpochSnapshot) {
         self.epochs += 1;
         self.from = self.from.min(ep.start);
         self.to = self.to.max(ep.end());
+
+        let mut new_flows: Vec<(FlowKey, u8, FlowTotals)> = Vec::new();
         for (key, rec) in &ep.flows {
             let k = (*key, rec.out_port);
-            let i = match self
+            let t = match self
                 .flows
                 .binary_search_by_key(&k, |(fk, op, _)| (*fk, *op))
             {
-                Ok(i) => i,
-                Err(i) => {
-                    self.flows.insert(i, (k.0, k.1, FlowTotals::default()));
-                    i
-                }
+                Ok(i) => &mut self.flows[i].2,
+                Err(_) => match new_flows.iter_mut().find(|(fk, op, _)| (*fk, *op) == k) {
+                    Some(row) => &mut row.2,
+                    None => {
+                        new_flows.push((k.0, k.1, FlowTotals::default()));
+                        &mut new_flows.last_mut().expect("just pushed").2
+                    }
+                },
             };
-            let t = &mut self.flows[i].2;
             t.pkt_count += u64::from(rec.pkt_count);
             t.paused_count += u64::from(rec.paused_count);
             t.qdepth_sum += rec.qdepth_sum;
             t.epochs_active += 1;
         }
+        if !new_flows.is_empty() {
+            self.flows.reserve(new_flows.len());
+            self.flows.append(&mut new_flows);
+            self.flows.sort_unstable_by_key(|(fk, op, _)| (*fk, *op));
+        }
+
+        let mut new_ports: Vec<(u8, PortTotals)> = Vec::new();
         for (port, rec) in &ep.ports {
-            let i = match self.ports.binary_search_by_key(port, |(p, _)| *p) {
-                Ok(i) => i,
-                Err(i) => {
-                    self.ports.insert(i, (*port, PortTotals::default()));
-                    i
-                }
+            let t = match self.ports.binary_search_by_key(port, |(p, _)| *p) {
+                Ok(i) => &mut self.ports[i].1,
+                Err(_) => match new_ports.iter_mut().find(|(p, _)| p == port) {
+                    Some(row) => &mut row.1,
+                    None => {
+                        new_ports.push((*port, PortTotals::default()));
+                        &mut new_ports.last_mut().expect("just pushed").1
+                    }
+                },
             };
-            let t = &mut self.ports[i].1;
             t.pkt_count += u64::from(rec.pkt_count);
             t.paused_count += u64::from(rec.paused_count);
             t.qdepth_sum += rec.qdepth_sum;
         }
+        if !new_ports.is_empty() {
+            self.ports.reserve(new_ports.len());
+            self.ports.append(&mut new_ports);
+            self.ports.sort_unstable_by_key(|(p, _)| *p);
+        }
+
+        let mut new_meter: Vec<(u8, u8, u64)> = Vec::new();
         for (ip, op, bytes) in &ep.meter {
             let k = (*ip, *op);
             match self.meter.binary_search_by_key(&k, |(i, o, _)| (*i, *o)) {
                 Ok(i) => self.meter[i].2 += bytes,
-                Err(i) => self.meter.insert(i, (*ip, *op, *bytes)),
+                Err(_) => match new_meter.iter_mut().find(|(i, o, _)| (*i, *o) == k) {
+                    Some(row) => row.2 += bytes,
+                    None => new_meter.push((*ip, *op, *bytes)),
+                },
             }
+        }
+        if !new_meter.is_empty() {
+            self.meter.reserve(new_meter.len());
+            self.meter.append(&mut new_meter);
+            self.meter.sort_unstable_by_key(|(i, o, _)| (*i, *o));
         }
     }
 

@@ -39,5 +39,6 @@ pub use status::PortStatusRegisters;
 pub use switch_state::{SwitchTelemetry, TelemetryConfig};
 pub use tables::{CausalityMeter, EvictedFlow, FlowRecord, FlowTable, PortRecord, PortTable};
 pub use wire::{
-    decode_compacted, decode_snapshot, encode_compacted, encode_snapshot, CodecError, WIRE_VERSION,
+    decode_batch, decode_compacted, decode_snapshot, encode_batch, encode_compacted,
+    encode_snapshot, CodecError, WIRE_VERSION,
 };

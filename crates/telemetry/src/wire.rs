@@ -154,6 +154,14 @@ pub fn encode_snapshot(s: &TelemetrySnapshot) -> Vec<u8> {
         buf: Vec::with_capacity(64 + s.epochs.len() * 64),
     };
     w.u8(WIRE_VERSION);
+    write_snapshot_body(&mut w, s);
+    w.buf
+}
+
+/// The snapshot layout minus the version tag — shared between the
+/// single-snapshot frame and the batch frame, which prefixes the version
+/// (and kind/count header) once for the whole batch.
+fn write_snapshot_body(w: &mut Writer, s: &TelemetrySnapshot) {
     w.u32(s.switch.0);
     w.u64(s.taken_at.0);
     w.u32(s.nports as u32);
@@ -190,7 +198,6 @@ pub fn encode_snapshot(s: &TelemetrySnapshot) -> Vec<u8> {
         w.u8(ev.epoch_id);
         w.u32(ev.slot as u32);
     }
-    w.buf
 }
 
 /// Decode a snapshot; rejects trailing garbage.
@@ -200,6 +207,20 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<TelemetrySnapshot, CodecError> {
     if v != WIRE_VERSION {
         return Err(CodecError::Version(v));
     }
+    let snap = read_snapshot_body(&mut r)?;
+    if r.pos != bytes.len() {
+        return Err(CodecError::Truncated {
+            need: r.pos,
+            have: bytes.len(),
+        });
+    }
+    Ok(snap)
+}
+
+/// Counterpart of [`write_snapshot_body`]: one snapshot's fields, leaving
+/// the cursor at the first byte after it (batch decoding reads several in
+/// sequence; the caller owns the trailing-garbage check).
+fn read_snapshot_body(r: &mut Reader) -> Result<TelemetrySnapshot, CodecError> {
     let switch = NodeId(r.u32()?);
     let taken_at = Nanos(r.u64()?);
     let nports = r.u32()? as usize;
@@ -258,12 +279,6 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<TelemetrySnapshot, CodecError> {
             slot,
         });
     }
-    if r.pos != bytes.len() {
-        return Err(CodecError::Truncated {
-            need: r.pos,
-            have: bytes.len(),
-        });
-    }
     Ok(TelemetrySnapshot {
         switch,
         taken_at,
@@ -272,6 +287,57 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<TelemetrySnapshot, CodecError> {
         epochs,
         evicted,
     })
+}
+
+/// Kind byte after the version tag marking a multi-snapshot batch frame —
+/// distinct from [`KIND_COMPACTED`] and chosen, like it, so decoding a
+/// batch as a single snapshot (or vice versa) fails loudly.
+const KIND_BATCH: u8 = 0xB1;
+
+/// Encode several snapshots as one batch frame: version, kind, count,
+/// then the snapshot bodies back to back. One length-prefixed frame (one
+/// syscall each way) carries a whole collection interval's worth of
+/// epochs — the ingest hot path's framing amortization.
+pub fn encode_batch(snaps: &[TelemetrySnapshot]) -> Vec<u8> {
+    let mut w = Writer {
+        buf: Vec::with_capacity(8 + snaps.len() * 128),
+    };
+    w.u8(WIRE_VERSION);
+    w.u8(KIND_BATCH);
+    w.count(snaps.len());
+    for s in snaps {
+        write_snapshot_body(&mut w, s);
+    }
+    w.buf
+}
+
+/// Decode a batch frame; rejects trailing garbage like
+/// [`decode_snapshot`]. An empty batch is valid (and canonical).
+pub fn decode_batch(bytes: &[u8]) -> Result<Vec<TelemetrySnapshot>, CodecError> {
+    let mut r = Reader { buf: bytes, pos: 0 };
+    let v = r.u8()?;
+    if v != WIRE_VERSION {
+        return Err(CodecError::Version(v));
+    }
+    let kind = r.u8()?;
+    if kind != KIND_BATCH {
+        return Err(CodecError::Version(kind));
+    }
+    let n = r.count("batch")?;
+    // Every snapshot body is at least its fixed header; size the Vec from
+    // the buffer, not the claimed count, so a hostile count cannot force
+    // a huge allocation before the truncation check trips.
+    let mut out = Vec::with_capacity(n.min(bytes.len() / 8 + 1));
+    for _ in 0..n {
+        out.push(read_snapshot_body(&mut r)?);
+    }
+    if r.pos != bytes.len() {
+        return Err(CodecError::Truncated {
+            need: r.pos,
+            have: bytes.len(),
+        });
+    }
+    Ok(out)
 }
 
 /// Encode a compacted bucket into the versioned binary layout. The layout
@@ -519,6 +585,73 @@ mod tests {
         assert!(decode_compacted(&snap_bytes).is_err());
         let comp_bytes = encode_compacted(&sample_compacted());
         assert!(decode_snapshot(&comp_bytes).is_err());
+    }
+
+    #[test]
+    fn batch_roundtrip_is_identity() {
+        let mut second = sample();
+        second.switch = NodeId(9);
+        second.taken_at = Nanos(987);
+        let batch = vec![sample(), second];
+        let bytes = encode_batch(&batch);
+        let back = decode_batch(&bytes).expect("valid bytes decode");
+        assert_eq!(back, batch);
+        assert_eq!(encode_batch(&back), bytes, "encoding is canonical");
+    }
+
+    #[test]
+    fn empty_batch_roundtrips() {
+        let bytes = encode_batch(&[]);
+        assert_eq!(decode_batch(&bytes).expect("empty batch decodes"), vec![]);
+    }
+
+    #[test]
+    fn batch_truncation_detected_at_every_length() {
+        let bytes = encode_batch(&[sample(), sample()]);
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_batch(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_trailing_garbage_rejected() {
+        let mut bytes = encode_batch(&[sample()]);
+        bytes.push(0);
+        assert!(decode_batch(&bytes).is_err());
+    }
+
+    #[test]
+    fn batch_frames_do_not_cross_decode() {
+        let batch_bytes = encode_batch(&[sample()]);
+        assert!(decode_snapshot(&batch_bytes).is_err());
+        assert!(decode_compacted(&batch_bytes).is_err());
+        assert!(decode_batch(&encode_snapshot(&sample())).is_err());
+        assert!(decode_batch(&encode_compacted(&sample_compacted())).is_err());
+    }
+
+    #[test]
+    fn batch_absurd_count_rejected_before_allocation() {
+        let mut bytes = vec![WIRE_VERSION, 0xB1];
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_batch(&bytes),
+            Err(CodecError::Oversized { .. })
+        ));
+    }
+
+    #[test]
+    fn batch_count_beyond_buffer_rejected_cheaply() {
+        // A plausible count with no bodies behind it must fail truncated,
+        // not allocate count-many snapshots.
+        let mut bytes = vec![WIRE_VERSION, 0xB1];
+        bytes.extend_from_slice(&1000u32.to_le_bytes());
+        assert!(matches!(
+            decode_batch(&bytes),
+            Err(CodecError::Truncated { .. })
+        ));
     }
 
     #[test]

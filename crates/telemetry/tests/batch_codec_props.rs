@@ -1,0 +1,152 @@
+//! Property tests of the batch frame codec, mirroring the single-snapshot
+//! wire properties: encode∘decode identity with canonical re-encoding,
+//! rejection of truncation / trailing garbage / count inflation, and no
+//! cross-decoding against the other frame kinds.
+
+use hawkeye_sim::{FlowKey, Nanos, NodeId};
+use hawkeye_telemetry::{
+    decode_batch, decode_compacted, decode_snapshot, encode_batch, encode_snapshot, EpochSnapshot,
+    FlowRecord, PortRecord, TelemetrySnapshot,
+};
+use proptest::prelude::*;
+
+/// (id, start, flows as (src_port, out_port, pkts), ports as (port, pkts)).
+type EpochSpec = (u8, u64, Vec<(u16, u8, u32)>, Vec<(u8, u32)>);
+/// (switch, taken_at, epochs).
+type SnapSpec = (u32, u64, Vec<EpochSpec>);
+
+fn epoch_strategy() -> impl Strategy<Value = EpochSpec> {
+    (
+        0u8..8,
+        0u64..(1 << 24),
+        proptest::collection::vec((0u16..64, 0u8..4, 1u32..1000), 0..6),
+        proptest::collection::vec((0u8..4, 0u32..1000), 0..4),
+    )
+}
+
+fn snap_strategy() -> impl Strategy<Value = SnapSpec> {
+    (
+        0u32..16,
+        0u64..(1 << 30),
+        proptest::collection::vec(epoch_strategy(), 0..4),
+    )
+}
+
+fn materialize(spec: SnapSpec) -> TelemetrySnapshot {
+    let (sw, taken, epochs) = spec;
+    TelemetrySnapshot {
+        switch: NodeId(sw),
+        taken_at: Nanos(taken),
+        nports: 4,
+        max_flows: 64,
+        epochs: epochs
+            .into_iter()
+            .enumerate()
+            .map(|(slot, (id, start, flows, ports))| EpochSnapshot {
+                slot,
+                id,
+                start: Nanos(start),
+                len: Nanos(1 << 20),
+                flows: flows
+                    .into_iter()
+                    .map(|(sp, op, pkts)| {
+                        (
+                            FlowKey::roce(NodeId(1), NodeId(2), sp),
+                            FlowRecord {
+                                pkt_count: pkts,
+                                paused_count: pkts / 4,
+                                qdepth_sum: u64::from(pkts) * 3,
+                                out_port: op,
+                            },
+                        )
+                    })
+                    .collect(),
+                ports: ports
+                    .into_iter()
+                    .map(|(p, pkts)| {
+                        (
+                            p,
+                            PortRecord {
+                                pkt_count: pkts,
+                                paused_count: pkts / 8,
+                                qdepth_sum: u64::from(pkts),
+                            },
+                        )
+                    })
+                    .collect(),
+                meter: vec![(0, 1, 2048)],
+            })
+            .collect(),
+        evicted: vec![],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// decode(encode(batch)) == batch and the encoding is canonical, for
+    /// any batch size including zero.
+    #[test]
+    fn batch_roundtrip_identity(
+        specs in proptest::collection::vec(snap_strategy(), 0..5),
+    ) {
+        let batch: Vec<TelemetrySnapshot> = specs.into_iter().map(materialize).collect();
+        let bytes = encode_batch(&batch);
+        let back = decode_batch(&bytes)
+            .map_err(|e| TestCaseError::fail(format!("valid batch rejected: {e}")))?;
+        prop_assert_eq!(&back, &batch);
+        prop_assert_eq!(encode_batch(&back), bytes);
+    }
+
+    /// Every strict prefix of a valid batch frame is rejected — truncation
+    /// never yields a partial batch.
+    #[test]
+    fn batch_truncation_rejected_at_every_cut(
+        specs in proptest::collection::vec(snap_strategy(), 1..4),
+    ) {
+        let batch: Vec<TelemetrySnapshot> = specs.into_iter().map(materialize).collect();
+        let bytes = encode_batch(&batch);
+        for cut in 0..bytes.len() {
+            prop_assert!(
+                decode_batch(&bytes[..cut]).is_err(),
+                "prefix of {} / {} bytes decoded", cut, bytes.len()
+            );
+        }
+    }
+
+    /// Appending any garbage to a valid frame is rejected.
+    #[test]
+    fn batch_trailing_garbage_rejected(
+        specs in proptest::collection::vec(snap_strategy(), 0..4),
+        garbage in proptest::collection::vec(0u8..255, 1..9),
+    ) {
+        let batch: Vec<TelemetrySnapshot> = specs.into_iter().map(materialize).collect();
+        let mut bytes = encode_batch(&batch);
+        bytes.extend_from_slice(&garbage);
+        prop_assert!(decode_batch(&bytes).is_err());
+    }
+
+    /// Inflating the count header past the actual batch size is rejected
+    /// (truncated or oversized), never silently misparsed.
+    #[test]
+    fn batch_count_inflation_rejected(
+        specs in proptest::collection::vec(snap_strategy(), 0..4),
+        extra in 1u32..1000,
+    ) {
+        let batch: Vec<TelemetrySnapshot> = specs.into_iter().map(materialize).collect();
+        let mut bytes = encode_batch(&batch);
+        let count = batch.len() as u32 + extra;
+        bytes[2..6].copy_from_slice(&count.to_le_bytes());
+        prop_assert!(decode_batch(&bytes).is_err());
+    }
+
+    /// Batch frames and the other frame kinds never cross-decode.
+    #[test]
+    fn batch_never_cross_decodes(spec in snap_strategy()) {
+        let snap = materialize(spec);
+        let batch_bytes = encode_batch(std::slice::from_ref(&snap));
+        prop_assert!(decode_snapshot(&batch_bytes).is_err());
+        prop_assert!(decode_compacted(&batch_bytes).is_err());
+        prop_assert!(decode_batch(&encode_snapshot(&snap)).is_err());
+    }
+}

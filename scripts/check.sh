@@ -125,6 +125,30 @@ print("retention smoke ok:", d["store_epochs_held"], "raw epochs held,",
 EOF
 rm -f "$retention_out"
 
+echo "==> backpressure smoke (batch frames, slow shard, tight queue)"
+# Ingest-path overload behavior through the release CLI: batched frames
+# into a daemon whose shard workers are artificially slowed behind a
+# 4-deep queue. Under the default backpressure policy the slow shard must
+# stall the sender's credit window instead of shedding — zero sheds, full
+# parity with the one-shot diagnosis, and the batch path actually taken.
+bp_out=$(mktemp)
+timeout 120 ./target/release/hawkeye serve --replay incast \
+  --batch 8 --slow-shard-us 200 --queue-depth 4 --json > "$bp_out"
+python3 - "$bp_out" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+counters = {c["key"]: c["value"] for c in doc["metrics"]["counters"]}
+assert doc["verdict"] == "Correct", f"verdict {doc['verdict']!r} under backpressure"
+assert doc["parity"] is True, "backpressure changed the served diagnosis"
+assert doc["epochs_streamed"] > 0, "no epochs streamed to the daemon"
+assert doc["epochs_shed"] == 0, "backpressure policy shed epochs"
+assert counters["ingest_shed"] == 0, "daemon shed under backpressure policy"
+assert counters["ingest_batches"] > 0, "batch frames never taken"
+print("backpressure smoke ok:", doc["epochs_streamed"], "epochs,",
+      counters["ingest_batches"], "batch frames, 0 shed")
+EOF
+rm -f "$bp_out"
+
 echo "==> bench smoke (1 sample, tiny budget, jobs=2)"
 # Exercises the micro-bench harness end to end — queue speedup numbers,
 # overhead check, sweep wall-clock, BENCH_2.json write — at a budget small
@@ -134,5 +158,14 @@ HAWKEYE_BENCH_SAMPLES=1 HAWKEYE_BENCH_BUDGET_MS=5 HAWKEYE_TRIALS=1 \
   HAWKEYE_LOAD=0.05 HAWKEYE_JOBS=2 \
   cargo bench -p hawkeye-bench --bench micro
 git checkout -- BENCH_2.json 2>/dev/null || true
+
+echo "==> ingest bench smoke (1 sample, tiny budget)"
+# Exercises the ingest hot-path bench end to end — deferred-vs-inline
+# append, the deferred==inline fold equivalence check, the daemon batch
+# sweep, BENCH_7.json write — at a CI-sized budget; the recorded numbers
+# are meaningless at this budget, so restore BENCH_7.json afterwards.
+HAWKEYE_BENCH_SAMPLES=1 HAWKEYE_BENCH_BUDGET_MS=5 \
+  cargo bench -p hawkeye-bench --bench ingest
+git checkout -- BENCH_7.json 2>/dev/null || true
 
 echo "==> all checks passed"
