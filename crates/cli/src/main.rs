@@ -12,6 +12,8 @@
 //! hawkeye chaos    [--rates R,..] [--trials N] [--out F]   fault-rate sweep, accuracy table
 //! hawkeye serve    [--replay KIND] [--socket P|--tcp A]    online diagnosis daemon
 //!                  [--epoch-budget N] [--history]
+//!                  [--durable DIR] [--fsync POLICY]        crash-safe evidence log
+//!                  [--connect] [--stream-only] [--query-only] [--client-retries N]
 //! hawkeye serve-stats --socket P|--tcp A [--json]          observability view of a daemon
 //! ```
 //! Kinds: incast, storm, inloop, oolc, oolinj, contention.
@@ -93,6 +95,23 @@ struct Opts {
     /// (microseconds) — deliberately slows ingest to exercise the
     /// backpressure path.
     slow_shard_us: u64,
+    /// Durable evidence-log directory for `serve`: journal every accepted
+    /// epoch and verdict, and recover from the directory on startup.
+    durable: Option<String>,
+    /// Fsync policy for `--durable` (never|interval|always).
+    fsync: Option<hawkeye_serve::FsyncPolicy>,
+    /// `serve --replay`: connect to an *already running* daemon at
+    /// `--socket`/`--tcp` instead of spawning one, and leave it running.
+    connect: bool,
+    /// `serve --replay`: stream telemetry and stop after the stats
+    /// barrier — no diagnosis, no daemon shutdown (crash-smoke half 1).
+    stream_only: bool,
+    /// `serve --replay`: skip streaming; compute the diagnosis window
+    /// locally and query the daemon's recovered state (crash-smoke half 2).
+    query_only: bool,
+    /// Bounded client retry budget: reconnect + resend on transient
+    /// connect/mid-stream I/O failures, up to N attempts per operation.
+    client_retries: Option<u32>,
 }
 
 /// Strict option parser: every `--flag` must be known and every value must
@@ -117,6 +136,12 @@ fn parse_opts(args: &[String]) -> Result<(Opts, Vec<String>), String> {
         queue_depth: None,
         overload: None,
         slow_shard_us: 0,
+        durable: None,
+        fsync: None,
+        connect: false,
+        stream_only: false,
+        query_only: false,
+        client_retries: None,
     };
     let mut pos = Vec::new();
     let mut it = args.iter();
@@ -212,6 +237,23 @@ fn parse_opts(args: &[String]) -> Result<(Opts, Vec<String>), String> {
                     _ => return Err(format!("--overload: '{v}' is not backpressure|shed")),
                 });
             }
+            "--durable" => {
+                o.durable = Some(it.next().ok_or("--durable requires a directory")?.clone());
+            }
+            "--fsync" => {
+                let v = it.next().ok_or("--fsync requires never|interval|always")?;
+                o.fsync = Some(hawkeye_serve::FsyncPolicy::parse(v)?);
+            }
+            "--connect" => o.connect = true,
+            "--stream-only" => o.stream_only = true,
+            "--query-only" => o.query_only = true,
+            "--client-retries" => {
+                let v = it.next().ok_or("--client-retries requires a value")?;
+                o.client_retries =
+                    Some(v.parse().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                        format!("--client-retries: '{v}' is not a positive integer")
+                    })?);
+            }
             "--slow-shard-us" => {
                 let v = it.next().ok_or("--slow-shard-us requires a value")?;
                 o.slow_shard_us = v
@@ -240,7 +282,9 @@ fn usage() -> ! {
          [kind] [--load F] [--seed N] [--jobs N] [--json] [--format jsonl|chrome] \
          [--rates R,R,..] [--trials N] [--out F] \
          [--socket PATH] [--tcp ADDR] [--replay KIND] [--epoch-budget N] [--history] \
-         [--batch N] [--queue-depth N] [--overload backpressure|shed] [--slow-shard-us N]\n\
+         [--batch N] [--queue-depth N] [--overload backpressure|shed] [--slow-shard-us N] \
+         [--durable DIR] [--fsync never|interval|always] [--connect] [--stream-only] \
+         [--query-only] [--client-retries N]\n\
          kinds: incast storm inloop oolc oolinj contention"
     );
     std::process::exit(2)
@@ -509,14 +553,23 @@ fn cmd_chaos(o: &Opts) {
 /// over the socket, asks it for a diagnosis of the same window the
 /// one-shot pipeline would use, verifies verdict parity, and shuts the
 /// daemon down — the end-to-end online mode. Without `--replay` the daemon
-/// runs in the foreground until a `Shutdown` request arrives.
+/// runs in the foreground (SIGINT/SIGTERM tear it down like a `Shutdown`
+/// frame) until stopped; with `--durable DIR` it journals accepted epochs
+/// and verdicts to `DIR` and replays the log on startup.
+///
+/// `--connect` targets an already running daemon instead of spawning one
+/// (and leaves it running); `--stream-only` stops after the journaled
+/// stats barrier, `--query-only` skips streaming and diagnoses against
+/// whatever state the daemon already holds — together they bracket a
+/// `kill -9` in the crash-recovery smoke.
 ///
 /// Exit codes: 0 success (replay: parity verified), 1 served/one-shot
 /// mismatch, 3 no diagnosis produced.
 fn cmd_serve(o: &Opts) {
     use hawkeye_core::AnalyzerConfig;
     use hawkeye_serve::{
-        replay_streaming_batched, Endpoint, ServeClient, ServeConfig, StoreConfig,
+        replay_streaming, replay_streaming_batched, Endpoint, RetryConfig, ServeClient,
+        ServeConfig, StoreConfig, VecSink, WalConfig,
     };
 
     let runcfg = optimal_run_config(o.seed);
@@ -548,10 +601,37 @@ fn cmd_serve(o: &Opts) {
         // Replay is self-contained, so an ephemeral local port is the
         // no-flags default; a foreground daemon needs an address the
         // operator knows.
-        (None, None) if o.replay.is_some() => Endpoint::Tcp("127.0.0.1:0".to_string()),
+        (None, None) if o.replay.is_some() && !o.connect => {
+            Endpoint::Tcp("127.0.0.1:0".to_string())
+        }
         (None, None) => {
             eprintln!("hawkeye: serve requires --socket PATH or --tcp ADDR (or --replay KIND)");
             usage()
+        }
+    };
+    let wal_cfg = o.durable.as_ref().map(|d| {
+        let mut w = WalConfig::new(std::path::Path::new(d));
+        if let Some(f) = o.fsync {
+            w.fsync = f;
+        }
+        w
+    });
+    let retry = o.client_retries.map(|n| RetryConfig {
+        max_attempts: n,
+        ..RetryConfig::default()
+    });
+    let report_recovery = |h: &hawkeye_serve::DaemonHandle| {
+        if let Some(rep) = &h.recovery {
+            eprintln!(
+                "hawkeye: recovered {} records ({} snapshots, {} verdicts, checkpoint: {}, \
+                 {} truncated), resuming at seq {}",
+                rep.records_scanned,
+                rep.snapshots_replayed,
+                rep.verdicts_replayed,
+                rep.checkpoint_restored,
+                rep.truncated_records,
+                rep.next_seq
+            );
         }
     };
     let Some(kind) = o.replay else {
@@ -560,8 +640,10 @@ fn cmd_serve(o: &Opts) {
         // scenario the client streams; default to the incast fabric.
         let sc = build(ScenarioKind::MicroBurstIncast, o);
         let cfg = make_cfg(store);
-        match hawkeye_serve::spawn(sc.topo, cfg, endpoint) {
+        hawkeye_serve::install_signal_handlers();
+        match hawkeye_serve::spawn_durable(sc.topo, cfg, endpoint, wal_cfg) {
             Ok(handle) => {
+                report_recovery(&handle);
                 if let Some(addr) = handle.local_addr {
                     eprintln!("hawkeye: serving on {addr}");
                 }
@@ -576,33 +658,96 @@ fn cmd_serve(o: &Opts) {
     };
 
     let sc = build(kind, o);
-    let cfg = make_cfg(store);
-    let handle = match hawkeye_serve::spawn(sc.topo.clone(), cfg, endpoint.clone()) {
-        Ok(h) => h,
-        Err(e) => {
-            eprintln!("hawkeye: cannot bind daemon: {e}");
-            std::process::exit(1);
+    let handle = if o.connect {
+        None
+    } else {
+        let cfg = make_cfg(store);
+        match hawkeye_serve::spawn_durable(sc.topo.clone(), cfg, endpoint.clone(), wal_cfg) {
+            Ok(h) => {
+                report_recovery(&h);
+                Some(h)
+            }
+            Err(e) => {
+                eprintln!("hawkeye: cannot bind daemon: {e}");
+                std::process::exit(1);
+            }
         }
     };
     let client = match &endpoint {
-        Endpoint::Unix(path) => ServeClient::connect_unix(std::path::Path::new(path)),
-        Endpoint::Tcp(_) => {
+        Endpoint::Unix(path) => ServeClient::connect_unix_with(std::path::Path::new(path), retry),
+        Endpoint::Tcp(addr) => {
+            // A spawned TCP daemon may have bound port 0; a --connect
+            // target is addressed exactly as given.
             let addr = handle
-                .local_addr
-                .expect("TCP endpoint always has a bound address");
-            ServeClient::connect_tcp(&addr.to_string())
+                .as_ref()
+                .and_then(|h| h.local_addr)
+                .map_or_else(|| addr.clone(), |a| a.to_string());
+            ServeClient::connect_tcp_with(&addr, retry)
         }
     };
     let client = match client {
         Ok(c) => c,
         Err(e) => {
             eprintln!("hawkeye: cannot connect to daemon: {e}");
-            handle.shutdown();
+            if let Some(h) = handle {
+                h.shutdown();
+            }
             std::process::exit(1);
         }
     };
 
-    let (outcome, mut client) = replay_streaming_batched(&sc, &runcfg, client, o.batch);
+    // --query-only runs the simulation against a local throwaway sink
+    // (the daemon already holds the recovered telemetry); everything else
+    // streams into the daemon for real.
+    let (outcome, mut client) = if o.query_only {
+        let (outcome, _) = replay_streaming(&sc, &runcfg, VecSink::default());
+        (outcome, client)
+    } else {
+        replay_streaming_batched(&sc, &runcfg, client, o.batch)
+    };
+
+    if o.stream_only {
+        // Stats doubles as the flush barrier: once it returns, every
+        // accepted epoch has been applied AND journaled — the daemon may
+        // now be killed without losing what this run streamed.
+        let stats = client.stats().ok();
+        let mut doc = vec![
+            (
+                "scenario".to_string(),
+                serde::Value::Str(kind.name().into()),
+            ),
+            (
+                "epochs_streamed".to_string(),
+                serde::Value::UInt(outcome.stream.pushed),
+            ),
+            (
+                "epochs_shed".to_string(),
+                serde::Value::UInt(outcome.stream.shed),
+            ),
+        ];
+        if let Some(stats) = stats {
+            doc.push(("daemon".to_string(), stats));
+        }
+        if retry.is_some() {
+            doc.push((
+                "client_retries".to_string(),
+                serde::Value::UInt(client.retries()),
+            ));
+        }
+        let doc = serde::Value::Object(doc);
+        if o.json {
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&doc).expect("value serialization is infallible")
+            );
+        } else {
+            println!(
+                "streamed : {} snapshots ({} shed, {} errors)",
+                outcome.stream.pushed, outcome.stream.shed, outcome.stream.errors
+            );
+        }
+        return;
+    }
     let served = outcome.window.and_then(|w| {
         client
             .diagnose(sc.truth.victim, w.from, w.to, outcome.missing.clone())
@@ -626,10 +771,18 @@ fn cmd_serve(o: &Opts) {
     } else {
         None
     };
-    if let Err(e) = client.shutdown() {
-        eprintln!("hawkeye: daemon shutdown failed: {e}");
+    let client_retries = retry.is_some().then(|| client.retries());
+    if o.connect {
+        // The daemon belongs to someone else; leave it running.
+        drop(client);
+    } else {
+        if let Err(e) = client.shutdown() {
+            eprintln!("hawkeye: daemon shutdown failed: {e}");
+        }
+        if let Some(h) = handle {
+            h.wait();
+        }
     }
-    handle.wait();
 
     let (Some(one), Some(served)) = (&outcome.oneshot, &served) else {
         eprintln!(
@@ -670,6 +823,9 @@ fn cmd_serve(o: &Opts) {
         ];
         if let Some(stats) = stats {
             doc.push(("daemon".to_string(), stats));
+        }
+        if let Some(n) = client_retries {
+            doc.push(("client_retries".to_string(), serde::Value::UInt(n)));
         }
         if let Some((snap, flight)) = &obs {
             if let Some(p99) = snap

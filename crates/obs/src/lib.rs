@@ -105,6 +105,21 @@ pub mod names {
     /// Fold batches queued to the compactor thread but not yet absorbed
     /// (gauge).
     pub const COMPACTOR_QUEUE_DEPTH: &str = "compactor_queue_depth";
+
+    // --- durable evidence log (the `--durable` serve daemon) -------------
+
+    /// Records appended to the write-ahead evidence log.
+    pub const WAL_RECORDS_APPENDED: &str = "wal_records_appended";
+    /// Bytes appended to the write-ahead evidence log (framing included).
+    pub const WAL_BYTES: &str = "wal_bytes";
+    /// Completed WAL segments deleted after a durable checkpoint.
+    pub const WAL_SEGMENTS_RETIRED: &str = "wal_segments_retired";
+    /// Torn or corrupt suffixes truncated away during startup recovery
+    /// (one per corruption event, plus one per condemned later segment).
+    pub const RECOVERY_TRUNCATED: &str = "recovery_truncated";
+    /// Client-side reconnect attempts that recovered a transient ingest
+    /// failure (reported by `hawkeye serve --connect --client-retries`).
+    pub const CLIENT_RETRIES: &str = "client_retries";
 }
 
 /// Configuration for a [`Recorder`].

@@ -86,6 +86,42 @@ impl AuditTrail {
         seq
     }
 
+    /// Replace the trail with a checkpointed image: `records` newest
+    /// last, `next_seq` the counter at checkpoint time. The capacity
+    /// bound still applies (only the newest `capacity` records are kept).
+    pub fn restore(&mut self, records: Vec<ExplainRecord>, next_seq: u64) {
+        self.buf.clear();
+        let skip = records.len().saturating_sub(self.capacity);
+        self.buf.extend(records.into_iter().skip(skip));
+        self.next_seq = next_seq;
+        self.dropped = next_seq - self.buf.len() as u64;
+    }
+
+    /// Re-journal a recovered record under its *original* seq (crash
+    /// recovery replays verdicts in WAL order). Records already covered
+    /// by a restored checkpoint (seq below the counter) are skipped, so
+    /// replay over a checkpoint is idempotent.
+    pub fn replay(&mut self, rec: ExplainRecord) {
+        if rec.seq < self.next_seq {
+            return;
+        }
+        self.next_seq = rec.seq + 1;
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(rec);
+    }
+
+    /// Retained records, oldest first — the checkpoint writer's view.
+    pub fn records(&self) -> impl Iterator<Item = &ExplainRecord> {
+        self.buf.iter()
+    }
+
     /// The record for verdict `seq`, if still in the ring.
     pub fn get(&self, seq: u64) -> Option<&ExplainRecord> {
         // Seqs are contiguous, so the ring is indexable directly.
@@ -179,6 +215,51 @@ mod tests {
         assert_eq!(trail.push(rec("w")), 1);
         assert!(trail.is_empty());
         assert_eq!(trail.total(), 2);
+    }
+
+    #[test]
+    fn restore_then_replay_is_idempotent_and_seq_stable() {
+        let mut live = AuditTrail::new(4);
+        for i in 0..3 {
+            live.push(rec(&format!("v{i}")));
+        }
+        // Checkpoint at seq 2, then one more verdict lands after it.
+        let ckpt: Vec<ExplainRecord> = live.records().cloned().collect();
+        let at = live.total();
+        let last = live.push(rec("v3"));
+
+        let mut recovered = AuditTrail::new(4);
+        recovered.restore(ckpt, at);
+        // Replaying a verdict the checkpoint already covers is a no-op…
+        let mut dup = rec("v1");
+        dup.seq = 1;
+        recovered.replay(dup);
+        assert_eq!(recovered.len(), 3);
+        // …and the post-checkpoint verdict lands under its original seq.
+        let mut tail = rec("v3");
+        tail.seq = last;
+        recovered.replay(tail);
+        assert_eq!(recovered.get(last).unwrap().victim, "v3");
+        assert_eq!(recovered.total(), live.total());
+        // Numbering continues, not restarts.
+        assert_eq!(recovered.push(rec("v4")), live.push(rec("v4")));
+    }
+
+    #[test]
+    fn restore_respects_capacity() {
+        let mut t = AuditTrail::new(2);
+        let records: Vec<ExplainRecord> = (0..4)
+            .map(|i| {
+                let mut r = rec(&format!("v{i}"));
+                r.seq = i;
+                r
+            })
+            .collect();
+        t.restore(records, 4);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 2);
+        assert!(t.get(1).is_none());
+        assert_eq!(t.get(3).unwrap().victim, "v3");
     }
 
     #[test]

@@ -153,6 +153,18 @@ impl Compactor {
             .unwrap_or_default()
     }
 
+    /// Install one switch's checkpointed buckets (oldest first),
+    /// replacing whatever is held for that switch. Like
+    /// [`TelemetryStore::restore_switch`](crate::TelemetryStore::restore_switch),
+    /// counters are observability and are not restored.
+    pub fn restore_switch(&mut self, sw: NodeId, buckets: Vec<CompactedEpoch>) {
+        if buckets.is_empty() {
+            self.switches.remove(&sw);
+        } else {
+            self.switches.insert(sw, buckets.into());
+        }
+    }
+
     /// Approximate resident bytes of the compacted tier.
     pub fn approx_bytes(&self) -> usize {
         self.switches

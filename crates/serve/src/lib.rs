@@ -18,21 +18,33 @@
 //!   each collection epoch to a sink as it happens.
 //! - [`replay`] — end-to-end online diagnosis: stream a scenario into a
 //!   live daemon and check served-vs-one-shot verdict parity.
+//! - [`wal`] / [`recovery`] — disk-backed segmented evidence log (CRC32
+//!   framing, size-based rotation, checkpoint-coupled retirement) and the
+//!   startup replay that lets a `--durable` daemon survive `kill -9`.
 
 pub mod audit;
 pub mod client;
 pub mod compactor;
 pub mod proto;
+pub mod recovery;
 pub mod replay;
 pub mod server;
 pub mod store;
 pub mod stream;
+pub mod wal;
 
 pub use audit::{AuditTrail, ExplainRecord};
-pub use client::ServeClient;
+pub use client::{RetryConfig, ServeClient};
 pub use compactor::{Compactor, CompactorStats, PendingFold};
 pub use proto::{observation_to_value, DiagnoseParams, ProtoError, Request, Response, MAX_FRAME};
+pub use recovery::{recover_and_open, scan, RecoveryReport, Scan, ScannedRecord, WalEntry};
 pub use replay::{replay_streaming, replay_streaming_batched, ReplayOutcome};
-pub use server::{spawn, DaemonHandle, Endpoint, OverloadPolicy, ServeConfig};
-pub use store::{Fidelity, FlowObservation, StoreConfig, StoreStats, TelemetryStore};
+pub use server::{
+    install_signal_handlers, spawn, spawn_durable, DaemonHandle, Endpoint, OverloadPolicy,
+    ServeConfig,
+};
+pub use store::{
+    Fidelity, FlowObservation, StoreConfig, StoreStats, SwitchRestore, TelemetryStore,
+};
 pub use stream::{EpochSink, SinkAck, StreamStats, StreamingHook, VecSink};
+pub use wal::{FsyncPolicy, Wal, WalConfig, WalStats};

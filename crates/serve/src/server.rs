@@ -45,7 +45,13 @@
 use crate::audit::{AuditTrail, ExplainRecord};
 use crate::compactor::{Compactor, PendingFold};
 use crate::proto::{decode_request, read_frame, write_response, DiagnoseParams, Request, Response};
+use crate::recovery::{recover_and_open, RecoveryReport};
 use crate::store::{FlowObservation, StoreConfig, TelemetryStore};
+use crate::wal::{
+    encode_audit_checkpoint, encode_switch_checkpoint, AuditCheckpoint, SwitchCheckpoint, Wal,
+    WalConfig, WalStats, REC_BATCH, REC_CKPT_AUDIT, REC_CKPT_BEGIN, REC_CKPT_END, REC_CKPT_SWITCH,
+    REC_SNAPSHOT, REC_VERDICT,
+};
 use hawkeye_core::{
     analyze_victim_window_obs, AnalyzerConfig, AnomalyType, Confidence, DiagnosisReport,
     IncrementalProvenance, ReplayConfig, RootCause, Window,
@@ -55,14 +61,15 @@ use hawkeye_obs::flight as flight_kind;
 use hawkeye_obs::names::{
     COMPACTOR_QUEUE_DEPTH, CREDITS_OUTSTANDING, INGEST_BATCHES, OP_DIAGNOSE_NS, OP_EXPLAIN_NS,
     OP_FLOW_HISTORY_NS, OP_INGEST_BATCH_NS, OP_INGEST_NS, OP_METRICS_NS, OP_STATS_NS,
-    RETENTION_LAG_NS, SHARD_QUEUE_DEPTH, SHARD_WATERMARK_LAG_NS, SLOW_OPS, STAGE_APPEND_NS,
-    STAGE_ENGINE_APPLY_NS, STAGE_FOLD_NS, STAGE_RETIRE_NS, WATERMARK_LAG_WARNS,
+    RECOVERY_TRUNCATED, RETENTION_LAG_NS, SHARD_QUEUE_DEPTH, SHARD_WATERMARK_LAG_NS, SLOW_OPS,
+    STAGE_APPEND_NS, STAGE_ENGINE_APPLY_NS, STAGE_FOLD_NS, STAGE_RETIRE_NS, WAL_BYTES,
+    WAL_RECORDS_APPENDED, WAL_SEGMENTS_RETIRED, WATERMARK_LAG_WARNS,
 };
 use hawkeye_obs::{
     FlightRecorder, MetricKey, MetricsRegistry, MetricsSnapshot, ObsConfig, Recorder, Stage,
 };
 use hawkeye_sim::{FlowKey, Nanos, Topology};
-use hawkeye_telemetry::TelemetrySnapshot;
+use hawkeye_telemetry::{encode_batch, encode_snapshot, TelemetrySnapshot};
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
@@ -203,8 +210,20 @@ impl AnyStream {
     }
 }
 
+/// An evidence-log record riding the ingest path: kind + canonical
+/// payload bytes (the received frame body — never a re-encode).
+type JournalRecord = (u8, Vec<u8>);
+
 enum ShardMsg {
-    Ingest(TelemetrySnapshot),
+    /// A routed snapshot, plus (on a `--durable` daemon) the journal
+    /// record it settles. The record rides the shard queue and the shard
+    /// worker's existing fold send instead of a dedicated compactor
+    /// message: on a busy box the extra cross-thread wake per frame costs
+    /// several times the append itself, and piggybacking makes durable
+    /// ingest wake exactly the threads durability-off ingest does. The
+    /// shard/compactor flush barrier still orders after it ("flushed"
+    /// still means "journaled").
+    Ingest(TelemetrySnapshot, Option<JournalRecord>),
     /// Barrier: reply once every prior message on this queue is applied.
     Flush(SyncSender<()>),
 }
@@ -215,16 +234,33 @@ enum ShardMsg {
 /// order matches arrival order, so bucket boundaries are identical to the
 /// inline path's, and queries serialize after every fold already sent.
 enum CompactMsg {
-    /// A batch of ring-evicted epochs staged by one shard-worker append.
-    Fold(Vec<PendingFold>),
-    /// Barrier: reply once every prior fold on this channel is absorbed.
+    /// A batch of ring-evicted epochs staged by one shard-worker append,
+    /// plus the journal record that rode the same shard message (if any).
+    Fold(Vec<PendingFold>, Option<JournalRecord>),
+    /// Barrier: reply once every prior fold on this channel is absorbed —
+    /// and, on a `--durable` daemon, every prior journal record is synced
+    /// per the fsync policy ("flushed" also means "journaled").
     Flush(SyncSender<()>),
+    /// Append one record (kind + canonical payload bytes) to the evidence
+    /// log directly — the off-ingest-path journal writes (verdicts).
+    Journal(u8, Vec<u8>),
+    /// Step 1 of the checkpoint protocol: reply with the WAL's next seq —
+    /// the checkpoint barrier. Every record below it was journaled before
+    /// this message, hence routed to its shard before the accept loop's
+    /// subsequent shard flush, hence applied before step 3 runs.
+    CheckpointMark(SyncSender<u64>),
+    /// Step 3: write a durable checkpoint (per-switch ring images +
+    /// compacted buckets + the audit trail) at the marked barrier, then
+    /// retire raw segments the checkpoint covers — disk stays bounded in
+    /// lockstep with the compaction tiers.
+    Checkpoint { boundary: u64 },
     /// Compacted-tier rows for one flow (unsorted; the caller merges).
     FlowHistory(FlowKey, SyncSender<Vec<FlowObservation>>),
     /// Tier occupancy: (raw epochs summed in buckets, bucket count).
     Tier(SyncSender<(u64, usize)>),
     /// Exit the thread (sent by the accept loop after the shard workers
-    /// have been joined, so no fold can arrive after it).
+    /// have been joined, so no fold can arrive after it). Syncs the WAL
+    /// before exiting.
     Shutdown,
 }
 
@@ -243,15 +279,55 @@ struct CompactorHandle {
 /// window, back to the client) instead of growing an unbounded fold queue.
 const COMPACT_QUEUE_DEPTH: usize = 1024;
 
-/// The compactor thread: single owner of the folded tier. Takes only the
-/// metrics lock (a leaf in the canonical store → engine → metrics → flight
-/// → audit order), and only after `absorb` finishes — no new lock-order
-/// edges.
-fn compactor_thread(shared: Arc<Shared>, rx: Receiver<CompactMsg>, depth: Arc<AtomicU64>) {
-    let mut comp = Compactor::new(shared.cfg.store);
+/// The compactor thread: single owner of the folded tier — and, on a
+/// `--durable` daemon, of the evidence log (journal appends, fsync policy,
+/// checkpoints, segment retirement all happen here, off the ingest hot
+/// path). Takes only the metrics lock on the fold path (a leaf in the
+/// canonical store → engine → metrics → flight → audit order) and the
+/// store/audit locks while writing a checkpoint — legal because no lock is
+/// ever held by a thread blocking on this channel.
+fn compactor_thread(
+    shared: Arc<Shared>,
+    rx: Receiver<CompactMsg>,
+    depth: Arc<AtomicU64>,
+    mut comp: Compactor,
+    mut wal: Option<Wal>,
+) {
+    // Counter deltas published since the last look at `Wal::stats`.
+    // Publishing takes the metrics lock, and on the append path that lock
+    // handoff — not the append itself — is the dominant journaling cost
+    // (each one is a cross-thread wake on a busy box). So appends publish
+    // at a stride and barriers (flush, checkpoint, shutdown) force the
+    // counters exact: after a `stats` flush the numbers are precise.
+    const PUBLISH_STRIDE: u64 = 64;
+    let mut published = WalStats::default();
+    let mut publish = |wal: &Wal, force: bool| {
+        if !shared.cfg.obs {
+            return;
+        }
+        let now = *wal.stats();
+        if !force && now.records_appended - published.records_appended < PUBLISH_STRIDE {
+            return;
+        }
+        let mut m = shared.metrics.lock().expect("metrics lock");
+        m.add(
+            MetricKey::global(WAL_RECORDS_APPENDED),
+            now.records_appended - published.records_appended,
+        );
+        m.add(
+            MetricKey::global(WAL_BYTES),
+            now.bytes_appended - published.bytes_appended,
+        );
+        m.add(
+            MetricKey::global(WAL_SEGMENTS_RETIRED),
+            now.segments_retired - published.segments_retired,
+        );
+        drop(m);
+        published = now;
+    };
     while let Ok(msg) = rx.recv() {
         match msg {
-            CompactMsg::Fold(batch) => {
+            CompactMsg::Fold(batch, journal) => {
                 let queued = depth.fetch_sub(1, Ordering::Relaxed).saturating_sub(1);
                 let ns = comp.absorb(batch);
                 if shared.cfg.obs {
@@ -259,9 +335,49 @@ fn compactor_thread(shared: Arc<Shared>, rx: Receiver<CompactMsg>, depth: Arc<At
                     m.add(MetricKey::global(STAGE_FOLD_NS), ns);
                     m.set(MetricKey::global(COMPACTOR_QUEUE_DEPTH), queued as f64);
                 }
+                if let (Some(w), Some((kind, payload))) = (wal.as_mut(), journal) {
+                    match w.append(kind, &payload) {
+                        Ok(_) => publish(w, false),
+                        Err(e) => shared.wal_fault("wal_append", &e),
+                    }
+                    if w.wants_checkpoint() {
+                        shared.ckpt_wanted.store(true, Ordering::SeqCst);
+                    }
+                }
+            }
+            CompactMsg::Journal(kind, payload) => {
+                if let Some(w) = wal.as_mut() {
+                    match w.append(kind, &payload) {
+                        Ok(_) => publish(w, false),
+                        Err(e) => shared.wal_fault("wal_append", &e),
+                    }
+                    if w.wants_checkpoint() {
+                        shared.ckpt_wanted.store(true, Ordering::SeqCst);
+                    }
+                }
             }
             CompactMsg::Flush(ack) => {
+                if let Some(w) = wal.as_mut() {
+                    if let Err(e) = w.sync() {
+                        shared.wal_fault("wal_sync", &e);
+                    }
+                    publish(w, true);
+                }
                 let _ = ack.send(());
+            }
+            CompactMsg::CheckpointMark(reply) => {
+                let _ = reply.send(wal.as_ref().map_or(0, Wal::next_seq));
+            }
+            CompactMsg::Checkpoint { boundary } => {
+                if let Some(w) = wal.as_mut() {
+                    match write_checkpoint(&shared, &comp, w, boundary) {
+                        Ok(()) => publish(w, true),
+                        Err(e) => shared.wal_fault("wal_checkpoint", &e),
+                    }
+                    if w.wants_checkpoint() {
+                        shared.ckpt_wanted.store(true, Ordering::SeqCst);
+                    }
+                }
             }
             CompactMsg::FlowHistory(key, reply) => {
                 let _ = reply.send(comp.flow_history(&key));
@@ -269,9 +385,69 @@ fn compactor_thread(shared: Arc<Shared>, rx: Receiver<CompactMsg>, depth: Arc<At
             CompactMsg::Tier(reply) => {
                 let _ = reply.send((comp.epochs_held(), comp.buckets_held()));
             }
-            CompactMsg::Shutdown => break,
+            CompactMsg::Shutdown => {
+                if let Some(w) = wal.as_mut() {
+                    if let Err(e) = w.sync() {
+                        shared.wal_fault("wal_sync", &e);
+                    }
+                    publish(w, true);
+                }
+                break;
+            }
         }
     }
+}
+
+/// Write one complete checkpoint at `boundary` and retire the raw
+/// segments it covers. Caller (the compactor thread) guarantees every
+/// record below `boundary` has been applied: the accept loop flushed the
+/// shards between the mark and this message, and this channel is FIFO, so
+/// the folds those appends staged all precede it too.
+///
+/// Records at/above `boundary` may or may not be inside the images
+/// (sessions keep journaling while the checkpoint is marked); recovery
+/// re-applies them all, which the store's dedup rules make idempotent.
+fn write_checkpoint(
+    shared: &Shared,
+    comp: &Compactor,
+    wal: &mut Wal,
+    boundary: u64,
+) -> io::Result<()> {
+    wal.append(REC_CKPT_BEGIN, &boundary.to_le_bytes())?;
+    // Lock order: stores (one at a time) → audit; the WAL is owned by
+    // this thread, so appends under a store lock take no further lock.
+    for store in &shared.stores {
+        let mut images = Vec::new();
+        {
+            let store = store.lock().expect("store lock");
+            for sw in store.switches() {
+                if let Some(restore) = store.export_switch(sw) {
+                    images.push(encode_switch_checkpoint(&SwitchCheckpoint {
+                        restore,
+                        buckets: comp.buckets_of(sw).into_iter().cloned().collect(),
+                    }));
+                }
+            }
+        }
+        for payload in images {
+            wal.append(REC_CKPT_SWITCH, &payload)?;
+        }
+    }
+    let audit = {
+        let audit = shared.audit.lock().expect("audit lock");
+        AuditCheckpoint {
+            next_seq: audit.total(),
+            records: audit.records().cloned().collect(),
+        }
+    };
+    wal.append(REC_CKPT_AUDIT, &encode_audit_checkpoint(&audit))?;
+    wal.append(REC_CKPT_END, &[])?;
+    // The checkpoint must be durable *before* the raw segments it replaces
+    // are deleted — a torn checkpoint (no END on disk) must still find the
+    // previous one's segments intact.
+    wal.sync()?;
+    wal.retire_below(boundary)?;
+    Ok(())
 }
 
 /// State shared between sessions, shard workers and the daemon handle.
@@ -310,12 +486,20 @@ struct Shared {
     /// Handle to the compactor thread; `None` in unit-test `Shared`s built
     /// without daemon threads (their stores then fold inline).
     compactor: Option<CompactorHandle>,
+    /// True when the daemon journals to a durable evidence log. Gates
+    /// every journaling call site so a durability-off daemon's behaviour
+    /// (and byte output) is identical to pre-WAL builds.
+    durable: bool,
+    /// Set by the compactor thread when enough segments have completed to
+    /// warrant a checkpoint; the accept loop polls it and runs the
+    /// mark → flush → checkpoint protocol.
+    ckpt_wanted: AtomicBool,
 }
 
 /// A registry pre-seeded with every well-known serve counter at zero, so
 /// `Stats` (which iterates registered names) reports them all even before
 /// the first event — a daemon that never shed still shows `ingest_shed: 0`.
-fn seeded_registry() -> MetricsRegistry {
+fn seeded_registry(durable: bool) -> MetricsRegistry {
     let mut m = MetricsRegistry::default();
     for name in [
         EPOCHS_INGESTED,
@@ -329,12 +513,46 @@ fn seeded_registry() -> MetricsRegistry {
     ] {
         m.add(MetricKey::global(name), 0);
     }
+    // WAL counters exist only on a durable daemon, so a durability-off
+    // Stats response stays byte-identical to pre-WAL builds.
+    if durable {
+        for name in [
+            WAL_RECORDS_APPENDED,
+            WAL_BYTES,
+            WAL_SEGMENTS_RETIRED,
+            RECOVERY_TRUNCATED,
+        ] {
+            m.add(MetricKey::global(name), 0);
+        }
+    }
     m
 }
 
 impl Shared {
     fn shard_of(&self, snap: &TelemetrySnapshot) -> usize {
         snap.switch.0 as usize % self.stores.len()
+    }
+
+    /// Hand one evidence record to the compactor thread for appending.
+    /// Callers gate on [`Shared::durable`]; a full channel blocks (the
+    /// same backpressure as a fold), and a gone compactor drops the
+    /// record — matching what a dead daemon would lose anyway.
+    fn journal(&self, kind: u8, payload: Vec<u8>) {
+        if let Some(h) = &self.compactor {
+            let _ = h.tx.send(CompactMsg::Journal(kind, payload));
+        }
+    }
+
+    /// A WAL write failed (disk full, dir deleted, …). The daemon keeps
+    /// serving — durability is degraded, not availability — and the fault
+    /// lands in the flight ring where operators look first.
+    fn wal_fault(&self, what: &'static str, e: &io::Error) {
+        if self.cfg.obs {
+            self.flight
+                .lock()
+                .expect("flight lock")
+                .note(flight_kind::ERROR, what, e.to_string());
+        }
     }
 
     /// The fleet retention horizon: the minimum of every reporting
@@ -470,7 +688,7 @@ impl Shared {
             .collect();
         root_causes.sort_unstable();
         root_causes.dedup();
-        let record = ExplainRecord {
+        let mut record = ExplainRecord {
             seq: 0, // assigned by the trail
             victim: render_flow(&p.victim),
             window_from_ns: p.from.0,
@@ -488,7 +706,17 @@ impl Shared {
             stage_graph_ns: rec.profile.wall_total_ns(Stage::GraphBuild),
             stage_match_ns: rec.profile.wall_total_ns(Stage::SignatureMatch),
         };
-        self.audit.lock().expect("audit lock").push(record);
+        // A durable daemon journals the verdict under its assigned seq so
+        // recovery can rebuild the audit trail (its ring *and* counter).
+        if self.durable {
+            let seq = self.audit.lock().expect("audit lock").push(record.clone());
+            record.seq = seq;
+            if let Ok(js) = serde_json::to_string(&record) {
+                self.journal(REC_VERDICT, js.into_bytes());
+            }
+        } else {
+            self.audit.lock().expect("audit lock").push(record);
+        }
     }
 
     /// The `Metrics` request: the full metrics snapshot plus the flight
@@ -717,7 +945,7 @@ fn shard_worker(shared: Arc<Shared>, shard: usize, rx: Receiver<ShardMsg>) {
     let mut last_fleet = Nanos::ZERO;
     while let Ok(msg) = rx.recv() {
         match msg {
-            ShardMsg::Ingest(snap) => {
+            ShardMsg::Ingest(snap, journal) => {
                 // Lock order: store → engine → metrics → flight (see
                 // `Shared`), each dropped before the next is taken.
                 let obs = shared.cfg.obs;
@@ -746,14 +974,16 @@ fn shard_worker(shared: Arc<Shared>, shard: usize, rx: Receiver<ShardMsg>) {
                         store.take_pending_folds(),
                     )
                 };
-                // Hand ring-evicted epochs to the compactor thread after
-                // the store lock is released — the fold leaves the ingest
-                // hot path entirely. A full compactor channel blocks here,
-                // which is the intended backpressure, not a failure.
-                if !staged.is_empty() {
+                // Hand ring-evicted epochs — and the piggybacked journal
+                // record, if the snapshot carried one — to the compactor
+                // thread after the store lock is released: the fold and
+                // the append leave the ingest hot path entirely. A full
+                // compactor channel blocks here, which is the intended
+                // backpressure, not a failure.
+                if !staged.is_empty() || journal.is_some() {
                     if let Some(h) = &shared.compactor {
                         h.depth.fetch_add(1, Ordering::Relaxed);
-                        if h.tx.send(CompactMsg::Fold(staged)).is_err() {
+                        if h.tx.send(CompactMsg::Fold(staged, journal)).is_err() {
                             h.depth.fetch_sub(1, Ordering::Relaxed);
                         }
                     }
@@ -854,10 +1084,24 @@ fn route_ingest(
     shared: &Shared,
     txs: &[SyncSender<ShardMsg>],
     snap: TelemetrySnapshot,
+    journal: Option<JournalRecord>,
 ) -> Response {
     let shard = shared.shard_of(&snap);
+    // A durable daemon journals canonical byte forms — the received frame
+    // body, handed in by the session so the hot path never re-encodes —
+    // and only for evidence it actually accepted onto a shard queue: the
+    // record rides the shard message, so a shed drops it with the
+    // snapshot and the log never holds evidence the daemon shed. The
+    // codec is deterministic, so the frame bytes ARE the canonical form
+    // (checked in debug builds for the single-snapshot kind).
+    debug_assert!(
+        journal
+            .as_ref()
+            .is_none_or(|(kind, w)| *kind != REC_SNAPSHOT || *w == encode_snapshot(&snap)),
+        "journaled wire bytes diverge from the canonical encoding"
+    );
     if shared.cfg.overload == OverloadPolicy::Backpressure {
-        return match txs[shard].send(ShardMsg::Ingest(snap)) {
+        return match txs[shard].send(ShardMsg::Ingest(snap, journal)) {
             Ok(()) => {
                 shared.queue_depths[shard].fetch_add(1, Ordering::Relaxed);
                 Response::Ack {
@@ -868,7 +1112,7 @@ fn route_ingest(
             Err(_) => Response::Error("shard worker gone".into()),
         };
     }
-    match txs[shard].try_send(ShardMsg::Ingest(snap)) {
+    match txs[shard].try_send(ShardMsg::Ingest(snap, journal)) {
         Ok(()) => {
             shared.queue_depths[shard].fetch_add(1, Ordering::Relaxed);
             Response::Ack {
@@ -907,12 +1151,36 @@ fn route_batch(
     shared: &Shared,
     txs: &[SyncSender<ShardMsg>],
     snaps: Vec<TelemetrySnapshot>,
+    wire: Option<Vec<u8>>,
 ) -> Response {
     let n = snaps.len() as u32;
     let mut accepted = 0u32;
     let mut shed = 0u32;
-    for snap in snaps {
-        match route_ingest(shared, txs, snap) {
+    // Journal records ride the routed shard messages (see [`ShardMsg`]).
+    // Under Backpressure nothing sheds, so the whole frame journals as one
+    // batch record — the received frame body, byte-equal to the canonical
+    // encoding (checked in debug builds) — attached to the frame's last
+    // snapshot. Under Shed each snapshot carries its own record, so a shed
+    // drops the record with the snapshot and the log holds exactly what
+    // the daemon kept, no more.
+    debug_assert!(
+        wire.as_ref().is_none_or(|w| *w == encode_batch(&snaps)),
+        "journaled wire bytes diverge from the canonical batch encoding"
+    );
+    let per_snapshot = shared.cfg.overload == OverloadPolicy::Shed;
+    let mut batch_payload = wire;
+    let last = snaps.len().saturating_sub(1);
+    for (i, snap) in snaps.into_iter().enumerate() {
+        let journal = if per_snapshot {
+            batch_payload
+                .is_some()
+                .then(|| (REC_SNAPSHOT, encode_snapshot(&snap)))
+        } else if i == last {
+            batch_payload.take().map(|w| (REC_BATCH, w))
+        } else {
+            None
+        };
+        match route_ingest(shared, txs, snap, journal) {
             Response::Ack { accepted: true, .. } => accepted += 1,
             Response::Ack {
                 accepted: false, ..
@@ -958,7 +1226,7 @@ fn session(shared: Arc<Shared>, txs: Vec<SyncSender<ShardMsg>>, mut stream: AnyS
         if shared.stop.load(Ordering::SeqCst) {
             return;
         }
-        let frame = match read_frame(&mut stream) {
+        let mut frame = match read_frame(&mut stream) {
             Ok(Some(f)) => f,
             Ok(None) => return, // clean disconnect
             Err(crate::proto::ProtoError::Io(e))
@@ -974,10 +1242,19 @@ fn session(shared: Arc<Shared>, txs: Vec<SyncSender<ShardMsg>>, mut stream: AnyS
         let t0 = shared.cfg.obs.then(Instant::now);
         let (op, resp) = match decode_request(frame.0, &frame.1) {
             Ok(Request::IngestEpoch(snap)) => {
-                (Some(OP_INGEST_NS), route_ingest(&shared, &txs, snap))
+                // A durable daemon journals the frame body verbatim; take
+                // it now that decoding is done with the borrow.
+                let wire = shared
+                    .durable
+                    .then(|| (REC_SNAPSHOT, std::mem::take(&mut frame.1)));
+                (Some(OP_INGEST_NS), route_ingest(&shared, &txs, snap, wire))
             }
             Ok(Request::IngestBatch(snaps)) => {
-                (Some(OP_INGEST_BATCH_NS), route_batch(&shared, &txs, snaps))
+                let wire = shared.durable.then(|| std::mem::take(&mut frame.1));
+                (
+                    Some(OP_INGEST_BATCH_NS),
+                    route_batch(&shared, &txs, snaps, wire),
+                )
             }
             Ok(Request::Hello) => (
                 None,
@@ -1051,6 +1328,9 @@ pub struct DaemonHandle {
     accept_thread: Option<JoinHandle<()>>,
     /// Bound TCP address when listening on TCP (for port-0 binds).
     pub local_addr: Option<std::net::SocketAddr>,
+    /// What startup recovery found in the durable directory; `None` on a
+    /// durability-off daemon.
+    pub recovery: Option<RecoveryReport>,
 }
 
 impl DaemonHandle {
@@ -1097,13 +1377,116 @@ impl DaemonHandle {
     }
 }
 
+/// Set by the process signal handler, polled by every accept loop — the
+/// graceful-shutdown path for a foreground `hawkeye serve` daemon.
+static SIG_STOP: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_signum: i32) {
+    // Async-signal-safe: one atomic store, nothing else.
+    SIG_STOP.store(true, Ordering::SeqCst);
+}
+
+/// Install SIGINT/SIGTERM handlers that request a graceful stop of every
+/// daemon in this process: the accept loop notices the flag within its
+/// poll interval, stops accepting, joins the sessions and workers, lets
+/// the compactor flush (and sync the WAL on a durable daemon), and
+/// removes the unix socket — the same teardown a `Shutdown` request runs,
+/// so `kill -TERM` never leaves a stale socket behind. `std` already
+/// links libc, so `signal(2)` is declared directly instead of pulling in
+/// a binding crate.
+pub fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    let handler = on_signal as extern "C" fn(i32) as usize;
+    unsafe {
+        signal(SIGINT, handler);
+        signal(SIGTERM, handler);
+    }
+}
+
 /// Start the daemon on `endpoint`. Returns once the listener is bound and
 /// accepting; serving continues on background threads until a `Shutdown`
 /// request arrives or [`DaemonHandle::shutdown`] is called.
 pub fn spawn(topo: Topology, cfg: ServeConfig, endpoint: Endpoint) -> io::Result<DaemonHandle> {
+    spawn_durable(topo, cfg, endpoint, None)
+}
+
+/// [`spawn`], with an optional durable evidence log. With `Some(wal_cfg)`
+/// the daemon first recovers whatever a previous incarnation journaled
+/// into that directory — scan, CRC-verify, truncate the torn suffix,
+/// restore the last complete checkpoint, replay the tail — and only then
+/// binds the listener, so a client that can connect always sees the
+/// recovered state. Every accepted epoch and emitted verdict is journaled
+/// from the compactor thread; the ingest hot path is untouched.
+pub fn spawn_durable(
+    topo: Topology,
+    cfg: ServeConfig,
+    endpoint: Endpoint,
+    wal_cfg: Option<WalConfig>,
+) -> io::Result<DaemonHandle> {
+    let shards = cfg.shards.max(1);
+    // The daemon always folds off-thread: shard stores stage ring-evicted
+    // epochs and the compactor thread owns the folded tier. Inline mode
+    // remains the standalone-store default only.
+    let mut cfg = cfg;
+    cfg.store.deferred_fold = true;
+
+    // Recover before binding: replay the evidence log into the shard
+    // stores, the folded tier and the audit trail.
+    let mut stores: Vec<TelemetryStore> = (0..shards)
+        .map(|_| TelemetryStore::new(cfg.store))
+        .collect();
+    let mut comp = Compactor::new(cfg.store);
+    let mut audit = AuditTrail::new(cfg.audit_capacity);
+    let (wal, recovery) = match &wal_cfg {
+        Some(wcfg) => {
+            let (wal, report) = recover_and_open(wcfg, &mut stores, &mut comp, &mut audit)?;
+            (Some(wal), Some(report))
+        }
+        None => (None, None),
+    };
+    let durable = wal.is_some();
+
+    // The engine's own ring budget is a per-switch safety backstop at
+    // 2x the store's; primary retention is the store-driven horizon
+    // (`retire_before` after each ingest), so give it the headroom to
+    // actually be the thing that fires.
+    let mut engine =
+        IncrementalProvenance::new(cfg.replay, cfg.store.epoch_budget.saturating_mul(2));
+    if recovery.is_some() {
+        // Rebuild the wait-for graph from the recovered canonical rings —
+        // the engine is derived state, so it is never checkpointed — and
+        // retire it behind the recovered fleet horizon, exactly as the
+        // ingest path would have.
+        for store in &stores {
+            for snap in store.snapshots() {
+                engine.apply(&snap);
+            }
+        }
+        if let Some(fleet) = stores.iter().filter_map(|s| s.retention_horizon()).min() {
+            engine.retire_before(fleet);
+        }
+    }
+    let mut metrics = seeded_registry(durable);
+    if let Some(rep) = &recovery {
+        metrics.add(MetricKey::global(RECOVERY_TRUNCATED), rep.truncated_records);
+    }
+    let horizons_init: Vec<u64> = stores
+        .iter()
+        .map(|s| s.retention_horizon().map_or(u64::MAX, |h| h.0))
+        .collect();
+    let watermarks_init: Vec<u64> = stores
+        .iter()
+        .map(|s| s.min_watermark().map_or(u64::MAX, |w| w.0))
+        .collect();
+
     let listener = match &endpoint {
         Endpoint::Unix(path) => {
-            // A previous unclean exit leaves the socket file behind.
+            // A previous unclean exit (kill -9) leaves the socket file
+            // behind; a graceful stop removes it, but bind defensively.
             if path.exists() {
                 std::fs::remove_file(path)?;
             }
@@ -1122,46 +1505,33 @@ pub fn spawn(topo: Topology, cfg: ServeConfig, endpoint: Endpoint) -> io::Result
         AnyListener::Unix(_) => None,
     };
 
-    let shards = cfg.shards.max(1);
-    // The daemon always folds off-thread: shard stores stage ring-evicted
-    // epochs and the compactor thread owns the folded tier. Inline mode
-    // remains the standalone-store default only.
-    let mut cfg = cfg;
-    cfg.store.deferred_fold = true;
     let (compact_tx, compact_rx) = sync_channel(COMPACT_QUEUE_DEPTH);
     let compact_depth = Arc::new(AtomicU64::new(0));
     let shared = Arc::new(Shared {
         topo,
         cfg,
-        stores: (0..shards)
-            .map(|_| Mutex::new(TelemetryStore::new(cfg.store)))
-            .collect(),
-        // The engine's own ring budget is a per-switch safety backstop at
-        // 2x the store's; primary retention is the store-driven horizon
-        // (`retire_before` after each ingest), so give it the headroom to
-        // actually be the thing that fires.
-        engine: Mutex::new(IncrementalProvenance::new(
-            cfg.replay,
-            cfg.store.epoch_budget.saturating_mul(2),
-        )),
-        metrics: Mutex::new(seeded_registry()),
+        stores: stores.into_iter().map(Mutex::new).collect(),
+        engine: Mutex::new(engine),
+        metrics: Mutex::new(metrics),
         flight: Mutex::new(FlightRecorder::new(cfg.flight_capacity)),
-        audit: Mutex::new(AuditTrail::new(cfg.audit_capacity)),
+        audit: Mutex::new(audit),
         stop: AtomicBool::new(false),
-        horizons: (0..shards).map(|_| AtomicU64::new(u64::MAX)).collect(),
-        watermarks: (0..shards).map(|_| AtomicU64::new(u64::MAX)).collect(),
+        horizons: horizons_init.into_iter().map(AtomicU64::new).collect(),
+        watermarks: watermarks_init.into_iter().map(AtomicU64::new).collect(),
         queue_depths: (0..shards).map(|_| AtomicU64::new(0)).collect(),
         compactor: Some(CompactorHandle {
             tx: compact_tx,
             depth: Arc::clone(&compact_depth),
         }),
+        durable,
+        ckpt_wanted: AtomicBool::new(false),
     });
 
     let compactor_join = {
         let sh = Arc::clone(&shared);
         thread::Builder::new()
             .name("hawkeye-compactor".into())
-            .spawn(move || compactor_thread(sh, compact_rx, compact_depth))
+            .spawn(move || compactor_thread(sh, compact_rx, compact_depth, comp, wal))
             .expect("spawn compactor thread")
     };
 
@@ -1189,6 +1559,29 @@ pub fn spawn(topo: Topology, cfg: ServeConfig, endpoint: Endpoint) -> io::Result
         .spawn(move || {
             let mut sessions: Vec<JoinHandle<()>> = Vec::new();
             while !accept_shared.stop.load(Ordering::SeqCst) {
+                // SIGINT/SIGTERM request the same orderly teardown as a
+                // Shutdown frame (when install_signal_handlers is on).
+                if SIG_STOP.load(Ordering::SeqCst) {
+                    accept_shared.stop.store(true, Ordering::SeqCst);
+                    break;
+                }
+                // Durable checkpoint protocol, driven from here because
+                // only this thread may run the shard-flush barrier while
+                // the compactor is busy: (1) mark — the compactor replies
+                // with its next seq; (2) flush the shards, so everything
+                // journaled below the mark is applied; (3) tell the
+                // compactor to write the checkpoint and retire segments.
+                if accept_shared.ckpt_wanted.swap(false, Ordering::SeqCst) {
+                    if let Some(h) = &accept_shared.compactor {
+                        let (mark_tx, mark_rx) = sync_channel(1);
+                        if h.tx.send(CompactMsg::CheckpointMark(mark_tx)).is_ok() {
+                            if let Ok(boundary) = mark_rx.recv() {
+                                flush_shards(&txs);
+                                let _ = h.tx.send(CompactMsg::Checkpoint { boundary });
+                            }
+                        }
+                    }
+                }
                 let accepted = match &listener {
                     AnyListener::Unix(l) => l.accept().map(|(s, _)| AnyStream::Unix(s)),
                     AnyListener::Tcp(l) => l.accept().map(|(s, _)| {
@@ -1241,6 +1634,7 @@ pub fn spawn(topo: Topology, cfg: ServeConfig, endpoint: Endpoint) -> io::Result
         shared,
         accept_thread: Some(accept_thread),
         local_addr,
+        recovery,
     })
 }
 
@@ -1273,7 +1667,7 @@ mod tests {
                 cfg.replay,
                 cfg.store.epoch_budget.saturating_mul(2),
             )),
-            metrics: Mutex::new(seeded_registry()),
+            metrics: Mutex::new(seeded_registry(false)),
             flight: Mutex::new(FlightRecorder::new(cfg.flight_capacity)),
             audit: Mutex::new(AuditTrail::new(cfg.audit_capacity)),
             stop: AtomicBool::new(false),
@@ -1281,6 +1675,8 @@ mod tests {
             watermarks: (0..shards).map(|_| AtomicU64::new(u64::MAX)).collect(),
             queue_depths: (0..shards).map(|_| AtomicU64::new(0)).collect(),
             compactor: None,
+            durable: false,
+            ckpt_wanted: AtomicBool::new(false),
         }
     }
 
@@ -1307,18 +1703,18 @@ mod tests {
         let txs = vec![tx];
 
         assert!(matches!(
-            route_ingest(&shared, &txs, snap(0)),
+            route_ingest(&shared, &txs, snap(0), None),
             Response::Ack { accepted: true, .. }
         ));
         assert!(matches!(
-            route_ingest(&shared, &txs, snap(0)),
+            route_ingest(&shared, &txs, snap(0), None),
             Response::Ack {
                 accepted: false,
                 ..
             }
         ));
         assert!(matches!(
-            route_ingest(&shared, &txs, snap(2)),
+            route_ingest(&shared, &txs, snap(2), None),
             Response::Ack {
                 accepted: false,
                 ..
@@ -1335,11 +1731,11 @@ mod tests {
         let shared = test_shared(1);
         let (tx, _rx) = sync_channel(1);
         let txs = vec![tx];
-        let Response::Ack { granted, .. } = route_ingest(&shared, &txs, snap(0)) else {
+        let Response::Ack { granted, .. } = route_ingest(&shared, &txs, snap(0), None) else {
             panic!("expected ack");
         };
         assert_eq!(granted, 1);
-        let Response::Ack { granted, .. } = route_ingest(&shared, &txs, snap(0)) else {
+        let Response::Ack { granted, .. } = route_ingest(&shared, &txs, snap(0), None) else {
             panic!("expected shed ack");
         };
         assert_eq!(granted, 1, "shed ack must still return the credit");
@@ -1355,7 +1751,10 @@ mod tests {
             let (tx, rx) = sync_channel(1);
             drop(rx);
             assert!(
-                matches!(route_ingest(&shared, &[tx], snap(0)), Response::Error(_)),
+                matches!(
+                    route_ingest(&shared, &[tx], snap(0), None),
+                    Response::Error(_)
+                ),
                 "{overload:?}: dead shard must be a request error"
             );
             assert_eq!(
@@ -1373,7 +1772,7 @@ mod tests {
         let shared = test_shared(1);
         let (tx, rx) = sync_channel(4);
         drop(rx);
-        let resp = route_batch(&shared, &[tx], vec![snap(0), snap(0)]);
+        let resp = route_batch(&shared, &[tx], vec![snap(0), snap(0)], None);
         assert!(matches!(resp, Response::Error(_)));
         assert_eq!(shared.metrics.lock().unwrap().counter_total(INGEST_SHED), 0);
     }
@@ -1385,7 +1784,7 @@ mod tests {
         let shared = test_shared(1);
         // Room for 2 of the 3 snapshots; no worker drains.
         let (tx, _rx) = sync_channel(2);
-        let resp = route_batch(&shared, &[tx], vec![snap(0), snap(0), snap(0)]);
+        let resp = route_batch(&shared, &[tx], vec![snap(0), snap(0), snap(0)], None);
         assert_eq!(
             resp,
             Response::BatchAck {
@@ -1432,12 +1831,12 @@ mod tests {
         let (tx, _rx) = sync_channel(1);
         let txs = vec![tx];
         assert!(matches!(
-            route_ingest(&shared, &txs, snap(0)),
+            route_ingest(&shared, &txs, snap(0), None),
             Response::Ack { accepted: true, .. }
         ));
         assert!(shared.flight.lock().unwrap().is_empty());
         assert!(matches!(
-            route_ingest(&shared, &txs, snap(0)),
+            route_ingest(&shared, &txs, snap(0), None),
             Response::Ack {
                 accepted: false,
                 ..

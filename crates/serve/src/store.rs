@@ -192,6 +192,28 @@ pub struct FlowObservation {
     pub epochs: u32,
 }
 
+/// Everything needed to rebuild one switch's ring state from a durable
+/// checkpoint: the canonical snapshot plus the per-epoch acceptance
+/// stamps and retention bookkeeping the canonical form does not carry.
+/// Without the `taken_at` vector a replayed ring would mis-decide future
+/// supersede/stale calls; without the `folded` map a re-delivered folded
+/// epoch would be double counted after recovery.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwitchRestore {
+    pub switch: NodeId,
+    /// Canonical snapshot ([`TelemetryStore::snapshot_of`] form: epochs
+    /// sorted by (start, slot, id)).
+    pub snapshot: TelemetrySnapshot,
+    /// Acceptance stamp of each ring epoch, parallel to
+    /// `snapshot.epochs`.
+    pub taken_at: Vec<Nanos>,
+    pub watermark: Nanos,
+    pub fold_horizon: Nanos,
+    /// The folded-epoch dedup map as (slot, id, taken_at, start) rows,
+    /// sorted by (slot, id) for a deterministic byte encoding.
+    pub folded: Vec<(usize, u8, Nanos, Nanos)>,
+}
+
 /// Canonical per-switch state.
 #[derive(Debug)]
 struct SwitchLog {
@@ -535,6 +557,66 @@ impl TelemetryStore {
             .map(|l| l.epochs.values().map(|(_, e)| e.wire_size()).sum::<usize>())
             .sum::<usize>()
             + self.compactor.approx_bytes()
+    }
+
+    /// One switch's full ring state for a durable checkpoint (see
+    /// [`SwitchRestore`]). `None` if the switch never reported.
+    pub fn export_switch(&self, sw: NodeId) -> Option<SwitchRestore> {
+        let log = self.switches.get(&sw)?;
+        let snapshot = self.snapshot_of(sw)?;
+        let taken_at = snapshot
+            .epochs
+            .iter()
+            .map(|e| log.epochs[&(e.slot, e.id)].0)
+            .collect();
+        let mut folded: Vec<(usize, u8, Nanos, Nanos)> = log
+            .folded
+            .iter()
+            .map(|(&(slot, id), &(taken, start))| (slot, id, taken, start))
+            .collect();
+        folded.sort_unstable();
+        Some(SwitchRestore {
+            switch: sw,
+            snapshot,
+            taken_at,
+            watermark: log.watermark,
+            fold_horizon: log.fold_horizon,
+            folded,
+        })
+    }
+
+    /// Install one switch's checkpointed ring state, replacing whatever
+    /// the store holds for that switch. Counters in [`StoreStats`] are
+    /// observability, not evidence, and are deliberately *not* restored —
+    /// a recovered daemon's counters restart at the replayed work.
+    pub fn restore_switch(&mut self, r: &SwitchRestore) {
+        debug_assert_eq!(r.taken_at.len(), r.snapshot.epochs.len());
+        let mut epochs: HashMap<(usize, u8), (Nanos, EpochSnapshot), RingBuild> =
+            HashMap::default();
+        let mut evict_order = BinaryHeap::new();
+        for (ep, &taken) in r.snapshot.epochs.iter().zip(&r.taken_at) {
+            evict_order.push(Reverse((ep.start, ep.slot, ep.id)));
+            epochs.insert((ep.slot, ep.id), (taken, ep.clone()));
+        }
+        let folded = r
+            .folded
+            .iter()
+            .map(|&(slot, id, taken, start)| ((slot, id), (taken, start)))
+            .collect();
+        self.switches.insert(
+            r.switch,
+            SwitchLog {
+                epochs,
+                evict_order,
+                taken_at: r.snapshot.taken_at,
+                nports: r.snapshot.nports,
+                max_flows: r.snapshot.max_flows,
+                evicted: r.snapshot.evicted.clone(),
+                watermark: r.watermark,
+                folded,
+                fold_horizon: r.fold_horizon,
+            },
+        );
     }
 
     /// Epochs cloned by windowed queries since construction.
@@ -909,5 +991,48 @@ mod tests {
         assert_eq!(e.id, 2);
         assert!(st.epoch_detail_at(NodeId(3), Nanos(9 << 20)).is_none());
         assert!(st.epoch_detail_at(NodeId(9), Nanos(0)).is_none());
+    }
+
+    #[test]
+    fn export_restore_round_trips_ring_and_retention_state() {
+        let cfg = StoreConfig {
+            epoch_budget: 2,
+            compact_budget: 4,
+            compact_chunk: 2,
+            ..StoreConfig::default()
+        };
+        let mut st = TelemetryStore::new(cfg);
+        for i in 0..5u64 {
+            st.append(&snap(
+                3,
+                500 + i,
+                vec![epoch(i as usize, i as u8 + 1, i << 20)],
+            ));
+        }
+        let exported = st.export_switch(NodeId(3)).expect("switch reported");
+        assert!(st.export_switch(NodeId(9)).is_none());
+
+        let mut back = TelemetryStore::new(cfg);
+        back.restore_switch(&exported);
+        assert_eq!(back.snapshot_of(NodeId(3)), st.snapshot_of(NodeId(3)));
+        assert_eq!(back.watermark(NodeId(3)), st.watermark(NodeId(3)));
+        assert_eq!(back.retention_horizon(), st.retention_horizon());
+        assert_eq!(back.export_switch(NodeId(3)).unwrap(), exported);
+
+        // The restored ring keeps making the same admission decisions:
+        // a duplicate of a *folded* epoch is still rejected, a new epoch
+        // still evicts the oldest start.
+        back.append(&snap(3, 500, vec![epoch(0, 1, 0)]));
+        assert_eq!(back.stats().epochs_stale_rejected, 1);
+        back.append(&snap(3, 700, vec![epoch(1, 7, 9 << 20)]));
+        let s = back.snapshot_of(NodeId(3)).unwrap();
+        assert_eq!(s.epochs.len(), 2);
+        assert_eq!(s.epochs[1].id, 7);
+        // A stale re-collection of a restored ring epoch is rejected too:
+        // the per-epoch taken_at stamps survived the round trip.
+        let mut stale = epoch(4, 5, 4 << 20);
+        stale.flows[0].1.pkt_count = 1;
+        back.append(&snap(3, 100, vec![stale]));
+        assert_eq!(back.stats().epochs_stale_rejected, 2);
     }
 }

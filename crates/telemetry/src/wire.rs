@@ -291,8 +291,10 @@ fn read_snapshot_body(r: &mut Reader) -> Result<TelemetrySnapshot, CodecError> {
 
 /// Kind byte after the version tag marking a multi-snapshot batch frame —
 /// distinct from [`KIND_COMPACTED`] and chosen, like it, so decoding a
-/// batch as a single snapshot (or vice versa) fails loudly.
-const KIND_BATCH: u8 = 0xB1;
+/// batch as a single snapshot (or vice versa) fails loudly. Public so the
+/// durable evidence log can stamp journal records with the canonical kind
+/// of the payload they carry.
+pub const KIND_BATCH: u8 = 0xB1;
 
 /// Encode several snapshots as one batch frame: version, kind, count,
 /// then the snapshot bodies back to back. One length-prefixed frame (one
@@ -380,8 +382,9 @@ pub fn encode_compacted(c: &CompactedEpoch) -> Vec<u8> {
 /// Kind byte after the version tag distinguishing a compacted bucket from
 /// a raw snapshot stream (snapshots predate the kind byte; their second
 /// byte is the low byte of a switch id, so compacted frames use a value a
-/// decode of the wrong type rejects loudly in tests).
-const KIND_COMPACTED: u8 = 0xC0;
+/// decode of the wrong type rejects loudly in tests). Public for the same
+/// reason as [`KIND_BATCH`].
+pub const KIND_COMPACTED: u8 = 0xC0;
 
 /// Decode a compacted bucket; rejects trailing garbage, like
 /// [`decode_snapshot`].

@@ -168,4 +168,65 @@ HAWKEYE_BENCH_SAMPLES=1 HAWKEYE_BENCH_BUDGET_MS=5 \
   cargo bench -p hawkeye-bench --bench ingest
 git checkout -- BENCH_7.json 2>/dev/null || true
 
+echo "==> crash-recovery smoke (durable daemon survives kill -9)"
+# The durability pitch, end to end through the release CLI: stream a replay
+# into a foreground durable daemon, SIGKILL it mid-life, restart it on the
+# same log directory, and diagnose with --query-only (nothing re-streamed:
+# the daemon serves purely recovered state). The recovered verdict, served
+# report and flow history must be byte-identical to a durability-off
+# reference run, and a final SIGTERM must exit 0 and remove the socket.
+wal_dir=$(mktemp -d /tmp/hawkeye-wal-XXXXXX)
+cr_sock=$(mktemp -u /tmp/hawkeye-crash-XXXXXX.sock)
+ref_out=$(mktemp); s1_out=$(mktemp); s2_out=$(mktemp); d2_err=$(mktemp)
+timeout 120 ./target/release/hawkeye serve --replay incast --history --json \
+  > "$ref_out"
+./target/release/hawkeye serve --socket "$cr_sock" --durable "$wal_dir" &
+cr_pid=$!
+for _ in $(seq 100); do [ -S "$cr_sock" ] && break; sleep 0.1; done
+test -S "$cr_sock" || { echo "durable daemon never bound its socket"; exit 1; }
+timeout 120 ./target/release/hawkeye serve --replay incast --connect \
+  --socket "$cr_sock" --stream-only --json > "$s1_out"
+python3 - "$s1_out" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["epochs_streamed"] > 0, "nothing streamed before the crash"
+assert doc["epochs_shed"] == 0, "fault-free replay shed epochs"
+EOF
+kill -9 "$cr_pid"
+wait "$cr_pid" 2>/dev/null || true
+rm -f "$cr_sock"
+./target/release/hawkeye serve --socket "$cr_sock" --durable "$wal_dir" \
+  2> "$d2_err" &
+cr_pid=$!
+for _ in $(seq 100); do [ -S "$cr_sock" ] && break; sleep 0.1; done
+test -S "$cr_sock" || { cat "$d2_err"; echo "recovered daemon never bound its socket"; exit 1; }
+grep -q "hawkeye: recovered" "$d2_err" || { cat "$d2_err"; echo "restart did not report recovery"; exit 1; }
+timeout 120 ./target/release/hawkeye serve --replay incast --connect \
+  --socket "$cr_sock" --query-only --history --json > "$s2_out"
+python3 - "$ref_out" "$s2_out" <<'EOF'
+import json, sys
+ref, rec = (json.load(open(p)) for p in sys.argv[1:3])
+assert rec["verdict"] == "Correct", f"recovered verdict {rec['verdict']!r}"
+assert rec["parity"] is True, "recovered diagnosis diverged from one-shot"
+assert rec["served"] == ref["served"], \
+    "served report after kill -9 differs from durability-off reference"
+assert rec["history"] == ref["history"], \
+    "flow history after kill -9 differs from durability-off reference"
+print("crash-recovery smoke ok: verdict", rec["verdict"] + ",",
+      len(rec["history"]), "history rows byte-identical after kill -9")
+EOF
+kill -TERM "$cr_pid"
+wait "$cr_pid" || { echo "recovered daemon exited nonzero on SIGTERM"; exit 1; }
+test ! -e "$cr_sock" || { echo "stale socket file left behind"; exit 1; }
+rm -rf "$wal_dir"; rm -f "$ref_out" "$s1_out" "$s2_out" "$d2_err"
+
+echo "==> wal bench smoke (1 sample, tiny budget)"
+# Exercises the durability bench end to end — paired daemon passes with and
+# without the evidence log, the recovery replay measurement, BENCH_8.json
+# write — at a CI-sized budget; the recorded numbers are meaningless at
+# this budget, so restore BENCH_8.json afterwards.
+HAWKEYE_BENCH_SAMPLES=1 HAWKEYE_BENCH_BUDGET_MS=5 \
+  cargo bench -p hawkeye-bench --bench wal
+git checkout -- BENCH_8.json 2>/dev/null || true
+
 echo "==> all checks passed"
