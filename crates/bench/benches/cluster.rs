@@ -1,0 +1,202 @@
+//! Fleet-serving benchmark (`hawkeye-cluster`): what sharding the store
+//! across daemons costs and buys at the socket. Results land in
+//! `BENCH_9.json` at the workspace root.
+//!
+//! One incast replay corpus is streamed through a front-end routing to
+//! {1, 2, 3} shard daemons (the 1-shard fleet is the routing-overhead
+//! baseline: same front hop, no fan-out spread). For each fleet size the
+//! bench reports batched ingest throughput through the front, the served
+//! `Diagnose` latency (gather + merge + analyze), and — the property the
+//! whole subsystem rests on — that every fleet size produced the
+//! byte-identical verdict.
+
+use hawkeye_cluster::{spawn_front, BackendEndpoint, FrontConfig, ShardMap};
+use hawkeye_core::AnalyzerConfig;
+use hawkeye_eval::optimal_run_config;
+use hawkeye_serve::{
+    replay_streaming, spawn, DaemonHandle, Endpoint, ServeClient, ServeConfig, VecSink,
+};
+use hawkeye_telemetry::TelemetrySnapshot;
+use hawkeye_workloads::{build_scenario, Scenario, ScenarioKind, ScenarioParams};
+use std::time::Instant;
+
+const BATCH: usize = 16;
+
+struct Fleet {
+    daemons: Vec<DaemonHandle>,
+    front: hawkeye_cluster::FrontHandle,
+}
+
+fn analyzer() -> AnalyzerConfig {
+    AnalyzerConfig::for_epoch_len(optimal_run_config(1).epoch.epoch_len())
+}
+
+fn spawn_fleet(sc: &Scenario, k: usize) -> std::io::Result<Fleet> {
+    let n = sc.topo.switches().map(|s| s.0).max().unwrap_or(0) + 1;
+    let ranges: Vec<_> =
+        ShardMap::even_split(n, vec![BackendEndpoint::Tcp("unused:0".into()); k], 1)
+            .shards
+            .into_iter()
+            .map(|e| e.range)
+            .collect();
+    let mut daemons = Vec::new();
+    let mut shards = Vec::new();
+    for &range in &ranges {
+        let h = spawn(
+            sc.topo.clone(),
+            ServeConfig {
+                analyzer: analyzer(),
+                shard_range: Some(range),
+                ..ServeConfig::default()
+            },
+            Endpoint::Tcp("127.0.0.1:0".into()),
+        )?;
+        let addr = h.local_addr.expect("tcp daemon has an address");
+        shards.push(hawkeye_cluster::ShardEntry {
+            range,
+            endpoint: BackendEndpoint::Tcp(addr.to_string()),
+        });
+        daemons.push(h);
+    }
+    let front = spawn_front(
+        sc.topo.clone(),
+        ShardMap { epoch: 1, shards },
+        FrontConfig {
+            analyzer: analyzer(),
+            ..FrontConfig::default()
+        },
+        Endpoint::Tcp("127.0.0.1:0".into()),
+    )?;
+    Ok(Fleet { daemons, front })
+}
+
+struct FleetResult {
+    shards: usize,
+    ingest_snaps_per_sec: f64,
+    diagnose_mean_ns: f64,
+    verdict_json: String,
+}
+
+fn run_fleet(
+    sc: &Scenario,
+    snaps: &[TelemetrySnapshot],
+    w: hawkeye_core::Window,
+    k: usize,
+) -> std::io::Result<FleetResult> {
+    let fleet = spawn_fleet(sc, k)?;
+    let addr = fleet.front.local_addr.expect("front has an address");
+    let mut client = ServeClient::connect_tcp(&addr.to_string()).map_err(std::io::Error::other)?;
+    let err = |e: hawkeye_serve::ProtoError| std::io::Error::other(e.to_string());
+
+    // Throughput: best of two passes (store dedup makes the second pass
+    // idempotent, so it measures the same routed work).
+    let mut best = 0.0f64;
+    for _ in 0..2 {
+        let t = Instant::now();
+        for chunk in snaps.chunks(BATCH) {
+            client.ingest_batch(chunk).map_err(err)?;
+        }
+        client.finish_ingest().map_err(err)?;
+        best = best.max(snaps.len() as f64 / t.elapsed().as_secs_f64().max(1e-9));
+    }
+
+    // Served diagnosis latency: gather per-shard fragments, merge,
+    // analyze. Samples are env-tunable like every other micro-bench.
+    let samples = hawkeye_bench::timing::default_samples().max(3);
+    let mut total_ns = 0u128;
+    let mut verdict_json = String::new();
+    for _ in 0..samples {
+        let t = Instant::now();
+        let report = client
+            .diagnose(sc.truth.victim, w.from, w.to, Vec::new())
+            .map_err(err)?;
+        total_ns += t.elapsed().as_nanos();
+        verdict_json = serde_json::to_string(&report).expect("serializable report");
+    }
+
+    client.shutdown().map_err(err)?;
+    fleet.front.wait();
+    for d in fleet.daemons {
+        d.shutdown();
+    }
+    let mean_ns = total_ns as f64 / samples as f64;
+    println!(
+        "fleet k={k}: ingest {best:>9.0} snaps/sec, diagnose {:>8.0} us mean",
+        mean_ns / 1e3
+    );
+    Ok(FleetResult {
+        shards: k,
+        ingest_snaps_per_sec: best,
+        diagnose_mean_ns: mean_ns,
+        verdict_json,
+    })
+}
+
+fn write_bench_json(results: &[FleetResult], parity: bool) -> std::io::Result<()> {
+    use serde::Value;
+    let fleets = Value::Object(
+        results
+            .iter()
+            .map(|r| {
+                (
+                    format!("shards_{}", r.shards),
+                    Value::Object(vec![
+                        (
+                            "ingest_snaps_per_sec".to_string(),
+                            Value::Float(r.ingest_snaps_per_sec),
+                        ),
+                        (
+                            "diagnose_mean_ns".to_string(),
+                            Value::Float(r.diagnose_mean_ns),
+                        ),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    let doc = Value::Object(vec![
+        ("fleets".to_string(), fleets),
+        (
+            "verdict_parity_across_fleet_sizes".to_string(),
+            Value::Bool(parity),
+        ),
+    ]);
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root");
+    let path = root.join("BENCH_9.json");
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&doc).expect("serializable doc"),
+    )?;
+    println!("wrote {}", path.display());
+    Ok(())
+}
+
+fn main() {
+    println!("fleet serving benchmarks (front-end routing / shard-count sweep)");
+    let sc = build_scenario(ScenarioKind::MicroBurstIncast, ScenarioParams::default());
+    let cfg = optimal_run_config(1);
+    let (out, sink) = replay_streaming(&sc, &cfg, VecSink::default());
+    let snaps = sink.snaps;
+    let w = out.window.expect("incast replay detects the victim");
+    println!("replay corpus: {} snapshots", snaps.len());
+
+    let mut results = Vec::new();
+    for k in [1usize, 2, 3] {
+        match run_fleet(&sc, &snaps, w, k) {
+            Ok(r) => results.push(r),
+            Err(e) => eprintln!("fleet k={k} failed: {e}"),
+        }
+    }
+    let parity = results
+        .windows(2)
+        .all(|p| p[0].verdict_json == p[1].verdict_json);
+    if !parity {
+        eprintln!("WARNING: verdicts diverged across fleet sizes");
+    }
+    if let Err(e) = write_bench_json(&results, parity) {
+        eprintln!("could not write BENCH_9.json: {e}");
+    }
+}

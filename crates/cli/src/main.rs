@@ -14,6 +14,8 @@
 //!                  [--epoch-budget N] [--history]
 //!                  [--durable DIR] [--fsync POLICY]        crash-safe evidence log
 //!                  [--connect] [--stream-only] [--query-only] [--client-retries N]
+//!                  [--shard LO..HI] [--map-epoch N]        own one shard of a fleet
+//! hawkeye front    --map FILE [--socket P|--tcp A] [kind]  shard-routing front-end
 //! hawkeye serve-stats --socket P|--tcp A [--json]          observability view of a daemon
 //! ```
 //! Kinds: incast, storm, inloop, oolc, oolinj, contention.
@@ -112,6 +114,14 @@ struct Opts {
     /// Bounded client retry budget: reconnect + resend on transient
     /// connect/mid-stream I/O failures, up to N attempts per operation.
     client_retries: Option<u32>,
+    /// Owned switch-id range for `serve` (`--shard LO..HI`): refuse
+    /// ingest outside it with a typed `wrong_shard` error.
+    shard: Option<hawkeye_serve::ShardRange>,
+    /// Shard-map generation this daemon was cut from (`serve
+    /// --map-epoch`); sessions announcing a different epoch are refused.
+    map_epoch: Option<u64>,
+    /// Shard-map file for `front`.
+    map: Option<String>,
 }
 
 /// Strict option parser: every `--flag` must be known and every value must
@@ -142,6 +152,9 @@ fn parse_opts(args: &[String]) -> Result<(Opts, Vec<String>), String> {
         stream_only: false,
         query_only: false,
         client_retries: None,
+        shard: None,
+        map_epoch: None,
+        map: None,
     };
     let mut pos = Vec::new();
     let mut it = args.iter();
@@ -254,6 +267,20 @@ fn parse_opts(args: &[String]) -> Result<(Opts, Vec<String>), String> {
                         format!("--client-retries: '{v}' is not a positive integer")
                     })?);
             }
+            "--shard" => {
+                let v = it.next().ok_or("--shard requires LO..HI")?;
+                o.shard = Some(hawkeye_serve::ShardRange::parse(v)?);
+            }
+            "--map-epoch" => {
+                let v = it.next().ok_or("--map-epoch requires a value")?;
+                o.map_epoch = Some(
+                    v.parse()
+                        .map_err(|_| format!("--map-epoch: '{v}' is not an unsigned integer"))?,
+                );
+            }
+            "--map" => {
+                o.map = Some(it.next().ok_or("--map requires a file path")?.clone());
+            }
             "--slow-shard-us" => {
                 let v = it.next().ok_or("--slow-shard-us requires a value")?;
                 o.slow_shard_us = v
@@ -278,13 +305,14 @@ fn parse_opts(args: &[String]) -> Result<(Opts, Vec<String>), String> {
 fn usage() -> ! {
     eprintln!(
         "usage: hawkeye <scenario|matrix|methods|cbd|dot|resources|summary|trace|chaos|serve\
-         |serve-stats> \
+         |front|serve-stats> \
          [kind] [--load F] [--seed N] [--jobs N] [--json] [--format jsonl|chrome] \
          [--rates R,R,..] [--trials N] [--out F] \
          [--socket PATH] [--tcp ADDR] [--replay KIND] [--epoch-budget N] [--history] \
          [--batch N] [--queue-depth N] [--overload backpressure|shed] [--slow-shard-us N] \
          [--durable DIR] [--fsync never|interval|always] [--connect] [--stream-only] \
-         [--query-only] [--client-retries N]\n\
+         [--query-only] [--client-retries N] \
+         [--shard LO..HI] [--map-epoch N] [--map FILE]\n\
          kinds: incast storm inloop oolc oolinj contention"
     );
     std::process::exit(2)
@@ -592,6 +620,10 @@ fn cmd_serve(o: &Opts) {
         }
         if let Some(p) = o.overload {
             cfg.overload = p;
+        }
+        if let Some(mut range) = o.shard {
+            range.epoch = o.map_epoch.unwrap_or(0);
+            cfg.shard_range = Some(range);
         }
         cfg
     };
@@ -920,6 +952,66 @@ fn cmd_serve(o: &Opts) {
     }
 }
 
+/// `hawkeye front`: the stateless routing front-end of a sharded fleet.
+/// Loads the `--map` shard-map file, listens on `--socket`/`--tcp`, and
+/// routes the same frame protocol a daemon speaks: ingest goes to the
+/// shard owning each switch id, `Diagnose` gathers every shard's
+/// fragments and analyzes the merged evidence (byte-identical verdicts
+/// to one big daemon; a dead shard degrades confidence instead of
+/// failing). The optional positional kind names the scenario whose
+/// topology diagnosis runs against (default incast, matching `serve`'s
+/// foreground mode). Runs in the foreground until a `Shutdown` frame or
+/// SIGINT/SIGTERM; shard daemons are never stopped by the front.
+fn cmd_front(kind: Option<ScenarioKind>, o: &Opts) {
+    use hawkeye_cluster::{spawn_front, FrontConfig, ShardMap};
+    use hawkeye_serve::{Endpoint, RetryConfig};
+
+    let Some(map_path) = &o.map else {
+        eprintln!("hawkeye: front requires --map FILE");
+        usage()
+    };
+    let map = match ShardMap::load(std::path::Path::new(map_path)) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("hawkeye: cannot load shard map {map_path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let endpoint = match (&o.socket, &o.tcp) {
+        (Some(path), _) => Endpoint::Unix(path.into()),
+        (None, Some(addr)) => Endpoint::Tcp(addr.clone()),
+        (None, None) => {
+            eprintln!("hawkeye: front requires --socket PATH or --tcp ADDR");
+            usage()
+        }
+    };
+    let runcfg = optimal_run_config(o.seed);
+    let sc = build(kind.unwrap_or(ScenarioKind::MicroBurstIncast), o);
+    let mut cfg = FrontConfig {
+        analyzer: hawkeye_core::AnalyzerConfig::for_epoch_len(runcfg.epoch.epoch_len()),
+        ..FrontConfig::default()
+    };
+    if let Some(n) = o.client_retries {
+        cfg.retry = Some(RetryConfig {
+            max_attempts: n,
+            ..RetryConfig::default()
+        });
+    }
+    hawkeye_cluster::install_front_signal_handlers();
+    match spawn_front(sc.topo, map, cfg, endpoint) {
+        Ok(handle) => {
+            if let Some(addr) = handle.local_addr {
+                eprintln!("hawkeye: front serving on {addr}");
+            }
+            handle.wait();
+        }
+        Err(e) => {
+            eprintln!("hawkeye: cannot bind front: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 /// `hawkeye serve-stats`: the observability view of a *running* daemon —
 /// counters, per-op latency percentiles, health gauges, the flight-ring
 /// tail and the latest verdict's audit record, over the `Metrics` and
@@ -1074,6 +1166,7 @@ fn main() {
         ("trace", Some(k)) => cmd_trace(k, &opts),
         ("chaos", None) => cmd_chaos(&opts),
         ("serve", None) => cmd_serve(&opts),
+        ("front", k) => cmd_front(k, &opts),
         ("serve-stats", None) => cmd_serve_stats(&opts),
         _ => usage(),
     }

@@ -1,6 +1,5 @@
 //! Synchronous client for the serve protocol, plus the [`EpochSink`]
-//! adapter that lets a [`StreamingHook`](crate::StreamingHook) feed a
-//! running daemon.
+//! adapter that lets a streaming collection hook feed a running daemon.
 //!
 //! Two ingest shapes:
 //!
@@ -15,14 +14,20 @@
 //!
 //! Every synchronous request ([`ServeClient::diagnose`], `stats`, …)
 //! first settles all in-flight batch acks, so frames never interleave.
+//!
+//! The `Hello` this client sends announces [`PROTO_VERSION`] and, when a
+//! front-end routes through a shard map, the map epoch it routes under
+//! ([`ServeClient::with_map_epoch`]); a sharded daemon cut from a
+//! different map generation refuses the session with the typed
+//! [`ProtoError::WrongShard`] instead of mis-accepting routed ingest.
 
-use crate::audit::ExplainRecord;
+use crate::conn::AnyStream;
 use crate::proto::{
-    decode_response, read_frame, write_request, DiagnoseParams, ProtoError, Request, Response,
+    decode_response, read_frame, write_request, DiagnoseParams, PeerInfo, ProtoError, Request,
+    Response, PROTO_VERSION,
 };
-use crate::server::AnyStream;
-use crate::store::FlowObservation;
-use crate::stream::{EpochSink, SinkAck};
+use crate::sink::{EpochSink, SinkAck};
+use crate::types::{ExplainRecord, FlowObservation};
 use hawkeye_core::DiagnosisReport;
 use hawkeye_obs::MetricsSnapshot;
 use hawkeye_sim::{FlowKey, Nanos, NodeId};
@@ -117,6 +122,10 @@ pub struct ServeClient {
     endpoint: Option<ClientEndpoint>,
     /// Reconnect attempts made (connect-time and mid-stream).
     retries: u64,
+    /// Shard-map epoch announced in `Hello` (routing front-ends only).
+    map_epoch: Option<u64>,
+    /// What the daemon disclosed on the Hello ack, if anything.
+    peer: Option<PeerInfo>,
 }
 
 impl ServeClient {
@@ -130,6 +139,8 @@ impl ServeClient {
             retry: None,
             endpoint: None,
             retries: 0,
+            map_epoch: None,
+            peer: None,
         }
     }
 
@@ -181,6 +192,28 @@ impl ServeClient {
         c.retry = retry;
         c.retries = retries;
         Ok(c)
+    }
+
+    /// Announce this shard-map epoch on the session's `Hello` (fluent
+    /// form). A sharded daemon cut from a different map generation refuses
+    /// the session with [`ProtoError::WrongShard`] — the stale side learns
+    /// immediately instead of mis-routing ingest. Must be set before the
+    /// first request (the window negotiates once per connection).
+    pub fn with_map_epoch(mut self, epoch: u64) -> ServeClient {
+        self.set_map_epoch(epoch);
+        self
+    }
+
+    /// See [`ServeClient::with_map_epoch`].
+    pub fn set_map_epoch(&mut self, epoch: u64) {
+        self.map_epoch = Some(epoch);
+    }
+
+    /// What the daemon disclosed about itself on the Hello ack (protocol
+    /// version, enforced shard-map epoch); `None` before negotiation or
+    /// against a pre-shard daemon.
+    pub fn peer_info(&self) -> Option<PeerInfo> {
+        self.peer
     }
 
     /// Reconnect attempts this client has made recovering transient
@@ -279,7 +312,9 @@ impl ServeClient {
                 self.credits = (self.credits + granted).min(self.window);
                 Ok(())
             }
-            Response::Ack { accepted, granted } => {
+            Response::Ack {
+                accepted, granted, ..
+            } => {
                 if accepted {
                     self.settled.accepted += 1;
                 } else {
@@ -288,7 +323,7 @@ impl ServeClient {
                 self.credits = (self.credits + granted).min(self.window);
                 Ok(())
             }
-            Response::Error(msg) => Err(ProtoError::Remote(msg)),
+            Response::Error(msg) => Err(ProtoError::remote(msg)),
             other => Err(ProtoError::BadBody(format!(
                 "unexpected in-flight response {other:?}"
             ))),
@@ -300,7 +335,13 @@ impl ServeClient {
         if self.window > 0 {
             return Ok(());
         }
-        write_request(&mut self.stream, &Request::Hello)?;
+        write_request(
+            &mut self.stream,
+            &Request::Hello {
+                version: PROTO_VERSION,
+                map_epoch: self.map_epoch,
+            },
+        )?;
         let (op, body) = read_frame(&mut self.stream)?.ok_or_else(|| {
             ProtoError::Io(io::Error::new(
                 io::ErrorKind::UnexpectedEof,
@@ -308,14 +349,15 @@ impl ServeClient {
             ))
         })?;
         match decode_response(op, &body)? {
-            Response::Ack { granted, .. } => {
+            Response::Ack { granted, info, .. } => {
                 // A pre-credit daemon grants 0: degrade to a window of 1,
                 // which makes every batch effectively synchronous.
                 self.window = granted.max(1);
                 self.credits = self.window;
+                self.peer = info;
                 Ok(())
             }
-            Response::Error(msg) => Err(ProtoError::Remote(msg)),
+            Response::Error(msg) => Err(ProtoError::remote(msg)),
             other => Err(ProtoError::BadBody(format!(
                 "unexpected hello response {other:?}"
             ))),
@@ -323,6 +365,11 @@ impl ServeClient {
     }
 
     fn call(&mut self, req: &Request) -> Result<Response, ProtoError> {
+        // Every session Hellos before its first request — the epoch
+        // handshake must fire even for sessions that never batch, or a
+        // stale routing front-end could slip single-snapshot ingest past
+        // a daemon cut from a newer shard map.
+        self.with_retry(|c| c.negotiate())?;
         self.with_retry(|c| c.call_once(req))
     }
 
@@ -340,7 +387,7 @@ impl ServeClient {
             ))
         })?;
         match decode_response(op, &body)? {
-            Response::Error(msg) => Err(ProtoError::Remote(msg)),
+            Response::Error(msg) => Err(ProtoError::remote(msg)),
             resp => Ok(resp),
         }
     }
@@ -432,6 +479,19 @@ impl ServeClient {
         });
         match self.call(&req)? {
             Response::Diagnosis(report) => Ok(report),
+            other => Err(ProtoError::BadBody(format!(
+                "unexpected response {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetch the daemon's per-switch evidence fragment set: the canonical
+    /// snapshot of every switch it owns, flushed and in switch-id order.
+    /// The cluster front-end merges these across shards and assembles the
+    /// fleet-wide provenance graph centrally.
+    pub fn fragments(&mut self) -> Result<Vec<TelemetrySnapshot>, ProtoError> {
+        match self.call(&Request::Fragments)? {
+            Response::Fragments(snaps) => Ok(snaps),
             other => Err(ProtoError::BadBody(format!(
                 "unexpected response {other:?}"
             ))),

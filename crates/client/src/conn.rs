@@ -1,0 +1,45 @@
+//! The connected byte stream both ends of the protocol frame over.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::time::Duration;
+
+/// A connected session stream, unix or TCP.
+pub enum AnyStream {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Read for AnyStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            AnyStream::Unix(s) => s.read(buf),
+            AnyStream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for AnyStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            AnyStream::Unix(s) => s.write(buf),
+            AnyStream::Tcp(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            AnyStream::Unix(s) => s.flush(),
+            AnyStream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+impl AnyStream {
+    pub fn set_read_timeout(&self, d: Option<Duration>) -> io::Result<()> {
+        match self {
+            AnyStream::Unix(s) => s.set_read_timeout(d),
+            AnyStream::Tcp(s) => s.set_read_timeout(d),
+        }
+    }
+}

@@ -24,32 +24,50 @@
 //! - `8` IngestBatch — body is a version-tagged multi-epoch batch frame
 //!   ([`hawkeye_telemetry::wire::encode_batch`]): several snapshots in one
 //!   frame, amortizing the per-request round trip.
-//! - `9` Hello — empty body; opens a credit window. The daemon answers
-//!   `Ack {accepted: true, granted: W}` where `W` is the session's credit
-//!   budget: the client may have up to `W` un-acknowledged snapshots in
-//!   flight and replenishes from the `granted` field piggybacked on every
-//!   subsequent `Ack`/`BatchAck` (RDMA-style credit flow control).
+//! - `9` Hello — opens a credit window. The body is empty (legacy,
+//!   protocol 1) or 12 optional trailing bytes: the speaker's protocol
+//!   version (`u32`) and its shard-map epoch (`u64`, `u64::MAX` = none).
+//!   The daemon answers `Ack {accepted: true, granted: W}` where `W` is
+//!   the session's credit budget: the client may have up to `W`
+//!   un-acknowledged snapshots in flight and replenishes from the
+//!   `granted` field piggybacked on every subsequent `Ack`/`BatchAck`
+//!   (RDMA-style credit flow control). A sharded daemon whose shard-map
+//!   epoch differs from an announced one refuses the session with a typed
+//!   `wrong_shard:` error instead of mis-routing accepts.
+//! - `10` Fragments — empty body; a cross-shard gather primitive. The
+//!   daemon flushes its ingest queues and returns its per-switch evidence
+//!   fragment set (the canonical snapshots of every switch it owns) so a
+//!   front-end can merge fleet-wide provenance through the same
+//!   `assemble_graph` path the monolithic daemon uses.
 //!
 //! Response opcodes (daemon → client):
 //! - `129` Ack — body is `accepted: u8` (`1` accepted, `0` shed) followed
 //!   by `granted: u32`, the credits this response returns to the client's
-//!   window. A legacy one-byte body decodes with `granted = 0`.
+//!   window, optionally followed by the daemon's protocol version (`u32`)
+//!   and shard-map epoch (`u64`, `u64::MAX` = none) on a Hello ack. A
+//!   legacy one-byte body decodes with `granted = 0`; a five-byte body
+//!   decodes with no peer info.
 //! - `130` Diagnosis — body is a JSON [`DiagnosisReport`].
 //! - `131` Stats — body is a JSON counter object.
 //! - `132` Bye — shutdown acknowledged.
 //! - `133` History — body is a JSON array of
-//!   [`FlowObservation`](crate::store::FlowObservation) rows.
+//!   [`FlowObservation`](crate::types::FlowObservation) rows.
 //! - `134` Metrics — body is JSON `{metrics, flight}`.
 //! - `135` Explain — body is a JSON [`ExplainRecord`].
 //! - `136` BatchAck — body is `accepted: u32, shed: u32, granted: u32`:
 //!   per-batch delivery outcome plus the returned credits.
-//! - `255` Error — body is a UTF-8 message.
+//! - `137` Fragments — body is a multi-epoch batch frame
+//!   ([`hawkeye_telemetry::wire::encode_batch`]) holding the shard's
+//!   per-switch canonical snapshots.
+//! - `255` Error — body is a UTF-8 message. Messages starting with
+//!   `wrong_shard:` decode to the typed [`ProtoError::WrongShard`]:
+//!   a shard-ownership violation (out-of-range switch id or a stale shard
+//!   map), which routing must treat differently from a transient fault.
 //!
 //! Frames above [`MAX_FRAME`] are rejected before allocation; a malformed
 //! frame poisons only its own connection, never the daemon.
 
-use crate::audit::ExplainRecord;
-use crate::store::{Fidelity, FlowObservation};
+use crate::types::{ExplainRecord, Fidelity, FlowObservation};
 use hawkeye_core::DiagnosisReport;
 use hawkeye_sim::{FlowKey, Nanos, NodeId};
 use hawkeye_telemetry::{
@@ -63,6 +81,72 @@ use std::io::{self, Read, Write};
 /// full-fleet snapshot, far below anything that could wedge the daemon.
 pub const MAX_FRAME: u32 = 16 << 20;
 
+/// The protocol revision this implementation speaks, announced in `Hello`.
+/// Version 1 (implicit, empty Hello body) predates shard maps and the
+/// `Fragments` op; version 2 adds both.
+pub const PROTO_VERSION: u32 = 2;
+
+/// Message prefix that marks an opcode-255 error as a typed shard-
+/// ownership violation (see [`ProtoError::WrongShard`]).
+pub const WRONG_SHARD_PREFIX: &str = "wrong_shard:";
+
+/// Body sentinel for "no shard-map epoch announced".
+const NO_EPOCH: u64 = u64::MAX;
+
+/// A contiguous switch-id range `lo..hi` one daemon owns, stamped with the
+/// shard-map epoch it was cut from. The epoch is the coherence handle:
+/// ingest routed under a different map generation is refused with a typed
+/// `wrong_shard:` error rather than silently stored against stale
+/// ownership.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardRange {
+    /// First owned switch id (inclusive).
+    pub lo: u32,
+    /// One past the last owned switch id (exclusive).
+    pub hi: u32,
+    /// Shard-map generation this range was assigned under.
+    pub epoch: u64,
+}
+
+impl ShardRange {
+    pub fn contains(&self, switch: NodeId) -> bool {
+        (self.lo..self.hi).contains(&switch.0)
+    }
+
+    /// Parse `"LO..HI"` (exclusive upper bound) with epoch 0.
+    pub fn parse(s: &str) -> Result<ShardRange, String> {
+        let (lo, hi) = s
+            .split_once("..")
+            .ok_or_else(|| format!("shard range '{s}' is not LO..HI"))?;
+        let lo: u32 = lo
+            .trim()
+            .parse()
+            .map_err(|_| format!("shard range low bound '{lo}' is not a u32"))?;
+        let hi: u32 = hi
+            .trim()
+            .parse()
+            .map_err(|_| format!("shard range high bound '{hi}' is not a u32"))?;
+        if lo >= hi {
+            return Err(format!("shard range {lo}..{hi} is empty"));
+        }
+        Ok(ShardRange { lo, hi, epoch: 0 })
+    }
+}
+
+impl fmt::Display for ShardRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.lo, self.hi)
+    }
+}
+
+/// What the daemon disclosed about itself on a Hello ack: its protocol
+/// version and (on a sharded daemon) the shard-map epoch it enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeerInfo {
+    pub version: u32,
+    pub map_epoch: Option<u64>,
+}
+
 /// A protocol-level failure on one connection.
 #[derive(Debug)]
 pub enum ProtoError {
@@ -75,6 +159,22 @@ pub enum ProtoError {
     BadBody(String),
     /// The daemon answered with opcode 255.
     Remote(String),
+    /// The daemon refused on shard-ownership grounds: the switch id is
+    /// outside its owned range, or the announced shard-map epoch does not
+    /// match the daemon's. The caller holds a stale or mis-cut shard map
+    /// and must refresh it — retrying the same route cannot succeed.
+    WrongShard(String),
+}
+
+impl ProtoError {
+    /// Classify an opcode-255 message: `wrong_shard:`-prefixed bodies are
+    /// the typed ownership refusal, everything else a generic remote error.
+    pub fn remote(msg: String) -> ProtoError {
+        match msg.strip_prefix(WRONG_SHARD_PREFIX) {
+            Some(detail) => ProtoError::WrongShard(detail.trim_start().to_string()),
+            None => ProtoError::Remote(msg),
+        }
+    }
 }
 
 impl fmt::Display for ProtoError {
@@ -85,6 +185,7 @@ impl fmt::Display for ProtoError {
             ProtoError::BadOpcode(op) => write!(f, "unknown opcode {op}"),
             ProtoError::BadBody(m) => write!(f, "malformed body: {m}"),
             ProtoError::Remote(m) => write!(f, "daemon error: {m}"),
+            ProtoError::WrongShard(m) => write!(f, "wrong shard: {m}"),
         }
     }
 }
@@ -114,8 +215,18 @@ pub enum Request {
     /// Several snapshots in one frame (one round trip, one queue routing
     /// pass per snapshot). Answered with [`Response::BatchAck`].
     IngestBatch(Vec<TelemetrySnapshot>),
-    /// Open a credit window; answered with `Ack {granted: W}`.
-    Hello,
+    /// Open a credit window; answered with `Ack {granted: W}`. `version`
+    /// is the speaker's [`PROTO_VERSION`] (1 for legacy empty-body
+    /// hellos); `map_epoch` the shard-map generation the speaker routes
+    /// under, if it routes at all.
+    Hello {
+        version: u32,
+        map_epoch: Option<u64>,
+    },
+    /// Return this shard's per-switch evidence fragment set (canonical
+    /// snapshots of every owned switch). Answered with
+    /// [`Response::Fragments`].
+    Fragments,
 }
 
 /// Parameters of a `Diagnose` request: the victim flow, the window, and
@@ -135,10 +246,13 @@ pub enum Response {
     /// Single-snapshot (or Hello) acknowledgement. `accepted`: `true` =
     /// ingested, `false` = shed under the `Shed` overload policy.
     /// `granted`: credits returned to the client's window (the session
-    /// budget on Hello, the settled snapshot count otherwise).
+    /// budget on Hello, the settled snapshot count otherwise). `info`:
+    /// the daemon's version/shard-map disclosure, present on Hello acks
+    /// from version-2 daemons.
     Ack {
         accepted: bool,
         granted: u32,
+        info: Option<PeerInfo>,
     },
     Diagnosis(DiagnosisReport),
     Stats(serde::Value),
@@ -154,6 +268,9 @@ pub enum Response {
         shed: u32,
         granted: u32,
     },
+    /// The shard's per-switch canonical snapshots, one per owned switch
+    /// that has evidence, in switch-id order.
+    Fragments(Vec<TelemetrySnapshot>),
     Error(String),
 }
 
@@ -166,6 +283,7 @@ const OP_METRICS: u8 = 6;
 const OP_EXPLAIN: u8 = 7;
 const OP_INGEST_BATCH: u8 = 8;
 const OP_HELLO: u8 = 9;
+const OP_FRAGMENTS: u8 = 10;
 const OP_ACK: u8 = 129;
 const OP_DIAGNOSIS: u8 = 130;
 const OP_STATS_RESP: u8 = 131;
@@ -174,6 +292,7 @@ const OP_HISTORY: u8 = 133;
 const OP_METRICS_RESP: u8 = 134;
 const OP_EXPLAIN_RESP: u8 = 135;
 const OP_BATCH_ACK: u8 = 136;
+const OP_FRAGMENTS_RESP: u8 = 137;
 const OP_ERROR: u8 = 255;
 
 /// Write one frame: length prefix, opcode, body.
@@ -238,7 +357,19 @@ pub fn write_request(w: &mut impl Write, req: &Request) -> io::Result<()> {
         }
         Request::Metrics => write_frame(w, OP_METRICS, &[]),
         Request::IngestBatch(snaps) => write_frame(w, OP_INGEST_BATCH, &encode_batch(snaps)),
-        Request::Hello => write_frame(w, OP_HELLO, &[]),
+        Request::Hello { version, map_epoch } => {
+            // A legacy hello (version 1, no map) stays the byte-identical
+            // empty body; anything newer appends the trailing disclosure,
+            // which pre-shard daemons ignore.
+            if *version <= 1 && map_epoch.is_none() {
+                return write_frame(w, OP_HELLO, &[]);
+            }
+            let mut body = [0u8; 12];
+            body[0..4].copy_from_slice(&version.to_le_bytes());
+            body[4..12].copy_from_slice(&map_epoch.unwrap_or(NO_EPOCH).to_le_bytes());
+            write_frame(w, OP_HELLO, &body)
+        }
+        Request::Fragments => write_frame(w, OP_FRAGMENTS, &[]),
         Request::Explain(seq) => {
             let fields = match seq {
                 Some(n) => vec![("seq".to_string(), serde::Value::UInt(*n))],
@@ -345,6 +476,28 @@ fn parse_diagnose(body: &[u8]) -> Result<DiagnoseParams, ProtoError> {
     })
 }
 
+fn parse_hello(body: &[u8]) -> Result<Request, ProtoError> {
+    // Legacy hellos carry no body; version-2 hellos append 12 bytes.
+    if body.is_empty() {
+        return Ok(Request::Hello {
+            version: 1,
+            map_epoch: None,
+        });
+    }
+    if body.len() < 12 {
+        return Err(ProtoError::BadBody(format!(
+            "hello body {} bytes, want 0 or >= 12",
+            body.len()
+        )));
+    }
+    let version = u32::from_le_bytes(body[0..4].try_into().expect("4 bytes"));
+    let raw = u64::from_le_bytes(body[4..12].try_into().expect("8 bytes"));
+    Ok(Request::Hello {
+        version,
+        map_epoch: (raw != NO_EPOCH).then_some(raw),
+    })
+}
+
 /// Decode a request frame (daemon side).
 pub fn decode_request(opcode: u8, body: &[u8]) -> Result<Request, ProtoError> {
     match opcode {
@@ -359,7 +512,8 @@ pub fn decode_request(opcode: u8, body: &[u8]) -> Result<Request, ProtoError> {
         OP_INGEST_BATCH => Ok(Request::IngestBatch(
             decode_batch(body).map_err(|e| ProtoError::BadBody(e.to_string()))?,
         )),
-        OP_HELLO => Ok(Request::Hello),
+        OP_HELLO => parse_hello(body),
+        OP_FRAGMENTS => Ok(Request::Fragments),
         OP_EXPLAIN => {
             let text = std::str::from_utf8(body).map_err(|e| ProtoError::BadBody(e.to_string()))?;
             let v = serde_json::parse(text).map_err(|e| ProtoError::BadBody(e.0))?;
@@ -378,11 +532,26 @@ pub fn decode_request(opcode: u8, body: &[u8]) -> Result<Request, ProtoError> {
 
 pub fn write_response(w: &mut impl Write, resp: &Response) -> io::Result<()> {
     match resp {
-        Response::Ack { accepted, granted } => {
-            let mut body = [0u8; 5];
+        Response::Ack {
+            accepted,
+            granted,
+            info,
+        } => {
+            let mut body = [0u8; 17];
             body[0] = u8::from(*accepted);
             body[1..5].copy_from_slice(&granted.to_le_bytes());
-            write_frame(w, OP_ACK, &body)
+            let len = match info {
+                // The five-byte form stays byte-identical for every ack a
+                // legacy client might settle; peer info trails only on
+                // Hello acks, which new clients decode and old ones skip.
+                None => 5,
+                Some(pi) => {
+                    body[5..9].copy_from_slice(&pi.version.to_le_bytes());
+                    body[9..17].copy_from_slice(&pi.map_epoch.unwrap_or(NO_EPOCH).to_le_bytes());
+                    17
+                }
+            };
+            write_frame(w, OP_ACK, &body[..len])
         }
         Response::Diagnosis(report) => {
             let body = serde_json::to_string(report).expect("report serialization is infallible");
@@ -419,6 +588,7 @@ pub fn write_response(w: &mut impl Write, resp: &Response) -> io::Result<()> {
             body[8..12].copy_from_slice(&granted.to_le_bytes());
             write_frame(w, OP_BATCH_ACK, &body)
         }
+        Response::Fragments(snaps) => write_frame(w, OP_FRAGMENTS_RESP, &encode_batch(snaps)),
         Response::Error(msg) => write_frame(w, OP_ERROR, msg.as_bytes()),
     }
 }
@@ -432,7 +602,20 @@ pub fn decode_response(opcode: u8, body: &[u8]) -> Result<Response, ProtoError> 
             let granted = body
                 .get(1..5)
                 .map_or(0, |b| u32::from_le_bytes(b.try_into().expect("4 bytes")));
-            Ok(Response::Ack { accepted, granted })
+            // Pre-shard daemons stop at five bytes: no peer disclosure.
+            let info = body.get(5..17).map(|b| {
+                let version = u32::from_le_bytes(b[0..4].try_into().expect("4 bytes"));
+                let raw = u64::from_le_bytes(b[4..12].try_into().expect("8 bytes"));
+                PeerInfo {
+                    version,
+                    map_epoch: (raw != NO_EPOCH).then_some(raw),
+                }
+            });
+            Ok(Response::Ack {
+                accepted,
+                granted,
+                info,
+            })
         }
         OP_DIAGNOSIS => {
             let text = std::str::from_utf8(body).map_err(|e| ProtoError::BadBody(e.to_string()))?;
@@ -484,6 +667,9 @@ pub fn decode_response(opcode: u8, body: &[u8]) -> Result<Response, ProtoError> 
                 granted: word(8),
             })
         }
+        OP_FRAGMENTS_RESP => Ok(Response::Fragments(
+            decode_batch(body).map_err(|e| ProtoError::BadBody(e.to_string()))?,
+        )),
         OP_ERROR => Ok(Response::Error(String::from_utf8_lossy(body).into_owned())),
         op => Err(ProtoError::BadOpcode(op)),
     }
@@ -538,6 +724,7 @@ mod tests {
         let hist = Request::FlowHistory(FlowKey::roce(NodeId(7), NodeId(8), 11));
         assert_eq!(roundtrip_request(hist.clone()), hist);
         assert_eq!(roundtrip_request(Request::Metrics), Request::Metrics);
+        assert_eq!(roundtrip_request(Request::Fragments), Request::Fragments);
         assert_eq!(
             roundtrip_request(Request::Explain(None)),
             Request::Explain(None)
@@ -552,7 +739,54 @@ mod tests {
         ] {
             assert_eq!(roundtrip_request(batch.clone()), batch);
         }
-        assert_eq!(roundtrip_request(Request::Hello), Request::Hello);
+        for hello in [
+            Request::Hello {
+                version: 1,
+                map_epoch: None,
+            },
+            Request::Hello {
+                version: PROTO_VERSION,
+                map_epoch: None,
+            },
+            Request::Hello {
+                version: PROTO_VERSION,
+                map_epoch: Some(7),
+            },
+        ] {
+            assert_eq!(roundtrip_request(hello.clone()), hello);
+        }
+    }
+
+    /// A legacy client's empty-body hello decodes as protocol 1, no map.
+    #[test]
+    fn legacy_empty_hello_decodes() {
+        assert_eq!(
+            decode_request(OP_HELLO, &[]).expect("legacy hello decodes"),
+            Request::Hello {
+                version: 1,
+                map_epoch: None,
+            }
+        );
+        // A version-1 hello still *encodes* as the byte-identical empty
+        // body, so version-2 clients stay legible to pre-shard daemons.
+        let mut buf = Vec::new();
+        write_request(
+            &mut buf,
+            &Request::Hello {
+                version: 1,
+                map_epoch: None,
+            },
+        )
+        .expect("write to Vec");
+        assert_eq!(buf, [2, 0, 0, 0, OP_HELLO], "empty-body legacy frame");
+    }
+
+    /// A truncated hello disclosure is a malformed body, not a silent
+    /// fallback to legacy semantics.
+    #[test]
+    fn truncated_hello_disclosure_rejected() {
+        assert!(decode_request(OP_HELLO, &[2, 0, 0]).is_err());
+        assert!(decode_request(OP_HELLO, &[2, 0, 0, 0, 1, 2]).is_err());
     }
 
     #[test]
@@ -597,16 +831,36 @@ mod tests {
             Response::Ack {
                 accepted: true,
                 granted: 64,
+                info: None,
             },
             Response::Ack {
                 accepted: false,
                 granted: 1,
+                info: None,
+            },
+            Response::Ack {
+                accepted: true,
+                granted: 64,
+                info: Some(PeerInfo {
+                    version: PROTO_VERSION,
+                    map_epoch: Some(3),
+                }),
+            },
+            Response::Ack {
+                accepted: true,
+                granted: 8,
+                info: Some(PeerInfo {
+                    version: PROTO_VERSION,
+                    map_epoch: None,
+                }),
             },
             Response::BatchAck {
                 accepted: 7,
                 shed: 1,
                 granted: 8,
             },
+            Response::Fragments(vec![sample_snap()]),
+            Response::Fragments(Vec::new()),
             Response::Bye,
             Response::Error("boom".into()),
         ] {
@@ -626,16 +880,57 @@ mod tests {
             decode_response(OP_ACK, &[1]).expect("legacy ack decodes"),
             Response::Ack {
                 accepted: true,
-                granted: 0
+                granted: 0,
+                info: None,
             }
         );
         assert_eq!(
             decode_response(OP_ACK, &[0]).expect("legacy ack decodes"),
             Response::Ack {
                 accepted: false,
-                granted: 0
+                granted: 0,
+                info: None,
             }
         );
+    }
+
+    /// A pre-shard daemon's five-byte ack decodes with no peer info.
+    #[test]
+    fn five_byte_ack_decodes_without_info() {
+        let mut body = [0u8; 5];
+        body[0] = 1;
+        body[1..5].copy_from_slice(&64u32.to_le_bytes());
+        assert_eq!(
+            decode_response(OP_ACK, &body).expect("five-byte ack decodes"),
+            Response::Ack {
+                accepted: true,
+                granted: 64,
+                info: None,
+            }
+        );
+    }
+
+    #[test]
+    fn wrong_shard_errors_classify() {
+        assert!(matches!(
+            ProtoError::remote("wrong_shard: switch 9 outside 0..4".into()),
+            ProtoError::WrongShard(m) if m == "switch 9 outside 0..4"
+        ));
+        assert!(matches!(
+            ProtoError::remote("no telemetry ingested".into()),
+            ProtoError::Remote(_)
+        ));
+    }
+
+    #[test]
+    fn shard_range_parses_and_contains() {
+        let r = ShardRange::parse("4..12").expect("parses");
+        assert_eq!((r.lo, r.hi, r.epoch), (4, 12, 0));
+        assert!(r.contains(NodeId(4)) && r.contains(NodeId(11)));
+        assert!(!r.contains(NodeId(3)) && !r.contains(NodeId(12)));
+        assert!(ShardRange::parse("5..5").is_err(), "empty range rejected");
+        assert!(ShardRange::parse("7").is_err());
+        assert!(ShardRange::parse("a..b").is_err());
     }
 
     #[test]

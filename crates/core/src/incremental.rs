@@ -397,6 +397,43 @@ impl IncrementalProvenance {
     }
 }
 
+/// Merge per-shard evidence fragment sets into one fleet-wide snapshot
+/// set: the disjoint union over switches, keeping the latest-taken
+/// snapshot wherever shards overlap (a switch mid-migration between two
+/// shard daemons may briefly be reported by both), in switch-id order —
+/// exactly the shape the monolithic daemon's own gather produces, so
+/// everything downstream of the merge is oblivious to sharding.
+pub fn merge_fragment_sets(shards: Vec<Vec<TelemetrySnapshot>>) -> Vec<TelemetrySnapshot> {
+    let mut all: Vec<TelemetrySnapshot> = shards.into_iter().flatten().collect();
+    // Latest-taken first within a switch, so the dedup keeps it; later
+    // shard position wins ties, matching the store's keep-latest rule.
+    all.sort_by(|a, b| a.switch.cmp(&b.switch).then(b.taken_at.cmp(&a.taken_at)));
+    all.dedup_by_key(|s| s.switch);
+    all
+}
+
+/// Build the fleet-wide aggregates and provenance graph from per-shard
+/// fragment sets, through the same `assemble_graph` construction order the
+/// batch builder and the incremental engine share. Because the merge
+/// reproduces the monolithic gather's switch-sorted snapshot set, the
+/// result is **positionally identical** to `build_graph` over a single
+/// unsharded store holding the same evidence — the cross-shard parity
+/// property `tests/fragment_merge.rs` pins down. This is deliberately a
+/// *central* assembly: port-causality edges read the link-peer switch's
+/// meters and aggregates, which may live in another shard, so per-shard
+/// graph fragments would be wrong at every shard boundary.
+pub fn assemble_from_fragments(
+    shards: Vec<Vec<TelemetrySnapshot>>,
+    window: Window,
+    topo: &Topology,
+    replay: ReplayConfig,
+) -> (AggTelemetry, ProvenanceGraph) {
+    let merged = merge_fragment_sets(shards);
+    let agg = AggTelemetry::build(&merged, window);
+    let graph = crate::provenance::build_graph(&agg, topo, replay);
+    (agg, graph)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -625,5 +662,56 @@ mod tests {
         eng.apply(&s1);
         eng.apply(&s2);
         assert_matches_batch(&mut eng, &[s1, s2], &topo);
+    }
+
+    /// Merging per-shard fragment sets reproduces the monolithic gather:
+    /// switch-sorted disjoint union, latest-taken winning overlaps.
+    #[test]
+    fn merge_fragment_sets_is_sorted_keep_latest_union() {
+        let a = snap(3, 100, vec![epoch(0, 1, 0, 1)]);
+        let b = snap(1, 100, vec![epoch(0, 1, 0, 2)]);
+        let c = snap(2, 100, vec![epoch(0, 1, 0, 1)]);
+        // Switch 1 reported by two shards (mid-migration): the later-taken
+        // snapshot must win regardless of shard order.
+        let b_newer = snap(1, 200, vec![epoch(1, 2, 1 << 20, 2)]);
+        let merged = merge_fragment_sets(vec![
+            vec![a.clone(), b.clone()],
+            vec![c.clone(), b_newer.clone()],
+        ]);
+        assert_eq!(
+            merged.iter().map(|s| s.switch.0).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        assert_eq!(merged[0], b_newer, "latest-taken snapshot must win");
+        assert_eq!(merged[1], c);
+        assert_eq!(merged[2], a);
+    }
+
+    /// A graph assembled from arbitrarily partitioned fragments is
+    /// positionally identical to `build_graph` over the whole set.
+    #[test]
+    fn assemble_from_fragments_matches_build_graph() {
+        let topo = topo();
+        let sws: Vec<NodeId> = topo.switches().collect();
+        let snaps: Vec<TelemetrySnapshot> = sws
+            .iter()
+            .map(|sw| snap(sw.0, 2_000_000, vec![epoch(0, 1, 0, 3)]))
+            .collect();
+        let window = Window {
+            from: Nanos::ZERO,
+            to: Nanos::MAX,
+        };
+        let whole = AggTelemetry::build(&snaps, window);
+        let expect = build_graph(&whole, &topo, ReplayConfig::default());
+        for parts in [1usize, 2, 3] {
+            let mut shards: Vec<Vec<TelemetrySnapshot>> = vec![Vec::new(); parts];
+            for (i, s) in snaps.iter().enumerate() {
+                shards[i % parts].push(s.clone());
+            }
+            let (agg, graph) =
+                assemble_from_fragments(shards, window, &topo, ReplayConfig::default());
+            assert_eq!(graph, expect, "{parts}-way partition diverged");
+            assert_eq!(agg.ports.len(), whole.ports.len());
+        }
     }
 }

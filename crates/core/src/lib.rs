@@ -43,7 +43,9 @@ pub use collector::{
 pub use diagnosis::{diagnose, AnomalyType, DiagnosisConfig, DiagnosisReport, RootCause};
 pub use error::{Confidence, DiagnosisError};
 pub use hook::{HawkeyeConfig, HawkeyeHook, HookStats, TracingPolicy};
-pub use incremental::{IncrStats, IncrementalProvenance};
+pub use incremental::{
+    assemble_from_fragments, merge_fragment_sets, IncrStats, IncrementalProvenance,
+};
 pub use provenance::{
     build_graph, contribution, port_causality_edges, port_contention, victim_extents,
     ProvenanceGraph, ReplayConfig,

@@ -41,8 +41,10 @@ impl Default for ReplayConfig {
 }
 
 /// The provenance graph. Node identity is positional (`ports[i]`,
-/// `flows[j]`); adjacency lists are index-based.
-#[derive(Debug, Clone, Default)]
+/// `flows[j]`); adjacency lists are index-based — which is what makes
+/// `PartialEq` the *positional identity* check the incremental-vs-batch
+/// and cross-shard merge parity properties assert with plain `==`.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ProvenanceGraph {
     pub ports: Vec<PortId>,
     pub flows: Vec<FlowKey>,

@@ -68,15 +68,31 @@ pub mod names {
     pub const OP_EXPLAIN_NS: &str = "op_explain_ns";
     /// IngestBatch request handling latency (whole multi-epoch frame).
     pub const OP_INGEST_BATCH_NS: &str = "op_ingest_batch_ns";
+    /// Fragments (cross-shard gather) request handling latency.
+    pub const OP_FRAGMENTS_NS: &str = "op_fragments_ns";
 
     // --- batched ingest and credit flow control --------------------------
 
     /// Multi-epoch batch frames accepted by the serve daemon.
     pub const INGEST_BATCHES: &str = "ingest_batches";
+    /// Ingest requests refused on shard-ownership grounds (switch id
+    /// outside the daemon's `--shard` range, or a stale shard-map epoch
+    /// announced on Hello) — typed `wrong_shard` errors, never stored.
+    pub const INGEST_WRONG_SHARD: &str = "ingest_wrong_shard";
     /// Credits consumed by the most recent in-flight batch (gauge): how
     /// much of a session's credit window the last `IngestBatch` frame
     /// used. The client's true outstanding window is at least this.
     pub const CREDITS_OUTSTANDING: &str = "credits_outstanding";
+
+    // --- front-end (the `hawkeye front` shard router) ---------------------
+
+    /// Shard daemons the front-end currently considers unreachable
+    /// (gauge). Non-zero means diagnoses are degraded.
+    pub const FRONT_BACKENDS_DOWN: &str = "front_backends_down";
+    /// Snapshots the front-end dropped because the owning shard daemon
+    /// was unreachable (distinct from `ingest_shed`, which a daemon
+    /// reports for queue overflow).
+    pub const FRONT_SHED_DOWN: &str = "front_shed_down";
 
     // --- serve-plane pipeline stage timings (wall-clock ns, counters) ---
 

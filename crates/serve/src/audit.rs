@@ -9,45 +9,11 @@
 //! the `OP_EXPLAIN` wire op, so a verdict can be explained long after the
 //! telemetry behind it has been compacted away.
 
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
-/// The provenance of one served Diagnose verdict.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct ExplainRecord {
-    /// Monotonically increasing verdict number (never reused).
-    pub seq: u64,
-    /// The victim flow, rendered `src:sport->dst`.
-    pub victim: String,
-    /// Diagnosis window (sim-time ns).
-    pub window_from_ns: u64,
-    pub window_to_ns: u64,
-    /// The verdict's anomaly label (Debug form of `AnomalyType`).
-    pub anomaly: String,
-    /// Matched signature row of the paper's Table 2, as a stable slug
-    /// (`"pfc_storm"`, …; `"none"` when no row matched).
-    pub signature_row: String,
-    /// The verdict's confidence rendering (`"complete"`, `"degraded"`, …).
-    pub confidence: String,
-    /// Switches that were named as root causes.
-    pub root_causes: Vec<u32>,
-    /// Switches whose snapshots carried at least one epoch overlapping
-    /// the window — the evidence actually consulted.
-    pub contributing_switches: Vec<u32>,
-    /// Total raw epochs across those snapshots inside the window.
-    pub contributing_epochs: u64,
-    /// Switches dirty in the incremental engine at diagnose time (applied
-    /// or retired since the last refresh) — telemetry newer than the
-    /// engine's graph.
-    pub dirty_switches: Vec<u32>,
-    /// Incremental fragment-cache totals at diagnose time (hits/misses).
-    pub frags_reused: u64,
-    pub frags_recomputed: u64,
-    /// Wall-clock per diagnosis stage (ns).
-    pub stage_collect_ns: u64,
-    pub stage_graph_ns: u64,
-    pub stage_match_ns: u64,
-}
+// The record itself crosses the wire (`OP_EXPLAIN`), so it lives with the
+// protocol in the client crate; the trail that rings it is daemon-side.
+pub use hawkeye_client::ExplainRecord;
 
 /// Bounded ring of [`ExplainRecord`]s, newest last. Lookup is by `seq`.
 #[derive(Debug, Default)]

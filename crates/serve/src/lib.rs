@@ -6,14 +6,12 @@
 //!
 //! - [`store`] — epoch-indexed telemetry store with per-switch ring
 //!   retention and watermark tracking; the daemon's source of truth.
-//! - [`proto`] — length-prefixed frame protocol over unix/TCP sockets
-//!   (binary snapshots on the hot path, JSON at the query edges).
 //! - [`server`] — the multi-threaded daemon: per-connection sessions,
 //!   switch-sharded bounded ingest queues with explicit shedding, and the
 //!   shared [`IncrementalProvenance`](hawkeye_core::IncrementalProvenance)
-//!   engine maintained on the ingest path.
-//! - [`client`] — synchronous protocol client, also usable as an
-//!   [`EpochSink`].
+//!   engine maintained on the ingest path. With a
+//!   [`ShardRange`](hawkeye_client::ShardRange) the daemon serves one
+//!   shard of a fleet and enforces switch ownership on ingest.
 //! - [`stream`] — [`StreamingHook`], the simulator decorator that pushes
 //!   each collection epoch to a sink as it happens.
 //! - [`replay`] — end-to-end online diagnosis: stream a scenario into a
@@ -21,11 +19,17 @@
 //! - [`wal`] / [`recovery`] — disk-backed segmented evidence log (CRC32
 //!   framing, size-based rotation, checkpoint-coupled retirement) and the
 //!   startup replay that lets a `--durable` daemon survive `kill -9`.
+//!
+//! The frame protocol and its synchronous client live in the standalone
+//! [`hawkeye_client`] crate (every frame speaker — CLI, daemon, cluster
+//! front-end, external collectors — shares that one implementation); this
+//! crate re-exports the protocol surface under its historical paths
+//! ([`proto`], [`client`], plus `Fidelity`/`FlowObservation`/
+//! `ExplainRecord`/the sink traits) so daemon-side code keeps importing
+//! from `hawkeye_serve`.
 
 pub mod audit;
-pub mod client;
 pub mod compactor;
-pub mod proto;
 pub mod recovery;
 pub mod replay;
 pub mod server;
@@ -33,18 +37,24 @@ pub mod store;
 pub mod stream;
 pub mod wal;
 
-pub use audit::{AuditTrail, ExplainRecord};
-pub use client::{RetryConfig, ServeClient};
+/// The synchronous protocol client (re-export of [`hawkeye_client::client`]).
+pub use hawkeye_client::client;
+/// The wire protocol (re-export of [`hawkeye_client::proto`]).
+pub use hawkeye_client::proto;
+
+pub use audit::AuditTrail;
 pub use compactor::{Compactor, CompactorStats, PendingFold};
-pub use proto::{observation_to_value, DiagnoseParams, ProtoError, Request, Response, MAX_FRAME};
+pub use hawkeye_client::{
+    observation_to_value, DiagnoseParams, EpochSink, ExplainRecord, Fidelity, FlowObservation,
+    PeerInfo, ProtoError, Request, Response, RetryConfig, ServeClient, ShardRange, SinkAck,
+    VecSink, MAX_FRAME, PROTO_VERSION,
+};
 pub use recovery::{recover_and_open, scan, RecoveryReport, Scan, ScannedRecord, WalEntry};
 pub use replay::{replay_streaming, replay_streaming_batched, ReplayOutcome};
 pub use server::{
     install_signal_handlers, spawn, spawn_durable, DaemonHandle, Endpoint, OverloadPolicy,
     ServeConfig,
 };
-pub use store::{
-    Fidelity, FlowObservation, StoreConfig, StoreStats, SwitchRestore, TelemetryStore,
-};
-pub use stream::{EpochSink, SinkAck, StreamStats, StreamingHook, VecSink};
+pub use store::{StoreConfig, StoreStats, SwitchRestore, TelemetryStore};
+pub use stream::{StreamStats, StreamingHook};
 pub use wal::{FsyncPolicy, Wal, WalConfig, WalStats};

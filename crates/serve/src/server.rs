@@ -52,6 +52,8 @@ use crate::wal::{
     WalConfig, WalStats, REC_BATCH, REC_CKPT_AUDIT, REC_CKPT_BEGIN, REC_CKPT_END, REC_CKPT_SWITCH,
     REC_SNAPSHOT, REC_VERDICT,
 };
+use hawkeye_client::proto::WRONG_SHARD_PREFIX;
+use hawkeye_client::{AnyStream, PeerInfo, ShardRange, PROTO_VERSION};
 use hawkeye_core::{
     analyze_victim_window_obs, AnalyzerConfig, AnomalyType, Confidence, DiagnosisReport,
     IncrementalProvenance, ReplayConfig, RootCause, Window,
@@ -59,20 +61,20 @@ use hawkeye_core::{
 use hawkeye_eval::par_map;
 use hawkeye_obs::flight as flight_kind;
 use hawkeye_obs::names::{
-    COMPACTOR_QUEUE_DEPTH, CREDITS_OUTSTANDING, INGEST_BATCHES, OP_DIAGNOSE_NS, OP_EXPLAIN_NS,
-    OP_FLOW_HISTORY_NS, OP_INGEST_BATCH_NS, OP_INGEST_NS, OP_METRICS_NS, OP_STATS_NS,
-    RECOVERY_TRUNCATED, RETENTION_LAG_NS, SHARD_QUEUE_DEPTH, SHARD_WATERMARK_LAG_NS, SLOW_OPS,
-    STAGE_APPEND_NS, STAGE_ENGINE_APPLY_NS, STAGE_FOLD_NS, STAGE_RETIRE_NS, WAL_BYTES,
-    WAL_RECORDS_APPENDED, WAL_SEGMENTS_RETIRED, WATERMARK_LAG_WARNS,
+    COMPACTOR_QUEUE_DEPTH, CREDITS_OUTSTANDING, INGEST_BATCHES, INGEST_WRONG_SHARD, OP_DIAGNOSE_NS,
+    OP_EXPLAIN_NS, OP_FLOW_HISTORY_NS, OP_FRAGMENTS_NS, OP_INGEST_BATCH_NS, OP_INGEST_NS,
+    OP_METRICS_NS, OP_STATS_NS, RECOVERY_TRUNCATED, RETENTION_LAG_NS, SHARD_QUEUE_DEPTH,
+    SHARD_WATERMARK_LAG_NS, SLOW_OPS, STAGE_APPEND_NS, STAGE_ENGINE_APPLY_NS, STAGE_FOLD_NS,
+    STAGE_RETIRE_NS, WAL_BYTES, WAL_RECORDS_APPENDED, WAL_SEGMENTS_RETIRED, WATERMARK_LAG_WARNS,
 };
 use hawkeye_obs::{
     FlightRecorder, MetricKey, MetricsRegistry, MetricsSnapshot, ObsConfig, Recorder, Stage,
 };
 use hawkeye_sim::{FlowKey, Nanos, Topology};
 use hawkeye_telemetry::{encode_batch, encode_snapshot, TelemetrySnapshot};
-use std::io::{self, Read, Write};
-use std::net::{TcpListener, TcpStream};
-use std::os::unix::net::{UnixListener, UnixStream};
+use std::io;
+use std::net::TcpListener;
+use std::os::unix::net::UnixListener;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
@@ -135,6 +137,14 @@ pub struct ServeConfig {
     /// "deliberately slow shard" knob for backpressure tests and benches;
     /// 0 in production.
     pub ingest_delay_ns: u64,
+    /// The contiguous switch-id range this daemon owns when it serves one
+    /// shard of a fleet (`hawkeye serve --shard LO..HI`). Ingest for a
+    /// switch outside the range is refused with a typed `wrong_shard`
+    /// error — never silently stored against stale ownership — and a
+    /// Hello announcing a different shard-map epoch is refused the same
+    /// way. `None` (the default) is the monolithic daemon: every switch
+    /// is owned and Hello epochs are not checked.
+    pub shard_range: Option<ShardRange>,
 }
 
 impl Default for ServeConfig {
@@ -154,6 +164,7 @@ impl Default for ServeConfig {
             overload: OverloadPolicy::Backpressure,
             session_credits: 64,
             ingest_delay_ns: 0,
+            shard_range: None,
         }
     }
 }
@@ -169,45 +180,6 @@ pub enum Endpoint {
 enum AnyListener {
     Unix(UnixListener),
     Tcp(TcpListener),
-}
-
-/// A connected session stream, unix or TCP.
-pub enum AnyStream {
-    Unix(UnixStream),
-    Tcp(TcpStream),
-}
-
-impl Read for AnyStream {
-    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
-        match self {
-            AnyStream::Unix(s) => s.read(buf),
-            AnyStream::Tcp(s) => s.read(buf),
-        }
-    }
-}
-
-impl Write for AnyStream {
-    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
-        match self {
-            AnyStream::Unix(s) => s.write(buf),
-            AnyStream::Tcp(s) => s.write(buf),
-        }
-    }
-    fn flush(&mut self) -> io::Result<()> {
-        match self {
-            AnyStream::Unix(s) => s.flush(),
-            AnyStream::Tcp(s) => s.flush(),
-        }
-    }
-}
-
-impl AnyStream {
-    fn set_read_timeout(&self, d: Option<Duration>) -> io::Result<()> {
-        match self {
-            AnyStream::Unix(s) => s.set_read_timeout(d),
-            AnyStream::Tcp(s) => s.set_read_timeout(d),
-        }
-    }
 }
 
 /// An evidence-log record riding the ingest path: kind + canonical
@@ -1086,6 +1058,30 @@ fn route_ingest(
     snap: TelemetrySnapshot,
     journal: Option<JournalRecord>,
 ) -> Response {
+    // Shard-ownership gate, ahead of everything: an out-of-range switch is
+    // a routing fault (stale or mis-cut shard map at the sender), answered
+    // with the typed `wrong_shard:` error. The early return means the
+    // journal record is dropped with the snapshot — a sharded durable
+    // daemon's evidence log never holds epochs it refused.
+    if let Some(range) = shared.cfg.shard_range {
+        if !range.contains(snap.switch) {
+            shared
+                .metrics
+                .lock()
+                .expect("metrics lock")
+                .inc(MetricKey::global(INGEST_WRONG_SHARD));
+            if shared.cfg.obs {
+                shared.flight.lock().expect("flight lock").warn(
+                    "ingest_wrong_shard",
+                    format!("switch {} outside owned range {range}", snap.switch.0),
+                );
+            }
+            return Response::Error(format!(
+                "{WRONG_SHARD_PREFIX} switch {} outside owned range {range}",
+                snap.switch.0
+            ));
+        }
+    }
     let shard = shared.shard_of(&snap);
     // A durable daemon journals canonical byte forms — the received frame
     // body, handed in by the session so the hot path never re-encodes —
@@ -1107,6 +1103,7 @@ fn route_ingest(
                 Response::Ack {
                     accepted: true,
                     granted: 1,
+                    info: None,
                 }
             }
             Err(_) => Response::Error("shard worker gone".into()),
@@ -1118,6 +1115,7 @@ fn route_ingest(
             Response::Ack {
                 accepted: true,
                 granted: 1,
+                info: None,
             }
         }
         Err(TrySendError::Full(_)) => {
@@ -1136,6 +1134,7 @@ fn route_ingest(
             Response::Ack {
                 accepted: false,
                 granted: 1,
+                info: None,
             }
         }
         Err(TrySendError::Disconnected(_)) => Response::Error("shard worker gone".into()),
@@ -1256,13 +1255,39 @@ fn session(shared: Arc<Shared>, txs: Vec<SyncSender<ShardMsg>>, mut stream: AnyS
                     route_batch(&shared, &txs, snaps, wire),
                 )
             }
-            Ok(Request::Hello) => (
-                None,
-                Response::Ack {
-                    accepted: true,
-                    granted: shared.cfg.session_credits,
-                },
-            ),
+            Ok(Request::Hello { map_epoch, .. }) => {
+                // A peer routing under a different shard-map generation is
+                // refused up front: accepting its session would mean every
+                // ingest it routes is suspect. Legacy hellos announce no
+                // epoch and are never refused (nothing to be stale about).
+                let own_epoch = shared.cfg.shard_range.map(|r| r.epoch);
+                let resp = match (map_epoch, own_epoch) {
+                    (Some(theirs), Some(ours)) if theirs != ours => Response::Error(format!(
+                        "{WRONG_SHARD_PREFIX} shard-map epoch {theirs} does not match \
+                         this daemon's epoch {ours}"
+                    )),
+                    _ => Response::Ack {
+                        accepted: true,
+                        granted: shared.cfg.session_credits,
+                        info: Some(PeerInfo {
+                            version: PROTO_VERSION,
+                            map_epoch: own_epoch,
+                        }),
+                    },
+                };
+                (None, resp)
+            }
+            Ok(Request::Fragments) => {
+                // The cross-shard gather primitive: flush so the fragment
+                // set covers everything acknowledged before this point,
+                // then ship the canonical per-switch snapshots — the same
+                // store state a local Diagnose would analyze.
+                flush_shards(&txs);
+                (
+                    Some(OP_FRAGMENTS_NS),
+                    Response::Fragments(shared.gather_snapshots()),
+                )
+            }
             Ok(Request::Diagnose(p)) => {
                 flush_shards(&txs);
                 (Some(OP_DIAGNOSE_NS), shared.diagnose(&p))
@@ -1880,6 +1905,56 @@ mod tests {
         assert_eq!(latest, rec);
         assert!(matches!(shared.explain(Some(0)), Response::Explain(_)));
         assert!(matches!(shared.explain(Some(1)), Response::Error(_)));
+    }
+
+    /// An out-of-range switch is refused with the typed `wrong_shard:`
+    /// error before anything is queued (or journaled) — never stored,
+    /// never counted as a shed — while in-range ingest is untouched.
+    #[test]
+    fn out_of_range_ingest_is_typed_rejection() {
+        for overload in [OverloadPolicy::Shed, OverloadPolicy::Backpressure] {
+            let mut shared = test_shared_with(1, overload);
+            shared.cfg.shard_range = Some(ShardRange {
+                lo: 0,
+                hi: 2,
+                epoch: 1,
+            });
+            let (tx, _rx) = sync_channel(4);
+            let txs = vec![tx];
+            assert!(matches!(
+                route_ingest(&shared, &txs, snap(1), None),
+                Response::Ack { accepted: true, .. }
+            ));
+            let resp = route_ingest(&shared, &txs, snap(2), None);
+            let Response::Error(msg) = resp else {
+                panic!("{overload:?}: out-of-range ingest answered {resp:?}");
+            };
+            assert!(
+                msg.starts_with(WRONG_SHARD_PREFIX),
+                "{overload:?}: rejection '{msg}' not typed wrong_shard"
+            );
+            let m = shared.metrics.lock().unwrap();
+            assert_eq!(m.counter_total(INGEST_WRONG_SHARD), 1);
+            assert_eq!(m.counter_total(INGEST_SHED), 0, "rejection is not a shed");
+        }
+    }
+
+    /// A batch containing one out-of-range snapshot fails with the typed
+    /// error (no silent partial store of the rest after the fault).
+    #[test]
+    fn out_of_range_snapshot_fails_batch_typed() {
+        let mut shared = test_shared_with(1, OverloadPolicy::Backpressure);
+        shared.cfg.shard_range = Some(ShardRange {
+            lo: 0,
+            hi: 1,
+            epoch: 0,
+        });
+        let (tx, _rx) = sync_channel(8);
+        let resp = route_batch(&shared, &[tx], vec![snap(0), snap(5)], None);
+        let Response::Error(msg) = resp else {
+            panic!("batch with out-of-range snapshot answered {resp:?}");
+        };
+        assert!(msg.starts_with(WRONG_SHARD_PREFIX));
     }
 
     /// Sharding is stable per switch and spreads across the store set.

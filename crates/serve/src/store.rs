@@ -166,31 +166,10 @@ pub struct StoreStats {
     pub fold_ns: u64,
 }
 
-/// How much fidelity backs a [`FlowObservation`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-pub enum Fidelity {
-    /// From a compacted bucket: sums over an epoch range.
-    Compacted,
-    /// From a single raw epoch still in the ring.
-    Raw,
-}
-
-/// One row of [`TelemetryStore::flow_history`]: what one switch saw of a
-/// flow over `[from, to)`, either a single raw epoch or a compacted
-/// aggregate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct FlowObservation {
-    pub switch: NodeId,
-    pub from: Nanos,
-    pub to: Nanos,
-    pub fidelity: Fidelity,
-    pub out_port: u8,
-    pub pkt_count: u64,
-    pub paused_count: u64,
-    pub qdepth_sum: u64,
-    /// Raw epochs behind this row (1 for `Fidelity::Raw`).
-    pub epochs: u32,
-}
+// The flow-history row and its fidelity tag cross the wire (`OP_HISTORY`
+// answers are built from them), so they live with the protocol in the
+// client crate; this store fills them in.
+pub use hawkeye_client::{Fidelity, FlowObservation};
 
 /// Everything needed to rebuild one switch's ring state from a durable
 /// checkpoint: the canonical snapshot plus the per-epoch acceptance

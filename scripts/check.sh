@@ -4,6 +4,11 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Smokes below background daemons; if an assertion fails mid-smoke the
+# script must not leave them running (an orphan holding our stdout pipe
+# open hangs any caller that waits for EOF).
+trap 'jobs -p | xargs -r kill -9 2>/dev/null || true' EXIT
+
 echo "==> cargo build --release --workspace"
 # --workspace matters: the root manifest is a package, so a bare build
 # would skip the hawkeye-cli binary every smoke below shells out to.
@@ -200,6 +205,9 @@ rm -f "$cr_sock"
 cr_pid=$!
 for _ in $(seq 100); do [ -S "$cr_sock" ] && break; sleep 0.1; done
 test -S "$cr_sock" || { cat "$d2_err"; echo "recovered daemon never bound its socket"; exit 1; }
+# The daemon binds its socket before the CLI prints the recovery line,
+# so poll briefly rather than racing a single grep against its stderr.
+for _ in $(seq 100); do grep -q "hawkeye: recovered" "$d2_err" && break; sleep 0.1; done
 grep -q "hawkeye: recovered" "$d2_err" || { cat "$d2_err"; echo "restart did not report recovery"; exit 1; }
 timeout 120 ./target/release/hawkeye serve --replay incast --connect \
   --socket "$cr_sock" --query-only --history --json > "$s2_out"
@@ -228,5 +236,73 @@ echo "==> wal bench smoke (1 sample, tiny budget)"
 HAWKEYE_BENCH_SAMPLES=1 HAWKEYE_BENCH_BUDGET_MS=5 \
   cargo bench -p hawkeye-bench --bench wal
 git checkout -- BENCH_8.json 2>/dev/null || true
+
+echo "==> fleet smoke (3 sharded daemons behind a front-end, verdict parity)"
+# Multi-daemon serving through the release CLI: three `serve --shard`
+# daemons on unix sockets behind a `hawkeye front` router, the incast
+# replay streamed through the front, and the served verdict required to
+# be byte-identical to a monolithic daemon's over the same replay — the
+# shard cut must be invisible to clients. Clean SIGTERM teardown all
+# around, sockets removed.
+fleet_dir=$(mktemp -d /tmp/hawkeye-fleet-XXXXXX)
+fleet_ref=$(mktemp); fleet_out=$(mktemp)
+timeout 120 ./target/release/hawkeye serve --replay incast --json > "$fleet_ref"
+fleet_pids=()
+for i in 0 1 2; do
+  case $i in
+    0) range="0..8" ;;
+    1) range="8..16" ;;
+    2) range="16..1024" ;;
+  esac
+  ./target/release/hawkeye serve --socket "$fleet_dir/shard$i.sock" \
+    --shard "$range" --map-epoch 1 &
+  fleet_pids+=($!)
+done
+for i in 0 1 2; do
+  for _ in $(seq 100); do [ -S "$fleet_dir/shard$i.sock" ] && break; sleep 0.1; done
+  test -S "$fleet_dir/shard$i.sock" || { echo "shard $i never bound its socket"; exit 1; }
+done
+cat > "$fleet_dir/map" <<EOF
+epoch 1
+0..8     unix:$fleet_dir/shard0.sock
+8..16    unix:$fleet_dir/shard1.sock
+16..1024 unix:$fleet_dir/shard2.sock
+EOF
+./target/release/hawkeye front --map "$fleet_dir/map" \
+  --socket "$fleet_dir/front.sock" &
+front_pid=$!
+for _ in $(seq 100); do [ -S "$fleet_dir/front.sock" ] && break; sleep 0.1; done
+test -S "$fleet_dir/front.sock" || { echo "front never bound its socket"; exit 1; }
+timeout 120 ./target/release/hawkeye serve --replay incast --connect \
+  --socket "$fleet_dir/front.sock" --json > "$fleet_out"
+python3 - "$fleet_ref" "$fleet_out" <<'EOF'
+import json, sys
+ref, fleet = (json.load(open(p)) for p in sys.argv[1:3])
+assert fleet["verdict"] == "Correct", f"fleet verdict {fleet['verdict']!r}"
+assert fleet["parity"] is True, "fleet diagnosis diverged from one-shot"
+assert fleet["epochs_streamed"] > 0, "nothing streamed through the front"
+assert fleet["epochs_shed"] == 0, "healthy fleet shed epochs"
+assert fleet["served"] == ref["served"], \
+    "verdict through 3-shard fleet differs from monolithic daemon"
+print("fleet smoke ok:", fleet["verdict"] + ",",
+      fleet["epochs_streamed"], "epochs routed, verdict byte-identical")
+EOF
+kill -TERM "$front_pid"
+wait "$front_pid" || { echo "front exited nonzero on SIGTERM"; exit 1; }
+test ! -e "$fleet_dir/front.sock" || { echo "stale front socket left behind"; exit 1; }
+for pid in "${fleet_pids[@]}"; do
+  kill -TERM "$pid"
+  wait "$pid" || { echo "shard daemon exited nonzero on SIGTERM"; exit 1; }
+done
+rm -rf "$fleet_dir"; rm -f "$fleet_ref" "$fleet_out"
+
+echo "==> cluster bench smoke (1 sample, tiny budget)"
+# Exercises the fleet bench end to end — shard-count sweep {1,2,3} through
+# a live front-end, the cross-fleet verdict-parity check, BENCH_9.json
+# write — at a CI-sized budget; the recorded numbers are meaningless at
+# this budget, so restore BENCH_9.json afterwards.
+HAWKEYE_BENCH_SAMPLES=1 HAWKEYE_BENCH_BUDGET_MS=5 \
+  cargo bench -p hawkeye-bench --bench cluster
+git checkout -- BENCH_9.json 2>/dev/null || true
 
 echo "==> all checks passed"
