@@ -10,6 +10,10 @@
 //! hawkeye summary  <kind> [--load F] [--seed N] [--json]   network-wide run statistics
 //! hawkeye trace    <kind> [--format jsonl|chrome]          structured event trace of a run
 //! hawkeye chaos    [--rates R,..] [--trials N] [--out F]   fault-rate sweep, accuracy table
+//! hawkeye corpus   [--golden F] [--write] [--topos T,..]   verdict matrix vs golden pins
+//!                  [--seeds N,..] [--jobs N] [--json]
+//! hawkeye fuzz     [--budget N] [--base-topo T] [--seed N] disagreement fuzzer
+//!                  [--bank F] [--json]
 //! hawkeye serve    [--replay KIND] [--socket P|--tcp A]    online diagnosis daemon
 //!                  [--epoch-budget N] [--history]
 //!                  [--durable DIR] [--fsync POLICY]        crash-safe evidence log
@@ -122,6 +126,21 @@ struct Opts {
     map_epoch: Option<u64>,
     /// Shard-map file for `front`.
     map: Option<String>,
+    /// Golden-verdict file for `corpus` (default `tests/corpus_golden.json`).
+    golden: String,
+    /// `corpus --write`: regenerate the golden file instead of checking it.
+    write: bool,
+    /// Topology slice for `corpus` (comma-separated slugs); restricting the
+    /// matrix switches the check into subset mode.
+    topos: Option<Vec<hawkeye_workloads::TopologySpec>>,
+    /// Seed slice for `corpus` (comma-separated integers).
+    seeds: Option<Vec<u64>>,
+    /// Mutation budget for `fuzz`.
+    budget: usize,
+    /// Base operating point the fuzzer perturbs (`fuzz --base-topo SLUG`).
+    base_topo: Option<hawkeye_workloads::TopologySpec>,
+    /// Bank-file path for `fuzz`: write minimized repros here.
+    bank: Option<String>,
 }
 
 /// Strict option parser: every `--flag` must be known and every value must
@@ -155,6 +174,13 @@ fn parse_opts(args: &[String]) -> Result<(Opts, Vec<String>), String> {
         shard: None,
         map_epoch: None,
         map: None,
+        golden: "tests/corpus_golden.json".to_string(),
+        write: false,
+        topos: None,
+        seeds: None,
+        budget: hawkeye_eval::FuzzConfig::default().budget,
+        base_topo: None,
+        bank: None,
     };
     let mut pos = Vec::new();
     let mut it = args.iter();
@@ -287,6 +313,57 @@ fn parse_opts(args: &[String]) -> Result<(Opts, Vec<String>), String> {
                     .parse()
                     .map_err(|_| format!("--slow-shard-us: '{v}' is not an unsigned integer"))?;
             }
+            "--golden" => {
+                o.golden = it.next().ok_or("--golden requires a path")?.clone();
+            }
+            "--write" => o.write = true,
+            "--topos" => {
+                let v = it.next().ok_or("--topos requires a comma-separated list")?;
+                let topos = v
+                    .split(',')
+                    .map(|s| {
+                        hawkeye_workloads::TopologySpec::parse(s.trim())
+                            .ok_or_else(|| format!("--topos: unknown topology slug '{s}'"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                if topos.is_empty() {
+                    return Err("--topos: list is empty".to_string());
+                }
+                o.topos = Some(topos);
+            }
+            "--seeds" => {
+                let v = it.next().ok_or("--seeds requires a comma-separated list")?;
+                let seeds = v
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse::<u64>()
+                            .map_err(|_| format!("--seeds: '{s}' is not an unsigned integer"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                if seeds.is_empty() {
+                    return Err("--seeds: list is empty".to_string());
+                }
+                o.seeds = Some(seeds);
+            }
+            "--budget" => {
+                let v = it.next().ok_or("--budget requires a value")?;
+                o.budget = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("--budget: '{v}' is not a positive integer"))?;
+            }
+            "--base-topo" => {
+                let v = it.next().ok_or("--base-topo requires a topology slug")?;
+                o.base_topo = Some(
+                    hawkeye_workloads::TopologySpec::parse(v)
+                        .ok_or_else(|| format!("--base-topo: unknown topology slug '{v}'"))?,
+                );
+            }
+            "--bank" => {
+                o.bank = Some(it.next().ok_or("--bank requires a path")?.clone());
+            }
             "--format" => {
                 let v = it.next().ok_or("--format requires a value")?;
                 o.format = match v.as_str() {
@@ -304,15 +381,17 @@ fn parse_opts(args: &[String]) -> Result<(Opts, Vec<String>), String> {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: hawkeye <scenario|matrix|methods|cbd|dot|resources|summary|trace|chaos|serve\
-         |front|serve-stats> \
+        "usage: hawkeye <scenario|matrix|methods|cbd|dot|resources|summary|trace|chaos|corpus\
+         |fuzz|serve|front|serve-stats> \
          [kind] [--load F] [--seed N] [--jobs N] [--json] [--format jsonl|chrome] \
          [--rates R,R,..] [--trials N] [--out F] \
          [--socket PATH] [--tcp ADDR] [--replay KIND] [--epoch-budget N] [--history] \
          [--batch N] [--queue-depth N] [--overload backpressure|shed] [--slow-shard-us N] \
          [--durable DIR] [--fsync never|interval|always] [--connect] [--stream-only] \
          [--query-only] [--client-retries N] \
-         [--shard LO..HI] [--map-epoch N] [--map FILE]\n\
+         [--shard LO..HI] [--map-epoch N] [--map FILE] \
+         [--golden FILE] [--write] [--topos T,T,..] [--seeds N,N,..] \
+         [--budget N] [--base-topo T] [--bank FILE]\n\
          kinds: incast storm inloop oolc oolinj contention"
     );
     std::process::exit(2)
@@ -574,6 +653,156 @@ fn cmd_chaos(o: &Opts) {
     if !o.json {
         eprintln!("wrote {}", o.out);
     }
+}
+
+/// `hawkeye corpus`: run the topology x scenario x seed matrix and pin
+/// every cell's verdict against the committed golden file. `--write`
+/// regenerates the golden (full matrix only); otherwise the run is a
+/// check, and `--topos`/`--seeds` restrict it to a slice compared in
+/// subset mode (golden-only cells outside the slice are ignored).
+///
+/// Exit codes: 0 golden matches, 1 drift (with one typed diff line per
+/// mismatched cell), 2 usage.
+fn cmd_corpus(o: &Opts) {
+    use hawkeye_eval::{diff_cells, golden_from_json, golden_to_json, run_corpus, CorpusConfig};
+    let mut cfg = CorpusConfig::default();
+    let subset = o.topos.is_some() || o.seeds.is_some();
+    if let Some(t) = &o.topos {
+        cfg.topos = t.clone();
+    }
+    if let Some(s) = &o.seeds {
+        cfg.seeds = s.clone();
+    }
+    if o.write && subset {
+        eprintln!("hawkeye: corpus --write pins the full matrix; drop --topos/--seeds");
+        std::process::exit(2);
+    }
+    let cells = run_corpus(&cfg, o.jobs);
+    if o.write {
+        let json = golden_to_json(&cells);
+        if let Err(e) = std::fs::write(&o.golden, json + "\n") {
+            eprintln!("hawkeye: cannot write {}: {e}", o.golden);
+            std::process::exit(1);
+        }
+        eprintln!("wrote {} ({} cells)", o.golden, cells.len());
+        return;
+    }
+    let golden_src = match std::fs::read_to_string(&o.golden) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!(
+                "hawkeye: cannot read {}: {e} (generate it with `hawkeye corpus --write`)",
+                o.golden
+            );
+            std::process::exit(1);
+        }
+    };
+    let golden = match golden_from_json(&golden_src) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("hawkeye: {}: {e}", o.golden);
+            std::process::exit(1);
+        }
+    };
+    let diffs = diff_cells(&golden, &cells, subset);
+    if o.json {
+        let doc = serde::Value::Object(vec![
+            ("cells".into(), serde::Value::UInt(cells.len() as u64)),
+            ("subset".into(), serde::Value::Bool(subset)),
+            (
+                "diffs".into(),
+                serde::Value::Array(
+                    diffs
+                        .iter()
+                        .map(|d| serde::Value::Str(d.to_string()))
+                        .collect(),
+                ),
+            ),
+        ]);
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&doc).expect("value serialization is infallible")
+        );
+    } else {
+        for d in &diffs {
+            println!("{d}");
+        }
+        println!(
+            "corpus: {} cells checked against {}: {}",
+            cells.len(),
+            o.golden,
+            if diffs.is_empty() {
+                "match".to_string()
+            } else {
+                format!("{} diffs", diffs.len())
+            }
+        );
+    }
+    std::process::exit(if diffs.is_empty() { 0 } else { 1 });
+}
+
+/// `hawkeye fuzz`: deterministic Collie-style disagreement hunt. Mutates
+/// workload/topology/fault parameters from the plan seed, runs each case
+/// through the full pipeline, shrinks any ground-truth disagreement by
+/// parameter bisection, and (with `--bank FILE`) writes the minimized
+/// repros as regression cells.
+///
+/// Exit codes: 0 hunt completed (finding disagreements is the fuzzer's
+/// job, not a failure), 1 a minimized repro failed re-verification or the
+/// bank file could not be written, 2 usage.
+fn cmd_fuzz(o: &Opts) {
+    use hawkeye_eval::{bank_to_json, run_fuzz, FuzzConfig};
+    let mut cfg = FuzzConfig {
+        budget: o.budget,
+        seed: o.seed,
+        ..FuzzConfig::default()
+    };
+    if let Some(b) = o.base_topo {
+        cfg.base = b;
+    }
+    let rep = run_fuzz(&cfg);
+    if o.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&rep.to_value())
+                .expect("value serialization is infallible")
+        );
+    } else {
+        println!(
+            "fuzz: base {} seed {}: {} runs, {} degenerate topologies rejected, \
+             {} disagreements, {} shrink runs, {} banked",
+            cfg.base,
+            cfg.seed,
+            rep.runs,
+            rep.rejected,
+            rep.disagreements,
+            rep.shrink_runs,
+            rep.banked.len()
+        );
+        for (cell, ag) in &rep.agreement {
+            println!("  {cell}: {}/{} agree", ag.agree, ag.runs);
+        }
+        for b in &rep.banked {
+            println!(
+                "  banked: {}/{} seed {} -> {}",
+                b.params.spec,
+                b.params.kind.name(),
+                b.params.seed,
+                b.outcome.verdict
+            );
+        }
+    }
+    if let Some(path) = &o.bank {
+        let json = bank_to_json(&rep.banked);
+        if let Err(e) = std::fs::write(path, json + "\n") {
+            eprintln!("hawkeye: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        if !o.json {
+            eprintln!("wrote {path} ({} repros)", rep.banked.len());
+        }
+    }
+    std::process::exit(if rep.reverify_failures == 0 { 0 } else { 1 });
 }
 
 /// `hawkeye serve`: start the online diagnosis daemon. With `--replay
@@ -1165,6 +1394,8 @@ fn main() {
         ("summary", Some(k)) => cmd_summary(k, &opts),
         ("trace", Some(k)) => cmd_trace(k, &opts),
         ("chaos", None) => cmd_chaos(&opts),
+        ("corpus", None) => cmd_corpus(&opts),
+        ("fuzz", None) => cmd_fuzz(&opts),
         ("serve", None) => cmd_serve(&opts),
         ("front", k) => cmd_front(k, &opts),
         ("serve-stats", None) => cmd_serve_stats(&opts),

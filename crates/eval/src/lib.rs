@@ -6,18 +6,28 @@
 //! (see `hawkeye-bench` for the bench targets that print them).
 
 pub mod chaos;
+pub mod corpus;
 pub mod figures;
+pub mod fuzz;
 pub mod methods;
 pub mod metrics;
 pub mod parallel;
 pub mod runner;
 
 pub use chaos::{chaos_sweep, plan_for_rate, ChaosCell, ChaosConfig, ChaosReport};
+pub use corpus::{
+    diff_cells, golden_from_json, golden_to_json, run_cell, run_corpus, CellDiff, CellKey,
+    CellVerdict, CorpusCell, CorpusConfig,
+};
 pub use figures::{
     epoch_sweep, fig10_granularity, fig10_granularity_jobs, fig11_switch_coverage,
     fig12_case_study, fig7_param_sweep, fig7_param_sweep_jobs, fig8_baseline_accuracy,
     fig9_overhead, method_matrix, method_matrix_jobs, optimal_run_config, threshold_sweep,
     EvalConfig, FigureTable,
+};
+pub use fuzz::{
+    bank_from_json, bank_to_json, reverify_bank, run_fuzz, BankedRepro, FuzzConfig, FuzzParams,
+    FuzzReport,
 };
 pub use methods::{run_method, MethodOutcome};
 pub use metrics::{judge, PrecisionRecall, ScoreConfig, Verdict};

@@ -1,0 +1,29 @@
+//! The fuzzer's banked repros are regression cells: every minimized
+//! disagreement committed in `tests/corpus_bank.json` must still
+//! reproduce its pinned (wrong) verdict when replayed through the current
+//! pipeline. A drift here means a behavior change reached a case the
+//! fuzzer already reduced for us — exactly what the bank exists to catch.
+//!
+//! This replays full k=8 trials, so it is release-gated via check.sh
+//! rather than run in the debug tier-1 sweep.
+
+use hawkeye_eval::{bank_from_json, reverify_bank, ScoreConfig};
+use std::path::Path;
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "replays full k=8 trials; run in release via scripts/check.sh"
+)]
+fn committed_bank_repros_still_reproduce() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/corpus_bank.json");
+    let src = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let repros = bank_from_json(&src).expect("bank file parses");
+    assert!(!repros.is_empty(), "committed bank is empty");
+    let drifts = reverify_bank(&repros, &ScoreConfig::default());
+    assert!(
+        drifts.is_empty(),
+        "banked repros drifted from their pinned outcomes: {drifts:#?}"
+    );
+}

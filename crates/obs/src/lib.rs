@@ -106,6 +106,22 @@ pub mod names {
     /// Wall time retiring engine state behind the retention horizon.
     pub const STAGE_RETIRE_NS: &str = "stage_retire_ns";
 
+    // --- scenario-corpus fuzzer (Collie-style disagreement search) ------
+
+    /// Mutated scenario runs the fuzzer completed (including agreeing
+    /// ones; excludes rejected degenerate topologies).
+    pub const FUZZ_RUNS: &str = "fuzz_runs";
+    /// Mutated topologies rejected with a typed build error before any
+    /// simulation ran (degenerate dimensions, unpinnable paths).
+    pub const FUZZ_TOPOLOGIES_REJECTED: &str = "fuzz_topologies_rejected";
+    /// Runs whose Hawkeye verdict disagreed with scenario ground truth.
+    pub const FUZZ_DISAGREEMENTS: &str = "fuzz_disagreements";
+    /// Extra runs spent shrinking disagreeing repros by parameter
+    /// bisection.
+    pub const FUZZ_SHRINK_RUNS: &str = "fuzz_shrink_runs";
+    /// Minimized disagreements banked into the regression corpus.
+    pub const FUZZ_BANKED: &str = "fuzz_banked";
+
     // --- serve-plane health gauges and warning counters ------------------
 
     /// Per-shard ingest queue depth (gauge, labelled by shard index).

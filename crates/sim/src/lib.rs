@@ -63,7 +63,7 @@ pub use summary::{percentile_nearest_rank, RunSummary};
 pub use switch::{SwitchConfig, SwitchState, SwitchStats};
 pub use time::Nanos;
 pub use topology::{
-    chain, dumbbell, fat_tree, leaf_spine, ring, NodeKind, PortInfo, Topology, EVAL_BANDWIDTH,
-    EVAL_DELAY,
+    chain, clos, dumbbell, fat_tree, leaf_spine, ring, ClosConfig, NodeKind, PortInfo, Topology,
+    EVAL_BANDWIDTH, EVAL_DELAY,
 };
 pub use units::{pause_time_to_quanta, quanta_to_pause_time, Bandwidth, Rate};

@@ -245,67 +245,150 @@ impl Default for Topology {
 pub const EVAL_BANDWIDTH: Bandwidth = Bandwidth::from_gbps(100);
 pub const EVAL_DELAY: Nanos = Nanos::from_micros(2);
 
-/// Build the paper's evaluation topology: a fat-tree with parameter `k`
-/// (k=4: 16 hosts, 20 switches — 8 edge, 8 aggregation, 4 core).
-pub fn fat_tree(k: usize, bw: Bandwidth, delay: Nanos) -> Topology {
-    assert!(k >= 2 && k.is_multiple_of(2), "fat-tree k must be even");
-    let mut t = Topology::new();
-    let half = k / 2;
+/// Parameters for the generalized three-tier Clos family.
+///
+/// A classic fat-tree is the symmetric point of this family
+/// (`ClosConfig::fat_tree(k)`); the extra knobs cover the corpus variants:
+/// asymmetric capacity (slowed agg↔core uplinks on trailing pods) and
+/// link-failure topologies (trailing agg↔core links never built). Node
+/// naming follows the `fat_tree` scheme (`h{i}`, `edge{p}_{e}`,
+/// `agg{p}_{a}`, `core{c}`) so navigation by name works across the family.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClosConfig {
+    pub pods: usize,
+    pub edges_per_pod: usize,
+    pub aggs_per_pod: usize,
+    pub hosts_per_edge: usize,
+    /// Agg index `a` of every pod connects to cores
+    /// `[a*cores_per_group, (a+1)*cores_per_group)`.
+    pub cores_per_group: usize,
+    pub bw: Bandwidth,
+    pub delay: Nanos,
+    /// Agg↔core uplinks of the last `slow_pods` pods run at
+    /// `bw / slow_divisor` (asymmetric-capacity Clos). 0 = symmetric.
+    pub slow_pods: usize,
+    pub slow_divisor: u64,
+    /// Skip this many agg↔core links, counted backward from the last one
+    /// the symmetric build would create (link-failure variant).
+    pub failed_core_links: usize,
+}
 
-    // Hosts: k/2 per edge switch, k/2 edges per pod, k pods.
+impl ClosConfig {
+    /// The symmetric fat-tree with parameter `k`.
+    pub fn fat_tree(k: usize, bw: Bandwidth, delay: Nanos) -> Self {
+        assert!(k >= 2 && k.is_multiple_of(2), "fat-tree k must be even");
+        let half = k / 2;
+        ClosConfig {
+            pods: k,
+            edges_per_pod: half,
+            aggs_per_pod: half,
+            hosts_per_edge: half,
+            cores_per_group: half,
+            bw,
+            delay,
+            slow_pods: 0,
+            slow_divisor: 1,
+            failed_core_links: 0,
+        }
+    }
+
+    pub fn host_count(&self) -> usize {
+        self.pods * self.edges_per_pod * self.hosts_per_edge
+    }
+}
+
+/// Build a member of the generalized Clos family described by `cfg`.
+///
+/// Construction order (hosts, then per-pod edge+agg switches, then cores;
+/// links host↔edge, edge↔agg, agg↔core) matches the historical `fat_tree`
+/// builder exactly, so `clos(&ClosConfig::fat_tree(k, ..))` produces
+/// byte-identical node ids, port numbers, and therefore ECMP hashes.
+pub fn clos(cfg: &ClosConfig) -> Topology {
+    assert!(cfg.pods >= 1 && cfg.edges_per_pod >= 1 && cfg.hosts_per_edge >= 1);
+    assert!(cfg.aggs_per_pod >= 1 && cfg.cores_per_group >= 1);
+    assert!(cfg.slow_divisor >= 1, "slow_divisor must be >= 1");
+    assert!(cfg.slow_pods <= cfg.pods);
+    let mut t = Topology::new();
+    let (epp, app, hpe) = (cfg.edges_per_pod, cfg.aggs_per_pod, cfg.hosts_per_edge);
+
     let mut hosts = Vec::new();
-    for pod in 0..k {
-        for e in 0..half {
-            for h in 0..half {
-                hosts.push(t.add_host(format!("h{}", pod * half * half + e * half + h)));
+    for pod in 0..cfg.pods {
+        for e in 0..epp {
+            for h in 0..hpe {
+                hosts.push(t.add_host(format!("h{}", pod * epp * hpe + e * hpe + h)));
             }
         }
     }
     let mut edges = Vec::new();
     let mut aggs = Vec::new();
-    for pod in 0..k {
-        for e in 0..half {
+    for pod in 0..cfg.pods {
+        for e in 0..epp {
             edges.push(t.add_switch(format!("edge{}_{}", pod, e)));
         }
-        for a in 0..half {
+        for a in 0..app {
             aggs.push(t.add_switch(format!("agg{}_{}", pod, a)));
         }
     }
     let mut cores = Vec::new();
-    for c in 0..half * half {
+    for c in 0..app * cfg.cores_per_group {
         cores.push(t.add_switch(format!("core{}", c)));
     }
 
     // Host <-> edge links.
-    for pod in 0..k {
-        for e in 0..half {
-            let edge = edges[pod * half + e];
-            for h in 0..half {
-                let host = hosts[pod * half * half + e * half + h];
-                t.connect(host, edge, bw, delay);
+    for pod in 0..cfg.pods {
+        for e in 0..epp {
+            let edge = edges[pod * epp + e];
+            for h in 0..hpe {
+                let host = hosts[pod * epp * hpe + e * hpe + h];
+                t.connect(host, edge, cfg.bw, cfg.delay);
             }
         }
     }
     // Edge <-> agg links (full bipartite within a pod).
-    for pod in 0..k {
-        for e in 0..half {
-            for a in 0..half {
-                t.connect(edges[pod * half + e], aggs[pod * half + a], bw, delay);
+    for pod in 0..cfg.pods {
+        for e in 0..epp {
+            for a in 0..app {
+                t.connect(edges[pod * epp + e], aggs[pod * app + a], cfg.bw, cfg.delay);
             }
         }
     }
     // Agg <-> core links: agg `a` of each pod connects to cores
-    // [a*half, (a+1)*half).
-    for pod in 0..k {
-        for a in 0..half {
-            for c in 0..half {
-                t.connect(aggs[pod * half + a], cores[a * half + c], bw, delay);
+    // [a*cores_per_group, (a+1)*cores_per_group). The last
+    // `failed_core_links` links in enumeration order are not built; the
+    // last `slow_pods` pods uplink at reduced bandwidth.
+    let total_core_links = cfg.pods * app * cfg.cores_per_group;
+    let first_failed = total_core_links.saturating_sub(cfg.failed_core_links);
+    let slow_bw = Bandwidth::from_bps(cfg.bw.bits_per_sec() / cfg.slow_divisor);
+    let mut link_idx = 0;
+    for pod in 0..cfg.pods {
+        let uplink_bw = if pod >= cfg.pods - cfg.slow_pods {
+            slow_bw
+        } else {
+            cfg.bw
+        };
+        for a in 0..app {
+            for c in 0..cfg.cores_per_group {
+                if link_idx < first_failed {
+                    t.connect(
+                        aggs[pod * app + a],
+                        cores[a * cfg.cores_per_group + c],
+                        uplink_bw,
+                        cfg.delay,
+                    );
+                }
+                link_idx += 1;
             }
         }
     }
 
     t.compute_routes();
     t
+}
+
+/// Build the paper's evaluation topology: a fat-tree with parameter `k`
+/// (k=4: 16 hosts, 20 switches — 8 edge, 8 aggregation, 4 core).
+pub fn fat_tree(k: usize, bw: Bandwidth, delay: Nanos) -> Topology {
+    clos(&ClosConfig::fat_tree(k, bw, delay))
 }
 
 /// A linear chain of `n` switches, each with `hosts_per_switch` hosts —
@@ -433,6 +516,53 @@ mod tests {
         for sw in t.switches() {
             assert_eq!(t.ports(sw).len(), 4, "switch {} radix", t.name(sw));
         }
+    }
+
+    #[test]
+    fn clos_fat_tree_identical_to_legacy_shape() {
+        // The k=8 fat-tree through the generalized builder keeps the
+        // expected scale and uniform radix.
+        let t = fat_tree(8, EVAL_BANDWIDTH, EVAL_DELAY);
+        assert_eq!(t.hosts().count(), 128);
+        assert_eq!(t.switches().count(), 80);
+        for sw in t.switches() {
+            assert_eq!(t.ports(sw).len(), 8, "switch {} radix", t.name(sw));
+        }
+    }
+
+    #[test]
+    fn clos_failed_core_links_drop_trailing_uplinks() {
+        let mut cfg = ClosConfig::fat_tree(4, EVAL_BANDWIDTH, EVAL_DELAY);
+        cfg.failed_core_links = 2;
+        let t = clos(&cfg);
+        // The last pod's last agg lost both its core uplinks: 2 ports left.
+        let agg_last = t
+            .switches()
+            .find(|&s| t.name(s) == "agg3_1")
+            .expect("agg3_1 exists");
+        assert_eq!(t.ports(agg_last).len(), 2);
+        // All host pairs still route (BFS recomputed on the real graph).
+        let hosts: Vec<_> = t.hosts().collect();
+        let f = FlowKey::roce(hosts[0], hosts[15], 7);
+        assert!(t.flow_path(&f).is_some());
+    }
+
+    #[test]
+    fn clos_slow_pods_reduce_uplink_bandwidth() {
+        let mut cfg = ClosConfig::fat_tree(4, EVAL_BANDWIDTH, EVAL_DELAY);
+        cfg.slow_pods = 2;
+        cfg.slow_divisor = 4;
+        let t = clos(&cfg);
+        let agg0 = t.switches().find(|&s| t.name(s) == "agg0_0").unwrap();
+        let agg3 = t.switches().find(|&s| t.name(s) == "agg3_0").unwrap();
+        // Ports 0..2 on an agg face edges; 2..4 face cores.
+        assert_eq!(t.ports(agg0)[2].bandwidth, EVAL_BANDWIDTH);
+        assert_eq!(
+            t.ports(agg3)[2].bandwidth,
+            Bandwidth::from_bps(EVAL_BANDWIDTH.bits_per_sec() / 4)
+        );
+        // Fast pods keep full-rate uplinks.
+        assert_eq!(t.ports(agg0)[3].bandwidth, EVAL_BANDWIDTH);
     }
 
     #[test]

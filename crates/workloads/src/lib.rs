@@ -10,8 +10,13 @@ pub mod background;
 pub mod fattree;
 pub mod flowsize;
 pub mod scenario;
+pub mod topospec;
 
 pub use background::{generate as generate_background, BackgroundConfig, FlowSpec};
-pub use fattree::FatTreeNav;
+pub use fattree::{FatTreeNav, NavError};
 pub use flowsize::FlowSizeDist;
-pub use scenario::{build as build_scenario, GroundTruth, Scenario, ScenarioKind, ScenarioParams};
+pub use scenario::{
+    build as build_scenario, build_on as build_scenario_on, GroundTruth, Scenario,
+    ScenarioBuildError, ScenarioKind, ScenarioParams,
+};
+pub use topospec::TopologySpec;

@@ -20,14 +20,16 @@
 //!   NICs, so no switch-to-switch spreading exists.
 
 use crate::background::{self, BackgroundConfig, FlowSpec};
-use crate::fattree::FatTreeNav;
+use crate::fattree::{FatTreeNav, NavError};
+use crate::topospec::TopologySpec;
 use hawkeye_core::AnomalyType;
 use hawkeye_sim::{
-    fat_tree, AgentConfig, FaultPlan, FlowKey, Nanos, NodeId, PfcInjectorConfig, PortId, SimConfig,
-    Simulator, SwitchHook, Topology, EVAL_BANDWIDTH, EVAL_DELAY,
+    AgentConfig, FaultPlan, FlowKey, Nanos, NodeId, PfcInjectorConfig, PortId, SimConfig,
+    Simulator, SwitchHook, Topology,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::fmt;
 
 /// The anomaly classes a scenario can inject.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -70,6 +72,52 @@ impl ScenarioKind {
             ScenarioKind::OutOfLoopDeadlockInjection => "out-of-loop-deadlock-injection",
             ScenarioKind::NormalContention => "normal-contention",
         }
+    }
+
+    /// Inverse of [`ScenarioKind::name`] (used by the corpus bank format).
+    pub fn from_name(s: &str) -> Option<ScenarioKind> {
+        ScenarioKind::ALL.into_iter().find(|k| k.name() == s)
+    }
+}
+
+/// Why a scenario could not be built on a given topology. The fuzzer
+/// depends on these being typed (not panics) so degenerate mutated
+/// topologies are rejected and counted, never crash the sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScenarioBuildError {
+    /// The topology could not be navigated as a Clos-family fabric.
+    Nav(NavError),
+    /// A role the scenario scripts (pods/edges/hosts/cores) does not exist
+    /// at these dimensions.
+    TooSmall {
+        what: &'static str,
+        need: usize,
+        have: usize,
+    },
+    /// No source port in the search window pins the flow onto the
+    /// required path (ECMP never traverses the needed switches).
+    NoPinnablePort { src: NodeId, dst: NodeId },
+}
+
+impl fmt::Display for ScenarioBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioBuildError::Nav(e) => write!(f, "topology navigation: {e}"),
+            ScenarioBuildError::TooSmall { what, need, have } => {
+                write!(f, "topology too small: need {need} {what}, have {have}")
+            }
+            ScenarioBuildError::NoPinnablePort { src, dst } => {
+                write!(f, "no src port pins {src}->{dst} onto the required path")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScenarioBuildError {}
+
+impl From<NavError> for ScenarioBuildError {
+    fn from(e: NavError) -> Self {
+        ScenarioBuildError::Nav(e)
     }
 }
 
@@ -202,22 +250,89 @@ impl Scenario {
 /// switch in `via`, so scenarios can pin flows onto specific paths without
 /// route overrides. Panics if none exists (would indicate a topology bug).
 pub fn pick_src_port(topo: &Topology, src: NodeId, dst: NodeId, via: &[NodeId], base: u16) -> u16 {
+    try_pick_src_port(topo, src, dst, via, base)
+        .unwrap_or_else(|| panic!("no src port pins {src}->{dst} via {via:?}"))
+}
+
+/// Fallible [`pick_src_port`]: `None` when no port in the window pins the
+/// path — possible on degraded or fuzzer-mutated topologies.
+pub fn try_pick_src_port(
+    topo: &Topology,
+    src: NodeId,
+    dst: NodeId,
+    via: &[NodeId],
+    base: u16,
+) -> Option<u16> {
     for sp in base..base.saturating_add(4096) {
         let key = FlowKey::roce(src, dst, sp);
         if let Some(path) = topo.flow_path(&key) {
             let nodes: Vec<NodeId> = path.iter().map(|(n, _, _)| *n).collect();
             if via.iter().all(|v| nodes.contains(v)) {
-                return sp;
+                return Some(sp);
             }
         }
     }
-    panic!("no src port pins {src}->{dst} via {via:?}");
+    None
 }
 
-/// Build a scenario of the given kind.
+/// [`try_pick_src_port`] with the typed error scenario builders bubble up.
+fn pick(
+    topo: &Topology,
+    src: NodeId,
+    dst: NodeId,
+    via: &[NodeId],
+    base: u16,
+) -> Result<u16, ScenarioBuildError> {
+    try_pick_src_port(topo, src, dst, via, base)
+        .ok_or(ScenarioBuildError::NoPinnablePort { src, dst })
+}
+
+/// Build a scenario of the given kind on the paper's evaluation topology
+/// (fat-tree K=4). Infallible there by construction.
 pub fn build(kind: ScenarioKind, params: ScenarioParams) -> Scenario {
-    let mut topo = fat_tree(4, EVAL_BANDWIDTH, EVAL_DELAY);
-    let nav = FatTreeNav::new(&topo, 4);
+    build_on(&TopologySpec::EVAL, kind, params)
+        .expect("k=4 fat-tree satisfies every scenario's role requirements")
+}
+
+/// Build a scenario of the given kind on an arbitrary Clos-family
+/// topology. The same seed produces structurally equivalent scenarios on
+/// any member: role indices are drawn from the topology's own dimensions
+/// (identical to the historical literals at K=4), and every scripted role
+/// is checked to exist before use.
+pub fn build_on(
+    spec: &TopologySpec,
+    kind: ScenarioKind,
+    params: ScenarioParams,
+) -> Result<Scenario, ScenarioBuildError> {
+    let (topo, nav) = spec.build()?;
+    let (pods, epp, app, hpe) = nav.dims();
+    for (what, need, have) in [
+        ("pods", 4, pods),
+        ("edges/pod", 2, epp),
+        ("aggs/pod", 2, app),
+        ("hosts/edge", 2, hpe),
+    ] {
+        if have < need {
+            return Err(ScenarioBuildError::TooSmall { what, need, have });
+        }
+    }
+    if nav.is_three_tier() && nav.cores_per_group < 2 {
+        return Err(ScenarioBuildError::TooSmall {
+            what: "cores/agg-group",
+            need: 2,
+            have: nav.cores_per_group,
+        });
+    }
+    build_with_nav(topo, nav, kind, params)
+}
+
+fn build_with_nav(
+    mut topo: Topology,
+    nav: FatTreeNav,
+    kind: ScenarioKind,
+    params: ScenarioParams,
+) -> Result<Scenario, ScenarioBuildError> {
+    let (pods, epp, _, hpe) = nav.dims();
     let mut rng = StdRng::seed_from_u64(params.seed ^ 0x5CE_A110);
 
     let mut flows = if params.load > 0.0 {
@@ -248,18 +363,21 @@ pub fn build(kind: ScenarioKind, params: ScenarioParams) -> Scenario {
     let at_us = at.as_nanos() / 1000;
 
     // Pick a random remote pod host as the victim's source for variety.
-    let vic_pod = 1 + (rng.gen_range(0..3usize));
-    let vic_src = nav.hosts[vic_pod][rng.gen_range(0..2usize)][rng.gen_range(0..2usize)];
+    // Bounds derive from the topology's dimensions; at K=4 they equal the
+    // historical literals (0..3, 0..2, 0..2), so existing seeds replay
+    // byte-identically.
+    let vic_pod = 1 + (rng.gen_range(0..pods - 1));
+    let vic_src = nav.hosts[vic_pod][rng.gen_range(0..epp)][rng.gen_range(0..hpe)];
 
     let truth = match kind {
         ScenarioKind::MicroBurstIncast => {
             // Three bursts into h_t via three different e0 ingress ports:
             // local (h_l), via a0, via a1.
             let b_local = FlowKey::roce(h_l, h_t, 500);
-            let src_a0 = nav.hosts[0][1][0];
-            let src_a1 = nav.hosts[0][1][1];
-            let sp_a0 = pick_src_port(&topo, src_a0, h_t, &[a0], 600);
-            let sp_a1 = pick_src_port(&topo, src_a1, h_t, &[a1], 700);
+            let src_a0 = h2;
+            let src_a1 = h3;
+            let sp_a0 = pick(&topo, src_a0, h_t, &[a0], 600)?;
+            let sp_a1 = pick(&topo, src_a1, h_t, &[a1], 700)?;
             let b_via_a0 = FlowKey::roce(src_a0, h_t, sp_a0);
             let b_via_a1 = FlowKey::roce(src_a1, h_t, sp_a1);
             for b in [b_local, b_via_a0, b_via_a1] {
@@ -275,7 +393,7 @@ pub fn build(kind: ScenarioKind, params: ScenarioParams) -> Scenario {
             // e0 gets paused by the burst backpressure). Moderately paced so
             // it does not squeeze the a0-side burst off the shared a0->e0
             // link.
-            let sp_v = pick_src_port(&topo, vic_src, h_l, &[a0], 800);
+            let sp_v = pick(&topo, vic_src, h_l, &[a0], 800)?;
             let victim = FlowKey::roce(vic_src, h_l, sp_v);
             flows.push(FlowSpec {
                 key: victim,
@@ -288,7 +406,7 @@ pub fn build(kind: ScenarioKind, params: ScenarioParams) -> Scenario {
             // asymmetric (the paper's congested ports always carry some
             // pass-through workload).
             let m_src = nav.hosts[vic_pod][0][0];
-            let sp_m = pick_src_port(&topo, m_src, h_t, &[a0], 900);
+            let sp_m = pick(&topo, m_src, h_t, &[a0], 900)?;
             for i in 0..8u64 {
                 flows.push(FlowSpec {
                     key: FlowKey::roce(m_src, h_t, sp_m + (i as u16) * 977),
@@ -333,7 +451,7 @@ pub fn build(kind: ScenarioKind, params: ScenarioParams) -> Scenario {
                     period: Nanos::from_micros(100),
                 },
             ));
-            let sp_v = pick_src_port(&topo, vic_src, h_t, &[a0], 800);
+            let sp_v = pick(&topo, vic_src, h_t, &[a0], 800)?;
             let victim = FlowKey::roce(vic_src, h_t, sp_v);
             flows.push(FlowSpec {
                 key: victim,
@@ -369,10 +487,14 @@ pub fn build(kind: ScenarioKind, params: ScenarioParams) -> Scenario {
             //   dst h2: a1 -> e0, e0 -> a0   (a0 -> e1 -> h2 is normal)
             //   dst h1: a0 -> e1, e1 -> a1   (a1 -> e0 -> h1 is normal)
             let h1 = h_l;
-            topo.add_route_override(a1, h2, nav.port_to(&topo, a1, e0));
-            topo.add_route_override(e0, h2, nav.port_to(&topo, e0, a0));
-            topo.add_route_override(a0, h1, nav.port_to(&topo, a0, e1));
-            topo.add_route_override(e1, h1, nav.port_to(&topo, e1, a1));
+            let p_a1_e0 = nav.try_port_to(&topo, a1, e0)?;
+            topo.add_route_override(a1, h2, p_a1_e0);
+            let p_e0_a0 = nav.try_port_to(&topo, e0, a0)?;
+            topo.add_route_override(e0, h2, p_e0_a0);
+            let p_a0_e1 = nav.try_port_to(&topo, a0, e1)?;
+            topo.add_route_override(a0, h1, p_a0_e1);
+            let p_e1_a1 = nav.try_port_to(&topo, e1, a1)?;
+            topo.add_route_override(e1, h1, p_e1_a1);
 
             // Ring flows (rate-capped so the ring is loss-free pre-trigger):
             // Q: h_t(e0) -> h2 rides (e0 a0), (a0 e1).
@@ -382,14 +504,11 @@ pub fn build(kind: ScenarioKind, params: ScenarioParams) -> Scenario {
             //    (a0 e1).
             let p_src = nav.hosts[1][0][0];
             let s_src = nav.hosts[1][0][1];
-            // Pin P through a0 and S through a1 with pod-1 overrides.
+            // Pin P through a0 and S through a1 with pod-1 overrides
+            // (three-tier: edge→agg→core; two-tier: leaf→spine directly).
             let e_p1 = nav.edges[1][0];
-            let a_p1_0 = nav.aggs[1][0];
-            let a_p1_1 = nav.aggs[1][1];
-            topo.add_route_override(e_p1, h1, nav.port_to(&topo, e_p1, a_p1_0));
-            topo.add_route_override(a_p1_0, h1, nav.port_to(&topo, a_p1_0, nav.cores[0]));
-            topo.add_route_override(e_p1, h2, nav.port_to(&topo, e_p1, a_p1_1));
-            topo.add_route_override(a_p1_1, h2, nav.port_to(&topo, a_p1_1, nav.cores[2]));
+            nav.pin_ingress_via_agg(&mut topo, e_p1, h1, 1, 0, 0)?;
+            nav.pin_ingress_via_agg(&mut topo, e_p1, h2, 1, 1, 0)?;
 
             let ring_rate = Some(30e9);
             let q = FlowKey::roce(h_t, h2, 500);
@@ -433,11 +552,8 @@ pub fn build(kind: ScenarioKind, params: ScenarioParams) -> Scenario {
                     let b2_src = nav.hosts[2][0][0];
                     let e_b1 = nav.edges[1][1];
                     let e_b2 = nav.edges[2][0];
-                    let a_b2 = nav.aggs[2][0];
-                    topo.add_route_override(e_b1, h3, nav.port_to(&topo, e_b1, a_p1_0));
-                    topo.add_route_override(a_p1_0, h3, nav.port_to(&topo, a_p1_0, nav.cores[1]));
-                    topo.add_route_override(e_b2, h3, nav.port_to(&topo, e_b2, a_b2));
-                    topo.add_route_override(a_b2, h3, nav.port_to(&topo, a_b2, nav.cores[0]));
+                    nav.pin_ingress_via_agg(&mut topo, e_b1, h3, 1, 0, 1)?;
+                    nav.pin_ingress_via_agg(&mut topo, e_b2, h3, 2, 0, 0)?;
                     let b1 = FlowKey::roce(b1_src, h3, 600);
                     let b2 = FlowKey::roce(b2_src, h3, 601);
                     for b in [b1, b2] {
@@ -472,8 +588,7 @@ pub fn build(kind: ScenarioKind, params: ScenarioParams) -> Scenario {
                     ));
                     let t_src = nav.hosts[1][1][0];
                     let e_t = nav.edges[1][1];
-                    topo.add_route_override(e_t, h3, nav.port_to(&topo, e_t, a_p1_0));
-                    topo.add_route_override(a_p1_0, h3, nav.port_to(&topo, a_p1_0, nav.cores[1]));
+                    nav.pin_ingress_via_agg(&mut topo, e_t, h3, 1, 0, 1)?;
                     let t = FlowKey::roce(t_src, h3, 600);
                     // Starts just after the injection (so every enqueue of T
                     // at the dead egress is a paused one — pure injection,
@@ -504,7 +619,7 @@ pub fn build(kind: ScenarioKind, params: ScenarioParams) -> Scenario {
                     // congestion into the ring.
                     let local = FlowKey::roce(h2, h3, 601);
                     let r_src = nav.hosts[3][0][0];
-                    let sp_r = pick_src_port(&topo, r_src, h3, &[a1], 620);
+                    let sp_r = pick(&topo, r_src, h3, &[a1], 620)?;
                     let via_a1 = FlowKey::roce(r_src, h3, sp_r);
                     for k in [local, via_a1] {
                         flows.push(FlowSpec {
@@ -517,8 +632,7 @@ pub fn build(kind: ScenarioKind, params: ScenarioParams) -> Scenario {
                     }
                     let m_src = nav.hosts[1][1][0];
                     let e_t = nav.edges[1][1];
-                    topo.add_route_override(e_t, h3, nav.port_to(&topo, e_t, a_p1_0));
-                    topo.add_route_override(a_p1_0, h3, nav.port_to(&topo, a_p1_0, nav.cores[1]));
+                    nav.pin_ingress_via_agg(&mut topo, e_t, h3, 1, 0, 1)?;
                     for i in 0..30u64 {
                         flows.push(FlowSpec {
                             key: FlowKey::roce(m_src, h3, 700 + i as u16),
@@ -559,8 +673,8 @@ pub fn build(kind: ScenarioKind, params: ScenarioParams) -> Scenario {
             // into the same port; no switch egress toward another switch is
             // ever paused long enough to spread.
             let c1 = FlowKey::roce(h_l, h_t, 500);
-            let sp2 = pick_src_port(&topo, h2, h_t, &[a0], 600);
-            let sp3 = pick_src_port(&topo, h3, h_t, &[a1], 700);
+            let sp2 = pick(&topo, h2, h_t, &[a0], 600)?;
+            let sp3 = pick(&topo, h3, h_t, &[a1], 700)?;
             let c2 = FlowKey::roce(h2, h_t, sp2);
             let c3 = FlowKey::roce(h3, h_t, sp3);
             for c in [c1, c2, c3] {
@@ -574,7 +688,7 @@ pub fn build(kind: ScenarioKind, params: ScenarioParams) -> Scenario {
             }
             // Victim: a modest earlier flow into h_t from pod 1, capped so
             // it is clearly a victim, not a contributor.
-            let sp_v = pick_src_port(&topo, vic_src, h_t, &[a0], 800);
+            let sp_v = pick(&topo, vic_src, h_t, &[a0], 800)?;
             let victim = FlowKey::roce(vic_src, h_t, sp_v);
             flows.push(FlowSpec {
                 key: victim,
@@ -627,7 +741,7 @@ pub fn build(kind: ScenarioKind, params: ScenarioParams) -> Scenario {
         sim_config.switch.ecn_kmax = 600 * 1024;
     }
 
-    Scenario {
+    Ok(Scenario {
         kind,
         topo,
         flows,
@@ -635,7 +749,7 @@ pub fn build(kind: ScenarioKind, params: ScenarioParams) -> Scenario {
         truth,
         params,
         sim_config,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -725,6 +839,84 @@ mod tests {
         in_ports.sort_unstable();
         in_ports.dedup();
         assert_eq!(in_ports.len(), 3, "three distinct ingress directions");
+    }
+
+    #[test]
+    fn all_scenarios_build_on_every_corpus_topology() {
+        let params = ScenarioParams {
+            load: 0.0,
+            ..Default::default()
+        };
+        for spec in TopologySpec::corpus() {
+            for kind in ScenarioKind::ALL {
+                let s = build_on(&spec, kind, params)
+                    .unwrap_or_else(|e| panic!("{spec} {}: {e}", kind.name()));
+                assert_eq!(s.truth.anomaly, kind.expected_anomaly());
+                assert!(s.flows.iter().any(|f| f.key == s.truth.victim), "{spec}");
+                // Every scripted flow routes end to end on this fabric.
+                for f in &s.flows {
+                    assert!(
+                        s.topo.flow_path(&f.key).is_some(),
+                        "{spec} {}: flow {} does not route",
+                        kind.name(),
+                        f.key
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn too_small_topologies_reject_typed() {
+        let params = ScenarioParams::default();
+        // 2 pods < the 4 the scenarios script.
+        let err = build_on(
+            &TopologySpec::LeafSpine {
+                leaves: 4,
+                spines: 2,
+                hosts_per_leaf: 2,
+            },
+            ScenarioKind::MicroBurstIncast,
+            params,
+        )
+        .err()
+        .expect("small leaf-spine must be rejected");
+        assert!(
+            matches!(err, ScenarioBuildError::TooSmall { what: "pods", .. }),
+            "{err}"
+        );
+        // k=2 fat-tree has 1 edge/agg per pod.
+        let err = build_on(
+            &TopologySpec::FatTree { k: 2 },
+            ScenarioKind::InLoopDeadlock,
+            params,
+        )
+        .err()
+        .expect("k=2 fat-tree must be rejected");
+        assert!(matches!(err, ScenarioBuildError::TooSmall { .. }), "{err}");
+    }
+
+    #[test]
+    fn same_seed_is_structurally_equivalent_across_k() {
+        // The role draws use the same RNG sequence on every K, so the
+        // victim source sits at the same (pod, edge, host) coordinates
+        // whenever the smaller tree contains them.
+        let params = ScenarioParams::default();
+        let s4 = build_on(
+            &TopologySpec::FatTree { k: 4 },
+            ScenarioKind::PfcStorm,
+            params,
+        )
+        .unwrap();
+        let s8 = build_on(
+            &TopologySpec::FatTree { k: 8 },
+            ScenarioKind::PfcStorm,
+            params,
+        )
+        .unwrap();
+        // Both storms inject at the pod-0 incast target h_t = hosts[0][0][0],
+        // which is h0 in both trees.
+        assert_eq!(s4.truth.injection_host, s8.truth.injection_host);
     }
 
     #[test]

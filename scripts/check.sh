@@ -305,4 +305,49 @@ HAWKEYE_BENCH_SAMPLES=1 HAWKEYE_BENCH_BUDGET_MS=5 \
   cargo bench -p hawkeye-bench --bench cluster
 git checkout -- BENCH_9.json 2>/dev/null || true
 
+echo "==> corpus smoke (ft4 + leaf-spine slice vs committed golden)"
+# A cheap slice of the scenario corpus checked against the committed
+# golden pins through the release CLI: any verdict drift on these cells
+# exits nonzero with typed cell coordinates. The slice stays small (2
+# topologies x 6 scenarios x 1 seed) so the gate is fast; the full 108-
+# cell matrix is `hawkeye corpus` with no flags.
+corpus_out=$(mktemp)
+./target/release/hawkeye corpus --topos ft4,ls8x2x4 --seeds 1 --jobs 2 \
+  --json > "$corpus_out"
+python3 - "$corpus_out" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["cells"] == 12, f"expected 12 cells in the slice, got {doc['cells']}"
+assert doc["subset"] is True, "slice did not run in subset mode"
+assert doc["diffs"] == [], "corpus drifted from golden:\n" + "\n".join(doc["diffs"])
+print("corpus smoke ok:", doc["cells"], "cells match golden")
+EOF
+rm -f "$corpus_out"
+
+echo "==> fuzz smoke (24 mutations on ft4, banked repros re-verify)"
+# The disagreement fuzzer end to end at CI size: a small deterministic
+# hunt must complete panic-free with every attempted case accounted for
+# (run or rejected as a degenerate topology), and the repros banked by
+# the full-size hunt (tests/corpus_bank.json) must still reproduce their
+# pinned wrong verdicts when replayed — fuzzer-found regressions are
+# golden cells too.
+fuzz_out=$(mktemp); fuzz_bank=$(mktemp)
+./target/release/hawkeye fuzz --budget 24 --base-topo ft4 --seed 7 \
+  --bank "$fuzz_bank" --json > "$fuzz_out"
+python3 - "$fuzz_out" "$fuzz_bank" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["runs"] + doc["rejected"] == 24, \
+    f"budget not accounted: {doc['runs']} runs + {doc['rejected']} rejected != 24"
+assert doc["runs"] > 0, "every mutation was rejected; hunt never ran"
+assert doc["reverify_failures"] == 0, "a minimized repro failed re-verification"
+bank = json.load(open(sys.argv[2]))
+assert bank["version"] == 1 and len(bank["repros"]) == len(doc["banked"]), \
+    "bank file disagrees with the report"
+print("fuzz smoke ok:", doc["runs"], "runs,", doc["rejected"], "rejected,",
+      len(doc["banked"]), "banked")
+EOF
+rm -f "$fuzz_out" "$fuzz_bank"
+cargo test -q -p hawkeye-eval --release --test corpus_bank_reverify
+
 echo "==> all checks passed"
